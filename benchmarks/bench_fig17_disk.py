@@ -1,0 +1,72 @@
+"""Figure 17 — disk head scheduling: random 4KB reads, NPTL vs monadic.
+
+Regenerates the paper's curve: throughput (MB/s) against the number of
+working threads, for the NPTL baseline (blocking pread on kernel threads)
+and the monadic runtime (AIO).  Shape criteria (DESIGN.md E2):
+
+* throughput rises with concurrency and plateaus (elevator effect);
+* the NPTL series stops at its 32KB-stack memory cap (~16K threads);
+* the monadic series continues to 64K threads without degradation;
+* monadic >= NPTL wherever both exist (equality allowed: disk-bound).
+"""
+
+from __future__ import annotations
+
+from conftest import scale
+
+from repro.bench import paper_data
+from repro.bench.fig17 import run_monadic, run_nptl
+from repro.bench.harness import Series, assert_rises_then_flattens, format_table
+
+THREAD_POINTS = [1, 4, 16, 64, 256, 1024, 4096, 16384, 65536]
+
+
+def _total_for(threads: int) -> int:
+    # Keep >= 2 reads per thread so deep points actually queue deep.
+    return max(32 * 1024 * 1024, threads * 2 * 4096) * scale()
+
+
+def run_sweep() -> tuple[Series, Series]:
+    monadic = Series("monadic MB/s")
+    nptl = Series("nptl MB/s")
+    for threads in THREAD_POINTS:
+        monadic.add(threads, run_monadic(threads, _total_for(threads))["mbps"])
+        point = run_nptl(threads, _total_for(threads))
+        if point is not None:
+            nptl.add(threads, point["mbps"])
+    return monadic, nptl
+
+
+def test_fig17_disk_head_scheduling(benchmark, report):
+    monadic, nptl = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    paper_monadic = Series("paper monadic", paper_data.FIG17["monadic"])
+    paper_nptl = Series("paper nptl", paper_data.FIG17["nptl"])
+    report(format_table(
+        "Figure 17 — disk head scheduling (4KB random reads from a 1GB "
+        "file)",
+        "threads",
+        [monadic, nptl, paper_monadic, paper_nptl],
+    ))
+
+    # Shape: rises (elevator gain ~20%+) then flattens.
+    assert_rises_then_flattens(monadic, min_total_gain=0.10)
+    assert_rises_then_flattens(nptl, min_total_gain=0.10)
+
+    # NPTL ends at its stack cap; the monadic series reaches 64K threads.
+    assert max(nptl.xs) <= 16384
+    assert max(monadic.xs) == 65536
+
+    # Who wins: monadic >= NPTL (small tolerance: both disk-bound).
+    for threads in nptl.xs:
+        assert monadic.at(threads) >= nptl.at(threads) * 0.98, (
+            f"at {threads} threads: monadic {monadic.at(threads):.3f} "
+            f"fell below NPTL {nptl.at(threads):.3f}"
+        )
+
+    # Operating points land near the paper's (same simulated disk).
+    assert 0.40 <= monadic.at(1) <= 0.70
+    assert 0.55 <= monadic.at(65536) <= 0.80
+
+    benchmark.extra_info["monadic_qd1_mbps"] = round(monadic.at(1), 3)
+    benchmark.extra_info["monadic_64k_mbps"] = round(monadic.at(65536), 3)

@@ -1,0 +1,100 @@
+"""Figure 18 — FIFO pipe throughput with mostly-idle threads.
+
+Regenerates the paper's curve: 128 working pairs exchanging 32KB messages
+through 4KB FIFOs while idle threads wait on epoll (monadic) or block in
+read (NPTL).  Shape criteria (DESIGN.md E3):
+
+* both series roughly flat in the number of idle threads;
+* monadic throughput ~30% above NPTL (the paper's headline gap);
+* NPTL's series ends at its stack cap; monadic reaches 100K idle threads.
+"""
+
+from __future__ import annotations
+
+from conftest import scale
+
+from repro.bench import paper_data
+from repro.bench.fig18 import run_monadic, run_nptl
+from repro.bench.harness import (
+    Series,
+    assert_roughly_flat,
+    format_table,
+    relative_gap,
+)
+
+IDLE_POINTS_MONADIC = [0, 100, 1000, 10000, 100000]
+IDLE_POINTS_NPTL = [0, 100, 1000, 10000, 15800]
+
+
+def run_sweep() -> tuple[Series, Series]:
+    total = 16 * 1024 * 1024 * scale()
+    monadic = Series("monadic MB/s")
+    nptl = Series("nptl MB/s")
+    for idle in IDLE_POINTS_MONADIC:
+        monadic.add(idle, run_monadic(idle, total)["mbps"])
+    for idle in IDLE_POINTS_NPTL:
+        point = run_nptl(idle, total)
+        if point is not None:
+            nptl.add(idle, point["mbps"])
+    return monadic, nptl
+
+
+def test_fig18_fifo_idle_scalability(benchmark, report):
+    monadic, nptl = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    report(format_table(
+        "Figure 18 — FIFO pipes, 128 working pairs + N idle threads",
+        "idle threads",
+        [
+            monadic, nptl,
+            Series("paper monadic", paper_data.FIG18["monadic"]),
+            Series("paper nptl", paper_data.FIG18["nptl"]),
+        ],
+        y_format="{:.1f}",
+    ))
+
+    # Roughly flat across idle counts.
+    assert_roughly_flat(monadic, tolerance=0.15)
+    assert_roughly_flat(nptl, tolerance=0.15)
+
+    # The headline: monadic ~30% above NPTL (accept 15%..50%).
+    gap = relative_gap(monadic.at(0), nptl.at(0))
+    assert 0.15 <= gap <= 0.50, f"monadic-over-NPTL gap {gap:.0%}"
+
+    # Scalability: monadic reaches 100K idle threads; NPTL cannot pass its
+    # 512MB/32KB = 16K stack cap.
+    assert max(monadic.xs) == 100000
+    assert max(nptl.xs) < 16384
+
+    benchmark.extra_info["gap_at_idle0"] = f"{gap:.1%}"
+    benchmark.extra_info["monadic_mbps"] = round(monadic.at(0), 1)
+    benchmark.extra_info["nptl_mbps"] = round(nptl.at(0), 1)
+
+
+def test_fig18_nptl_thread_cap(benchmark, report):
+    """The cap itself: one more idle thread than RAM affords must fail."""
+    from repro.simos.errors import OutOfMemoryError
+    from repro.simos.kernel import SimKernel
+    from repro.simos.nptl import NptlSim
+
+    def spawn_to_cap() -> int:
+        kernel = SimKernel()
+        sim = NptlSim(kernel)
+        cap = kernel.params.ram_bytes // kernel.params.kernel_stack_bytes
+        assert cap == 16384  # the paper's "NPTL scales up to 16K threads"
+
+        def idle():
+            yield  # pragma: no cover - never scheduled
+
+        spawned = 0
+        try:
+            for _ in range(cap + 1):
+                sim.spawn(idle())
+                spawned += 1
+        except OutOfMemoryError:
+            pass
+        return spawned
+
+    spawned = benchmark.pedantic(spawn_to_cap, rounds=1, iterations=1)
+    assert spawned == 16384
+    report(f"NPTL thread cap: {spawned} threads (512MB RAM / 32KB stacks)")

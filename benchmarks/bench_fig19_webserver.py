@@ -1,0 +1,83 @@
+"""Figure 19 — web server under disk-intensive load, vs Apache-like.
+
+Regenerates the paper's curve: throughput against concurrent connections
+for the monadic server (app cache + AIO) and the Apache-like baseline
+(worker pool + kernel page cache) on the same simulated machine.  Shape
+criteria (DESIGN.md E4):
+
+* both curves rise with connections and saturate (disk elevator + request
+  pipelining), far below the 12.5 MB/s wire limit;
+* the monadic server >= the baseline in the disk-bound region
+  (>= 128 connections), approaching the paper's ~20% lead at 1024.
+"""
+
+from __future__ import annotations
+
+from conftest import scale
+
+from repro.bench import paper_data
+from repro.bench.fig19 import run_apache, run_monadic
+from repro.bench.harness import Series, assert_rises_then_flattens, format_table
+
+CONNECTION_POINTS = [1, 4, 16, 64, 128, 256, 512, 1024]
+
+
+def run_sweep() -> tuple[Series, Series, dict]:
+    monadic = Series("monadic MB/s")
+    apache = Series("apache-like MB/s")
+    detail: dict = {}
+    for conns in CONNECTION_POINTS:
+        target = max(400, conns * 3) * scale()
+        m = run_monadic(conns, responses_target=target)
+        a = run_apache(conns, responses_target=target)
+        monadic.add(conns, m["mbps"])
+        apache.add(conns, a["mbps"])
+        detail[conns] = (m, a)
+    return monadic, apache, detail
+
+
+def test_fig19_webserver_vs_apache(benchmark, report):
+    monadic, apache, detail = benchmark.pedantic(
+        run_sweep, rounds=1, iterations=1
+    )
+
+    report(format_table(
+        "Figure 19 — web server, disk-bound load (16KB files, uniform "
+        "random over the corpus)",
+        "connections",
+        [
+            monadic, apache,
+            Series("paper monadic", paper_data.FIG19["monadic"]),
+            Series("paper apache", paper_data.FIG19["apache"]),
+        ],
+    ))
+    hits = Series("monadic cache hit")
+    ahits = Series("apache cache hit")
+    for conns, (m, a) in detail.items():
+        hits.add(conns, m["cache_hit_rate"])
+        ahits.add(conns, a["cache_hit_rate"])
+    report(format_table(
+        "Cache hit rates (app cache vs kernel page cache)",
+        "connections", [hits, ahits], y_format="{:.2%}",
+    ))
+
+    # Shape: rise then saturate, for both servers.  The baseline's wider
+    # tolerance covers its post-peak dip: past ~370 workers its process
+    # population overcommits RAM and page-ins eat into disk bandwidth
+    # (the mechanism holding Apache at ~2.3 MB/s in the paper's figure).
+    assert_rises_then_flattens(monadic, min_total_gain=0.15)
+    assert_rises_then_flattens(apache, min_total_gain=0.15,
+                               flat_tolerance=0.20)
+
+    # Who wins in the disk-bound region.
+    for conns in (128, 256, 512, 1024):
+        assert monadic.at(conns) >= apache.at(conns) * 0.98, (
+            f"at {conns} connections: monadic {monadic.at(conns):.3f} "
+            f"below apache {apache.at(conns):.3f}"
+        )
+
+    # Far below the 100Mbps wire (12.5 MB/s): the load is disk-bound.
+    assert max(monadic.ys) < 6.0
+
+    benchmark.extra_info["monadic_1024"] = round(monadic.at(1024), 3)
+    benchmark.extra_info["apache_1024"] = round(apache.at(1024), 3)

@@ -1,0 +1,81 @@
+"""E1 — memory consumption per monadic thread (paper §5.1).
+
+The paper: ten million ``sys_yield``-looping threads, 480MB live heap,
+48 bytes per thread.  Here: the same protocol under ``tracemalloc``, for
+both thread representations (raw combinators — the closure chain closest
+to the paper's — and ``@do`` generators), plus the contrast with kernel
+threads' 32KB stack reservations.
+
+Shape criteria (DESIGN.md E1): per-thread bytes flat in N; 1-3 orders of
+magnitude below a kernel stack.
+"""
+
+from __future__ import annotations
+
+import os
+
+from conftest import scale
+
+from repro.bench import paper_data
+from repro.bench.harness import Series, format_table
+from repro.bench.memory import measure_monadic_thread_bytes
+
+COUNTS = [1_000, 10_000, 100_000]
+
+
+def run_sweep() -> tuple[Series, Series, dict]:
+    combinators = Series("combinator B/thread")
+    generators = Series("do-notation B/thread")
+    # The headline point: as many threads as the budget allows.
+    big_n = 1_000_000 * min(scale(), 10)
+    for count in COUNTS:
+        combinators.add(
+            count,
+            measure_monadic_thread_bytes(count, use_do_notation=False)[
+                "bytes_per_thread"
+            ],
+        )
+        generators.add(
+            count,
+            measure_monadic_thread_bytes(count, use_do_notation=True)[
+                "bytes_per_thread"
+            ],
+        )
+    headline = measure_monadic_thread_bytes(big_n, use_do_notation=False)
+    return combinators, generators, headline
+
+
+def test_memory_per_thread(benchmark, report):
+    combinators, generators, headline = benchmark.pedantic(
+        run_sweep, rounds=1, iterations=1
+    )
+
+    report(format_table(
+        "E1 — live bytes per parked monadic thread "
+        f"(paper: {paper_data.MEMORY['bytes_per_thread']} B/thread in GHC; "
+        "kernel stack: 32768 B)",
+        "threads",
+        [combinators, generators],
+        y_format="{:.0f}",
+    ))
+    report(
+        f"Headline: {headline['threads']:,} threads -> "
+        f"{headline['live_bytes'] / (1024 * 1024):.0f}MB live heap "
+        f"({headline['bytes_per_thread']:.0f} B/thread; the paper reports "
+        f"{paper_data.MEMORY['threads']:,} threads at 480MB)"
+    )
+
+    # Per-thread cost is flat in N: no superlinear growth.
+    for series in (combinators, generators):
+        ys = series.ys
+        assert max(ys) <= min(ys) * 1.25, f"{series.name} grows with N: {ys}"
+
+    # Orders of magnitude below kernel stacks.
+    stack = paper_data.MEMORY["nptl_stack_bytes"]
+    assert combinators.at(100_000) < stack / 20
+    assert generators.at(100_000) < stack / 10
+
+    benchmark.extra_info["combinator_bytes"] = round(
+        combinators.at(100_000)
+    )
+    benchmark.extra_info["headline_threads"] = headline["threads"]

@@ -1,0 +1,30 @@
+"""Shared benchmark configuration.
+
+``REPRO_BENCH_SCALE`` multiplies workload totals (default 1): the defaults
+are sized for minutes-long runs; the paper-scale totals are reachable by
+raising it (e.g. ``REPRO_BENCH_SCALE=8``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def scale() -> int:
+    """The workload multiplier from the environment."""
+    return max(1, int(os.environ.get("REPRO_BENCH_SCALE", "1")))
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a results table straight to the terminal (past capture), so
+    tables appear in ``pytest benchmarks/ | tee`` output."""
+
+    def emit(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return emit

@@ -1,0 +1,161 @@
+"""Quickstart: monadic threads, channels, exceptions, STM in two minutes.
+
+Run with::
+
+    python examples/quickstart.py
+
+Everything here executes on the bare scheduler — no I/O backend needed.
+The do-notation mirrors the paper's Haskell: each ``yield`` is a monadic
+bind; the scheduler interleaves threads at system calls.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    Channel,
+    Mutex,
+    Scheduler,
+    TVar,
+    atomically,
+    do,
+    spawn,
+    sys_fork,
+    sys_nbio,
+    sys_yield,
+)
+
+
+# ----------------------------------------------------------------------
+# 1. Threads are cheap; fork freely (paper Figure 4's server/client).
+# ----------------------------------------------------------------------
+@do
+def client(ident, results):
+    yield sys_yield()  # be polite: let others run
+    yield sys_nbio(lambda: results.append(f"client-{ident} served"))
+
+
+@do
+def server(n_clients, results):
+    for ident in range(n_clients):
+        yield sys_fork(client(ident, results))
+    yield sys_nbio(lambda: results.append("server done forking"))
+
+
+# ----------------------------------------------------------------------
+# 2. Channels: producer/consumer with blocking reads.
+# ----------------------------------------------------------------------
+@do
+def producer(chan, items):
+    for item in items:
+        yield chan.write(item)
+    yield chan.write(None)  # sentinel
+
+
+@do
+def consumer(chan):
+    total = 0
+    while True:
+        item = yield chan.read()
+        if item is None:
+            return total
+        total += item
+
+
+# ----------------------------------------------------------------------
+# 3. Exceptions: ordinary try/except works across blocking calls.
+# ----------------------------------------------------------------------
+@do
+def risky(mutex):
+    yield mutex.acquire()
+    try:
+        yield sys_nbio(lambda: 1 / 0)  # fails inside the scheduler
+    except ZeroDivisionError:
+        return "caught a divide-by-zero under a mutex"
+    finally:
+        yield mutex.release()
+
+
+# ----------------------------------------------------------------------
+# 4. STM: composable atomic transactions with retry.
+# ----------------------------------------------------------------------
+@do
+def transferer(accounts, moves):
+    for src, dst, amount in moves:
+        def tx(t, src=src, dst=dst, amount=amount):
+            balance = t.read(accounts[src])
+            t.check(balance >= amount)  # retries until funded
+            t.write(accounts[src], balance - amount)
+            t.write(accounts[dst], t.read(accounts[dst]) + amount)
+
+        yield atomically(tx)
+
+
+@do
+def funder(accounts):
+    for _ in range(3):
+        yield sys_yield()
+    yield atomically(lambda t: t.write(accounts["a"], 100))
+
+
+# ----------------------------------------------------------------------
+# 5. Spawn with join handles.
+# ----------------------------------------------------------------------
+@do
+def worker(n):
+    yield sys_yield()
+    return n * n
+
+
+@do
+def coordinator():
+    handles = []
+    for n in range(5):
+        handle = yield spawn(worker(n))
+        handles.append(handle)
+    squares = []
+    for handle in handles:
+        value = yield handle.join()
+        squares.append(value)
+    return squares
+
+
+def main() -> None:
+    sched = Scheduler()
+
+    # 1: fork a burst of clients.
+    results: list[str] = []
+    sched.spawn(server(5, results))
+
+    # 2: pipeline 1..100 through a channel.
+    chan = Channel()
+    sched.spawn(producer(chan, list(range(1, 101))))
+    consumer_tcb = sched.spawn(consumer(chan))
+
+    # 3: exceptions under a lock.
+    mutex = Mutex()
+    risky_tcb = sched.spawn(risky(mutex))
+
+    # 4: STM transfer that must wait for funding.
+    accounts = {"a": TVar(0), "b": TVar(0)}
+    sched.spawn(transferer(accounts, [("a", "b", 60)]))
+    sched.spawn(funder(accounts))
+
+    # 5: join handles.
+    coord_tcb = sched.spawn(coordinator())
+
+    sched.run()
+
+    print(f"1. fork burst     : {len(results)} events, e.g. {results[0]!r}")
+    print(f"2. channel sum    : {consumer_tcb.result} (expected 5050)")
+    print(f"3. exceptions     : {risky_tcb.result}")
+    print(f"4. STM balances   : a={accounts['a'].value} b={accounts['b'].value}")
+    print(f"5. joined squares : {coord_tcb.result}")
+
+    assert consumer_tcb.result == 5050
+    assert accounts["b"].value == 60
+    assert coord_tcb.result == [0, 1, 4, 9, 16]
+    print("quickstart OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setuptools shim: enables legacy editable installs (``pip install -e .``)
+in environments without the ``wheel`` package (no PEP 660 backend)."""
+
+from setuptools import setup
+
+setup()

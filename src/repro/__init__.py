@@ -1,0 +1,41 @@
+"""repro — monadic, application-level concurrency primitives.
+
+A Python reproduction of Li & Zdancewic, *Combining Events And Threads For
+Scalable Network Services* (PLDI 2007): the CPS concurrency monad, trace
+schedulers, event-driven I/O loops (epoll/AIO style), synchronization
+primitives and STM, an application-level TCP stack, and the paper's web
+server case study — plus the simulated-OS substrate used to regenerate the
+paper's experiments deterministically.
+
+Quickstart::
+
+    from repro import do, pure, sys_yield, Scheduler, Channel
+
+    chan = Channel()
+
+    @do
+    def producer(n):
+        for i in range(n):
+            yield chan.write(i)
+
+    @do
+    def consumer(n):
+        total = 0
+        for _ in range(n):
+            item = yield chan.read()
+            total += item
+        return total
+
+    sched = Scheduler()
+    sched.spawn(producer(10))
+    consumer_tcb = sched.spawn(consumer(10))
+    sched.run()
+    assert consumer_tcb.result == 45
+"""
+
+from .core import *  # noqa: F401,F403 - the core API is the package API
+from .core import __all__ as _core_all
+
+__version__ = "1.0.0"
+
+__all__ = list(_core_all) + ["__version__"]

@@ -1,0 +1,32 @@
+"""Benchmark support: workloads, harness utilities, and the paper's data.
+
+Each of the paper's evaluation artifacts has a runner here, used by the
+``benchmarks/`` pytest files and reusable programmatically:
+
+* :mod:`repro.bench.fig17` — disk head scheduling (paper Figure 17);
+* :mod:`repro.bench.fig18` — FIFO pipes with mostly-idle threads (Fig 18);
+* :mod:`repro.bench.fig19` — web server vs. the Apache-like baseline
+  (Figure 19);
+* :mod:`repro.bench.memory` — per-thread memory (§5.1's 48-byte claim);
+* :mod:`repro.bench.harness` — table printing and curve-shape assertions;
+* :mod:`repro.bench.paper_data` — series digitized from the paper's
+  figures, printed side by side with measurements.
+"""
+
+from .harness import (
+    Series,
+    assert_roughly_flat,
+    assert_rises_then_flattens,
+    format_table,
+    gc_time_share,
+)
+from . import paper_data
+
+__all__ = [
+    "Series",
+    "format_table",
+    "assert_rises_then_flattens",
+    "assert_roughly_flat",
+    "gc_time_share",
+    "paper_data",
+]

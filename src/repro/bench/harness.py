@@ -1,0 +1,142 @@
+"""Measurement harness: series tables and curve-shape assertions.
+
+The reproduction's success criteria are *shapes* (who wins, where curves
+bend), not absolute numbers — the assertions here encode exactly the
+criteria listed in DESIGN.md §4.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from typing import Any, Callable, Iterable
+
+__all__ = [
+    "Series",
+    "format_table",
+    "assert_rises_then_flattens",
+    "assert_roughly_flat",
+    "relative_gap",
+    "gc_time_share",
+]
+
+
+class Series:
+    """An (x -> y) measurement series with a name."""
+
+    def __init__(self, name: str, points: dict[Any, float] | None = None) -> None:
+        self.name = name
+        self.points: dict[Any, float] = dict(points) if points else {}
+
+    def add(self, x: Any, y: float) -> None:
+        self.points[x] = y
+
+    @property
+    def xs(self) -> list:
+        return sorted(self.points)
+
+    @property
+    def ys(self) -> list[float]:
+        return [self.points[x] for x in self.xs]
+
+    def at(self, x: Any) -> float | None:
+        return self.points.get(x)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Series {self.name} n={len(self.points)}>"
+
+
+def format_table(
+    title: str,
+    x_label: str,
+    series_list: Iterable[Series],
+    y_format: str = "{:.3f}",
+    missing: str = "-",
+) -> str:
+    """Render series side by side, one row per x value."""
+    series_list = list(series_list)
+    all_xs = sorted({x for s in series_list for x in s.points})
+    name_width = max(12, *(len(s.name) for s in series_list)) + 2
+    header = f"{x_label:>12} " + "".join(
+        f"{s.name:>{name_width}}" for s in series_list
+    )
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for x in all_xs:
+        row = f"{x!s:>12} "
+        for s in series_list:
+            y = s.at(x)
+            cell = missing if y is None else y_format.format(y)
+            row += f"{cell:>{name_width}}"
+        lines.append(row)
+    lines.append("=" * len(header))
+    return "\n".join(lines)
+
+
+def relative_gap(a: float, b: float) -> float:
+    """(a - b) / b — how far ``a`` sits above ``b``."""
+    return (a - b) / b
+
+
+def assert_rises_then_flattens(
+    series: Series,
+    min_total_gain: float,
+    flat_tolerance: float = 0.10,
+    knee_fraction: float = 0.5,
+) -> None:
+    """Assert the Figure 17/19 shape: the curve gains at least
+    ``min_total_gain`` (relative) from its first to its best point, and
+    past the knee it stays within ``flat_tolerance`` of the maximum."""
+    ys = series.ys
+    assert len(ys) >= 3, f"{series.name}: need >= 3 points"
+    first, best = ys[0], max(ys)
+    gain = relative_gap(best, first)
+    assert gain >= min_total_gain, (
+        f"{series.name}: expected >= {min_total_gain:.0%} rise, got "
+        f"{gain:.0%} (first={first:.3f}, best={best:.3f})"
+    )
+    knee = int(len(ys) * knee_fraction)
+    for x, y in zip(series.xs[knee:], ys[knee:]):
+        assert y >= best * (1 - flat_tolerance), (
+            f"{series.name}: point at x={x} ({y:.3f}) fell more than "
+            f"{flat_tolerance:.0%} below the plateau ({best:.3f})"
+        )
+
+
+def assert_roughly_flat(series: Series, tolerance: float = 0.25) -> None:
+    """Assert the Figure 18 shape: no point strays more than ``tolerance``
+    (relative) from the series mean."""
+    ys = series.ys
+    assert ys, f"{series.name}: empty series"
+    mean = sum(ys) / len(ys)
+    for x, y in zip(series.xs, ys):
+        assert abs(y - mean) <= tolerance * mean, (
+            f"{series.name}: point at x={x} ({y:.3f}) strays more than "
+            f"{tolerance:.0%} from the mean ({mean:.3f})"
+        )
+
+
+def gc_time_share(fn: Callable[[], Any]) -> tuple[Any, float]:
+    """Run ``fn`` and measure the fraction of wall time spent in Python's
+    garbage collector (the analogue of the paper's "<0.2% GC" note).
+
+    Returns ``(fn_result, gc_share)``.
+    """
+    gc_time = 0.0
+    starts: list[float] = []
+
+    def callback(phase: str, _info: dict) -> None:
+        nonlocal gc_time
+        if phase == "start":
+            starts.append(time.perf_counter())
+        elif starts:
+            gc_time += time.perf_counter() - starts.pop()
+
+    gc.callbacks.append(callback)
+    begin = time.perf_counter()
+    try:
+        result = fn()
+    finally:
+        gc.callbacks.remove(callback)
+    elapsed = time.perf_counter() - begin
+    share = gc_time / elapsed if elapsed > 0 else 0.0
+    return result, share

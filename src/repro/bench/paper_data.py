@@ -1,0 +1,52 @@
+"""The paper's published results, digitized from its figures.
+
+Figures 17–19 are log-x line plots; values below are read off the curves
+(±5% digitization error).  They are printed next to our measurements so
+EXPERIMENTS.md can report paper-vs-measured without hand-copying.
+"""
+
+from __future__ import annotations
+
+__all__ = ["FIG17", "FIG18", "FIG19", "MEMORY"]
+
+#: Figure 17 — disk head scheduling: working threads -> MB/s.
+#: NPTL's series ends at its ~16K-thread limit.
+FIG17 = {
+    "nptl": {
+        1: 0.525, 4: 0.555, 16: 0.595, 64: 0.625, 256: 0.64,
+        1024: 0.645, 4096: 0.645, 16384: 0.64,
+    },
+    "monadic": {
+        1: 0.525, 4: 0.55, 16: 0.60, 64: 0.635, 256: 0.655,
+        1024: 0.665, 4096: 0.67, 16384: 0.67, 65536: 0.665,
+    },
+}
+
+#: Figure 18 — FIFO pipes, 128 working pairs: idle threads -> MB/s.
+FIG18 = {
+    "nptl": {0: 48.0, 100: 48.0, 1000: 47.0, 10000: 45.0, 16000: 44.0},
+    "monadic": {
+        0: 63.0, 100: 63.0, 1000: 62.0, 10000: 60.0, 100000: 55.0,
+    },
+}
+
+#: Figure 19 — web server, disk-bound load: connections -> MB/s.
+FIG19 = {
+    "apache": {
+        1: 1.25, 4: 1.6, 16: 1.9, 64: 2.1, 128: 2.2, 256: 2.25,
+        512: 2.3, 1024: 2.3,
+    },
+    "monadic": {
+        1: 1.3, 4: 1.7, 16: 2.0, 64: 2.3, 128: 2.5, 256: 2.6,
+        512: 2.7, 1024: 2.75,
+    },
+}
+
+#: §5.1 memory consumption: ten million threads, 480MB live heap after
+#: major collections — 48 bytes per monadic thread (GHC closures).
+MEMORY = {
+    "threads": 10_000_000,
+    "live_heap_bytes": 480 * 1024 * 1024,
+    "bytes_per_thread": 48,
+    "nptl_stack_bytes": 32 * 1024,
+}

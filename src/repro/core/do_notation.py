@@ -1,0 +1,238 @@
+"""Generator-based do-notation for the concurrency monad.
+
+Haskell hides the monad's "internal plumbing" behind ``do``-syntax; Python's
+natural equivalent is a generator.  A function decorated with :func:`do`
+writes monadic threads in plain imperative style::
+
+    @do
+    def echo(conn):
+        data = yield sock_recv(conn, 4096)     # data <- sock_recv conn 4096
+        while data:
+            yield sock_send(conn, data)        # sock_send conn data
+            data = yield sock_recv(conn, 4096)
+        return len(data)                       # return — the monadic result
+
+Each ``yield`` runs a computation (an :class:`~repro.core.monad.M` value)
+and resumes the generator with its result.  The translation is exactly the
+paper's desugaring of ``do`` into ``>>=`` with the generator frame playing
+the role of the chained closures — but with two Python-specific amenities:
+
+* **Constant stack.**  Resuming the generator is O(1) in stack depth, and a
+  bounce-trampoline flattens chains of yields that complete synchronously
+  (e.g. ``yield pure(x)``), so million-iteration thread loops are safe.
+
+* **Native exceptions.**  Monadic exceptions are delivered into the
+  generator with ``generator.throw``, so ordinary ``try``/``except``/
+  ``finally`` blocks work inside threads.  Symmetrically, exceptions raised
+  by the generator become monadic throws, caught by enclosing ``sys_catch``
+  frames (or enclosing ``@do`` callers' ``try`` blocks).  This is
+  implemented with the scheduler's ordinary handler frames — ``@do`` wraps
+  the generator in one ``SYS_CATCH`` region.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import sys
+import types
+from typing import Any, Callable, Generator
+
+from .monad import M
+from .trace import SysCatch, SysEndCatch, SysThrow, Trace
+
+__all__ = ["do", "DoProtocolError"]
+
+#: Code objects of every ``@do``-driven generator function; used to target
+#: the abandoned-thread noise filter below at exactly our generators.
+_do_codes: set = set()
+
+
+class DoProtocolError(TypeError):
+    """A ``@do`` generator yielded something that is not a computation."""
+
+
+class _Bounce(Trace):
+    """Internal sentinel returned by a trampolined continuation.
+
+    Never reaches the scheduler: it is produced only while the driving loop
+    in :func:`_step` is on the stack, which intercepts it immediately.
+    """
+
+    __slots__ = ()
+
+
+_BOUNCE = _Bounce()
+
+
+def do(genfunc: Callable[..., Generator[M, Any, Any]]) -> Callable[..., M]:
+    """Turn a generator function into a function returning a computation.
+
+    The generator must yield :class:`M` values; its ``return`` value becomes
+    the computation's result.  Calling the decorated function does not run
+    any code — like every ``M``, the computation starts when a scheduler
+    forces its trace.
+    """
+
+    _do_codes.add(genfunc.__code__)
+
+    @functools.wraps(genfunc)
+    def make(*args: Any, **kwargs: Any) -> M:
+        def run(c: Callable[[Any], Trace]) -> Trace:
+            return _gen_region(genfunc, args, kwargs, c)
+
+        return M(run)
+
+    # Expose the original generator function for introspection/testing.
+    make.__wrapped__ = genfunc
+    return make
+
+
+def _tolerant(user_gen: Generator[M, Any, Any]) -> Generator[M, Any, Any]:
+    """Delegate to ``user_gen``, absorbing abandoned-cleanup noise.
+
+    When a parked thread is abandoned (its runtime stops while the thread
+    waits), the interpreter eventually closes its generator.  A ``finally:``
+    block that yields a monadic cleanup action cannot run then — no
+    scheduler is left to resume it — so the inner ``close`` raises
+    ``RuntimeError("generator ignored GeneratorExit")``.  The semantics
+    match GHC threads collected by the garbage collector: abandoned
+    finalizers do not run.  That specific ``RuntimeError`` surfaces here at
+    the ``yield from`` during our own ``close()``; swallowing it keeps the
+    interpreter from printing "Exception ignored" noise, without masking
+    any error a *running* thread could observe.
+    """
+    try:
+        result = yield from user_gen
+    except RuntimeError as err:
+        if err.args == ("generator ignored GeneratorExit",):
+            return None
+        raise
+    return result
+
+
+def _gen_region(
+    genfunc: Callable[..., Generator[M, Any, Any]],
+    args: tuple,
+    kwargs: dict,
+    c: Callable[[Any], Trace],
+) -> Trace:
+    """Build the SYS_CATCH region that drives one generator instance."""
+    gen = _tolerant(genfunc(*args, **kwargs))
+    finished = [False]
+
+    def handler(exc: BaseException) -> Trace:
+        if finished[0]:
+            # The generator already terminated; keep unwinding outward.
+            return SysThrow(exc)
+        # Re-arm the frame, then deliver the exception into the generator
+        # so its try/except blocks can run.  If the generator does not
+        # catch it, _step marks `finished` and rethrows; the re-armed frame
+        # then forwards it outward through the branch above.
+        return SysCatch(lambda: _step(gen, finished, None, exc), handler, c)
+
+    return SysCatch(lambda: _step(gen, finished, None, None), handler, c)
+
+
+def _step(
+    gen: Generator[M, Any, Any],
+    finished: list,
+    value: Any,
+    exc: BaseException | None,
+) -> Trace:
+    """Advance the generator until it suspends on a real system call.
+
+    Returns the next trace node.  Yields that complete synchronously are
+    flattened by the bounce trampoline, so consecutive pure steps use
+    constant Python stack.
+    """
+    while True:
+        try:
+            if exc is not None:
+                item = gen.throw(exc)
+            else:
+                item = gen.send(value)
+        except StopIteration as stop:
+            finished[0] = True
+            return SysEndCatch(stop.value)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except BaseException as raised:
+            finished[0] = True
+            return SysThrow(raised)
+
+        if not isinstance(item, M):
+            finished[0] = True
+            return SysThrow(
+                DoProtocolError(
+                    f"@do generator yielded {item!r}; expected a computation "
+                    "(an M value, e.g. from a sys_* call)"
+                )
+            )
+
+        # Trampoline: if the computation calls its continuation
+        # synchronously (pure glue), capture the value and loop instead of
+        # recursing.  If it suspends (stores the continuation in a trace
+        # node), the continuation will run later, when `active` is off, and
+        # then it re-enters _step normally.
+        active = [True]
+        cell = [False, None]
+
+        def k(v: Any, active: list = active, cell: list = cell) -> Trace:
+            if active[0]:
+                cell[0] = True
+                cell[1] = v
+                return _BOUNCE
+            return _step(gen, finished, v, None)
+
+        try:
+            trace = item.run(k)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except BaseException as raised:
+            # The computation's own plumbing failed (e.g. a pure function
+            # inside fmap raised): surface it inside the generator so the
+            # user's try/except can see it.
+            active[0] = False
+            value, exc = None, raised
+            continue
+
+        active[0] = False
+        if cell[0]:
+            value, exc = cell[1], None
+            continue
+        return trace
+
+
+# ----------------------------------------------------------------------
+# Abandoned-thread noise suppression.
+#
+# The garbage collector may finalize an abandoned thread's user generator
+# *before* its _tolerant wrapper, in which case the RuntimeError from a
+# yield-in-finally is reported through sys.unraisablehook instead of being
+# absorbed by the wrapper.  This filter drops exactly that report — a
+# RuntimeError("generator ignored GeneratorExit") raised while finalizing a
+# generator created by a @do function — and forwards everything else to the
+# previously installed hook.  Set REPRO_NOISY_ABANDONMENT=1 to disable.
+# ----------------------------------------------------------------------
+_ABANDONED_ARGS = ("generator ignored GeneratorExit",)
+
+
+def _is_do_generator(obj: Any) -> bool:
+    return isinstance(obj, types.GeneratorType) and (
+        obj.gi_code in _do_codes or obj.gi_code is _tolerant.__code__
+    )
+
+
+def _filter_unraisable(unraisable, _previous=sys.unraisablehook):
+    if (
+        isinstance(unraisable.exc_value, RuntimeError)
+        and unraisable.exc_value.args == _ABANDONED_ARGS
+        and _is_do_generator(unraisable.object)
+    ):
+        return
+    _previous(unraisable)
+
+
+if os.environ.get("REPRO_NOISY_ABANDONMENT") != "1":
+    sys.unraisablehook = _filter_unraisable

@@ -1,0 +1,41 @@
+"""Event bits shared by the epoll-style readiness interfaces.
+
+These mirror the Linux ``EPOLLIN``/``EPOLLOUT``/... flags used by the paper's
+``sys_epoll_wait`` (Figure 15) without depending on the ``select`` module, so
+the same constants work against the simulated kernel and the live backend.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "EVENT_READ",
+    "EVENT_WRITE",
+    "EVENT_ERROR",
+    "EVENT_HUP",
+    "describe_events",
+]
+
+#: The file descriptor is readable (``EPOLLIN``).
+EVENT_READ = 0x1
+
+#: The file descriptor is writable (``EPOLLOUT``).
+EVENT_WRITE = 0x2
+
+#: An error condition is pending (``EPOLLERR``).
+EVENT_ERROR = 0x4
+
+#: The peer hung up (``EPOLLHUP``).
+EVENT_HUP = 0x8
+
+_NAMES = [
+    (EVENT_READ, "READ"),
+    (EVENT_WRITE, "WRITE"),
+    (EVENT_ERROR, "ERROR"),
+    (EVENT_HUP, "HUP"),
+]
+
+
+def describe_events(mask: int) -> str:
+    """Render an event mask for debugging, e.g. ``READ|HUP``."""
+    parts = [name for bit, name in _NAMES if mask & bit]
+    return "|".join(parts) if parts else "NONE"

@@ -1,0 +1,453 @@
+"""The thread scheduler: an event loop traversing traces.
+
+This generalizes the paper's Figure 11 ``worker_main``:
+
+* a **ready queue** of thread control blocks (TCBs);
+* a ``step`` that forces the next trace node of a thread and interprets it;
+* **batched execution** — "a thread is executed for a large number of steps
+  before switching to another thread to improve locality" (§4.2);
+* per-thread **handler stacks** implementing ``SYS_CATCH``/``SYS_THROW``
+  (§4.3) — pushed on catch, popped on return or throw;
+* a **registry** of syscall handlers, the hook through which everything
+  event-driven plugs in: epoll and AIO loops (§4.5), the blocking-I/O pool
+  (§4.6), synchronization (§4.7) and the TCP stack (§4.8) all register
+  handlers here.  This is the "programmable scheduler" of the hybrid model.
+
+The scheduler knows nothing about time or devices; the runtime
+(:mod:`repro.runtime`) drives it and wires device loops to the registry.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Any, Callable, Iterable
+
+from .exceptions import ThreadKilled, UncaughtThreadError, UnsupportedSyscallError
+from .monad import M, build_trace
+from .trace import (
+    SysBlio,
+    SysCatch,
+    SysEndCatch,
+    SysFork,
+    SysJoin,
+    SysNBIO,
+    SysRet,
+    SysSpecial,
+    SysThrow,
+    SysYield,
+    Trace,
+    Thunk,
+)
+
+__all__ = ["TCB", "Scheduler", "SyscallHandler", "STATES"]
+
+#: Thread lifecycle states.
+STATES = ("ready", "running", "blocked", "done", "failed")
+
+# A syscall handler receives (scheduler, tcb, node) and returns either a
+# thunk for the next trace node to continue executing inline, or None if it
+# parked or requeued the thread itself.
+SyscallHandler = Callable[["Scheduler", "TCB", Trace], "Thunk | None"]
+
+
+class TCB:
+    """Thread control block.
+
+    Thread-local state is deliberately tiny — the paper's measurement point
+    (§5.1) is that a parked thread is just its continuation plus an
+    exception-handler stack.  Here that is: a trace thunk (held by whatever
+    queue or device the thread is parked on), this record, and the handler
+    stack.
+    """
+
+    __slots__ = (
+        "tid",
+        "name",
+        "state",
+        "catch_stack",
+        "result",
+        "error",
+        "pending_kill",
+        "syscall_count",
+        "waiters",
+    )
+
+    def __init__(self, tid: int, name: str | None) -> None:
+        self.tid = tid
+        self.name = name
+        self.state = "ready"
+        self.catch_stack: list[SysCatch] = []
+        self.result: Any = None
+        self.error: BaseException | None = None
+        self.pending_kill: BaseException | None = None
+        self.syscall_count = 0
+        # Lazily created list of (tcb, cont) pairs joined on this thread.
+        self.waiters: list | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self.name or f"thread-{self.tid}"
+        return f"<TCB {self.tid} {label!r} {self.state}>"
+
+
+class Scheduler:
+    """A round-robin, batched, extensible trace scheduler.
+
+    Parameters
+    ----------
+    batch_limit:
+        Maximum number of system calls a thread executes before the
+        scheduler switches to the next ready thread.  ``1`` reproduces the
+        naive round-robin of Figure 11; the default batches for locality
+        as §4.2 describes.  (Ablation A1 measures this choice.)
+    uncaught:
+        Policy for exceptions that unwind past the last handler frame:
+        ``"raise"`` (default — abort ``run`` with
+        :class:`UncaughtThreadError`), ``"store"`` (record on the TCB and in
+        :attr:`uncaught_errors`), or a callable ``(tcb, exc) -> None``.
+    """
+
+    #: Handlers shared by every scheduler instance.  Library extensions with
+    #: no per-scheduler state (mutexes, MVars, STM, join) register here at
+    #: import time so they "just work" on any scheduler; instance handlers
+    #: (devices, TCP) take precedence.
+    default_handlers: dict[type, SyscallHandler] = {}
+
+    #: Named specials shared by every scheduler instance (same precedence
+    #: rule: instance registrations win).
+    default_specials: dict[str, Callable[["Scheduler", TCB, Any], Any]] = {}
+
+    def __init__(
+        self,
+        batch_limit: int = 128,
+        uncaught: str | Callable[[TCB, BaseException], None] = "raise",
+    ) -> None:
+        if batch_limit < 1:
+            raise ValueError("batch_limit must be >= 1")
+        self.batch_limit = batch_limit
+        self.uncaught = uncaught
+        self.ready: deque[tuple[TCB, Thunk]] = deque()
+        self.uncaught_errors: list[tuple[TCB, BaseException]] = []
+        self._tids = itertools.count(1)
+        self._handlers: dict[type, SyscallHandler] = {}
+        self._specials: dict[str, Callable[["Scheduler", TCB, Any], Any]] = {}
+        self._exit_watchers: list[Callable[[TCB], None]] = []
+        #: Number of live (not finished) threads.
+        self.live_threads = 0
+        #: Total system calls processed (for instrumentation).
+        self.total_syscalls = 0
+        #: Total thread switches performed (batch boundaries).
+        self.total_switches = 0
+        #: Optional instrumentation hook, called per node: (tcb, node).
+        self.on_syscall: Callable[[TCB, Trace], None] | None = None
+        self.register_special("get_tid", lambda sched, tcb, _payload: tcb.tid)
+
+    # ------------------------------------------------------------------
+    # Extension registry
+    # ------------------------------------------------------------------
+    def register_syscall(self, node_type: type, handler: SyscallHandler) -> None:
+        """Install ``handler`` for trace nodes of ``node_type``.
+
+        The handler may: perform the operation and return the next trace
+        (synchronous completion — the thread keeps running in its batch);
+        park the thread by storing a resume thunk somewhere and return
+        ``None``; or requeue via :meth:`resume` and return ``None``.
+        """
+        self._handlers[node_type] = handler
+
+    def register_special(
+        self, kind: str, func: Callable[["Scheduler", TCB, Any], Any]
+    ) -> None:
+        """Install a named extension for ``sys_special(kind, payload)``.
+
+        ``func`` runs synchronously and its return value resumes the thread.
+        """
+        self._specials[kind] = func
+
+    def add_exit_watcher(self, func: Callable[[TCB], None]) -> None:
+        """Call ``func(tcb)`` whenever a thread finishes (done or failed)."""
+        self._exit_watchers.append(func)
+
+    # ------------------------------------------------------------------
+    # Thread management
+    # ------------------------------------------------------------------
+    def spawn(self, comp: M | Callable[[], M], name: str | None = None) -> TCB:
+        """Create a thread running ``comp`` and place it on the ready queue."""
+        tcb = self._new_tcb(name)
+
+        def first() -> Trace:
+            actual = comp() if callable(comp) and not isinstance(comp, M) else comp
+            return build_trace(actual)
+
+        self.ready.append((tcb, first))
+        return tcb
+
+    def _new_tcb(self, name: str | None) -> TCB:
+        tcb = TCB(next(self._tids), name)
+        self.live_threads += 1
+        return tcb
+
+    def resume(self, tcb: TCB, thunk: Thunk) -> None:
+        """Make a parked thread runnable again (used by device loops).
+
+        ``thunk`` forces the thread's next trace node — typically the
+        node's stored continuation applied to the operation's result.
+        """
+        tcb.state = "ready"
+        self.ready.append((tcb, thunk))
+
+    def resume_value(self, tcb: TCB, cont: Callable[[Any], Trace], value: Any) -> None:
+        """Convenience: resume ``tcb`` by applying ``cont`` to ``value``."""
+        self.resume(tcb, lambda: cont(value))
+
+    def resume_error(self, tcb: TCB, exc: BaseException) -> None:
+        """Resume ``tcb`` by delivering ``exc`` as a monadic throw."""
+        self.resume(tcb, lambda: SysThrow(exc))
+
+    def kill(self, tcb: TCB, exc: BaseException | None = None) -> None:
+        """Request cancellation of ``tcb``.
+
+        The exception (default :class:`ThreadKilled`) is delivered at the
+        thread's next scheduling point; a thread parked on a device receives
+        it when that device resumes it.  (Cooperative cancellation — the
+        paper's model has no asynchronous interrupts either.)
+        """
+        if tcb.state in ("done", "failed"):
+            return
+        tcb.pending_kill = exc if exc is not None else ThreadKilled(
+            f"thread {tcb.tid} killed"
+        )
+
+    # ------------------------------------------------------------------
+    # The event loop (worker_main)
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run one thread for up to ``batch_limit`` system calls.
+
+        Returns ``False`` when the ready queue is empty.
+        """
+        if not self.ready:
+            return False
+        tcb, thunk = self.ready.popleft()
+        self.total_switches += 1
+        self.run_batch(tcb, thunk)
+        return True
+
+    def run_batch(self, tcb: TCB, thunk: Thunk) -> None:
+        """Force and interpret trace nodes for one thread until it blocks,
+        yields, finishes, or exhausts its batch."""
+        tcb.state = "running"
+        budget = self.batch_limit
+        while True:
+            if tcb.pending_kill is not None:
+                exc = tcb.pending_kill
+                tcb.pending_kill = None
+                thunk = _throw_thunk(exc)
+            try:
+                node = thunk()
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as raised:
+                # A raw Python exception escaped the thread's code outside
+                # any @do frame; convert it to a monadic throw.
+                node = SysThrow(raised)
+
+            tcb.syscall_count += 1
+            self.total_syscalls += 1
+            if self.on_syscall is not None:
+                self.on_syscall(tcb, node)
+
+            next_thunk = self._interpret(tcb, node)
+            if next_thunk is None:
+                return
+            budget -= 1
+            if budget <= 0:
+                # Batch exhausted: requeue and switch (still ready).
+                tcb.state = "ready"
+                self.ready.append((tcb, next_thunk))
+                return
+            thunk = next_thunk
+
+    def run(self) -> None:
+        """Run until no thread is ready (parked threads may remain)."""
+        while self.step():
+            pass
+
+    def run_all(self) -> None:
+        """Run until no *live* thread remains.
+
+        Raises :class:`DeadlockError` if threads are parked with nothing to
+        wake them.  Only valid on a bare scheduler (no device loops); the
+        runtime has its own driver.
+        """
+        from .exceptions import DeadlockError
+
+        self.run()
+        if self.live_threads > 0:
+            raise DeadlockError(
+                f"{self.live_threads} thread(s) blocked with no ready work"
+            )
+
+    # ------------------------------------------------------------------
+    # Node interpretation
+    # ------------------------------------------------------------------
+    def _interpret(self, tcb: TCB, node: Trace) -> Thunk | None:
+        """Handle one trace node; return the next thunk to run inline, or
+        ``None`` if the thread parked, yielded, or finished."""
+        node_type = type(node)
+
+        if node_type is SysNBIO:
+            # Figure 11: perform the I/O action; it returns the next node.
+            # Wrap in a thunk so failures inside the action are delivered
+            # as monadic exceptions by the forcing loop above.
+            return node.run
+
+        if node_type is SysFork:
+            child = self._new_tcb(node.name)
+            self.ready.append((child, node.child))
+            return node.cont
+
+        if node_type is SysYield:
+            tcb.state = "ready"
+            self.ready.append((tcb, node.cont))
+            return None
+
+        if node_type is SysRet:
+            self._finish(tcb, node.value, None)
+            return None
+
+        if node_type is SysCatch:
+            tcb.catch_stack.append(node)
+            return node.body
+
+        if node_type is SysEndCatch:
+            frame = tcb.catch_stack.pop()
+            value = node.value
+            return lambda: frame.cont(value)
+
+        if node_type is SysThrow:
+            return self._unwind(tcb, node.exc)
+
+        if node_type is SysJoin:
+            target: TCB = node.target
+            cont = node.cont
+            if target.state == "done":
+                value = target.result
+                return lambda: cont(value)
+            if target.state == "failed":
+                return _throw_thunk(target.error)
+            if target.waiters is None:
+                target.waiters = []
+            target.waiters.append((tcb, cont))
+            tcb.state = "blocked"
+            return None
+
+        if node_type is SysSpecial:
+            func = self._specials.get(node.kind)
+            if func is None:
+                func = Scheduler.default_specials.get(node.kind)
+            if func is None:
+                return _throw_thunk(
+                    UnsupportedSyscallError(
+                        f"no handler registered for sys_special({node.kind!r})"
+                    )
+                )
+            try:
+                value = func(self, tcb, node.payload)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as raised:
+                return _throw_thunk(raised)
+            cont = node.cont
+            return lambda: cont(value)
+
+        handler = self._handlers.get(node_type)
+        if handler is None:
+            handler = Scheduler.default_handlers.get(node_type)
+        if handler is None:
+            if node_type is SysBlio:
+                # With no blocking pool wired (bare scheduler / tests), run
+                # the action inline like SYS_NBIO.
+                action, cont = node.action, node.cont
+                return lambda: cont(action())
+            return _throw_thunk(
+                UnsupportedSyscallError(
+                    f"no handler registered for {node_type.TAG}"
+                )
+            )
+        return handler(self, tcb, node)
+
+    def _unwind(self, tcb: TCB, exc: BaseException) -> Thunk | None:
+        """Pop one handler frame and run its handler, or finish the thread."""
+        if tcb.catch_stack:
+            frame = tcb.catch_stack.pop()
+            return lambda: frame.handler(exc)
+        self._finish(tcb, None, exc)
+        return None
+
+    def _finish(
+        self, tcb: TCB, value: Any, exc: BaseException | None
+    ) -> None:
+        tcb.state = "done" if exc is None else "failed"
+        tcb.result = value
+        tcb.error = exc
+        self.live_threads -= 1
+        had_waiters = bool(tcb.waiters)
+        if tcb.waiters:
+            waiters, tcb.waiters = tcb.waiters, None
+            for waiter, cont in waiters:
+                if exc is None:
+                    self.resume_value(waiter, cont, value)
+                else:
+                    self.resume_error(waiter, exc)
+        for watcher in self._exit_watchers:
+            watcher(tcb)
+        if exc is not None and not had_waiters:
+            # Errors observed by a joiner are that joiner's responsibility;
+            # otherwise apply the uncaught policy.
+            self._report_uncaught(tcb, exc)
+
+    def _report_uncaught(self, tcb: TCB, exc: BaseException) -> None:
+        if callable(self.uncaught):
+            self.uncaught(tcb, exc)
+            return
+        if self.uncaught == "store":
+            self.uncaught_errors.append((tcb, exc))
+            return
+        raise UncaughtThreadError(tcb.tid, tcb.name, exc)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        """A snapshot of scheduler counters (for tests and benchmarks)."""
+        return {
+            "ready": len(self.ready),
+            "live_threads": self.live_threads,
+            "total_syscalls": self.total_syscalls,
+            "total_switches": self.total_switches,
+        }
+
+
+def _throw_thunk(exc: BaseException) -> Thunk:
+    return lambda: SysThrow(exc)
+
+
+def run_threads(
+    comps: Iterable[M],
+    batch_limit: int = 128,
+    uncaught: str | Callable[[TCB, BaseException], None] = "raise",
+) -> list[TCB]:
+    """Convenience: run computations to completion on a fresh scheduler.
+
+    Only suitable for programs that use no device syscalls (pure thread
+    control, nbio, exceptions, sync primitives registered by default).
+    Returns the TCBs in spawn order.
+    """
+    sched = Scheduler(batch_limit=batch_limit, uncaught=uncaught)
+    tcbs = [sched.spawn(comp) for comp in comps]
+    sched.run_all()
+    return tcbs
+
+
+__all__.append("run_threads")

@@ -1,0 +1,242 @@
+"""System calls: the multithreaded programming interface.
+
+Following the paper (§3.1), "system calls" are the thread operations visible
+to monadic threads: thread control (``sys_fork``, ``sys_yield``, ``sys_ret``),
+effectful I/O (``sys_nbio``, ``sys_blio``), asynchronous I/O
+(``sys_epoll_wait``, ``sys_aio_read``, ...), exceptions (``sys_throw``,
+``sys_catch``), synchronization (``sys_mutex``, ``sys_mvar``, ``sys_stm``)
+and the application-level TCP interface (``sys_tcp``).
+
+Each system call is a monadic operation that creates exactly one trace node,
+filling the node's continuation fields with the current continuation —
+Figure 9 of the paper, transliterated:
+
+.. code-block:: haskell
+
+    sys_nbio f  = M(\\c -> SYS_NBIO (do x <- f; return (c x)))
+    sys_fork f  = M(\\c -> SYS_FORK (build_trace f) (c ()))
+    sys_yield   = M(\\c -> SYS_YIELD (c ()))
+    sys_ret     = M(\\c -> SYS_RET)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .monad import M, build_trace
+from .trace import (
+    SysAioRead,
+    SysAioWrite,
+    SysBlio,
+    SysCatch,
+    SysEndCatch,
+    SysEpollWait,
+    SysFork,
+    SysMVar,
+    SysMutex,
+    SysNBIO,
+    SysRet,
+    SysSleep,
+    SysSpecial,
+    SysStm,
+    SysTcp,
+    SysThrow,
+    SysYield,
+    Trace,
+)
+
+__all__ = [
+    "sys_nbio",
+    "sys_blio",
+    "sys_fork",
+    "sys_yield",
+    "sys_ret",
+    "sys_throw",
+    "sys_catch",
+    "sys_finally",
+    "sys_epoll_wait",
+    "sys_aio_read",
+    "sys_aio_write",
+    "sys_sleep",
+    "sys_mutex_op",
+    "sys_mvar_op",
+    "sys_stm",
+    "sys_tcp",
+    "sys_special",
+    "sys_get_tid",
+    "sys_now",
+]
+
+
+def sys_nbio(action: Callable[[], Any]) -> M:
+    """Perform a non-blocking, effectful action in the scheduler.
+
+    ``action`` runs inside the event loop (paper Figure 11, ``SYS_NBIO``
+    case), so it must not block: blocking here stalls every thread served by
+    the loop.  Use :func:`sys_blio` for potentially blocking operations.
+    The thread resumes with ``action``'s return value.
+    """
+
+    def run(c: Callable[[Any], Trace]) -> Trace:
+        def perform() -> Trace:
+            return c(action())
+
+        return SysNBIO(perform)
+
+    return M(run)
+
+
+def sys_blio(action: Callable[[], Any]) -> M:
+    """Perform a *blocking* action on the blocking-I/O thread pool (§4.6).
+
+    The scheduler forwards the request to a dedicated queue serviced by OS
+    threads, so event loops never stall.  The thread resumes with the
+    action's return value.
+    """
+
+    return M(lambda c: SysBlio(action, c))
+
+
+def sys_fork(child: M | Callable[[], M], name: str | None = None) -> M:
+    """Create a new thread running ``child``; the parent continues.
+
+    ``child`` may be a computation or a zero-argument function producing one
+    (evaluated lazily when the child is first scheduled).  Resumes with
+    ``None``; use :func:`repro.core.thread.spawn` for a join handle.
+    """
+
+    def child_trace() -> Trace:
+        comp = child() if callable(child) and not isinstance(child, M) else child
+        return build_trace(comp)
+
+    def run(c: Callable[[Any], Trace]) -> Trace:
+        return SysFork(child_trace, lambda: c(None), name)
+
+    return M(run)
+
+
+def sys_yield() -> M:
+    """Switch to another ready thread (cooperative preemption point)."""
+    return M(lambda c: SysYield(lambda: c(None)))
+
+
+def sys_ret(value: Any = None) -> M:
+    """Terminate the current thread immediately with ``value``.
+
+    The current continuation is discarded — like the paper's ``sys_ret``,
+    this ends the whole thread, not just the enclosing function.
+    """
+    return M(lambda _c: SysRet(value))
+
+
+def sys_throw(exc: BaseException) -> M:
+    """Raise ``exc`` to the nearest enclosing ``sys_catch`` frame.
+
+    Inside :func:`repro.core.do_notation.do` threads, a plain Python
+    ``raise`` has the same effect; ``sys_throw`` is the primitive form.
+    """
+    return M(lambda _c: SysThrow(exc))
+
+
+def sys_catch(body: M, handler: Callable[[BaseException], M]) -> M:
+    """Run ``body`` with ``handler`` installed for monadic exceptions.
+
+    Semantics follow §4.3: the scheduler pushes a handler frame; normal
+    completion of ``body`` pops it and continues with ``body``'s value; a
+    throw pops it and runs ``handler exc``, whose own completion continues
+    at the same point.  Exceptions raised by the handler propagate outward.
+    """
+
+    def run(c: Callable[[Any], Trace]) -> Trace:
+        def body_trace() -> Trace:
+            return body.run(SysEndCatch)
+
+        def handler_trace(exc: BaseException) -> Trace:
+            return handler(exc).run(c)
+
+        return SysCatch(body_trace, handler_trace, c)
+
+    return M(run)
+
+
+def sys_finally(body: M, finalizer: M) -> M:
+    """Run ``body``; run ``finalizer`` whether it returns or throws.
+
+    Built from ``sys_catch`` exactly the way Figure 13's ``send_file``
+    closes its file descriptor on both paths.
+    """
+
+    def reraise(exc: BaseException) -> M:
+        return finalizer.then(sys_throw(exc))
+
+    return sys_catch(body, reraise).bind(
+        lambda value: finalizer.then(_pure_value(value))
+    )
+
+
+def _pure_value(value: Any) -> M:
+    return M(lambda c: c(value))
+
+
+def sys_epoll_wait(fd: Any, events: int) -> M:
+    """Block until one of ``events`` fires on ``fd``; resume with the ready
+    event mask (paper Figure 15)."""
+    return M(lambda c: SysEpollWait(fd, events, c))
+
+
+def sys_aio_read(fd: Any, offset: int, nbytes: int) -> M:
+    """Submit an asynchronous read; resume with the bytes read (possibly
+    shorter than ``nbytes`` at end of file, empty at EOF)."""
+    return M(lambda c: SysAioRead(fd, offset, nbytes, c))
+
+
+def sys_aio_write(fd: Any, offset: int, data: bytes) -> M:
+    """Submit an asynchronous write; resume with the byte count written."""
+    return M(lambda c: SysAioWrite(fd, offset, data, c))
+
+
+def sys_sleep(duration: float) -> M:
+    """Block the thread for ``duration`` seconds of (virtual or real) time."""
+    return M(lambda c: SysSleep(duration, c))
+
+
+def sys_mutex_op(mutex: Any, op: str) -> M:
+    """Mutex primitive (§4.7); prefer :class:`repro.core.sync.Mutex`."""
+    return M(lambda c: SysMutex(mutex, op, c))
+
+
+def sys_mvar_op(mvar: Any, op: str, value: Any = None) -> M:
+    """MVar primitive; prefer :class:`repro.core.sync.MVar`."""
+    return M(lambda c: SysMVar(mvar, op, value, c))
+
+
+def sys_stm(transaction: Any) -> M:
+    """Run an STM transaction atomically; blocks on ``retry`` until one of
+    the TVars it read changes (see :mod:`repro.core.stm`)."""
+    return M(lambda c: SysStm(transaction, c))
+
+
+def sys_tcp(op: str, *args: Any) -> M:
+    """User interface of the application-level TCP stack (§4.8); prefer the
+    socket wrappers in :mod:`repro.tcp.socket_api`."""
+    return M(lambda c: SysTcp(op, args, c))
+
+
+def sys_special(kind: str, payload: Any = None) -> M:
+    """Invoke a named scheduler extension (registered via
+    :meth:`repro.core.scheduler.Scheduler.register_special`)."""
+    return M(lambda c: SysSpecial(kind, payload, c))
+
+
+def sys_get_tid() -> M:
+    """Resume with the current thread's id (a built-in special)."""
+    return sys_special("get_tid")
+
+
+def sys_now() -> M:
+    """Resume with the current time in seconds.
+
+    Under the simulated runtime this is virtual time; under the live backend
+    it is the OS monotonic clock.
+    """
+    return sys_special("now")

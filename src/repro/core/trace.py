@@ -1,0 +1,374 @@
+"""The trace algebra: run-time representation of thread execution.
+
+A *trace* is the paper's central data structure (Li & Zdancewic, PLDI 2007,
+Figure 5): a tree describing the sequence of system calls made by a monadic
+thread.  Each system call in the multithreaded programming interface
+corresponds to exactly one node type.  The scheduler is a tree-traversal
+function over traces (Figure 11).
+
+In Haskell the sub-traces are lazy: examining a node runs the thread up to
+the system call that produces it.  Here we obtain the same one-step-at-a-time
+behaviour from strict continuation-passing style: child positions hold
+*thunks* (zero-argument callables returning the next :class:`Trace`), or
+continuation functions from the system call's result to the next trace.
+Forcing a thunk runs the thread's Python code exactly up to its next system
+call, which constructs and returns the next node — precisely the stepping
+depicted in the paper's Figure 3.
+
+Only the scheduler (and scheduler extensions) ever inspect these nodes;
+application threads construct them indirectly through the system calls in
+:mod:`repro.core.syscalls`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+__all__ = [
+    "Trace",
+    "SysRet",
+    "SysNBIO",
+    "SysBlio",
+    "SysFork",
+    "SysYield",
+    "SysThrow",
+    "SysCatch",
+    "SysEndCatch",
+    "SysEpollWait",
+    "SysAioRead",
+    "SysAioWrite",
+    "SysSleep",
+    "SysMutex",
+    "SysMVar",
+    "SysSync",
+    "SysStm",
+    "SysTcp",
+    "SysJoin",
+    "SysSpecial",
+    "Thunk",
+    "Cont",
+    "format_trace_node",
+]
+
+# A thunk forces the thread one step: it runs the thread's code up to the
+# next system call and returns the node that call constructed.
+Thunk = Callable[[], "Trace"]
+
+# A continuation resumes the thread with the system call's result.
+Cont = Callable[[Any], "Trace"]
+
+
+class Trace:
+    """Base class for every trace node.
+
+    Nodes are plain records.  They deliberately carry no behaviour: the
+    meaning of each node is given by the scheduler (or by a scheduler
+    extension registered for it), which is exactly the paper's point — the
+    scheduler is an ordinary, user-programmable event loop.
+    """
+
+    __slots__ = ()
+
+    #: Short upper-case tag used in debug output; mirrors the constructor
+    #: names of the paper's Haskell ``Trace`` datatype.
+    TAG = "TRACE"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return format_trace_node(self)
+
+
+class SysRet(Trace):
+    """``SYS_RET`` — the thread (or a protected region) finished normally.
+
+    The paper's ``SYS_RET`` is a bare leaf; we additionally carry the final
+    value so that thread results can be observed by ``join`` and by
+    ``sys_catch`` continuations.
+    """
+
+    __slots__ = ("value",)
+    TAG = "SYS_RET"
+
+    def __init__(self, value: Any = None) -> None:
+        self.value = value
+
+
+class SysNBIO(Trace):
+    """``SYS_NBIO`` — perform a non-blocking I/O (effectful) action.
+
+    ``run`` performs the effect and returns the next trace node, mirroring
+    the Haskell node's ``IO Trace`` payload: the continuation is already
+    baked into the action by :func:`repro.core.syscalls.sys_nbio`.
+    """
+
+    __slots__ = ("run",)
+    TAG = "SYS_NBIO"
+
+    def __init__(self, run: Callable[[], "Trace"]) -> None:
+        self.run = run
+
+
+class SysBlio(Trace):
+    """``SYS_BLIO`` — perform a *blocking* I/O action on the blocking pool.
+
+    Unlike ``SYS_NBIO``, the action and continuation stay separate: only
+    ``action`` may run on a pool thread (paper §4.6); the continuation is
+    resumed on the scheduler with the action's result.
+    """
+
+    __slots__ = ("action", "cont")
+    TAG = "SYS_BLIO"
+
+    def __init__(self, action: Callable[[], Any], cont: Cont) -> None:
+        self.action = action
+        self.cont = cont
+
+
+class SysFork(Trace):
+    """``SYS_FORK`` — spawn a child thread.
+
+    Both fields are thunks for the first node of the respective execution:
+    ``child`` for the new thread, ``cont`` for the parent's continuation.
+    """
+
+    __slots__ = ("child", "cont", "name")
+    TAG = "SYS_FORK"
+
+    def __init__(self, child: Thunk, cont: Thunk, name: str | None = None) -> None:
+        self.child = child
+        self.cont = cont
+        self.name = name
+
+
+class SysYield(Trace):
+    """``SYS_YIELD`` — voluntarily switch to another thread."""
+
+    __slots__ = ("cont",)
+    TAG = "SYS_YIELD"
+
+    def __init__(self, cont: Thunk) -> None:
+        self.cont = cont
+
+
+class SysThrow(Trace):
+    """``SYS_THROW`` — raise an exception to the nearest handler frame."""
+
+    __slots__ = ("exc",)
+    TAG = "SYS_THROW"
+
+    def __init__(self, exc: BaseException) -> None:
+        self.exc = exc
+
+
+class SysCatch(Trace):
+    """``SYS_CATCH`` — enter a protected region.
+
+    The scheduler pushes ``(handler, cont)`` onto the thread's handler stack
+    and forces ``body``.  ``handler`` maps the caught exception to the trace
+    that continues the thread; by construction (see ``sys_catch``) that trace
+    flows into ``cont`` when the handler completes normally.
+    """
+
+    __slots__ = ("body", "handler", "cont")
+    TAG = "SYS_CATCH"
+
+    def __init__(
+        self,
+        body: Thunk,
+        handler: Callable[[BaseException], "Trace"],
+        cont: Cont,
+    ) -> None:
+        self.body = body
+        self.handler = handler
+        self.cont = cont
+
+
+class SysEndCatch(Trace):
+    """Marks normal completion of a ``SYS_CATCH`` body.
+
+    The paper reuses ``SYS_RET`` to pop handler frames; we use a dedicated
+    node so protected regions can return values (``value`` is handed to the
+    frame's continuation).  Semantics are otherwise identical.
+    """
+
+    __slots__ = ("value",)
+    TAG = "SYS_END_CATCH"
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+
+class SysEpollWait(Trace):
+    """``SYS_EPOLL_WAIT`` — block until ``events`` fires on ``fd``.
+
+    The continuation receives the set of ready events (paper Figure 15).
+    """
+
+    __slots__ = ("fd", "events", "cont")
+    TAG = "SYS_EPOLL_WAIT"
+
+    def __init__(self, fd: Any, events: int, cont: Cont) -> None:
+        self.fd = fd
+        self.events = events
+        self.cont = cont
+
+
+class SysAioRead(Trace):
+    """``SYS_AIO_READ`` — submit an asynchronous disk read.
+
+    The continuation receives the bytes read (paper: ``Int -> Trace``; we
+    pass the data, the length is ``len``).
+    """
+
+    __slots__ = ("fd", "offset", "nbytes", "cont")
+    TAG = "SYS_AIO_READ"
+
+    def __init__(self, fd: Any, offset: int, nbytes: int, cont: Cont) -> None:
+        self.fd = fd
+        self.offset = offset
+        self.nbytes = nbytes
+        self.cont = cont
+
+
+class SysAioWrite(Trace):
+    """Asynchronous disk write; continuation receives the byte count."""
+
+    __slots__ = ("fd", "offset", "data", "cont")
+    TAG = "SYS_AIO_WRITE"
+
+    def __init__(self, fd: Any, offset: int, data: bytes, cont: Cont) -> None:
+        self.fd = fd
+        self.offset = offset
+        self.data = data
+        self.cont = cont
+
+
+class SysSleep(Trace):
+    """Block the thread for ``duration`` seconds (timer event loop)."""
+
+    __slots__ = ("duration", "cont")
+    TAG = "SYS_SLEEP"
+
+    def __init__(self, duration: float, cont: Cont) -> None:
+        self.duration = duration
+        self.cont = cont
+
+
+class SysMutex(Trace):
+    """Mutex operation (paper §4.7): ``op`` is ``"acquire"`` or ``"release"``."""
+
+    __slots__ = ("mutex", "op", "cont")
+    TAG = "SYS_MUTEX"
+
+    def __init__(self, mutex: Any, op: str, cont: Cont) -> None:
+        self.mutex = mutex
+        self.op = op
+        self.cont = cont
+
+
+class SysMVar(Trace):
+    """MVar operation: ``op`` in ``{"take", "put", "read", "try_take", "try_put"}``."""
+
+    __slots__ = ("mvar", "op", "value", "cont")
+    TAG = "SYS_MVAR"
+
+    def __init__(self, mvar: Any, op: str, value: Any, cont: Cont) -> None:
+        self.mvar = mvar
+        self.op = op
+        self.value = value
+        self.cont = cont
+
+
+class SysSync(Trace):
+    """Generic synchronization operation on a primitive object.
+
+    ``primitive`` implements ``handle(sched, tcb, op, value, cont)`` — the
+    scheduler-extension protocol used by channels, semaphores, etc.
+    (Mutexes and MVars keep their dedicated, paper-named nodes.)
+    """
+
+    __slots__ = ("primitive", "op", "value", "cont")
+    TAG = "SYS_SYNC"
+
+    def __init__(self, primitive: Any, op: str, value: Any, cont: Cont) -> None:
+        self.primitive = primitive
+        self.op = op
+        self.value = value
+        self.cont = cont
+
+
+class SysStm(Trace):
+    """Run an STM transaction atomically; park on ``retry`` until a read
+    TVar changes (paper §4.7 uses GHC's STM; ours is built from scratch)."""
+
+    __slots__ = ("transaction", "cont")
+    TAG = "SYS_STM"
+
+    def __init__(self, transaction: Any, cont: Cont) -> None:
+        self.transaction = transaction
+        self.cont = cont
+
+
+class SysTcp(Trace):
+    """``sys_tcp`` — user interface of the application-level TCP stack
+    (paper §4.8).  ``op`` names the socket operation, ``args`` its payload."""
+
+    __slots__ = ("op", "args", "cont")
+    TAG = "SYS_TCP"
+
+    def __init__(self, op: str, args: tuple, cont: Cont) -> None:
+        self.op = op
+        self.args = args
+        self.cont = cont
+
+
+class SysJoin(Trace):
+    """Block until the target thread (a scheduler TCB) finishes.
+
+    The continuation receives the target's result; if the target failed,
+    its exception is rethrown in the joining thread instead.
+    """
+
+    __slots__ = ("target", "cont")
+    TAG = "SYS_JOIN"
+
+    def __init__(self, target: Any, cont: Cont) -> None:
+        self.target = target
+        self.cont = cont
+
+
+class SysSpecial(Trace):
+    """Extension point: a syscall dispatched by a registered handler.
+
+    Scheduler extensions (new I/O mechanisms, custom synchronization — the
+    paper's "the programmer can easily add more system I/O interfaces") can
+    define their own node classes, but ad-hoc extensions may simply use this
+    tagged node.
+    """
+
+    __slots__ = ("kind", "payload", "cont")
+    TAG = "SYS_SPECIAL"
+
+    def __init__(self, kind: str, payload: Any, cont: Cont) -> None:
+        self.kind = kind
+        self.payload = payload
+        self.cont = cont
+
+
+def format_trace_node(node: Trace) -> str:
+    """Render a single node for debug output, e.g. ``<SYS_FORK child>``."""
+    detail = ""
+    if isinstance(node, SysRet):
+        detail = f" value={node.value!r}"
+    elif isinstance(node, SysEpollWait):
+        detail = f" fd={node.fd!r} events={node.events!r}"
+    elif isinstance(node, (SysAioRead, SysAioWrite)):
+        detail = f" fd={node.fd!r} offset={node.offset}"
+    elif isinstance(node, SysMutex):
+        detail = f" op={node.op}"
+    elif isinstance(node, SysMVar):
+        detail = f" op={node.op}"
+    elif isinstance(node, SysTcp):
+        detail = f" op={node.op}"
+    elif isinstance(node, SysSpecial):
+        detail = f" kind={node.kind}"
+    return f"<{type(node).TAG}{detail}>"

@@ -1,0 +1,27 @@
+"""The paper's case study: a simple web server for static pages (§5.2).
+
+* :mod:`repro.http.message` — request/response types and serialization;
+* :mod:`repro.http.parser` — an incremental, chunking-safe request parser;
+* :mod:`repro.http.cache` — the application-managed file cache (the paper
+  uses a fixed 100MB cache filled through AIO, bypassing the kernel);
+* :mod:`repro.http.server` — the monadic web server: one ``@do`` thread
+  per client, AIO for disk, exceptions for error paths, and a pluggable
+  socket layer (kernel-style sim sockets *or* the application-level TCP
+  stack — "by editing one line of code");
+* :mod:`repro.http.baseline` — the Apache-like comparison server running
+  on simulated kernel threads with the kernel page cache.
+"""
+
+from .cache import FileCache
+from .message import HttpError, HttpRequest, HttpResponse
+from .parser import HttpParseError, RequestParser
+from .server import KernelSocketLayer, AppTcpSocketLayer, WebServer
+from .baseline import ApacheLikeServer
+
+__all__ = [
+    "HttpRequest", "HttpResponse", "HttpError",
+    "RequestParser", "HttpParseError",
+    "FileCache",
+    "WebServer", "KernelSocketLayer", "AppTcpSocketLayer",
+    "ApacheLikeServer",
+]

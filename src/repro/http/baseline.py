@@ -1,0 +1,215 @@
+"""The Apache-like baseline server (the paper's Figure 19 comparison).
+
+Apache 2.0.55 in its 2006 configuration: a bounded pool of worker threads
+(MaxClients), blocking socket I/O, files read through the kernel page cache
+with buffered ``pread``.  Three properties matter for the comparison and
+are modelled explicitly:
+
+* **bounded concurrency** — at most ``workers`` requests are in flight, so
+  the disk queue (and its elevator gain) saturates at the pool size;
+* **kernel-cache reads** — buffered I/O pays a copy-out and shares the
+  page cache with everything else on the machine (its size is set by the
+  benchmark to RAM minus server-process memory);
+* **per-request process overhead** — parsing, process scheduling and
+  VFS work, charged as a CPU constant per request;
+* **memory overcommit** — the paper "increased the limit for concurrent
+  connections", so at 1024 connections the prefork worker population's
+  resident memory exceeds the 512MB machine.  Paged-out workers must page
+  back in to serve a request, and those page-ins are disk reads competing
+  with file I/O on the same spindle.  This is the mechanism that holds the
+  baseline below the monadic server (whose threads fit trivially in RAM)
+  at high connection counts in Figure 19.
+
+Workers are simulated kernel threads (:mod:`repro.simos.nptl`), so every
+cost flows through the same accounting as the NPTL I/O benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from ..simos.filesys import SimFileSystem
+from ..simos.kernel import SimKernel
+from ..simos.nptl import KAccept, KCpu, KPread, KRead, KWrite, NptlSim
+from .message import HttpError, HttpResponse, guess_content_type
+from .parser import HttpParseError, RequestParser
+from .server import ServerStats
+
+__all__ = ["ApacheLikeServer"]
+
+#: Default per-request CPU overhead (process scheduling, VFS, logging) —
+#: an Apache-prefork-era constant on the simulated Celeron.
+DEFAULT_REQUEST_OVERHEAD = 150e-6
+
+#: Resident memory per worker process (code+heap+stack), reserved from RAM
+#: so the kernel page cache shrinks as MaxClients grows.
+DEFAULT_WORKER_BYTES = 1_200 * 1024
+
+#: RAM held by the kernel itself (text, slabs, network buffers).
+KERNEL_RESERVED_BYTES = 64 * 1024 * 1024
+
+#: Fraction of the overcommitted-worker probability that actually turns
+#: into a page-in per request (swap cache and locality absorb the rest).
+SWAP_PAGEIN_FACTOR = 0.25
+
+#: One page-in transfer (a 4KB random read from the swap area).
+SWAP_PAGEIN_BYTES = 4 * 1024
+
+
+class ApacheLikeServer:
+    """A worker-pool static server on simulated kernel threads."""
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        nptl: NptlSim,
+        fs: SimFileSystem,
+        listener: Any,
+        workers: int = 256,
+        request_overhead: float = DEFAULT_REQUEST_OVERHEAD,
+        worker_bytes: int = DEFAULT_WORKER_BYTES,
+    ) -> None:
+        self.kernel = kernel
+        self.nptl = nptl
+        self.fs = fs
+        self.listener = listener
+        self.workers = workers
+        self.request_overhead = request_overhead
+        self.worker_bytes = worker_bytes
+        self.stats = ServerStats()
+        self.running = True
+        self._swap_rng = random.Random(0xA9AC4E)
+        self._swap_file = None
+        #: Probability that serving a request pays a page-in (see module
+        #: docs); zero while the worker population fits in RAM.
+        self.pagein_prob = self._compute_pagein_prob()
+        #: Page-ins performed (reported by the benchmarks).
+        self.pageins = 0
+
+    def _compute_pagein_prob(self) -> float:
+        params = self.kernel.params
+        resident = self.workers * (
+            self.worker_bytes + params.kernel_stack_bytes
+        )
+        available = params.ram_bytes - KERNEL_RESERVED_BYTES
+        if resident <= available:
+            return 0.0
+        overcommit = (resident - available) / resident
+        return overcommit * SWAP_PAGEIN_FACTOR
+
+    def start(self) -> None:
+        """Reserve process memory and spawn the worker pool.
+
+        Worker memory beyond physical RAM lives in swap: only the portion
+        that fits is reserved from the kernel accountant; the shortfall
+        surfaces as per-request page-in probability instead.
+        """
+        params = self.kernel.params
+        want = self.workers * self.worker_bytes
+        room = max(
+            0,
+            params.ram_bytes - KERNEL_RESERVED_BYTES - self.kernel.ram_used
+            - self.workers * params.kernel_stack_bytes,
+        )
+        self.kernel.alloc_ram(min(want, room))
+        if self.pagein_prob > 0 and not self.fs.exists("<swap>"):
+            self.fs.create_file("<swap>", 512 * 1024 * 1024)
+        if self.fs.exists("<swap>"):
+            self._swap_file = self.fs.open("<swap>")
+        for index in range(self.workers):
+            self.nptl.spawn(self._worker(), name=f"apache-{index}")
+
+    def stop(self) -> None:
+        """Stop workers after their current connection."""
+        self.running = False
+
+    # ------------------------------------------------------------------
+    # One worker: a C-style blocking-I/O loop.
+    # ------------------------------------------------------------------
+    def _worker(self):
+        while self.running:
+            conn = yield KAccept(self.listener)
+            self.stats.connections += 1
+            try:
+                yield from self._serve_connection(conn)
+            finally:
+                conn.close()
+
+    def _serve_connection(self, conn):
+        parser = RequestParser()
+        while self.running:
+            # ---- read one request --------------------------------------
+            request = None
+            while request is None:
+                request = parser.next_request()
+                if request is not None:
+                    break
+                data = yield KRead(conn, 4096)
+                if not data:
+                    return  # client closed
+                try:
+                    parser.feed(data)
+                except HttpParseError as bad:
+                    yield from self._send_error(conn, HttpError(bad.status))
+                    return
+            self.stats.requests += 1
+            yield KCpu(self.request_overhead)
+            if (
+                self.pagein_prob > 0
+                and self._swap_file is not None
+                and self._swap_rng.random() < self.pagein_prob
+            ):
+                # This worker's pages were evicted; fault them back in.
+                self.pageins += 1
+                offset = self._swap_rng.randrange(
+                    0, self._swap_file.size - SWAP_PAGEIN_BYTES
+                )
+                yield KPread(self._swap_file, offset, SWAP_PAGEIN_BYTES)
+
+            # ---- serve it ----------------------------------------------
+            try:
+                yield from self._send_file(conn, request)
+                self.stats.responses_ok += 1
+            except HttpError as error:
+                yield from self._send_error(conn, error)
+                if error.status >= 500:
+                    return
+            if not request.keep_alive:
+                return
+
+    def _send_file(self, conn, request):
+        if request.method not in ("GET", "HEAD"):
+            raise HttpError(405, request.method)
+        path = request.path.lstrip("/")
+        if not self.fs.exists(path):
+            raise HttpError(404, path)
+        handle = self.fs.open(path)
+        size = handle.size
+        # Buffered read through the kernel page cache (not O_DIRECT).
+        body = b""
+        if request.method == "GET":
+            body = yield KPread(handle, 0, size, direct=False)
+        handle.close()
+        response = HttpResponse(
+            200,
+            headers={
+                "Content-Type": guess_content_type(path),
+                "Connection": "keep-alive" if request.keep_alive else "close",
+            },
+        )
+        payload = response.header_block(extra_length=size) + body
+        yield from self._write_all(conn, payload)
+        self.stats.bytes_sent += len(payload)
+
+    def _send_error(self, conn, error):
+        payload = HttpResponse.for_error(error).encode()
+        yield from self._write_all(conn, payload)
+        self.stats.responses_err += 1
+        self.stats.bytes_sent += len(payload)
+
+    @staticmethod
+    def _write_all(conn, data):
+        sent = 0
+        while sent < len(data):
+            sent += yield KWrite(conn, data[sent:])

@@ -1,0 +1,156 @@
+"""HTTP/1.x request and response messages."""
+
+from __future__ import annotations
+
+__all__ = ["HttpRequest", "HttpResponse", "HttpError", "REASON_PHRASES",
+           "guess_content_type"]
+
+REASON_PHRASES = {
+    200: "OK",
+    301: "Moved Permanently",
+    304: "Not Modified",
+    400: "Bad Request",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    414: "URI Too Long",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+_CONTENT_TYPES = {
+    ".html": "text/html",
+    ".htm": "text/html",
+    ".txt": "text/plain",
+    ".css": "text/css",
+    ".js": "application/javascript",
+    ".json": "application/json",
+    ".png": "image/png",
+    ".jpg": "image/jpeg",
+    ".gif": "image/gif",
+    ".bin": "application/octet-stream",
+}
+
+
+def guess_content_type(path: str) -> str:
+    """MIME type from the path suffix (octet-stream when unknown)."""
+    dot = path.rfind(".")
+    if dot >= 0:
+        return _CONTENT_TYPES.get(path[dot:].lower(),
+                                  "application/octet-stream")
+    return "application/octet-stream"
+
+
+class HttpError(Exception):
+    """An error with an associated HTTP status code.
+
+    The server's per-client thread raises these from anywhere in request
+    handling; the catch frame at the top of the thread turns them into
+    error responses — the paper's "I/O errors are handled gracefully using
+    exceptions".
+    """
+
+    def __init__(self, status: int, detail: str = "") -> None:
+        reason = REASON_PHRASES.get(status, "Error")
+        super().__init__(f"{status} {reason}" + (f": {detail}" if detail else ""))
+        self.status = status
+        self.detail = detail
+
+
+class HttpRequest:
+    """A parsed request."""
+
+    __slots__ = ("method", "target", "version", "headers", "body")
+
+    def __init__(
+        self,
+        method: str,
+        target: str,
+        version: str,
+        headers: dict[str, str],
+        body: bytes = b"",
+    ) -> None:
+        self.method = method
+        self.target = target
+        self.version = version
+        # Header names are stored lower-cased.
+        self.headers = headers
+        self.body = body
+
+    def header(self, name: str, default: str = "") -> str:
+        """Case-insensitive header lookup."""
+        return self.headers.get(name.lower(), default)
+
+    @property
+    def keep_alive(self) -> bool:
+        """Connection persistence per HTTP/1.0 and 1.1 rules."""
+        connection = self.header("connection").lower()
+        if self.version == "HTTP/1.1":
+            return connection != "close"
+        return connection == "keep-alive"
+
+    @property
+    def path(self) -> str:
+        """The target with any query string removed."""
+        question = self.target.find("?")
+        return self.target if question < 0 else self.target[:question]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<HttpRequest {self.method} {self.target} {self.version}>"
+
+
+class HttpResponse:
+    """A response under construction."""
+
+    __slots__ = ("status", "headers", "body", "version")
+
+    def __init__(
+        self,
+        status: int,
+        body: bytes = b"",
+        headers: dict[str, str] | None = None,
+        version: str = "HTTP/1.1",
+    ) -> None:
+        self.status = status
+        self.body = body
+        self.headers = dict(headers) if headers else {}
+        self.version = version
+
+    def header_block(self, extra_length: int | None = None) -> bytes:
+        """Serialize the status line and headers (plus Content-Length).
+
+        ``extra_length`` overrides the body length for streamed responses
+        where the body is sent separately.
+        """
+        reason = REASON_PHRASES.get(self.status, "Unknown")
+        lines = [f"{self.version} {self.status} {reason}"]
+        length = extra_length if extra_length is not None else len(self.body)
+        headers = dict(self.headers)
+        headers.setdefault("Content-Length", str(length))
+        headers.setdefault("Server", "repro-monadic/1.0")
+        for name, value in headers.items():
+            lines.append(f"{name}: {value}")
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+    def encode(self) -> bytes:
+        """Full response bytes (header block + body)."""
+        return self.header_block() + self.body
+
+    @classmethod
+    def for_error(cls, error: HttpError, keep_alive: bool = False) -> "HttpResponse":
+        """A minimal HTML error page for ``error``."""
+        reason = REASON_PHRASES.get(error.status, "Error")
+        body = (
+            f"<html><head><title>{error.status} {reason}</title></head>"
+            f"<body><h1>{error.status} {reason}</h1></body></html>"
+        ).encode()
+        headers = {"Content-Type": "text/html"}
+        if not keep_alive:
+            headers["Connection"] = "close"
+        return cls(error.status, body, headers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<HttpResponse {self.status} {len(self.body)}B>"

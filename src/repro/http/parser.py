@@ -1,0 +1,125 @@
+"""Incremental HTTP/1.x request parsing.
+
+The parser is push-based: feed it arbitrary byte chunks (as they arrive
+from a socket) and pop complete requests.  Splitting the input at any byte
+boundary yields identical parses — a property test pins this down, since
+network reads chunk unpredictably.
+"""
+
+from __future__ import annotations
+
+from .message import HttpRequest
+
+__all__ = ["RequestParser", "HttpParseError"]
+
+_MAX_HEADER_BYTES = 16 * 1024
+_MAX_BODY_BYTES = 1 * 1024 * 1024
+_SUPPORTED_METHODS = ("GET", "HEAD", "POST", "PUT", "DELETE", "OPTIONS")
+
+
+class HttpParseError(ValueError):
+    """Malformed request; carries the HTTP status to answer with."""
+
+    def __init__(self, status: int, detail: str) -> None:
+        super().__init__(detail)
+        self.status = status
+        self.detail = detail
+
+
+class RequestParser:
+    """A streaming parser for a single connection."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._requests: list[HttpRequest] = []
+        self._pending: HttpRequest | None = None
+        self._body_needed = 0
+
+    def feed(self, data: bytes) -> None:
+        """Add received bytes; may complete any number of requests."""
+        self._buffer.extend(data)
+        while self._advance():
+            pass
+
+    def next_request(self) -> HttpRequest | None:
+        """Pop the oldest complete request, if any."""
+        if self._requests:
+            return self._requests.pop(0)
+        return None
+
+    @property
+    def buffered(self) -> int:
+        """Unconsumed bytes held (pipelined data)."""
+        return len(self._buffer)
+
+    # ------------------------------------------------------------------
+    def _advance(self) -> bool:
+        if self._pending is not None:
+            return self._advance_body()
+        return self._advance_headers()
+
+    def _advance_headers(self) -> bool:
+        end = self._buffer.find(b"\r\n\r\n")
+        if end < 0:
+            if len(self._buffer) > _MAX_HEADER_BYTES:
+                raise HttpParseError(431, "header block too large")
+            return False
+        block = bytes(self._buffer[:end])
+        del self._buffer[:end + 4]
+        request = self._parse_header_block(block)
+        length = request.header("content-length")
+        if length:
+            try:
+                needed = int(length)
+            except ValueError:
+                raise HttpParseError(400, f"bad Content-Length {length!r}")
+            if needed < 0:
+                raise HttpParseError(400, "negative Content-Length")
+            if needed > _MAX_BODY_BYTES:
+                raise HttpParseError(413, "body too large")
+            self._pending = request
+            self._body_needed = needed
+            return True
+        self._requests.append(request)
+        return True
+
+    def _advance_body(self) -> bool:
+        assert self._pending is not None
+        if len(self._buffer) < self._body_needed:
+            return False
+        request = self._pending
+        request.body = bytes(self._buffer[:self._body_needed])
+        del self._buffer[:self._body_needed]
+        self._pending = None
+        self._body_needed = 0
+        self._requests.append(request)
+        return True
+
+    def _parse_header_block(self, block: bytes) -> HttpRequest:
+        try:
+            text = block.decode("latin-1")
+        except UnicodeDecodeError:  # pragma: no cover - latin-1 total
+            raise HttpParseError(400, "undecodable header block")
+        lines = text.split("\r\n")
+        request_line = lines[0]
+        parts = request_line.split(" ")
+        if len(parts) != 3:
+            raise HttpParseError(400, f"bad request line {request_line!r}")
+        method, target, version = parts
+        if method not in _SUPPORTED_METHODS:
+            raise HttpParseError(501, f"method {method!r} not implemented")
+        if not version.startswith("HTTP/1."):
+            raise HttpParseError(400, f"unsupported version {version!r}")
+        if not target or len(target) > 4096:
+            raise HttpParseError(414, "bad request target")
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            colon = line.find(":")
+            if colon <= 0:
+                raise HttpParseError(400, f"bad header line {line!r}")
+            name = line[:colon].strip().lower()
+            value = line[colon + 1:].strip()
+            headers[name] = value
+        return HttpRequest(method, target, version, headers)

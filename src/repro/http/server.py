@@ -1,0 +1,262 @@
+"""The monadic static web server (§5.2).
+
+The architecture is the paper's: "the code for each client is written in a
+'cheap', monad-based thread, while the entire application is an event-driven
+program that uses asynchronous I/O mechanisms".  Concretely:
+
+* one ``@do`` thread per connection, written in plain blocking style;
+* file opens go through the blocking pool (``sys_blio``);
+* file content is read with AIO (``sys_aio_read``) into the application's
+  own 100MB cache (the kernel page cache is bypassed, as with O_DIRECT);
+* failures raise :class:`~repro.http.message.HttpError` anywhere in the
+  request path and one ``try``/``except`` per client turns them into error
+  responses — "I/O errors are handled gracefully using exceptions";
+* the socket layer is pluggable: :class:`KernelSocketLayer` (simulated
+  kernel streams) or :class:`AppTcpSocketLayer` (the application-level TCP
+  stack).  Switching is the paper's "editing one line of code".
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.do_notation import do
+from ..core.monad import M
+from ..core.syscalls import sys_aio_read, sys_blio, sys_fork
+from ..runtime.io_api import NetIO
+from ..simos.filesys import SimFileSystem
+from .cache import FileCache
+from .message import HttpError, HttpRequest, HttpResponse, guess_content_type
+from .parser import HttpParseError, RequestParser
+
+__all__ = ["WebServer", "KernelSocketLayer", "AppTcpSocketLayer",
+           "ServerStats"]
+
+
+class KernelSocketLayer:
+    """Socket operations over kernel-style simulated streams.
+
+    Pass ``listener`` to serve on an existing listening socket (benchmarks
+    create it up front so load generators can reference it); otherwise
+    ``setup`` creates one.
+    """
+
+    def __init__(self, io: NetIO, network: Any, listener: Any = None) -> None:
+        self.io = io
+        self.network = network
+        self.listener = listener
+
+    def setup(self) -> M:
+        from ..core.syscalls import sys_nbio
+
+        if self.listener is not None:
+            from ..core.monad import pure
+
+            return pure(self.listener)
+        return sys_nbio(lambda: self.network.listen())
+
+    def accept(self, listener: Any) -> M:
+        return self.io.accept(listener)
+
+    def recv(self, conn: Any, nbytes: int) -> M:
+        return self.io.read(conn, nbytes)
+
+    def send(self, conn: Any, data: bytes) -> M:
+        return self.io.write_all(conn, data)
+
+    def close(self, conn: Any) -> M:
+        return self.io.close(conn)
+
+
+class AppTcpSocketLayer:
+    """Socket operations over the application-level TCP stack."""
+
+    def __init__(self, tcp: Any, port: int = 80) -> None:
+        self.tcp = tcp
+        self.port = port
+
+    def setup(self) -> M:
+        return self.tcp.listen(self.port)
+
+    def accept(self, listener: Any) -> M:
+        return self.tcp.accept(listener)
+
+    def recv(self, conn: Any, nbytes: int) -> M:
+        return self.tcp.recv(conn, nbytes)
+
+    def send(self, conn: Any, data: bytes) -> M:
+        return self.tcp.send(conn, data)
+
+    def close(self, conn: Any) -> M:
+        return self.tcp.close(conn)
+
+
+class ServerStats:
+    """Counters the benchmarks report."""
+
+    __slots__ = ("connections", "requests", "responses_ok", "responses_err",
+                 "bytes_sent", "aio_reads")
+
+    def __init__(self) -> None:
+        self.connections = 0
+        self.requests = 0
+        self.responses_ok = 0
+        self.responses_err = 0
+        self.bytes_sent = 0
+        self.aio_reads = 0
+
+
+class WebServer:
+    """A static-file server built from monadic threads."""
+
+    def __init__(
+        self,
+        socket_layer: Any,
+        fs: SimFileSystem,
+        cache_bytes: int = 100 * 1024 * 1024,
+        read_chunk: int = 64 * 1024,
+        name: str = "webserver",
+    ) -> None:
+        self.layer = socket_layer
+        self.fs = fs
+        self.cache = FileCache(cache_bytes)
+        self.read_chunk = read_chunk
+        self.name = name
+        self.stats = ServerStats()
+        self.running = True
+
+        # ------------------------------------------------------------
+        # The per-client thread and its helpers, in do-notation.  This is
+        # the code the paper counts as "370 lines using monadic threads".
+        # ------------------------------------------------------------
+        layer = self.layer
+        stats = self.stats
+
+        @do
+        def main():
+            listener = yield layer.setup()
+            while self.running:
+                conn = yield layer.accept(listener)
+                stats.connections += 1
+                yield sys_fork(handle_client(conn), name="client")
+
+        @do
+        def handle_client(conn):
+            parser = RequestParser()
+            # When a benchmark or shutdown abandons this thread mid-session,
+            # the interpreter closes the generator with GeneratorExit; a
+            # monadic close cannot run then (nothing will resume us), so
+            # the finally below must not yield on that path.
+            can_yield = True
+            try:
+                while True:
+                    try:
+                        request = yield next_request(conn, parser)
+                    except HttpError as error:
+                        # Malformed request: answer and hang up.
+                        yield send_error(conn, error, keep_alive=False)
+                        return
+                    if request is None:
+                        return  # client closed
+                    stats.requests += 1
+                    keep_alive = request.keep_alive
+                    try:
+                        yield respond(conn, request)
+                        stats.responses_ok += 1
+                    except HttpError as error:
+                        yield send_error(conn, error, keep_alive)
+                        if error.status >= 500:
+                            return
+                    if not keep_alive:
+                        return
+            except (ConnectionError, OSError):
+                return  # peer vanished: nothing to say to it
+            except GeneratorExit:
+                can_yield = False
+                raise
+            finally:
+                if can_yield:
+                    yield layer.close(conn)
+
+        @do
+        def next_request(conn, parser):
+            while True:
+                request = parser.next_request()
+                if request is not None:
+                    return request
+                data = yield layer.recv(conn, 4096)
+                if not data:
+                    return None
+                try:
+                    parser.feed(data)
+                except HttpParseError as bad:
+                    raise HttpError(bad.status, bad.detail)
+
+        @do
+        def respond(conn, request):
+            if request.method not in ("GET", "HEAD"):
+                raise HttpError(405, request.method)
+            content = yield load_file(request.path.lstrip("/"))
+            response = HttpResponse(
+                200,
+                headers={
+                    "Content-Type": guess_content_type(request.path),
+                    "Connection": "keep-alive" if request.keep_alive
+                    else "close",
+                },
+            )
+            header = response.header_block(extra_length=len(content))
+            if request.method == "HEAD":
+                yield layer.send(conn, header)
+                stats.bytes_sent += len(header)
+                return
+            yield layer.send(conn, header + content)
+            stats.bytes_sent += len(header) + len(content)
+
+        @do
+        def load_file(path):
+            content = self.cache.get(path)
+            if content is not None:
+                return content
+            if not self.fs.exists(path):
+                raise HttpError(404, path)
+            # Open through the blocking pool (§4.6), read via AIO (§4.5).
+            handle = yield sys_blio(lambda: self.fs.open(path))
+            try:
+                chunks = []
+                offset = 0
+                while True:
+                    chunk = yield sys_aio_read(handle, offset, self.read_chunk)
+                    stats.aio_reads += 1
+                    if not chunk:
+                        break
+                    chunks.append(chunk)
+                    offset += len(chunk)
+            finally:
+                yield sys_blio(handle.close)
+            content = b"".join(chunks)
+            self.cache.put(path, content)
+            return content
+
+        @do
+        def send_error(conn, error, keep_alive):
+            response = HttpResponse.for_error(error, keep_alive)
+            payload = response.encode()
+            yield layer.send(conn, payload)
+            stats.responses_err += 1
+            stats.bytes_sent += len(payload)
+
+        self._main = main
+        self._handle_client = handle_client
+
+    def main(self) -> M:
+        """The server's root thread: accept loop spawning client threads."""
+        return self._main()
+
+    def handle_client(self, conn: Any) -> M:
+        """One client session (exposed for direct-drive tests)."""
+        return self._handle_client(conn)
+
+    def stop(self) -> None:
+        """Stop accepting new connections (current ones finish)."""
+        self.running = False

@@ -1,0 +1,22 @@
+"""The event-driven runtime: the paper's Figure 14, executable.
+
+A runtime wires the programmable :class:`~repro.core.scheduler.Scheduler`
+(the ``worker_main`` loops) to device event loops through an I/O backend:
+
+* :class:`repro.runtime.sim_runtime.SimRuntime` — deterministic execution
+  against the simulated kernel (:mod:`repro.simos`): virtual time, CPU cost
+  accounting, epoll/AIO harvesting, a blocking-I/O pool.  All benchmarks
+  run here.
+* :class:`repro.runtime.live_runtime.LiveRuntime` — execution against the
+  real OS: non-blocking sockets multiplexed with ``select``/``epoll`` and a
+  thread pool for blocking calls.  The runnable network examples use this.
+
+Both expose the same monadic I/O surface (:class:`repro.runtime.io_api.NetIO`
+— the paper's Figure 10 wrappers), so server code is backend-agnostic.
+"""
+
+from .io_api import NetIO
+from .sim_runtime import SimRuntime
+from .live_runtime import LiveRuntime
+
+__all__ = ["SimRuntime", "LiveRuntime", "NetIO"]

@@ -1,0 +1,163 @@
+"""Blocking-style I/O wrappers over non-blocking calls + epoll.
+
+This is the paper's Figure 10 pattern, as a library::
+
+    sock_accept server_fd = do {
+        new_fd <- sys_nbio (accept server_fd);
+        if new_fd > 0 then return new_fd
+        else do { sys_epoll_wait fd EPOLL_READ; sock_accept server_fd; }
+    }
+
+Every wrapper loops: try the non-blocking operation via ``sys_nbio``; on
+``WOULD_BLOCK``, park with ``sys_epoll_wait`` until the descriptor is ready,
+then retry.  The multithreaded programming style "makes it easy to hide the
+non-blocking I/O semantics and provide higher level abstractions" — these
+are those abstractions, shared by the simulated and live backends.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.do_notation import do
+from ..core.events import EVENT_READ, EVENT_WRITE
+from ..core.monad import M
+from ..core.syscalls import sys_epoll_wait, sys_nbio
+from ..simos.errors import WOULD_BLOCK
+
+__all__ = ["NetIO", "ConnectionClosed"]
+
+
+class ConnectionClosed(OSError):
+    """The peer closed the stream mid-operation (unexpected EOF)."""
+
+
+class NetIO:
+    """Monadic, blocking-style I/O over a non-blocking backend.
+
+    ``backend`` must provide ``nb_read``, ``nb_write``, ``nb_accept``,
+    ``nb_connect`` and ``close`` with the ``WOULD_BLOCK`` convention.
+    All methods return :class:`~repro.core.monad.M` computations.
+    """
+
+    def __init__(self, backend: Any) -> None:
+        self.backend = backend
+
+        # Bind the generator wrappers once; they close over the backend.
+        @do
+        def _read(fd, nbytes):
+            while True:
+                data = yield sys_nbio(lambda: backend.nb_read(fd, nbytes))
+                if data is not WOULD_BLOCK:
+                    return data
+                yield sys_epoll_wait(fd, EVENT_READ)
+
+        @do
+        def _read_exact(fd, nbytes):
+            chunks = []
+            remaining = nbytes
+            while remaining > 0:
+                data = yield _read(fd, remaining)
+                if not data:
+                    raise ConnectionClosed(
+                        f"EOF with {remaining} of {nbytes} bytes unread"
+                    )
+                chunks.append(data)
+                remaining -= len(data)
+            return b"".join(chunks)
+
+        @do
+        def _write(fd, data):
+            while True:
+                count = yield sys_nbio(lambda: backend.nb_write(fd, data))
+                if count is not WOULD_BLOCK:
+                    return count
+                yield sys_epoll_wait(fd, EVENT_WRITE)
+
+        @do
+        def _write_all(fd, data):
+            view = memoryview(data)
+            offset = 0
+            while offset < len(view):
+                count = yield _write(fd, bytes(view[offset:]))
+                offset += count
+            return len(view)
+
+        @do
+        def _accept(listener):
+            while True:
+                conn = yield sys_nbio(lambda: backend.nb_accept(listener))
+                if conn is not WOULD_BLOCK:
+                    return conn
+                yield sys_epoll_wait(listener, EVENT_READ)
+
+        @do
+        def _read_until(fd, delimiter, max_bytes):
+            buffer = bytearray()
+            while True:
+                index = buffer.find(delimiter)
+                if index >= 0:
+                    return bytes(buffer), index
+                if len(buffer) >= max_bytes:
+                    raise ValueError(
+                        f"delimiter not found within {max_bytes} bytes"
+                    )
+                data = yield _read(fd, 4096)
+                if not data:
+                    raise ConnectionClosed("EOF before delimiter")
+                buffer.extend(data)
+
+        self._read = _read
+        self._read_exact = _read_exact
+        self._write = _write
+        self._write_all = _write_all
+        self._accept = _accept
+        self._read_until = _read_until
+
+    # ------------------------------------------------------------------
+    # Public monadic operations
+    # ------------------------------------------------------------------
+    def read(self, fd: Any, nbytes: int) -> M:
+        """Read up to ``nbytes``; blocks the thread (not the loop) until
+        data is available.  Resumes with ``b""`` at EOF."""
+        return self._read(fd, nbytes)
+
+    def read_exact(self, fd: Any, nbytes: int) -> M:
+        """Read exactly ``nbytes``; raises :class:`ConnectionClosed` on a
+        short stream."""
+        return self._read_exact(fd, nbytes)
+
+    def read_until(self, fd: Any, delimiter: bytes, max_bytes: int = 65536) -> M:
+        """Read until ``delimiter`` appears; resumes with
+        ``(buffer, index_of_delimiter)``.  The buffer may extend past the
+        delimiter (pipelined bytes)."""
+        return self._read_until(fd, delimiter, max_bytes)
+
+    def write(self, fd: Any, data: bytes) -> M:
+        """Write some of ``data``; resumes with the count accepted."""
+        return self._write(fd, data)
+
+    def write_all(self, fd: Any, data: bytes) -> M:
+        """Write all of ``data``, blocking the thread as needed."""
+        return self._write_all(fd, data)
+
+    def accept(self, listener: Any) -> M:
+        """Accept one connection, blocking the thread until one arrives."""
+        return self._accept(listener)
+
+    def connect(self, target: Any, label: str = "conn") -> M:
+        """Connect to a listener/address; resumes with the stream end."""
+        backend = self.backend
+
+        @do
+        def _connect():
+            conn = yield sys_nbio(lambda: backend.nb_connect(target, label))
+            if conn is WOULD_BLOCK:
+                raise ConnectionRefusedError(f"backlog full for {target!r}")
+            return conn
+
+        return _connect()
+
+    def close(self, fd: Any) -> M:
+        """Close a descriptor."""
+        return sys_nbio(lambda: self.backend.close(fd))

@@ -1,0 +1,372 @@
+"""The live runtime: monadic threads over the real operating system.
+
+Same architecture as :class:`~repro.runtime.sim_runtime.SimRuntime`, but the
+devices are real: non-blocking sockets multiplexed through ``selectors``
+(epoll on Linux), timers on the monotonic clock, and a thread pool for
+blocking operations (§4.6).  Linux AIO has no portable Python binding, so
+``sys_aio_read``/``sys_aio_write`` are routed through the blocking pool —
+the paper's own fallback path for operations without an async interface.
+
+This backend powers the runnable examples (a real echo server on real
+sockets); the benchmarks use the simulated runtime for determinism.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import heapq
+import itertools
+import os
+import selectors
+import socket
+import time
+from collections import deque
+from typing import Any, Callable
+
+from ..core.events import EVENT_READ, EVENT_WRITE
+from ..core.exceptions import DeadlockError
+from ..core.monad import M
+from ..core.scheduler import Scheduler, TCB
+from ..core.trace import (
+    SysAioRead,
+    SysAioWrite,
+    SysBlio,
+    SysEpollWait,
+    SysSleep,
+    SysThrow,
+    Thunk,
+)
+
+
+def _throw_thunk(exc: BaseException) -> Thunk:
+    return lambda: SysThrow(exc)
+from ..simos.errors import WOULD_BLOCK
+from .io_api import NetIO
+
+__all__ = ["LiveRuntime", "LiveBackend"]
+
+
+class LiveBackend:
+    """Non-blocking wrappers over real sockets.
+
+    ``fd`` objects are ``socket.socket`` instances in non-blocking mode.
+    ``nb_connect`` takes an ``(host, port)`` address.
+    """
+
+    def nb_read(self, fd: socket.socket, nbytes: int):
+        try:
+            return fd.recv(nbytes)
+        except (BlockingIOError, InterruptedError):
+            return WOULD_BLOCK
+
+    def nb_write(self, fd: socket.socket, data: bytes):
+        try:
+            return fd.send(data)
+        except (BlockingIOError, InterruptedError):
+            return WOULD_BLOCK
+
+    def nb_accept(self, listener: socket.socket):
+        try:
+            conn, _addr = listener.accept()
+        except (BlockingIOError, InterruptedError):
+            return WOULD_BLOCK
+        conn.setblocking(False)
+        return conn
+
+    def nb_connect(self, address: tuple, label: str = "conn"):
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setblocking(False)
+        code = sock.connect_ex(address)
+        if code not in (0, 115, 36):  # EINPROGRESS variants
+            sock.close()
+            raise OSError(code, os.strerror(code))
+        return sock
+
+    def close(self, fd: socket.socket) -> None:
+        fd.close()
+
+    def now(self) -> float:
+        return time.monotonic()
+
+
+class _FdEntry:
+    """Per-fd selector bookkeeping: the set of parked waiters."""
+
+    __slots__ = ("waiters",)
+
+    def __init__(self) -> None:
+        # (mask, tcb, cont) triples.
+        self.waiters: list[tuple[int, TCB, Callable]] = []
+
+    def interest_mask(self) -> int:
+        combined = 0
+        for mask, _tcb, _cont in self.waiters:
+            combined |= mask
+        return combined
+
+
+class LiveRuntime:
+    """Scheduler + real-OS device loops."""
+
+    def __init__(
+        self,
+        batch_limit: int = 128,
+        uncaught: str | Callable = "raise",
+        pool_workers: int = 8,
+    ) -> None:
+        self.sched = Scheduler(batch_limit=batch_limit, uncaught=uncaught)
+        self.backend = LiveBackend()
+        self.io = NetIO(self.backend)
+        self.selector = selectors.DefaultSelector()
+        self._fd_entries: dict[Any, _FdEntry] = {}
+        self._timers: list[tuple[float, int, TCB, Callable]] = []
+        self._timer_seq = itertools.count()
+        self.pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=pool_workers, thread_name_prefix="blio"
+        )
+        # Completions from pool threads, drained on the main loop; the
+        # self-pipe wakes a sleeping select().
+        self._completions: deque[tuple[TCB, Thunk]] = deque()
+        self._wake_recv, self._wake_send = socket.socketpair()
+        self._wake_recv.setblocking(False)
+        self._wake_send.setblocking(False)
+        self.selector.register(self._wake_recv, selectors.EVENT_READ, None)
+        self._install_handlers()
+
+    # ------------------------------------------------------------------
+    # Spawning and listeners
+    # ------------------------------------------------------------------
+    def spawn(self, comp: M | Callable[[], M], name: str | None = None) -> TCB:
+        """Spawn a monadic thread."""
+        return self.sched.spawn(comp, name=name)
+
+    def make_listener(self, host: str = "127.0.0.1", port: int = 0) -> socket.socket:
+        """A non-blocking listening socket; use port 0 for an ephemeral
+        port (read it back with ``listener.getsockname()``)."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((host, port))
+        listener.listen(1024)
+        listener.setblocking(False)
+        return listener
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    def _install_handlers(self) -> None:
+        sched = self.sched
+        sched.register_syscall(SysEpollWait, self._handle_epoll_wait)
+        sched.register_syscall(SysSleep, self._handle_sleep)
+        sched.register_syscall(SysBlio, self._handle_blio)
+        # AIO without a native interface: blocking pool (see module docs).
+        sched.register_syscall(SysAioRead, self._handle_aio_read)
+        sched.register_syscall(SysAioWrite, self._handle_aio_write)
+        sched.register_special("now", lambda _s, _t, _p: time.monotonic())
+
+    def _handle_epoll_wait(self, _sched: Scheduler, tcb: TCB, node: SysEpollWait):
+        tcb.state = "blocked"
+        entry = self._fd_entries.get(node.fd)
+        if entry is None:
+            entry = _FdEntry()
+            self._fd_entries[node.fd] = entry
+            entry.waiters.append((node.events, tcb, node.cont))
+            self.selector.register(
+                node.fd, _to_selector_mask(entry.interest_mask()), entry
+            )
+        else:
+            entry.waiters.append((node.events, tcb, node.cont))
+            self.selector.modify(
+                node.fd, _to_selector_mask(entry.interest_mask()), entry
+            )
+        return None
+
+    def _handle_sleep(self, _sched: Scheduler, tcb: TCB, node: SysSleep):
+        tcb.state = "blocked"
+        deadline = time.monotonic() + node.duration
+        heapq.heappush(
+            self._timers, (deadline, next(self._timer_seq), tcb, node.cont)
+        )
+        return None
+
+    def _submit_pool(self, tcb: TCB, action: Callable[[], Any], cont: Callable) -> None:
+        """Run ``action`` on a pool thread; resume ``cont`` on the loop."""
+
+        def job() -> None:
+            try:
+                value = action()
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as exc:
+                outcome: Thunk = _throw_thunk(exc)
+            else:
+                outcome = lambda: cont(value)  # noqa: E731 - tiny resume thunk
+            self._completions.append((tcb, outcome))
+            try:
+                self._wake_send.send(b"\0")
+            except (BlockingIOError, InterruptedError):
+                pass  # wake pipe already full: the loop will wake anyway
+
+        tcb.state = "blocked"
+        self.pool.submit(job)
+
+    def _handle_blio(self, _sched: Scheduler, tcb: TCB, node: SysBlio):
+        self._submit_pool(tcb, node.action, node.cont)
+        return None
+
+    def _handle_aio_read(self, _sched: Scheduler, tcb: TCB, node: SysAioRead):
+        path, offset, nbytes = node.fd, node.offset, node.nbytes
+
+        def action() -> bytes:
+            with open(path, "rb") as handle:
+                handle.seek(offset)
+                return handle.read(nbytes)
+
+        self._submit_pool(tcb, action, node.cont)
+        return None
+
+    def _handle_aio_write(self, _sched: Scheduler, tcb: TCB, node: SysAioWrite):
+        path, offset, data = node.fd, node.offset, node.data
+
+        def action() -> int:
+            mode = "r+b" if os.path.exists(path) else "wb"
+            with open(path, mode) as handle:
+                handle.seek(offset)
+                return handle.write(data)
+
+        self._submit_pool(tcb, action, node.cont)
+        return None
+
+    # ------------------------------------------------------------------
+    # The main loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        until: Callable[[], bool] | None = None,
+        idle_timeout: float | None = None,
+    ) -> None:
+        """Run until ``until()`` holds, all threads finish, or (if given)
+        nothing happens for ``idle_timeout`` seconds."""
+        sched = self.sched
+        last_progress = time.monotonic()
+        while True:
+            if until is not None and until():
+                return
+            progressed = self._drain_completions() | self._fire_timers()
+            while sched.ready:
+                sched.step()
+                progressed = True
+                if until is not None and until():
+                    return
+                self._drain_completions()
+                self._fire_timers()
+                self._poll_selector(0.0)
+            if sched.live_threads == 0 and until is None:
+                return
+            timeout = self._next_timeout()
+            if self._poll_selector(timeout):
+                progressed = True
+            if progressed:
+                last_progress = time.monotonic()
+            elif idle_timeout is not None and (
+                time.monotonic() - last_progress > idle_timeout
+            ):
+                return
+            elif timeout is None and not progressed and not sched.ready:
+                if sched.live_threads > 0 and not self._has_waiters():
+                    raise DeadlockError(
+                        f"{sched.live_threads} thread(s) blocked forever"
+                    )
+
+    def _has_waiters(self) -> bool:
+        return bool(self._timers) or bool(self._fd_entries) or bool(
+            self._completions
+        )
+
+    def _next_timeout(self) -> float | None:
+        if self.sched.ready or self._completions:
+            return 0.0
+        if self._timers:
+            return max(0.0, self._timers[0][0] - time.monotonic())
+        if self._fd_entries:
+            return 0.1
+        return 0.05
+
+    def _drain_completions(self) -> bool:
+        progressed = False
+        while self._completions:
+            tcb, run = self._completions.popleft()
+            self.sched.resume(tcb, run)
+            progressed = True
+        # Drain the wake pipe.
+        try:
+            while self._wake_recv.recv(4096):
+                pass
+        except (BlockingIOError, InterruptedError):
+            pass
+        return progressed
+
+    def _fire_timers(self) -> bool:
+        now = time.monotonic()
+        progressed = False
+        while self._timers and self._timers[0][0] <= now:
+            _deadline, _seq, tcb, cont = heapq.heappop(self._timers)
+            self.sched.resume_value(tcb, cont, None)
+            progressed = True
+        return progressed
+
+    def _poll_selector(self, timeout: float | None) -> bool:
+        if timeout is not None and timeout < 0:
+            timeout = 0
+        events = self.selector.select(timeout)
+        progressed = False
+        for key, mask in events:
+            if key.data is None:
+                continue  # the wake pipe
+            entry: _FdEntry = key.data
+            ready = _from_selector_mask(mask)
+            remaining: list[tuple[int, TCB, Callable]] = []
+            for want, tcb, cont in entry.waiters:
+                hit = want & ready
+                if hit:
+                    self.sched.resume_value(tcb, cont, hit)
+                    progressed = True
+                else:
+                    remaining.append((want, tcb, cont))
+            entry.waiters = remaining
+            if remaining:
+                self.selector.modify(
+                    key.fileobj, _to_selector_mask(entry.interest_mask()), entry
+                )
+            else:
+                self.selector.unregister(key.fileobj)
+                del self._fd_entries[key.fileobj]
+        return progressed
+
+    def shutdown(self) -> None:
+        """Release the selector, wake pipe, and pool threads."""
+        self.pool.shutdown(wait=False, cancel_futures=True)
+        try:
+            self.selector.unregister(self._wake_recv)
+        except (KeyError, ValueError):
+            pass
+        self.selector.close()
+        self._wake_recv.close()
+        self._wake_send.close()
+
+
+def _to_selector_mask(mask: int) -> int:
+    selector_mask = 0
+    if mask & EVENT_READ:
+        selector_mask |= selectors.EVENT_READ
+    if mask & EVENT_WRITE:
+        selector_mask |= selectors.EVENT_WRITE
+    return selector_mask or selectors.EVENT_READ
+
+
+def _from_selector_mask(mask: int) -> int:
+    ours = 0
+    if mask & selectors.EVENT_READ:
+        ours |= EVENT_READ
+    if mask & selectors.EVENT_WRITE:
+        ours |= EVENT_WRITE
+    return ours

@@ -1,0 +1,348 @@
+"""The deterministic runtime over the simulated kernel.
+
+This is the paper's event-driven system (Figure 14) realized on one
+simulated CPU: the scheduler's ready queue, the epoll loop (Figure 16), the
+AIO completion loop, the blocking-I/O pool, and timers, all interleaved on
+the virtual clock with explicit CPU cost accounting:
+
+* ``t_monadic_switch`` per scheduler batch (thread switch);
+* ``t_monadic_syscall`` per trace node dispatched;
+* epoll register/wait/event and AIO submit costs per the device models;
+* kernel-crossing and copy costs are charged by the backend's non-blocking
+  call wrappers (:class:`SimBackend`), since a non-blocking ``read`` is
+  still a real system call — the monadic design wins on *scheduling*
+  costs, not by magicking syscalls away.  That bookkeeping honesty is what
+  makes the Figure 18 comparison meaningful.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable
+
+from ..core.exceptions import DeadlockError
+from ..core.monad import M
+from ..core.scheduler import Scheduler, TCB
+from ..core.trace import (
+    SysAioRead,
+    SysAioWrite,
+    SysBlio,
+    SysEpollWait,
+    SysSleep,
+    Thunk,
+)
+from ..simos.errors import WOULD_BLOCK
+from ..simos.kernel import SimKernel
+from ..simos.params import SimParams
+from .io_api import NetIO
+
+__all__ = ["SimRuntime", "SimBackend", "BlockingPool"]
+
+
+class SimBackend:
+    """Non-blocking kernel-call wrappers with CPU cost charging.
+
+    The ``fd`` objects are simulated pollables (pipe ends, stream ends,
+    listeners); calls follow the kernel convention: result, ``b""`` for
+    EOF, or ``WOULD_BLOCK``.
+    """
+
+    def __init__(self, kernel: SimKernel) -> None:
+        self.kernel = kernel
+        self.params = kernel.params
+
+    def nb_read(self, fd: Any, nbytes: int):
+        """Non-blocking read (a kernel crossing + copy-out on success)."""
+        self.kernel.charge(self.params.t_kernel_syscall)
+        data = fd.read(nbytes)
+        if data is not WOULD_BLOCK and data:
+            self.kernel.charge_copy(len(data))
+            self._charge_network(fd, len(data))
+        return data
+
+    def nb_write(self, fd: Any, data: bytes):
+        """Non-blocking write (a kernel crossing + copy-in on success)."""
+        self.kernel.charge(self.params.t_kernel_syscall)
+        count = fd.write(data)
+        if count is not WOULD_BLOCK and count:
+            self.kernel.charge_copy(count)
+            self._charge_network(fd, count)
+        return count
+
+    def _charge_network(self, fd: Any, nbytes: int) -> None:
+        """Kernel TCP/IP path cost for stream sockets (per MTU unit)."""
+        from ..simos.net import StreamEnd
+
+        if isinstance(fd, StreamEnd):
+            packets = -(-nbytes // self.params.net_mtu)
+            self.kernel.charge(packets * self.params.t_net_per_packet)
+
+    def nb_accept(self, listener: Any):
+        """Non-blocking accept."""
+        self.kernel.charge(self.params.t_kernel_syscall)
+        return listener.accept()
+
+    def nb_connect(self, listener: Any, label: str = "conn"):
+        """Initiate a connection to a simulated listener."""
+        self.kernel.charge(self.params.t_kernel_syscall)
+        return self.kernel.net.connect(listener, label)
+
+    def close(self, fd: Any) -> None:
+        """Close a descriptor."""
+        self.kernel.charge(self.params.t_kernel_syscall)
+        fd.close()
+
+    def now(self) -> float:
+        return self.kernel.clock.now
+
+
+class BlockingPool:
+    """The blocking-I/O OS-thread pool of §4.6, simulated.
+
+    At most ``size`` operations are in flight; each costs a queue handoff
+    latency, then its action runs (at completion time) and the thread
+    resumes with the resulting trace.
+    """
+
+    def __init__(self, runtime: "SimRuntime", size: int = 16) -> None:
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        self.runtime = runtime
+        self.size = size
+        self.busy = 0
+        self.queue: deque[tuple[TCB, Thunk]] = deque()
+        self.completed = 0
+
+    def submit(self, tcb: TCB, action: Callable, cont: Callable) -> None:
+        """Queue a blocking operation for the pool."""
+        if self.busy < self.size:
+            self._start(tcb, action, cont)
+        else:
+            self.queue.append((tcb, action, cont))
+
+    def _start(self, tcb: TCB, action: Callable, cont: Callable) -> None:
+        self.busy += 1
+        delay = self.runtime.params.t_blio_handoff
+
+        def complete() -> None:
+            self.busy -= 1
+            self.completed += 1
+            sched = self.runtime.sched
+            try:
+                value = action()
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as exc:
+                sched.resume_error(tcb, exc)
+            else:
+                sched.resume_value(tcb, cont, value)
+            if self.queue:
+                next_tcb, next_action, next_cont = self.queue.popleft()
+                self._start(next_tcb, next_action, next_cont)
+
+        self.runtime.kernel.clock.schedule(delay, complete)
+
+
+class SimRuntime:
+    """Scheduler + device loops on the simulated kernel."""
+
+    def __init__(
+        self,
+        kernel: SimKernel | None = None,
+        params: SimParams | None = None,
+        batch_limit: int = 128,
+        uncaught: str | Callable = "raise",
+        blocking_pool_size: int = 16,
+        disk_policy: str = "clook",
+    ) -> None:
+        self.kernel = kernel if kernel is not None else SimKernel(params, disk_policy)
+        self.params = self.kernel.params
+        self.sched = Scheduler(batch_limit=batch_limit, uncaught=uncaught)
+        self.backend = SimBackend(self.kernel)
+        self.io = NetIO(self.backend)
+        self.epoll = self.kernel.make_epoll()
+        self.aio = self.kernel.make_aio()
+        self.pool = BlockingPool(self, blocking_pool_size)
+        self._install_handlers()
+        # Account monadic thread footprints (drives the cache-pressure
+        # model; three orders lighter than kernel stacks).
+        self.sched.add_exit_watcher(self._on_thread_exit)
+
+    # ------------------------------------------------------------------
+    # Spawning
+    # ------------------------------------------------------------------
+    def spawn(self, comp: M | Callable[[], M], name: str | None = None) -> TCB:
+        """Spawn a monadic thread on this runtime."""
+        self.kernel.alloc_ram(self.params.monadic_thread_bytes)
+        return self.sched.spawn(comp, name=name)
+
+    def _on_thread_exit(self, _tcb: TCB) -> None:
+        self.kernel.free_ram(self.params.monadic_thread_bytes)
+
+    # ------------------------------------------------------------------
+    # Syscall handlers (the scheduler-extension registry in action)
+    # ------------------------------------------------------------------
+    def _install_handlers(self) -> None:
+        sched = self.sched
+        sched.register_syscall(SysEpollWait, self._handle_epoll_wait)
+        sched.register_syscall(SysAioRead, self._handle_aio_read)
+        sched.register_syscall(SysAioWrite, self._handle_aio_write)
+        sched.register_syscall(SysSleep, self._handle_sleep)
+        sched.register_syscall(SysBlio, self._handle_blio)
+        sched.register_special("now", lambda _s, _t, _p: self.kernel.clock.now)
+        sched.on_syscall = self._charge_syscall
+
+    def _charge_syscall(self, _tcb: TCB, _node: Any) -> None:
+        self.kernel.charge(self.params.t_monadic_syscall)
+
+    def _handle_epoll_wait(self, _sched: Scheduler, tcb: TCB, node: SysEpollWait):
+        self.kernel.charge(self.params.t_epoll_register)
+        tcb.state = "blocked"
+        self.epoll.register(node.fd, node.events, (tcb, node.cont))
+        return None
+
+    def _handle_aio_read(self, _sched: Scheduler, tcb: TCB, node: SysAioRead):
+        self.kernel.charge(self.params.t_aio_submit)
+        tcb.state = "blocked"
+        self.aio.submit_read(node.fd, node.offset, node.nbytes, (tcb, node.cont))
+        return None
+
+    def _handle_aio_write(self, _sched: Scheduler, tcb: TCB, node: SysAioWrite):
+        self.kernel.charge(self.params.t_aio_submit)
+        tcb.state = "blocked"
+        self.aio.submit_write(node.fd, node.offset, node.data, (tcb, node.cont))
+        return None
+
+    def _handle_sleep(self, _sched: Scheduler, tcb: TCB, node: SysSleep):
+        tcb.state = "blocked"
+        cont = node.cont
+        self.kernel.clock.schedule(
+            node.duration, lambda: self.sched.resume_value(tcb, cont, None)
+        )
+        return None
+
+    def _handle_blio(self, _sched: Scheduler, tcb: TCB, node: SysBlio):
+        self.kernel.charge(self.params.t_kernel_syscall)
+        tcb.state = "blocked"
+        self.pool.submit(tcb, node.action, node.cont)
+        return None
+
+    # ------------------------------------------------------------------
+    # The device loops (worker_epoll / worker_aio), interleaved
+    # ------------------------------------------------------------------
+    def _harvest_epoll(self) -> bool:
+        events = self.epoll.harvest()
+        if not events:
+            return False
+        self.kernel.charge(
+            self.params.t_epoll_wait + len(events) * self.params.t_epoll_event
+        )
+        for (tcb, cont), mask in events:
+            self.sched.resume_value(tcb, cont, mask)
+        return True
+
+    def _harvest_aio(self) -> bool:
+        completions = self.aio.harvest()
+        if not completions:
+            return False
+        self.kernel.charge(
+            self.params.t_epoll_wait + len(completions) * self.params.t_epoll_event
+        )
+        for (tcb, cont), payload in completions:
+            self.sched.resume_value(tcb, cont, payload)
+        return True
+
+    # ------------------------------------------------------------------
+    # The main loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        until: Callable[[], bool] | None = None,
+        max_steps: int = 1_000_000_000,
+    ) -> None:
+        """Run until ``until()`` holds (if given) or no work remains.
+
+        Raises :class:`DeadlockError` if live threads remain parked with
+        an empty calendar and no condition was requested.
+        """
+        sched = self.sched
+        clock = self.kernel.clock
+        for _step in range(max_steps):
+            if until is not None and until():
+                return
+            harvested = self._harvest_epoll() | self._harvest_aio()
+            if sched.ready:
+                self.kernel.charge(self.params.t_monadic_switch)
+                sched.step()
+                continue
+            if harvested:
+                continue
+            if not clock.advance():
+                if until is not None:
+                    raise DeadlockError(
+                        "runtime idle before the until() condition held"
+                    )
+                if sched.live_threads > 0:
+                    raise DeadlockError(
+                        f"{sched.live_threads} thread(s) blocked forever"
+                    )
+                return
+        raise RuntimeError("run() exceeded max_steps")
+
+    def run_all(self) -> None:
+        """Run until every thread has finished."""
+        self.run()
+
+    def run_hybrid(
+        self,
+        sims: list,
+        until: Callable[[], bool],
+        max_steps: int = 1_000_000_000,
+    ) -> None:
+        """Drive this runtime *and* kernel-thread schedulers on one clock.
+
+        Used by benchmarks where the monadic server shares a simulated
+        world with kernel-thread load generators (the paper's separate
+        client machine).  ``sims`` are :class:`repro.simos.nptl.NptlSim`
+        instances sharing this runtime's kernel clock.
+        """
+        sched = self.sched
+        clock = self.kernel.clock
+        for _step in range(max_steps):
+            if until():
+                return
+            progressed = self._harvest_epoll() | self._harvest_aio()
+            if sched.ready:
+                self.kernel.charge(self.params.t_monadic_switch)
+                sched.step()
+                continue
+            for sim in sims:
+                if sim.run_queue:
+                    thread, value, exc = sim.run_queue.popleft()
+                    sim._run_thread(thread, value, exc)
+                    progressed = True
+            if progressed:
+                continue
+            if not clock.advance():
+                raise DeadlockError(
+                    "hybrid world idle before the until() condition held"
+                )
+        raise RuntimeError("run_hybrid() exceeded max_steps")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """Scheduler, device and clock counters for tests/benchmarks."""
+        snapshot: dict[str, Any] = dict(self.sched.stats())
+        snapshot.update(
+            now=self.kernel.clock.now,
+            cpu_consumed=self.kernel.clock.cpu_consumed,
+            epoll_registrations=self.epoll.registrations,
+            epoll_events=self.epoll.events_delivered,
+            aio_submitted=self.aio.submitted,
+            aio_completed=self.aio.completed,
+            blio_completed=self.pool.completed,
+            disk_completed=self.kernel.disk.stats.completed,
+        )
+        return snapshot

@@ -1,0 +1,32 @@
+"""A deterministic simulated operating system.
+
+The paper's experiments ran on Linux 2.6.15 with NPTL, epoll, AIO, a 7200RPM
+EIDE disk and a 100Mbps network.  This package is the from-scratch substrate
+standing in for that testbed:
+
+* :mod:`repro.simos.clock` — virtual time and the event calendar;
+* :mod:`repro.simos.params` — every calibration constant, in one place;
+* :mod:`repro.simos.disk` — seek/rotation/transfer disk model with C-LOOK
+  elevator scheduling (the mechanism behind the paper's Figure 17);
+* :mod:`repro.simos.filesys` — files over the disk, plus the kernel page
+  cache used by baseline (non-O_DIRECT) I/O;
+* :mod:`repro.simos.pipe` — FIFO pipes with 4KB buffers and EAGAIN
+  semantics (Figure 18's workload);
+* :mod:`repro.simos.epollsim` — readiness notification (epoll);
+* :mod:`repro.simos.aio` — asynchronous disk I/O with completion events;
+* :mod:`repro.simos.net` — bandwidth-capped byte streams (Figure 19's
+  client/server link) and lossy packet links (the TCP stack's substrate);
+* :mod:`repro.simos.kernel` — the facade tying devices to an fd table and
+  accounting for RAM;
+* :mod:`repro.simos.nptl` — the kernel-thread baseline (the paper's
+  C/NPTL comparison programs run on this).
+
+Everything is deterministic given a seed; time is virtual, so experiment
+curves are reproducible bit-for-bit on any machine.
+"""
+
+from .clock import TimerHandle, VirtualClock
+from .params import SimParams
+from .kernel import SimKernel
+
+__all__ = ["VirtualClock", "TimerHandle", "SimParams", "SimKernel"]

@@ -1,0 +1,41 @@
+"""Simulated-OS error and sentinel types."""
+
+from __future__ import annotations
+
+__all__ = ["WouldBlock", "WOULD_BLOCK", "SimOsError", "OutOfMemoryError",
+           "BadFileError", "BrokenPipeSimError"]
+
+
+class SimOsError(Exception):
+    """Base class for simulated-kernel errors."""
+
+
+class OutOfMemoryError(SimOsError):
+    """RAM exhausted (e.g. NPTL stack reservation failed)."""
+
+
+class BadFileError(SimOsError):
+    """Operation on a closed or invalid descriptor."""
+
+
+class BrokenPipeSimError(SimOsError):
+    """Write to a pipe or stream whose read side is closed."""
+
+
+class WouldBlock:
+    """Singleton sentinel: the non-blocking operation cannot proceed
+    (the simulated ``EAGAIN``)."""
+
+    _instance = None
+
+    def __new__(cls) -> "WouldBlock":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "WOULD_BLOCK"
+
+
+#: The shared EAGAIN sentinel.
+WOULD_BLOCK = WouldBlock()

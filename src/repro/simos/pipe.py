@@ -1,0 +1,150 @@
+"""FIFO pipes with bounded kernel buffers and EAGAIN semantics.
+
+This models the Linux FIFOs of the paper's Figure 18 workload: a 4KB kernel
+buffer per pipe, non-blocking reads/writes that return ``WOULD_BLOCK`` when
+the buffer is empty/full, and readiness transitions that wake epoll waiters.
+
+Data is modelled as byte *counts* plus an order-checking sequence stream:
+actual payloads in the benchmarks are synthetic, but reads return real
+``bytes`` so application code (and FIFO-order property tests) work
+unchanged.
+"""
+
+from __future__ import annotations
+
+from ..core.events import EVENT_HUP, EVENT_READ, EVENT_WRITE
+from .errors import BadFileError, BrokenPipeSimError, WOULD_BLOCK
+from .pollable import Pollable
+
+__all__ = ["SimPipe", "PipeReadEnd", "PipeWriteEnd", "make_pipe"]
+
+#: Writers on a broken pipe poll as writable+hup so blocked writers wake
+#: and observe the error on their next write.
+EVENT_ERROR_OR_HUP = EVENT_HUP
+
+
+class SimPipe:
+    """The shared state of one FIFO: a bounded byte buffer."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("pipe capacity must be >= 1")
+        self.capacity = capacity
+        self.buffer = bytearray()
+        self.read_open = True
+        self.write_open = True
+        #: Total bytes ever written (throughput accounting).
+        self.bytes_written = 0
+
+    @property
+    def used(self) -> int:
+        return len(self.buffer)
+
+    @property
+    def space(self) -> int:
+        return self.capacity - len(self.buffer)
+
+
+class PipeReadEnd(Pollable):
+    """The read end of a FIFO."""
+
+    def __init__(self, pipe: SimPipe, peer_getter) -> None:
+        super().__init__()
+        self.pipe = pipe
+        self._peer_getter = peer_getter
+        self.closed = False
+
+    def poll(self) -> int:
+        mask = 0
+        if self.pipe.used > 0:
+            mask |= EVENT_READ
+        elif not self.pipe.write_open:
+            mask |= EVENT_READ | EVENT_HUP
+        return mask
+
+    def read(self, nbytes: int):
+        """Non-blocking read: bytes, ``b""`` at EOF, or ``WOULD_BLOCK``."""
+        if self.closed:
+            raise BadFileError("read on closed pipe end")
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        pipe = self.pipe
+        if pipe.used == 0:
+            if not pipe.write_open:
+                return b""  # EOF
+            return WOULD_BLOCK
+        take = min(nbytes, pipe.used)
+        data = bytes(pipe.buffer[:take])
+        del pipe.buffer[:take]
+        # Draining makes the write side ready again.
+        peer = self._peer_getter()
+        if peer is not None:
+            peer.notify()
+        return data
+
+    def close(self) -> None:
+        """Close the read end; further peer writes raise broken-pipe."""
+        if self.closed:
+            return
+        self.closed = True
+        self.pipe.read_open = False
+        peer = self._peer_getter()
+        if peer is not None:
+            peer.notify()
+
+
+class PipeWriteEnd(Pollable):
+    """The write end of a FIFO."""
+
+    def __init__(self, pipe: SimPipe, peer_getter) -> None:
+        super().__init__()
+        self.pipe = pipe
+        self._peer_getter = peer_getter
+        self.closed = False
+
+    def poll(self) -> int:
+        mask = 0
+        if not self.pipe.read_open:
+            mask |= EVENT_WRITE | EVENT_ERROR_OR_HUP
+        elif self.pipe.space > 0:
+            mask |= EVENT_WRITE
+        return mask
+
+    def write(self, data: bytes):
+        """Non-blocking write: bytes accepted (may be partial), or
+        ``WOULD_BLOCK`` if the buffer is full."""
+        if self.closed:
+            raise BadFileError("write on closed pipe end")
+        pipe = self.pipe
+        if not pipe.read_open:
+            raise BrokenPipeSimError("write to pipe with closed read end")
+        if pipe.space == 0:
+            return WOULD_BLOCK
+        accept = min(len(data), pipe.space)
+        pipe.buffer.extend(data[:accept])
+        pipe.bytes_written += accept
+        peer = self._peer_getter()
+        if peer is not None:
+            peer.notify()
+        return accept
+
+    def close(self) -> None:
+        """Close the write end; the reader sees EOF after draining."""
+        if self.closed:
+            return
+        self.closed = True
+        self.pipe.write_open = False
+        peer = self._peer_getter()
+        if peer is not None:
+            peer.notify()
+
+
+def make_pipe(capacity: int = 4096) -> tuple[PipeReadEnd, PipeWriteEnd]:
+    """Create a FIFO; returns ``(read_end, write_end)``."""
+    pipe = SimPipe(capacity)
+    ends: dict = {}
+    read_end = PipeReadEnd(pipe, lambda: ends.get("w"))
+    write_end = PipeWriteEnd(pipe, lambda: ends.get("r"))
+    ends["r"] = read_end
+    ends["w"] = write_end
+    return read_end, write_end

@@ -1,0 +1,108 @@
+"""Zero-copy I/O vectors.
+
+The paper's TCP stack "is a zero-copy implementation; it uses IO vectors to
+represent data buffers indirectly" (§5.2).  An :class:`IoVec` is a list of
+``memoryview`` slices: appending, slicing, and consuming from the front
+never copy payload bytes — materialization happens only at the wire
+boundary (or when the application asks for contiguous bytes).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["IoVec"]
+
+
+class IoVec:
+    """A queue of byte slices with copy-free slicing semantics."""
+
+    __slots__ = ("_chunks", "_length")
+
+    def __init__(self, data: bytes | None = None) -> None:
+        self._chunks: list[memoryview] = []
+        self._length = 0
+        if data:
+            self.append(data)
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __bool__(self) -> bool:
+        return self._length > 0
+
+    def append(self, data: bytes | memoryview) -> None:
+        """Add ``data`` at the tail (no copy: stores a view)."""
+        view = memoryview(data)
+        if len(view) == 0:
+            return
+        self._chunks.append(view)
+        self._length += len(view)
+
+    def extend(self, datas: Iterable[bytes]) -> None:
+        """Append each element of ``datas``."""
+        for data in datas:
+            self.append(data)
+
+    def peek(self, nbytes: int) -> "IoVec":
+        """A view of the first ``nbytes`` bytes (no copy)."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        out = IoVec()
+        remaining = min(nbytes, self._length)
+        for chunk in self._chunks:
+            if remaining <= 0:
+                break
+            take = min(len(chunk), remaining)
+            out._chunks.append(chunk[:take])
+            out._length += take
+            remaining -= take
+        return out
+
+    def slice(self, start: int, nbytes: int) -> "IoVec":
+        """A view of ``nbytes`` bytes beginning at ``start`` (no copy)."""
+        if start < 0 or nbytes < 0:
+            raise ValueError("start and nbytes must be >= 0")
+        out = IoVec()
+        skip = start
+        remaining = min(nbytes, max(0, self._length - start))
+        for chunk in self._chunks:
+            if remaining <= 0:
+                break
+            if skip >= len(chunk):
+                skip -= len(chunk)
+                continue
+            usable = chunk[skip:]
+            skip = 0
+            take = min(len(usable), remaining)
+            out._chunks.append(usable[:take])
+            out._length += take
+            remaining -= take
+        return out
+
+    def consume(self, nbytes: int) -> None:
+        """Drop ``nbytes`` bytes from the front (no copy)."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        remaining = min(nbytes, self._length)
+        self._length -= remaining
+        while remaining > 0:
+            head = self._chunks[0]
+            if len(head) <= remaining:
+                remaining -= len(head)
+                self._chunks.pop(0)
+            else:
+                self._chunks[0] = head[remaining:]
+                remaining = 0
+
+    def to_bytes(self) -> bytes:
+        """Materialize as contiguous bytes (the only copying operation)."""
+        return b"".join(bytes(chunk) for chunk in self._chunks)
+
+    @property
+    def chunk_count(self) -> int:
+        """Number of underlying slices (for zero-copy assertions)."""
+        return len(self._chunks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<IoVec {self._length}B in {len(self._chunks)} chunks>"

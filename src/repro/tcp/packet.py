@@ -1,0 +1,200 @@
+"""TCP segments: flags, wire encoding, and the Internet checksum.
+
+Segments travel the simulated links as Python objects (``wire_size`` gives
+the modelled on-wire cost, header + payload), but they also encode to and
+decode from real bytes with a real ones'-complement checksum — the test
+suite uses this to verify that corruption is detectable, and it keeps the
+stack honest about every field it claims to implement.
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = [
+    "FLAG_SYN",
+    "FLAG_ACK",
+    "FLAG_FIN",
+    "FLAG_RST",
+    "FLAG_PSH",
+    "HEADER_BYTES",
+    "Segment",
+    "checksum",
+    "ChecksumError",
+]
+
+FLAG_FIN = 0x01
+FLAG_SYN = 0x02
+FLAG_RST = 0x04
+FLAG_PSH = 0x08
+FLAG_ACK = 0x10
+
+#: Modelled header overhead per segment: 20 (IP) + 20 (TCP).
+HEADER_BYTES = 40
+
+_HEADER_STRUCT = struct.Struct("!HHIIBBHHH")
+# src_port, dst_port, seq, ack, data_offset_reserved, flags, window,
+# checksum, urgent(unused, always 0)
+
+
+class ChecksumError(ValueError):
+    """Segment failed checksum verification on decode."""
+
+
+def checksum(data: bytes) -> int:
+    """RFC 1071 ones'-complement checksum over ``data``."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for (word,) in struct.iter_unpack("!H", data):
+        total += word
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+class Segment:
+    """One TCP segment."""
+
+    __slots__ = (
+        "src_port",
+        "dst_port",
+        "seq",
+        "ack",
+        "flags",
+        "window",
+        "payload",
+    )
+
+    def __init__(
+        self,
+        src_port: int,
+        dst_port: int,
+        seq: int,
+        ack: int,
+        flags: int,
+        window: int,
+        payload: bytes = b"",
+    ) -> None:
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.seq = seq % (1 << 32)
+        self.ack = ack % (1 << 32)
+        self.flags = flags
+        self.window = window
+        self.payload = payload
+
+    # ------------------------------------------------------------------
+    # Flag helpers
+    # ------------------------------------------------------------------
+    @property
+    def syn(self) -> bool:
+        return bool(self.flags & FLAG_SYN)
+
+    @property
+    def is_ack(self) -> bool:
+        return bool(self.flags & FLAG_ACK)
+
+    @property
+    def fin(self) -> bool:
+        return bool(self.flags & FLAG_FIN)
+
+    @property
+    def rst(self) -> bool:
+        return bool(self.flags & FLAG_RST)
+
+    @property
+    def wire_size(self) -> int:
+        """Modelled bytes on the wire (header + payload)."""
+        return HEADER_BYTES + len(self.payload)
+
+    @property
+    def seg_len(self) -> int:
+        """Sequence space consumed: payload plus SYN/FIN phantom bytes."""
+        length = len(self.payload)
+        if self.syn:
+            length += 1
+        if self.fin:
+            length += 1
+        return length
+
+    # ------------------------------------------------------------------
+    # Wire format
+    # ------------------------------------------------------------------
+    def encode(self) -> bytes:
+        """Serialize with a valid checksum."""
+        header = _HEADER_STRUCT.pack(
+            self.src_port,
+            self.dst_port,
+            self.seq,
+            self.ack,
+            (5 << 4),
+            self.flags,
+            min(self.window, 0xFFFF),
+            0,
+            0,
+        )
+        value = checksum(header + self.payload)
+        header = header[:16] + struct.pack("!H", value) + header[18:]
+        return header + self.payload
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Segment":
+        """Parse bytes; raises :class:`ChecksumError` on corruption."""
+        if len(data) < _HEADER_STRUCT.size:
+            raise ValueError("segment shorter than header")
+        (
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            _offset,
+            flags,
+            window,
+            stored_sum,
+            _urgent,
+        ) = _HEADER_STRUCT.unpack_from(data)
+        payload = data[_HEADER_STRUCT.size:]
+        zeroed = data[:16] + b"\x00\x00" + data[18:]
+        if checksum(zeroed) != stored_sum:
+            raise ChecksumError("TCP checksum mismatch")
+        return cls(src_port, dst_port, seq, ack, flags, window, payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = []
+        for bit, name in (
+            (FLAG_SYN, "SYN"),
+            (FLAG_ACK, "ACK"),
+            (FLAG_FIN, "FIN"),
+            (FLAG_RST, "RST"),
+            (FLAG_PSH, "PSH"),
+        ):
+            if self.flags & bit:
+                names.append(name)
+        return (
+            f"<Segment {self.src_port}->{self.dst_port} "
+            f"{'|'.join(names) or 'none'} seq={self.seq} ack={self.ack} "
+            f"win={self.window} len={len(self.payload)}>"
+        )
+
+
+def seq_lt(a: int, b: int) -> bool:
+    """Sequence-number comparison with 32-bit wraparound (RFC 793)."""
+    return ((a - b) & 0xFFFFFFFF) > 0x7FFFFFFF
+
+
+def seq_le(a: int, b: int) -> bool:
+    """``a <= b`` in sequence space."""
+    return a == b or seq_lt(a, b)
+
+
+def seq_add(a: int, n: int) -> int:
+    """Advance a sequence number with wraparound."""
+    return (a + n) & 0xFFFFFFFF
+
+
+def seq_sub(a: int, b: int) -> int:
+    """Distance from ``b`` to ``a`` in sequence space."""
+    return (a - b) & 0xFFFFFFFF
+
+
+__all__ += ["seq_lt", "seq_le", "seq_add", "seq_sub"]

@@ -1,0 +1,61 @@
+"""Round-trip-time estimation: Jacobson/Karels with Karn's rule.
+
+Implements the standard RTO computation (RFC 6298 shape):
+
+* ``srtt = (1-alpha)*srtt + alpha*sample``       (alpha = 1/8)
+* ``rttvar = (1-beta)*rttvar + beta*|srtt-sample|`` (beta = 1/4)
+* ``rto = srtt + 4*rttvar``, clamped to [min_rto, max_rto]
+* exponential backoff on timeout; Karn's rule — never sample a
+  retransmitted segment — is enforced by the caller (the stack only times
+  segments sent exactly once).
+"""
+
+from __future__ import annotations
+
+__all__ = ["RttEstimator"]
+
+ALPHA = 1.0 / 8.0
+BETA = 1.0 / 4.0
+
+
+class RttEstimator:
+    """Adaptive retransmission-timeout estimation."""
+
+    __slots__ = ("srtt", "rttvar", "rto", "min_rto", "max_rto", "samples")
+
+    def __init__(
+        self,
+        initial_rto: float = 1.0,
+        min_rto: float = 0.2,
+        max_rto: float = 60.0,
+    ) -> None:
+        self.srtt: float | None = None
+        self.rttvar = 0.0
+        self.rto = initial_rto
+        self.min_rto = min_rto
+        self.max_rto = max_rto
+        self.samples = 0
+
+    def sample(self, rtt: float) -> None:
+        """Fold one measured round trip into the estimate."""
+        if rtt < 0:
+            raise ValueError("rtt must be >= 0")
+        self.samples += 1
+        if self.srtt is None:
+            # First measurement (RFC 6298 §2.2).
+            self.srtt = rtt
+            self.rttvar = rtt / 2.0
+        else:
+            self.rttvar = (1 - BETA) * self.rttvar + BETA * abs(self.srtt - rtt)
+            self.srtt = (1 - ALPHA) * self.srtt + ALPHA * rtt
+        self.rto = self._clamp(self.srtt + 4.0 * self.rttvar)
+
+    def backoff(self) -> None:
+        """Double the RTO after a retransmission timeout."""
+        self.rto = self._clamp(self.rto * 2.0)
+
+    def _clamp(self, value: float) -> float:
+        return max(self.min_rto, min(self.max_rto, value))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RttEstimator srtt={self.srtt} rto={self.rto:.3f}>"

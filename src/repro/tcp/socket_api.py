@@ -1,0 +1,165 @@
+"""Monadic sockets over the application-level TCP stack.
+
+"A library (written in the monadic thread language) hides the ``sys_tcp``
+call and provides the same high-level programming interfaces as standard
+socket operations" (§4.8).  :class:`TcpSockets` is that library: the web
+server code runs unchanged over kernel-style sim sockets or over this
+stack — the "editing one line of code" claim, which the A4 ablation
+exercises.
+
+``install_tcp`` registers the ``SYS_TCP`` handler on a scheduler.  The
+handler is a shared dispatcher: each operation names its stack (directly
+for ``listen``/``connect``, through the listener/connection object
+otherwise), so several hosts' stacks can coexist on one scheduler — the
+benchmarks run client and server hosts in one simulated world.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.do_notation import do
+from ..core.exceptions import UnsupportedSyscallError
+from ..core.monad import M
+from ..core.scheduler import Scheduler, TCB
+from ..core.syscalls import sys_tcp
+from ..core.trace import SysTcp, SysThrow, Thunk
+from .stack import TcpStack
+from .tcb import TcpConn, TcpListener
+
+__all__ = ["TcpSockets", "install_tcp", "handle_sys_tcp"]
+
+
+def install_tcp(sched: Scheduler, stack: TcpStack) -> "TcpSockets":
+    """Register the shared ``SYS_TCP`` dispatcher on ``sched`` and return
+    the monadic socket API bound to ``stack``."""
+    sched.register_syscall(SysTcp, handle_sys_tcp)
+    return TcpSockets(stack)
+
+
+class TcpSockets:
+    """Blocking-style socket operations as monadic computations."""
+
+    def __init__(self, stack: TcpStack) -> None:
+        self.stack = stack
+
+        @do
+        def _recv_exact(conn, nbytes):
+            chunks = []
+            remaining = nbytes
+            while remaining > 0:
+                data = yield self.recv(conn, remaining)
+                if not data:
+                    raise ConnectionError(
+                        f"EOF with {remaining} of {nbytes} bytes unread"
+                    )
+                chunks.append(data)
+                remaining -= len(data)
+            return b"".join(chunks)
+
+        @do
+        def _recv_until(conn, delimiter, max_bytes):
+            buffer = bytearray()
+            while True:
+                index = buffer.find(delimiter)
+                if index >= 0:
+                    return bytes(buffer), index
+                if len(buffer) >= max_bytes:
+                    raise ValueError(
+                        f"delimiter not found within {max_bytes} bytes"
+                    )
+                data = yield self.recv(conn, 4096)
+                if not data:
+                    raise ConnectionError("EOF before delimiter")
+                buffer.extend(data)
+
+        self._recv_exact = _recv_exact
+        self._recv_until = _recv_until
+
+    # ------------------------------------------------------------------
+    # Monadic operations
+    # ------------------------------------------------------------------
+    def listen(self, port: int, backlog: int = 128) -> M:
+        """Open a listening socket; resumes with the listener."""
+        return sys_tcp("listen", self.stack, port, backlog)
+
+    def accept(self, listener: TcpListener) -> M:
+        """Block until a connection is established; resumes with it."""
+        return sys_tcp("accept", listener)
+
+    def connect(self, remote_addr: str, remote_port: int) -> M:
+        """Active open; resumes with the established connection."""
+        return sys_tcp("connect", self.stack, remote_addr, remote_port)
+
+    def send(self, conn: TcpConn, data: bytes) -> M:
+        """Send all of ``data`` (flow-controlled); resumes with its length."""
+        return sys_tcp("send", conn, data)
+
+    def recv(self, conn: TcpConn, nbytes: int) -> M:
+        """Receive up to ``nbytes``; resumes with ``b""`` at EOF."""
+        return sys_tcp("recv", conn, nbytes)
+
+    def recv_exact(self, conn: TcpConn, nbytes: int) -> M:
+        """Receive exactly ``nbytes`` or raise ``ConnectionError``."""
+        return self._recv_exact(conn, nbytes)
+
+    def recv_until(self, conn: TcpConn, delimiter: bytes,
+                   max_bytes: int = 65536) -> M:
+        """Receive until ``delimiter``; resumes with ``(buffer, index)``."""
+        return self._recv_until(conn, delimiter, max_bytes)
+
+    def close(self, conn: TcpConn) -> M:
+        """Orderly close (FIN after queued data)."""
+        return sys_tcp("close", conn)
+
+    def abort(self, conn: TcpConn) -> M:
+        """Hard close (RST)."""
+        return sys_tcp("abort", conn)
+
+
+def handle_sys_tcp(sched: Scheduler, tcb: TCB, node: SysTcp) -> Thunk | None:
+    """The shared ``SYS_TCP`` scheduler handler."""
+    op = node.op
+    cont = node.cont
+
+    if op == "listen":
+        stack, port, backlog = node.args
+        listener = stack.listen(port, backlog)
+        return lambda: cont(listener)
+
+    if op == "close":
+        (conn,) = node.args
+        conn.stack.close(conn)
+        return lambda: cont(None)
+
+    if op == "abort":
+        (conn,) = node.args
+        conn.stack.abort(conn)
+        return lambda: cont(None)
+
+    # Blocking operations: park, resume from the stack's callback.
+    tcb.state = "blocked"
+
+    def resume(value: Any, error: BaseException | None) -> None:
+        if error is not None:
+            sched.resume_error(tcb, error)
+        else:
+            sched.resume_value(tcb, cont, value)
+
+    if op == "accept":
+        (listener,) = node.args
+        listener.stack.accept(listener, resume)
+    elif op == "connect":
+        stack, remote_addr, remote_port = node.args
+        stack.connect(remote_addr, remote_port, resume)
+    elif op == "send":
+        conn, data = node.args
+        conn.stack.send(conn, data, resume)
+    elif op == "recv":
+        conn, nbytes = node.args
+        conn.stack.recv(conn, nbytes, resume)
+    else:
+        tcb.state = "running"
+        exc = UnsupportedSyscallError(f"unknown sys_tcp op {op!r}")
+        return lambda: SysThrow(exc)
+    return None

@@ -1,0 +1,155 @@
+"""Transmission control blocks: per-connection and per-listener state.
+
+State names follow RFC 793.  The TCB is pure state — every transition is
+driven by :mod:`repro.tcp.stack`, keeping the protocol logic in one place
+(and making TCBs printable/inspectable, which the tests rely on).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable
+
+from .congestion import RenoCongestion
+from .rtt import RttEstimator
+from .window import RecvWindow, SendWindow
+
+__all__ = ["TcpConn", "TcpListener", "STATES"]
+
+STATES = (
+    "CLOSED",
+    "LISTEN",
+    "SYN_SENT",
+    "SYN_RCVD",
+    "ESTABLISHED",
+    "FIN_WAIT_1",
+    "FIN_WAIT_2",
+    "CLOSE_WAIT",
+    "CLOSING",
+    "LAST_ACK",
+    "TIME_WAIT",
+)
+
+#: States in which the connection can carry data.
+DATA_STATES = ("ESTABLISHED", "FIN_WAIT_1", "FIN_WAIT_2", "CLOSE_WAIT")
+
+
+class TcpConn:
+    """One connection's full state."""
+
+    __slots__ = (
+        "stack",
+        "local_port",
+        "remote_addr",
+        "remote_port",
+        "state",
+        "snd",
+        "rcv",
+        "congestion",
+        "rtt",
+        "iss",
+        "irs",
+        "retransmit_timer",
+        "persist_timer",
+        "time_wait_timer",
+        "handshake_attempts",
+        "app_closed",
+        "fin_sent",
+        "fin_seq",
+        "fin_acked",
+        "fin_received",
+        "error",
+        "connect_cb",
+        "recv_waiters",
+        "send_waiters",
+        "last_advertised",
+        "parent_listener",
+        "delack_timer",
+        "delack_segments",
+    )
+
+    def __init__(
+        self,
+        stack: Any,
+        local_port: int,
+        remote_addr: str,
+        remote_port: int,
+    ) -> None:
+        self.stack = stack
+        self.local_port = local_port
+        self.remote_addr = remote_addr
+        self.remote_port = remote_port
+        self.state = "CLOSED"
+        self.snd: SendWindow | None = None
+        self.rcv: RecvWindow | None = None
+        self.congestion: RenoCongestion | None = None
+        self.rtt = RttEstimator(
+            initial_rto=stack.params.initial_rto,
+            min_rto=stack.params.min_rto,
+            max_rto=stack.params.max_rto,
+        )
+        self.iss = 0
+        self.irs = 0
+        self.retransmit_timer = None
+        self.persist_timer = None
+        self.time_wait_timer = None
+        self.handshake_attempts = 0
+        self.app_closed = False
+        self.fin_sent = False
+        self.fin_seq = 0
+        self.fin_acked = False
+        self.fin_received = False
+        self.error: BaseException | None = None
+        # (value, error) callback for an active open.
+        self.connect_cb: Callable | None = None
+        # (nbytes, cb) pairs blocked on data.
+        self.recv_waiters: deque = deque()
+        # (data, cb) pairs blocked on send-buffer space.
+        self.send_waiters: deque = deque()
+        self.last_advertised = 0
+        self.parent_listener: "TcpListener | None" = None
+        # Delayed-ACK state (used when the stack enables delayed_ack).
+        self.delack_timer = None
+        self.delack_segments = 0
+
+    @property
+    def key(self) -> tuple:
+        """Demux key: (local port, remote addr, remote port)."""
+        return (self.local_port, self.remote_addr, self.remote_port)
+
+    @property
+    def readable_now(self) -> bool:
+        """Whether a recv can complete without blocking."""
+        return (
+            (self.rcv is not None and self.rcv.available > 0)
+            or self.fin_received
+            or self.error is not None
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<TcpConn {self.local_port}<->{self.remote_addr}:"
+            f"{self.remote_port} {self.state}>"
+        )
+
+
+class TcpListener:
+    """A passive socket: accept queue plus blocked accept callbacks."""
+
+    __slots__ = ("stack", "port", "backlog", "accept_queue", "accept_waiters",
+                 "closed", "total_accepted", "pending")
+
+    def __init__(self, stack: Any, port: int, backlog: int) -> None:
+        self.stack = stack
+        self.port = port
+        self.backlog = backlog
+        self.accept_queue: deque[TcpConn] = deque()
+        self.accept_waiters: deque[Callable] = deque()
+        self.closed = False
+        self.total_accepted = 0
+        #: Connections in SYN_RCVD that will land in the accept queue;
+        #: counted against the backlog, as real kernels do.
+        self.pending = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TcpListener :{self.port} queued={len(self.accept_queue)}>"

@@ -1,0 +1,202 @@
+"""Send and receive sliding windows.
+
+:class:`SendWindow` owns the retransmission buffer (an
+:class:`~repro.tcp.iovec.IoVec`, so queued application data is never
+copied until segmentation) and the ``snd_una``/``snd_nxt`` pointers.
+:class:`RecvWindow` reassembles out-of-order segments into an in-order
+byte queue and computes the advertised window.
+
+Sequence arithmetic is 32-bit modular throughout (``seq_*`` helpers).
+"""
+
+from __future__ import annotations
+
+from .iovec import IoVec
+from .packet import seq_add, seq_le, seq_lt, seq_sub
+
+__all__ = ["SendWindow", "RecvWindow"]
+
+
+class SendWindow:
+    """Sender-side state: unacknowledged data and transmit bookkeeping."""
+
+    __slots__ = (
+        "iss",
+        "snd_una",
+        "snd_nxt",
+        "buffer",
+        "peer_window",
+        "mss",
+        "timing_seq",
+        "timing_sent_at",
+        "timing_valid",
+        "retransmitted_high",
+    )
+
+    def __init__(self, iss: int, mss: int) -> None:
+        self.iss = iss
+        self.snd_una = iss
+        self.snd_nxt = iss
+        # Bytes from snd_una onward: acked prefixes are consumed.
+        self.buffer = IoVec()
+        self.peer_window = mss
+        self.mss = mss
+        # Single-segment RTT timing (Karn's rule: invalidated on rexmit).
+        self.timing_seq: int | None = None
+        self.timing_sent_at = 0.0
+        self.timing_valid = False
+        self.retransmitted_high = iss
+
+    # ------------------------------------------------------------------
+    # Queueing and segmentation
+    # ------------------------------------------------------------------
+    def enqueue(self, data: bytes) -> None:
+        """Append application data to the (zero-copy) send buffer."""
+        self.buffer.append(data)
+
+    @property
+    def flight_size(self) -> int:
+        """Bytes sent but not yet acknowledged."""
+        return seq_sub(self.snd_nxt, self.snd_una)
+
+    @property
+    def unsent(self) -> int:
+        """Bytes queued but never transmitted."""
+        return len(self.buffer) - self.flight_size
+
+    def usable_window(self, cwnd: int) -> int:
+        """How many new bytes may be transmitted now."""
+        window = min(self.peer_window, cwnd)
+        return max(0, window - self.flight_size)
+
+    def next_segment_payload(self, cwnd: int) -> IoVec | None:
+        """The next new payload to send (<= mss), or ``None``."""
+        allowed = min(self.usable_window(cwnd), self.unsent, self.mss)
+        if allowed <= 0:
+            return None
+        return self.buffer.slice(self.flight_size, allowed)
+
+    def mark_sent(self, nbytes: int, now: float) -> int:
+        """Advance ``snd_nxt`` after transmitting ``nbytes`` new bytes;
+        returns the segment's sequence number."""
+        seq = self.snd_nxt
+        self.snd_nxt = seq_add(self.snd_nxt, nbytes)
+        if self.timing_seq is None:
+            self.timing_seq = self.snd_nxt
+            self.timing_sent_at = now
+            self.timing_valid = True
+        return seq
+
+    def retransmit_payload(self) -> IoVec | None:
+        """The earliest unacknowledged payload (<= mss), for retransmit."""
+        available = min(self.flight_size, self.mss, len(self.buffer))
+        if available <= 0:
+            return None
+        # Karn: anything covered by this retransmission must not be timed.
+        if self.timing_seq is not None and seq_le(
+            self.timing_seq, seq_add(self.snd_una, available)
+        ):
+            self.timing_valid = False
+        self.retransmitted_high = seq_add(self.snd_una, available)
+        return self.buffer.slice(0, available)
+
+    # ------------------------------------------------------------------
+    # Acknowledgements
+    # ------------------------------------------------------------------
+    def ack_is_new(self, ack: int) -> bool:
+        """Whether ``ack`` advances ``snd_una``."""
+        return seq_lt(self.snd_una, ack) and seq_le(ack, self.snd_nxt)
+
+    def mark_acked(self, ack: int, now: float) -> tuple[int, float | None]:
+        """Process a new cumulative ACK.
+
+        Returns ``(newly_acked_bytes, rtt_sample_or_None)``.
+        """
+        acked = seq_sub(ack, self.snd_una)
+        self.snd_una = ack
+        self.buffer.consume(acked)
+        rtt = None
+        if (
+            self.timing_seq is not None
+            and seq_le(self.timing_seq, ack)
+        ):
+            if self.timing_valid:
+                rtt = now - self.timing_sent_at
+            self.timing_seq = None
+        return acked, rtt
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SendWindow una={self.snd_una} nxt={self.snd_nxt} "
+            f"buffered={len(self.buffer)} peer_win={self.peer_window}>"
+        )
+
+
+class RecvWindow:
+    """Receiver-side state: reassembly and the advertised window."""
+
+    __slots__ = ("rcv_nxt", "capacity", "ready", "out_of_order")
+
+    def __init__(self, irs: int, capacity: int) -> None:
+        self.rcv_nxt = irs
+        self.capacity = capacity
+        #: In-order bytes ready for the application.
+        self.ready = IoVec()
+        #: seq -> bytes payload, for segments past rcv_nxt.
+        self.out_of_order: dict[int, bytes] = {}
+
+    @property
+    def advertised(self) -> int:
+        """Window to advertise: capacity minus everything buffered."""
+        buffered = len(self.ready) + sum(
+            len(chunk) for chunk in self.out_of_order.values()
+        )
+        return max(0, self.capacity - buffered)
+
+    def accept(self, seq: int, payload: bytes) -> bool:
+        """Fold one data segment in; returns True if ``rcv_nxt`` advanced
+        (i.e. new in-order data became available)."""
+        if not payload:
+            return False
+        end = seq_add(seq, len(payload))
+        if seq_le(end, self.rcv_nxt):
+            return False  # entirely duplicate
+        if seq_lt(seq, self.rcv_nxt):
+            # Trim the duplicated head.
+            skip = seq_sub(self.rcv_nxt, seq)
+            payload = payload[skip:]
+            seq = self.rcv_nxt
+        if seq != self.rcv_nxt:
+            # Out of order: hold it (first copy wins; equal data assumed).
+            if seq not in self.out_of_order:
+                self.out_of_order[seq] = payload
+            return False
+        # In order: deliver, then drain any contiguous held segments.
+        self.ready.append(payload)
+        self.rcv_nxt = seq_add(self.rcv_nxt, len(payload))
+        while self.rcv_nxt in self.out_of_order:
+            chunk = self.out_of_order.pop(self.rcv_nxt)
+            self.ready.append(chunk)
+            self.rcv_nxt = seq_add(self.rcv_nxt, len(chunk))
+        return True
+
+    def read(self, nbytes: int) -> bytes:
+        """Take up to ``nbytes`` of in-order data for the application."""
+        take = min(nbytes, len(self.ready))
+        if take == 0:
+            return b""
+        view = self.ready.peek(take)
+        data = view.to_bytes()
+        self.ready.consume(take)
+        return data
+
+    @property
+    def available(self) -> int:
+        """In-order bytes ready to read."""
+        return len(self.ready)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<RecvWindow nxt={self.rcv_nxt} ready={len(self.ready)} "
+            f"ooo={len(self.out_of_order)}>"
+        )

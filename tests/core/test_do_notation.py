@@ -1,0 +1,239 @@
+"""Tests for the generator-based do-notation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.do_notation import DoProtocolError, do
+from repro.core.monad import pure
+from repro.core.scheduler import Scheduler, run_threads
+from repro.core.syscalls import sys_catch, sys_nbio, sys_throw, sys_yield
+
+
+def run_one(comp):
+    """Run a single computation; return its TCB."""
+    return run_threads([comp])[0]
+
+
+class TestBasics:
+    def test_return_value(self):
+        @do
+        def compute():
+            x = yield pure(20)
+            y = yield pure(22)
+            return x + y
+
+        assert run_one(compute()).result == 42
+
+    def test_no_yield_needed(self):
+        @do
+        def immediate():
+            return "done"
+            yield  # pragma: no cover - makes this a generator
+
+        assert run_one(immediate()).result == "done"
+
+    def test_arguments_passed(self):
+        @do
+        def add(a, b, scale=1):
+            total = yield pure((a + b) * scale)
+            return total
+
+        assert run_one(add(2, 3, scale=10)).result == 50
+
+    def test_calls_are_lazy(self):
+        effects = []
+
+        @do
+        def worker():
+            effects.append("body ran")
+            yield pure(None)
+
+        comp = worker()
+        assert effects == []  # nothing runs until scheduled
+        run_one(comp)
+        assert effects == ["body ran"]
+
+    def test_nested_do_calls(self):
+        @do
+        def inner(x):
+            doubled = yield pure(x * 2)
+            return doubled
+
+        @do
+        def outer():
+            a = yield inner(5)
+            b = yield inner(a)
+            return b
+
+        assert run_one(outer()).result == 20
+
+    def test_loop_with_yields(self):
+        @do
+        def summer(n):
+            total = 0
+            for i in range(n):
+                total += yield pure(i)
+            return total
+
+        assert run_one(summer(100)).result == sum(range(100))
+
+    def test_deep_pure_loop_constant_stack(self):
+        # 100k consecutive synchronous yields must not blow the stack:
+        # this is what the bounce trampoline is for.
+        @do
+        def deep():
+            total = 0
+            for i in range(100_000):
+                total += yield pure(1)
+            return total
+
+        assert run_one(deep()).result == 100_000
+
+    def test_long_yield_loop(self):
+        # sys_yield suspends each iteration; exercises scheduler requeueing.
+        @do
+        def yielder(n):
+            count = 0
+            for _ in range(n):
+                yield sys_yield()
+                count += 1
+            return count
+
+        assert run_one(yielder(5_000)).result == 5_000
+
+    def test_yield_non_monadic_value_raises_protocol_error(self):
+        @do
+        def bad():
+            yield 42
+
+        tcb = run_threads([bad()], uncaught="store")[0]
+        assert isinstance(tcb.error, DoProtocolError)
+
+
+class TestExceptions:
+    def test_native_try_except_catches_monadic_throw(self):
+        @do
+        def worker():
+            try:
+                yield sys_throw(ValueError("boom"))
+            except ValueError as exc:
+                return f"caught {exc}"
+
+        assert run_one(worker()).result == "caught boom"
+
+    def test_native_raise_caught_by_sys_catch(self):
+        @do
+        def raiser():
+            yield pure(None)
+            raise KeyError("k")
+
+        @do
+        def catcher():
+            def handler(exc):
+                return pure(("handled", type(exc).__name__))
+
+            result = yield sys_catch(raiser(), handler)
+            return result
+
+        assert run_one(catcher()).result == ("handled", "KeyError")
+
+    def test_try_finally_runs_on_error(self):
+        log = []
+
+        @do
+        def worker():
+            try:
+                yield sys_throw(RuntimeError("x"))
+            finally:
+                log.append("finally")
+
+        tcb = run_threads([worker()], uncaught="store")[0]
+        assert log == ["finally"]
+        assert isinstance(tcb.error, RuntimeError)
+
+    def test_exception_in_nbio_action_surfaces_in_generator(self):
+        @do
+        def worker():
+            try:
+                yield sys_nbio(lambda: 1 / 0)
+            except ZeroDivisionError:
+                return "saved"
+
+        assert run_one(worker()).result == "saved"
+
+    def test_uncaught_propagates_out_of_nested_do(self):
+        @do
+        def inner():
+            yield pure(None)
+            raise OSError("disk")
+
+        @do
+        def outer():
+            try:
+                yield inner()
+            except OSError as exc:
+                return f"outer saw {exc}"
+
+        assert run_one(outer()).result == "outer saw disk"
+
+    def test_rethrow_after_catch(self):
+        @do
+        def worker():
+            try:
+                yield sys_throw(ValueError("first"))
+            except ValueError:
+                raise KeyError("second")
+
+        tcb = run_threads([worker()], uncaught="store")[0]
+        assert isinstance(tcb.error, KeyError)
+
+    def test_multiple_catches_in_one_generator(self):
+        @do
+        def worker():
+            caught = []
+            for i in range(3):
+                try:
+                    yield sys_throw(ValueError(str(i)))
+                except ValueError as exc:
+                    caught.append(str(exc))
+            return caught
+
+        assert run_one(worker()).result == ["0", "1", "2"]
+
+    def test_generator_exception_after_success_path(self):
+        @do
+        def worker():
+            value = yield pure(10)
+            if value == 10:
+                raise LookupError("gotcha")
+            return value
+
+        tcb = run_threads([worker()], uncaught="store")[0]
+        assert isinstance(tcb.error, LookupError)
+
+
+@given(st.lists(st.integers(0, 3), min_size=0, max_size=30))
+def test_random_mix_of_pure_and_suspending_yields(pattern):
+    """Any interleaving of pure, nbio, and yield steps computes correctly."""
+
+    @do
+    def worker():
+        total = 0
+        for kind in pattern:
+            if kind == 0:
+                total += yield pure(1)
+            elif kind == 1:
+                total += yield sys_nbio(lambda: 1)
+            elif kind == 2:
+                yield sys_yield()
+            else:
+                try:
+                    yield sys_throw(ValueError())
+                except ValueError:
+                    total += 1
+        return total
+
+    expected = sum(1 for k in pattern if k != 2)
+    assert run_one(worker()).result == expected

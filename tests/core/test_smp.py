@@ -1,0 +1,266 @@
+"""The work-stealing multi-worker scheduler (§4.4's proposed design)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.do_notation import do
+from repro.core.exceptions import DeadlockError, UncaughtThreadError
+from repro.core.monad import pure
+from repro.core.smp import SmpScheduler
+from repro.core.stm import TVar, modify_tvar
+from repro.core.sync import Channel, Mutex, MVar
+from repro.core.syscalls import sys_fork, sys_nbio, sys_yield
+from repro.core.thread import spawn
+
+
+class TestBasicExecution:
+    def test_single_worker_equals_scheduler(self):
+        smp = SmpScheduler(workers=1)
+
+        @do
+        def worker():
+            value = yield pure(21)
+            return value * 2
+
+        tcb = smp.spawn(worker())
+        smp.run()
+        assert tcb.result == 42
+
+    def test_workers_validation(self):
+        with pytest.raises(ValueError):
+            SmpScheduler(workers=0)
+
+    def test_all_threads_complete_across_workers(self):
+        smp = SmpScheduler(workers=4)
+        results = []
+
+        @do
+        def worker(i):
+            yield sys_yield()
+            yield sys_nbio(lambda i=i: results.append(i))
+
+        for i in range(100):
+            smp.spawn(worker(i))
+        smp.run()
+        assert sorted(results) == list(range(100))
+        assert smp.live_threads == 0
+
+    def test_tids_globally_unique(self):
+        smp = SmpScheduler(workers=4)
+        tcbs = [smp.spawn(pure(None)) for _ in range(40)]
+        assert len({tcb.tid for tcb in tcbs}) == 40
+
+    def test_round_robin_placement(self):
+        smp = SmpScheduler(workers=4)
+        for _ in range(8):
+            smp.spawn(pure(None))
+        assert [len(w.ready) for w in smp.workers] == [2, 2, 2, 2]
+
+    def test_pinned_placement(self):
+        smp = SmpScheduler(workers=4)
+        for _ in range(5):
+            smp.spawn(pure(None), worker=2)
+        assert len(smp.workers[2].ready) == 5
+
+    def test_forked_children_stay_local(self):
+        smp = SmpScheduler(workers=2)
+
+        @do
+        def child():
+            yield pure(None)
+
+        @do
+        def parent():
+            for _ in range(6):
+                yield sys_fork(child())
+
+        smp.spawn(parent(), worker=0)
+        # One step of worker 0 runs the parent's whole batch: children
+        # land on worker 0's queue (locality) until someone steals.
+        smp.step()
+        assert len(smp.workers[0].ready) >= 5
+
+    def test_run_all_detects_deadlock(self):
+        box = MVar()
+        smp = SmpScheduler(workers=2)
+
+        @do
+        def stuck():
+            yield box.take()
+
+        smp.spawn(stuck())
+        with pytest.raises(DeadlockError):
+            smp.run_all()
+
+
+class TestWorkStealing:
+    def test_stealing_balances_imbalanced_load(self):
+        smp = SmpScheduler(workers=4)
+
+        @do
+        def worker():
+            for _ in range(20):
+                yield sys_yield()
+
+        # All work pinned to worker 0: the others must steal.
+        for _ in range(40):
+            smp.spawn(worker(), worker=0)
+        smp.run()
+        stats = smp.stats()
+        assert stats["steals"] > 0
+        assert stats["tasks_stolen"] > 0
+        # Every worker ended up doing real work.
+        assert all(batches > 0 for batches in stats["per_worker_batches"])
+
+    def test_no_stealing_when_balanced_enough(self):
+        smp = SmpScheduler(workers=2)
+        smp.spawn(pure(None), worker=0)
+        smp.spawn(pure(None), worker=1)
+        smp.run()
+        # Trivial threads: each worker consumes its own.
+        assert smp.stats()["tasks_stolen"] <= 1
+
+    def test_steal_takes_half_from_victim(self):
+        smp = SmpScheduler(workers=2)
+        for _ in range(10):
+            smp.spawn(pure(None), worker=0)
+        # Worker 1's turn comes second; force one global step for worker 0,
+        # then worker 1 steals on its turn.
+        smp.step()  # worker 0 runs one batch
+        before = len(smp.workers[0].ready)
+        smp.step()  # worker 1 steals half and runs
+        assert smp.stats()["steals"] >= 1
+        assert len(smp.workers[0].ready) < before
+
+
+class TestSyncAcrossWorkers:
+    def test_mutex_exclusion_across_workers(self):
+        smp = SmpScheduler(workers=4, batch_limit=1)
+        mutex = Mutex()
+        state = {"value": 0}
+
+        @do
+        def worker():
+            for _ in range(10):
+                yield mutex.acquire()
+                snapshot = state["value"]
+                yield sys_yield()
+                yield sys_nbio(
+                    lambda s=snapshot: state.__setitem__("value", s + 1)
+                )
+                yield mutex.release()
+
+        for _ in range(8):
+            smp.spawn(worker())
+        smp.run()
+        assert state["value"] == 80
+
+    def test_channel_across_workers(self):
+        smp = SmpScheduler(workers=3)
+        chan = Channel()
+        got = []
+
+        @do
+        def producer():
+            for i in range(50):
+                yield chan.write(i)
+
+        @do
+        def consumer():
+            for _ in range(25):
+                value = yield chan.read()
+                got.append(value)
+
+        smp.spawn(producer(), worker=0)
+        smp.spawn(consumer(), worker=1)
+        smp.spawn(consumer(), worker=2)
+        smp.run()
+        assert sorted(got) == list(range(50))
+
+    def test_stm_across_workers(self):
+        smp = SmpScheduler(workers=4, batch_limit=1)
+        tv = TVar(0)
+
+        @do
+        def worker():
+            for _ in range(25):
+                yield modify_tvar(tv, lambda x: x + 1)
+                yield sys_yield()
+
+        for _ in range(4):
+            smp.spawn(worker())
+        smp.run()
+        assert tv.value == 100
+
+    def test_join_across_workers(self):
+        smp = SmpScheduler(workers=2)
+
+        @do
+        def child():
+            yield sys_yield()
+            return "done"
+
+        @do
+        def parent():
+            handle = yield spawn(child())
+            value = yield handle.join()
+            return value
+
+        tcb = smp.spawn(parent(), worker=0)
+        smp.run()
+        assert tcb.result == "done"
+
+
+class TestErrors:
+    def test_uncaught_raise_policy(self):
+        smp = SmpScheduler(workers=2, uncaught="raise")
+
+        @do
+        def bad():
+            yield pure(None)
+            raise ValueError("boom")
+
+        smp.spawn(bad())
+        with pytest.raises(UncaughtThreadError):
+            smp.run()
+
+    def test_uncaught_store_policy_aggregates(self):
+        smp = SmpScheduler(workers=3, uncaught="store")
+
+        @do
+        def bad(i):
+            yield sys_yield()
+            raise ValueError(str(i))
+
+        for i in range(6):
+            smp.spawn(bad(i))
+        smp.run()
+        assert len(smp.uncaught_errors) == 6
+
+
+@settings(max_examples=20)
+@given(
+    workers=st.integers(1, 6),
+    threads=st.integers(1, 40),
+    steps=st.integers(1, 10),
+    batch=st.integers(1, 16),
+)
+def test_smp_equals_sequential_semantics(workers, threads, steps, batch):
+    """Property: for independent threads, worker count never changes the
+    set of completed work — only its interleaving."""
+    smp = SmpScheduler(workers=workers, batch_limit=batch)
+    log = []
+
+    @do
+    def worker(ident):
+        for step in range(steps):
+            yield sys_yield()
+        yield sys_nbio(lambda: log.append(ident))
+
+    for ident in range(threads):
+        smp.spawn(worker(ident))
+    smp.run()
+    assert sorted(log) == list(range(threads))
+    assert smp.live_threads == 0

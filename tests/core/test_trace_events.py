@@ -1,0 +1,124 @@
+"""Coverage for the trace algebra, event masks, and small helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.events import (
+    EVENT_ERROR,
+    EVENT_HUP,
+    EVENT_READ,
+    EVENT_WRITE,
+    describe_events,
+)
+from repro.core.monad import pure
+from repro.core.scheduler import Scheduler, run_threads
+from repro.core.syscalls import sys_get_tid, sys_special
+from repro.core.trace import (
+    SysEpollWait,
+    SysFork,
+    SysMutex,
+    SysNBIO,
+    SysRet,
+    SysSpecial,
+    SysTcp,
+    format_trace_node,
+)
+
+
+class TestEventMasks:
+    def test_bits_are_distinct(self):
+        bits = [EVENT_READ, EVENT_WRITE, EVENT_ERROR, EVENT_HUP]
+        assert len({*bits}) == 4
+        for a in bits:
+            for b in bits:
+                if a is not b:
+                    assert a & b == 0
+
+    def test_describe_single(self):
+        assert describe_events(EVENT_READ) == "READ"
+        assert describe_events(EVENT_WRITE) == "WRITE"
+
+    def test_describe_combination(self):
+        assert describe_events(EVENT_READ | EVENT_HUP) == "READ|HUP"
+
+    def test_describe_none(self):
+        assert describe_events(0) == "NONE"
+
+
+class TestTraceFormatting:
+    def test_ret_shows_value(self):
+        assert "SYS_RET" in format_trace_node(SysRet(42))
+        assert "42" in format_trace_node(SysRet(42))
+
+    def test_epoll_shows_fd_and_events(self):
+        node = SysEpollWait("fd-7", EVENT_READ, lambda v: SysRet(v))
+        text = format_trace_node(node)
+        assert "SYS_EPOLL_WAIT" in text and "fd-7" in text
+
+    def test_tagged_nodes(self):
+        assert "SYS_NBIO" in format_trace_node(SysNBIO(lambda: SysRet(None)))
+        assert "SYS_FORK" in format_trace_node(
+            SysFork(lambda: SysRet(None), lambda: SysRet(None))
+        )
+        assert "op=take" in format_trace_node(
+            __import__("repro.core.trace", fromlist=["SysMVar"]).SysMVar(
+                None, "take", None, lambda v: SysRet(v)
+            )
+        )
+        assert "op=recv" in format_trace_node(
+            SysTcp("recv", (), lambda v: SysRet(v))
+        )
+        assert "kind=now" in format_trace_node(
+            SysSpecial("now", None, lambda v: SysRet(v))
+        )
+        assert "op=acquire" in format_trace_node(
+            SysMutex(None, "acquire", lambda v: SysRet(v))
+        )
+
+    def test_repr_uses_formatter(self):
+        assert repr(SysRet("x")) == format_trace_node(SysRet("x"))
+
+
+class TestSchedulerHelpers:
+    def test_run_threads_returns_tcbs_in_order(self):
+        tcbs = run_threads([pure(1), pure(2), pure(3)])
+        assert [tcb.result for tcb in tcbs] == [1, 2, 3]
+
+    def test_custom_special_registration(self):
+        sched = Scheduler()
+        sched.register_special("answer", lambda _s, _t, payload: payload * 2)
+        tcb = sched.spawn(sys_special("answer", 21))
+        sched.run()
+        assert tcb.result == 42
+
+    def test_get_tid_matches_tcb(self):
+        sched = Scheduler()
+        tcb = sched.spawn(sys_get_tid())
+        sched.run()
+        assert tcb.result == tcb.tid
+
+    def test_instance_special_overrides_default(self):
+        sched = Scheduler()
+        sched.register_special("spawn", lambda _s, _t, _p: "shadowed")
+        tcb = sched.spawn(sys_special("spawn", (pure(None), None)))
+        sched.run()
+        assert tcb.result == "shadowed"
+
+    def test_exit_watcher_sees_every_exit(self):
+        sched = Scheduler()
+        seen = []
+        sched.add_exit_watcher(lambda tcb: seen.append(tcb.tid))
+        tcbs = [sched.spawn(pure(i)) for i in range(5)]
+        sched.run()
+        assert sorted(seen) == sorted(tcb.tid for tcb in tcbs)
+
+    def test_on_syscall_hook_counts_nodes(self):
+        sched = Scheduler()
+        count = {"n": 0}
+        sched.on_syscall = lambda _tcb, _node: count.__setitem__(
+            "n", count["n"] + 1
+        )
+        sched.spawn(pure(None))
+        sched.run()
+        assert count["n"] >= 1

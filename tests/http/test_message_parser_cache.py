@@ -1,0 +1,238 @@
+"""HTTP building blocks: messages, incremental parser, file cache."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.http.cache import FileCache
+from repro.http.message import (
+    HttpError,
+    HttpRequest,
+    HttpResponse,
+    guess_content_type,
+)
+from repro.http.parser import HttpParseError, RequestParser
+
+
+def parse_one(raw: bytes) -> HttpRequest:
+    parser = RequestParser()
+    parser.feed(raw)
+    request = parser.next_request()
+    assert request is not None
+    return request
+
+
+class TestRequestParsing:
+    def test_simple_get(self):
+        request = parse_one(b"GET /index.html HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert request.method == "GET"
+        assert request.target == "/index.html"
+        assert request.version == "HTTP/1.1"
+        assert request.header("host") == "x"
+
+    def test_headers_case_insensitive(self):
+        request = parse_one(
+            b"GET / HTTP/1.1\r\nCoNtEnT-TyPe: text/html\r\n\r\n"
+        )
+        assert request.header("Content-Type") == "text/html"
+
+    def test_body_by_content_length(self):
+        request = parse_one(
+            b"POST /submit HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello"
+        )
+        assert request.body == b"hello"
+
+    def test_pipelined_requests(self):
+        parser = RequestParser()
+        parser.feed(
+            b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n"
+        )
+        assert parser.next_request().target == "/a"
+        assert parser.next_request().target == "/b"
+        assert parser.next_request() is None
+
+    def test_incomplete_header_waits(self):
+        parser = RequestParser()
+        parser.feed(b"GET / HTTP/1.1\r\nHost:")
+        assert parser.next_request() is None
+        parser.feed(b" example\r\n\r\n")
+        assert parser.next_request() is not None
+
+    def test_incomplete_body_waits(self):
+        parser = RequestParser()
+        parser.feed(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nhal")
+        assert parser.next_request() is None
+        parser.feed(b"f-and-half")  # only 10 bytes total count
+        request = parser.next_request()
+        assert request.body == b"half-and-h"
+
+    def test_bad_request_line(self):
+        parser = RequestParser()
+        with pytest.raises(HttpParseError) as info:
+            parser.feed(b"NONSENSE\r\n\r\n")
+        assert info.value.status == 400
+
+    def test_unknown_method(self):
+        parser = RequestParser()
+        with pytest.raises(HttpParseError) as info:
+            parser.feed(b"BREW /pot HTTP/1.1\r\n\r\n")
+        assert info.value.status == 501
+
+    def test_bad_version(self):
+        parser = RequestParser()
+        with pytest.raises(HttpParseError) as info:
+            parser.feed(b"GET / SPDY/99\r\n\r\n")
+        assert info.value.status == 400
+
+    def test_bad_content_length(self):
+        parser = RequestParser()
+        with pytest.raises(HttpParseError) as info:
+            parser.feed(b"POST / HTTP/1.1\r\nContent-Length: pony\r\n\r\n")
+        assert info.value.status == 400
+
+    def test_oversized_header_block(self):
+        parser = RequestParser()
+        with pytest.raises(HttpParseError) as info:
+            parser.feed(b"GET / HTTP/1.1\r\nX: " + b"a" * 20000)
+        assert info.value.status == 431
+
+    def test_bad_header_line(self):
+        parser = RequestParser()
+        with pytest.raises(HttpParseError):
+            parser.feed(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n")
+
+    @given(st.lists(st.integers(1, 40), max_size=30))
+    def test_chunking_invariance(self, cut_sizes):
+        """Feeding the same bytes in any chunking parses identically."""
+        raw = (
+            b"POST /path?q=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 11\r\n"
+            b"\r\nhello world"
+            b"GET /second HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"
+        )
+        parser = RequestParser()
+        position = 0
+        for size in cut_sizes:
+            parser.feed(raw[position:position + size])
+            position += size
+        parser.feed(raw[position:])
+        first = parser.next_request()
+        second = parser.next_request()
+        assert first.target == "/path?q=1"
+        assert first.body == b"hello world"
+        assert second.target == "/second"
+        assert second.keep_alive
+
+
+class TestMessage:
+    def test_keep_alive_defaults(self):
+        http11 = parse_one(b"GET / HTTP/1.1\r\n\r\n")
+        http10 = parse_one(b"GET / HTTP/1.0\r\n\r\n")
+        assert http11.keep_alive
+        assert not http10.keep_alive
+
+    def test_keep_alive_overrides(self):
+        close11 = parse_one(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        keep10 = parse_one(
+            b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"
+        )
+        assert not close11.keep_alive
+        assert keep10.keep_alive
+
+    def test_path_strips_query(self):
+        request = parse_one(b"GET /file.html?v=2 HTTP/1.1\r\n\r\n")
+        assert request.path == "/file.html"
+
+    def test_response_encode(self):
+        response = HttpResponse(200, b"body", {"Content-Type": "text/plain"})
+        raw = response.encode()
+        assert raw.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Length: 4\r\n" in raw
+        assert raw.endswith(b"\r\n\r\nbody")
+
+    def test_error_response(self):
+        response = HttpResponse.for_error(HttpError(404, "/ghost"))
+        assert response.status == 404
+        assert b"404" in response.body
+
+    def test_content_types(self):
+        assert guess_content_type("/a/index.html") == "text/html"
+        assert guess_content_type("/data.bin") == "application/octet-stream"
+        assert guess_content_type("/noext") == "application/octet-stream"
+
+
+class TestFileCache:
+    def test_miss_then_hit(self):
+        cache = FileCache(1000)
+        assert cache.get("a") is None
+        cache.put("a", b"x" * 100)
+        assert cache.get("a") == b"x" * 100
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_eviction_by_bytes(self):
+        cache = FileCache(250)
+        cache.put("a", b"x" * 100)
+        cache.put("b", b"y" * 100)
+        cache.put("c", b"z" * 100)  # evicts "a"
+        assert cache.get("a") is None
+        assert cache.get("b") is not None
+        assert cache.evictions == 1
+
+    def test_lru_order(self):
+        cache = FileCache(250)
+        cache.put("a", b"x" * 100)
+        cache.put("b", b"y" * 100)
+        cache.get("a")  # promote a
+        cache.put("c", b"z" * 100)  # evicts b, not a
+        assert cache.get("a") is not None
+        assert cache.get("b") is None
+
+    def test_oversized_entry_refused(self):
+        cache = FileCache(50)
+        assert not cache.put("big", b"x" * 100)
+        assert cache.used_bytes == 0
+
+    def test_replace_updates_bytes(self):
+        cache = FileCache(1000)
+        cache.put("a", b"x" * 100)
+        cache.put("a", b"y" * 50)
+        assert cache.used_bytes == 50
+        assert cache.get("a") == b"y" * 50
+
+    def test_invalidate_and_clear(self):
+        cache = FileCache(1000)
+        cache.put("a", b"123")
+        cache.invalidate("a")
+        assert cache.used_bytes == 0
+        cache.put("b", b"45")
+        cache.clear()
+        assert cache.entry_count == 0
+
+    def test_hit_rate(self):
+        cache = FileCache(1000)
+        assert cache.hit_rate == 0.0
+        cache.put("a", b"1")
+        cache.get("a")
+        cache.get("nope")
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    @given(
+        ops=st.lists(
+            st.tuples(st.text("ab", min_size=1, max_size=3),
+                      st.integers(1, 80)),
+            max_size=40,
+        )
+    )
+    def test_capacity_invariant(self, ops):
+        """Property: used bytes never exceed capacity, and every hit
+        returns exactly what was stored."""
+        cache = FileCache(200)
+        shadow = {}
+        for path, size in ops:
+            content = path.encode() * size
+            if cache.put(path, content):
+                shadow[path] = content
+            assert cache.used_bytes <= 200
+            got = cache.get(path)
+            if got is not None:
+                assert got == shadow[path]

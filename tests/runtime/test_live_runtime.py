@@ -1,0 +1,179 @@
+"""The live runtime: real sockets, real timers, the real blocking pool.
+
+These tests exercise the paper's architecture against the actual OS —
+the monadic server code is byte-identical to what runs on the simulator.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+import pytest
+
+from repro.core.do_notation import do
+from repro.core.syscalls import sys_blio, sys_fork, sys_now, sys_sleep
+from repro.runtime.live_runtime import LiveRuntime
+
+
+@pytest.fixture
+def rt():
+    runtime = LiveRuntime()
+    yield runtime
+    runtime.shutdown()
+
+
+class TestTimers:
+    def test_sleep_takes_real_time(self, rt):
+        @do
+        def sleeper():
+            start = yield sys_now()
+            yield sys_sleep(0.05)
+            end = yield sys_now()
+            return end - start
+
+        tcb = rt.spawn(sleeper())
+        rt.run()
+        assert tcb.result >= 0.045
+
+    def test_sleepers_wake_in_order(self, rt):
+        log = []
+
+        @do
+        def sleeper(delay, tag):
+            yield sys_sleep(delay)
+            log.append(tag)
+
+        rt.spawn(sleeper(0.06, "late"))
+        rt.spawn(sleeper(0.02, "early"))
+        rt.run()
+        assert log == ["early", "late"]
+
+
+class TestBlockingPool:
+    def test_blio_runs_off_loop(self, rt):
+        @do
+        def worker():
+            value = yield sys_blio(lambda: sum(range(1000)))
+            return value
+
+        tcb = rt.spawn(worker())
+        rt.run()
+        assert tcb.result == 499500
+
+    def test_blio_sleep_does_not_stall_loop(self, rt):
+        """A blocking sleep in the pool must not delay monadic timers."""
+        log = []
+
+        @do
+        def blocker():
+            yield sys_blio(lambda: time.sleep(0.2))
+            log.append("blocker")
+
+        @do
+        def quick():
+            yield sys_sleep(0.03)
+            log.append("quick")
+
+        rt.spawn(blocker())
+        rt.spawn(quick())
+        rt.run()
+        assert log == ["quick", "blocker"]
+
+
+class TestRealSockets:
+    def test_echo_server_over_localhost(self, rt):
+        listener = rt.make_listener()
+        port = listener.getsockname()[1]
+        replies = []
+
+        @do
+        def handle_client(conn):
+            data = yield rt.io.read(conn, 4096)
+            while data:
+                yield rt.io.write_all(conn, data)
+                data = yield rt.io.read(conn, 4096)
+            yield rt.io.close(conn)
+
+        @do
+        def server(n_clients):
+            for _ in range(n_clients):
+                conn = yield rt.io.accept(listener)
+                yield sys_fork(handle_client(conn))
+
+        @do
+        def client(i):
+            conn = yield rt.io.connect(("127.0.0.1", port))
+            message = f"hello-{i}".encode()
+            yield rt.io.write_all(conn, message)
+            reply = yield rt.io.read_exact(conn, len(message))
+            replies.append(reply)
+            yield rt.io.close(conn)
+
+        n = 5
+        rt.spawn(server(n))
+        for i in range(n):
+            rt.spawn(client(i))
+        rt.run(until=lambda: len(replies) == n, idle_timeout=5.0)
+        listener.close()
+        assert sorted(replies) == sorted(f"hello-{i}".encode() for i in range(n))
+
+    def test_bulk_transfer(self, rt):
+        listener = rt.make_listener()
+        port = listener.getsockname()[1]
+        payload = b"x" * (256 * 1024)
+        received = []
+
+        @do
+        def server():
+            conn = yield rt.io.accept(listener)
+            data = yield rt.io.read_exact(conn, len(payload))
+            received.append(data)
+            yield rt.io.close(conn)
+
+        @do
+        def client():
+            conn = yield rt.io.connect(("127.0.0.1", port))
+            yield rt.io.write_all(conn, payload)
+            yield rt.io.close(conn)
+
+        rt.spawn(server())
+        rt.spawn(client())
+        rt.run(until=lambda: bool(received), idle_timeout=5.0)
+        listener.close()
+        assert received == [payload]
+
+    def test_many_concurrent_clients(self, rt):
+        listener = rt.make_listener()
+        port = listener.getsockname()[1]
+        done = []
+
+        @do
+        def handle_client(conn):
+            data = yield rt.io.read(conn, 1024)
+            yield rt.io.write_all(conn, data[::-1])
+            yield rt.io.close(conn)
+
+        @do
+        def acceptor():
+            while True:
+                conn = yield rt.io.accept(listener)
+                yield sys_fork(handle_client(conn))
+
+        @do
+        def client(i):
+            conn = yield rt.io.connect(("127.0.0.1", port))
+            msg = f"message-{i:03d}".encode()
+            yield rt.io.write_all(conn, msg)
+            reply = yield rt.io.read_exact(conn, len(msg))
+            assert reply == msg[::-1]
+            done.append(i)
+            yield rt.io.close(conn)
+
+        rt.spawn(acceptor())
+        count = 30
+        for i in range(count):
+            rt.spawn(client(i))
+        rt.run(until=lambda: len(done) == count, idle_timeout=10.0)
+        listener.close()
+        assert sorted(done) == list(range(count))

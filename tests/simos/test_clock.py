@@ -1,0 +1,121 @@
+"""Virtual clock: ordering, cancellation, CPU consumption."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simos.clock import VirtualClock
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        clock = VirtualClock()
+        log = []
+        clock.schedule(2.0, lambda: log.append("b"))
+        clock.schedule(1.0, lambda: log.append("a"))
+        clock.schedule(3.0, lambda: log.append("c"))
+        clock.run_until_idle()
+        assert log == ["a", "b", "c"]
+        assert clock.now == 3.0
+
+    def test_ties_break_by_insertion_order(self):
+        clock = VirtualClock()
+        log = []
+        for tag in "abc":
+            clock.schedule(1.0, lambda t=tag: log.append(t))
+        clock.run_until_idle()
+        assert log == ["a", "b", "c"]
+
+    def test_negative_delay_rejected(self):
+        clock = VirtualClock()
+        with pytest.raises(ValueError):
+            clock.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute(self):
+        clock = VirtualClock()
+        seen = []
+        clock.schedule_at(5.0, lambda: seen.append(clock.now))
+        clock.run_until_idle()
+        assert seen == [5.0]
+
+    def test_cancellation(self):
+        clock = VirtualClock()
+        log = []
+        handle = clock.schedule(1.0, lambda: log.append("cancelled"))
+        clock.schedule(2.0, lambda: log.append("kept"))
+        handle.cancel()
+        clock.run_until_idle()
+        assert log == ["kept"]
+
+    def test_cancel_idempotent(self):
+        clock = VirtualClock()
+        handle = clock.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert clock.run_until_idle() == 0
+
+    def test_events_scheduled_during_events(self):
+        clock = VirtualClock()
+        log = []
+
+        def first():
+            log.append(("first", clock.now))
+            clock.schedule(0.5, lambda: log.append(("second", clock.now)))
+
+        clock.schedule(1.0, first)
+        clock.run_until_idle()
+        assert log == [("first", 1.0), ("second", 1.5)]
+
+
+class TestConsume:
+    def test_consume_advances_time(self):
+        clock = VirtualClock()
+        clock.consume(0.25)
+        assert clock.now == 0.25
+        assert clock.cpu_consumed == 0.25
+
+    def test_consume_negative_rejected(self):
+        clock = VirtualClock()
+        with pytest.raises(ValueError):
+            clock.consume(-0.1)
+
+    def test_overdue_events_fire_at_current_time(self):
+        """CPU running past a deadline delays the event (busy core)."""
+        clock = VirtualClock()
+        seen = []
+        clock.schedule(1.0, lambda: seen.append(clock.now))
+        clock.consume(5.0)
+        clock.advance()
+        assert seen == [5.0]  # fired late, at the post-consume time
+
+    def test_run_due_only_fires_due_events(self):
+        clock = VirtualClock()
+        log = []
+        clock.schedule(1.0, lambda: log.append("due"))
+        clock.schedule(10.0, lambda: log.append("future"))
+        clock.consume(2.0)
+        assert clock.run_due() == 1
+        assert log == ["due"]
+
+
+class TestIntrospection:
+    def test_next_event_time(self):
+        clock = VirtualClock()
+        assert clock.next_event_time() is None
+        clock.schedule(3.0, lambda: None)
+        assert clock.next_event_time() == 3.0
+
+    def test_next_event_skips_cancelled(self):
+        clock = VirtualClock()
+        first = clock.schedule(1.0, lambda: None)
+        clock.schedule(2.0, lambda: None)
+        first.cancel()
+        assert clock.next_event_time() == 2.0
+
+    def test_has_events(self):
+        clock = VirtualClock()
+        assert not clock.has_events()
+        handle = clock.schedule(1.0, lambda: None)
+        assert clock.has_events()
+        handle.cancel()
+        assert not clock.has_events()

@@ -1,0 +1,182 @@
+"""Disk model: service times, C-LOOK correctness, elevator throughput gains."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.simos.clock import VirtualClock
+from repro.simos.disk import DiskModel
+from repro.simos.params import SimParams
+
+
+def make_disk(policy="clook", **overrides):
+    params = SimParams().with_overrides(**overrides)
+    clock = VirtualClock()
+    return clock, DiskModel(clock, params, policy=policy), params
+
+
+class TestServiceModel:
+    def test_seek_time_monotone_in_distance(self):
+        params = SimParams()
+        times = [params.seek_time(d) for d in (0, 10**6, 10**8, 10**10)]
+        assert times == sorted(times)
+        assert times[0] == 0.0
+
+    def test_seek_bounded_by_max(self):
+        params = SimParams()
+        assert params.seek_time(params.disk_span_bytes) <= params.disk_seek_max
+
+    def test_service_time_includes_all_terms(self):
+        params = SimParams()
+        service = params.disk_service_time(0, 4096)
+        expected_floor = (
+            params.disk_rotation
+            + 4096 / params.disk_transfer_rate
+            + params.disk_overhead
+        )
+        assert service == pytest.approx(expected_floor)
+
+
+class TestCompletion:
+    def test_single_request_completes(self):
+        clock, disk, params = make_disk()
+        done = []
+        disk.submit(1000, 4096, lambda: done.append(clock.now))
+        clock.run_until_idle()
+        assert len(done) == 1
+        assert done[0] > 0
+        assert disk.stats.completed == 1
+        assert disk.stats.bytes_moved == 4096
+
+    def test_head_moves_to_end_of_transfer(self):
+        clock, disk, _params = make_disk()
+        disk.submit(5000, 1000, lambda: None)
+        clock.run_until_idle()
+        assert disk.head == 6000
+
+    def test_all_requests_complete_exactly_once(self):
+        clock, disk, _params = make_disk()
+        done = []
+        for i in range(50):
+            disk.submit(i * 10_000, 512, lambda i=i: done.append(i))
+        clock.run_until_idle()
+        assert sorted(done) == list(range(50))
+
+    def test_invalid_requests_rejected(self):
+        _clock, disk, _params = make_disk()
+        with pytest.raises(ValueError):
+            disk.submit(-1, 10, lambda: None)
+        with pytest.raises(ValueError):
+            disk.submit(0, 0, lambda: None)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            make_disk(policy="sstf")
+
+    def test_completion_callback_can_resubmit(self):
+        clock, disk, _params = make_disk()
+        completions = []
+
+        def chain(remaining):
+            completions.append(remaining)
+            if remaining > 0:
+                disk.submit(remaining * 1000, 256, lambda: chain(remaining - 1))
+
+        disk.submit(10_000, 256, lambda: chain(3))
+        clock.run_until_idle()
+        assert completions == [3, 2, 1, 0]
+
+
+class TestClook:
+    def test_serves_in_sweep_order(self):
+        clock, disk, _params = make_disk()
+        order = []
+        # Stall the disk with one request, then queue out-of-order offsets.
+        disk.submit(0, 64, lambda: order.append("seed"))
+        for offset in (9_000_000, 3_000_000, 6_000_000):
+            disk.submit(offset, 64, lambda o=offset: order.append(o))
+        clock.run_until_idle()
+        assert order == ["seed", 3_000_000, 6_000_000, 9_000_000]
+
+    def test_wraps_to_lowest_offset(self):
+        clock, disk, _params = make_disk()
+        order = []
+        disk.submit(5_000_000, 64, lambda: order.append(5_000_000))
+        # After serving 5M the head is past 1M and 2M: sweep must wrap.
+        disk.submit(1_000_000, 64, lambda: order.append(1_000_000))
+        disk.submit(2_000_000, 64, lambda: order.append(2_000_000))
+        disk.submit(8_000_000, 64, lambda: order.append(8_000_000))
+        clock.run_until_idle()
+        assert order == [5_000_000, 8_000_000, 1_000_000, 2_000_000]
+
+    def test_fcfs_serves_in_arrival_order(self):
+        clock, disk, _params = make_disk(policy="fcfs")
+        order = []
+        disk.submit(0, 64, lambda: order.append("seed"))
+        for offset in (9_000_000, 3_000_000, 6_000_000):
+            disk.submit(offset, 64, lambda o=offset: order.append(o))
+        clock.run_until_idle()
+        assert order == ["seed", 9_000_000, 3_000_000, 6_000_000]
+
+
+class TestElevatorEffect:
+    """The mechanism behind Figure 17: deeper queues => higher throughput."""
+
+    @staticmethod
+    def run_random_reads(policy: str, depth: int, total_requests: int = 400):
+        clock, disk, params = make_disk(policy=policy)
+        rng = random.Random(42)
+        span = 1 * 1024 * 1024 * 1024  # random reads within a 1GB file
+        base = params.disk_span_bytes // 16
+        state = {"submitted": 0, "completed": 0}
+
+        def submit_one():
+            if state["submitted"] >= total_requests:
+                return
+            state["submitted"] += 1
+            offset = base + rng.randrange(0, span - 4096)
+
+            def complete():
+                state["completed"] += 1
+                submit_one()
+
+            disk.submit(offset, 4096, complete)
+
+        for _ in range(depth):
+            submit_one()
+        clock.run_until_idle()
+        assert state["completed"] == total_requests
+        return disk.stats.bytes_moved / clock.now  # bytes/sec
+
+    def test_clook_throughput_rises_with_depth(self):
+        t1 = self.run_random_reads("clook", 1)
+        t16 = self.run_random_reads("clook", 16)
+        t128 = self.run_random_reads("clook", 128)
+        assert t16 > t1 * 1.05
+        assert t128 > t16
+
+    def test_fcfs_gains_nothing_from_depth(self):
+        t1 = self.run_random_reads("fcfs", 1)
+        t128 = self.run_random_reads("fcfs", 128)
+        assert t128 == pytest.approx(t1, rel=0.10)
+
+    def test_clook_beats_fcfs_at_depth(self):
+        clook = self.run_random_reads("clook", 256, total_requests=1200)
+        fcfs = self.run_random_reads("fcfs", 256, total_requests=1200)
+        assert clook > fcfs * 1.15
+
+    def test_paper_operating_point_qd1(self):
+        """Queue depth 1 should land near the paper's ~0.53 MB/s."""
+        throughput = self.run_random_reads("clook", 1)
+        mbps = throughput / (1024 * 1024)
+        assert 0.35 <= mbps <= 0.75
+
+    def test_mean_latency_accounted(self):
+        clock, disk, _params = make_disk()
+        for i in range(10):
+            disk.submit(i * 1_000_000, 4096, lambda: None)
+        clock.run_until_idle()
+        assert disk.stats.mean_latency > 0
+        assert disk.stats.max_queue_depth >= 9

@@ -1,0 +1,245 @@
+"""The NPTL kernel-thread baseline: blocking syscalls, costs, memory cap."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simos.errors import OutOfMemoryError, WOULD_BLOCK
+from repro.simos.kernel import SimKernel
+from repro.simos.nptl import (
+    KAccept,
+    KPread,
+    KRead,
+    KSleep,
+    KWrite,
+    KYield,
+    NptlSim,
+)
+from repro.simos.params import SimParams
+
+
+class TestBasics:
+    def test_thread_runs_to_completion(self):
+        kernel = SimKernel()
+        sim = NptlSim(kernel)
+        log = []
+
+        def worker():
+            log.append("start")
+            yield KYield()
+            log.append("end")
+            return "result"
+
+        thread = sim.spawn(worker())
+        sim.run()
+        assert log == ["start", "end"]
+        assert thread.state == "done"
+        assert thread.result == "result"
+
+    def test_sleep_advances_clock(self):
+        kernel = SimKernel()
+        sim = NptlSim(kernel)
+
+        def sleeper():
+            yield KSleep(1.5)
+
+        sim.spawn(sleeper())
+        sim.run()
+        assert kernel.clock.now >= 1.5
+
+    def test_yield_interleaves_threads(self):
+        kernel = SimKernel()
+        sim = NptlSim(kernel)
+        log = []
+
+        def worker(tag):
+            for _ in range(3):
+                log.append(tag)
+                yield KYield()
+
+        sim.spawn(worker("a"))
+        sim.spawn(worker("b"))
+        sim.run()
+        assert log == ["a", "b", "a", "b", "a", "b"]
+
+    def test_syscalls_charge_cpu(self):
+        kernel = SimKernel()
+        sim = NptlSim(kernel)
+
+        def worker():
+            for _ in range(10):
+                yield KYield()
+
+        sim.spawn(worker())
+        sim.run()
+        assert kernel.clock.cpu_consumed > 0
+        assert sim.syscalls >= 10
+        assert sim.context_switches >= 10
+
+
+class TestBlockingIO:
+    def test_blocking_read_waits_for_writer(self):
+        kernel = SimKernel()
+        sim = NptlSim(kernel)
+        r, w = kernel.make_pipe()
+        log = []
+
+        def reader():
+            data = yield KRead(r, 100)
+            log.append(("read", data))
+
+        def writer():
+            yield KSleep(0.01)
+            count = yield KWrite(w, b"hello")
+            log.append(("wrote", count))
+
+        sim.spawn(reader())
+        sim.spawn(writer())
+        sim.run()
+        assert ("read", b"hello") in log
+        assert ("wrote", 5) in log
+
+    def test_blocking_write_waits_for_drain(self):
+        kernel = SimKernel()
+        sim = NptlSim(kernel)
+        r, w = kernel.make_pipe()  # 4KB buffer
+        progress = []
+
+        def writer():
+            first = yield KWrite(w, b"a" * 4096)
+            progress.append(first)
+            second = yield KWrite(w, b"b" * 100)  # blocks until drained
+            progress.append(second)
+
+        def reader():
+            yield KSleep(0.05)
+            data = yield KRead(r, 4096)
+            progress.append(len(data))
+
+        sim.spawn(writer())
+        sim.spawn(reader())
+        sim.run()
+        assert progress == [4096, 4096, 100]
+
+    def test_pread_through_disk(self):
+        kernel = SimKernel()
+        kernel.fs.create_file("data", 64 * 1024)
+        handle = kernel.fs.open("data")
+        sim = NptlSim(kernel)
+        got = []
+
+        def worker():
+            data = yield KPread(handle, 4096, 4096)
+            got.append(data)
+
+        sim.spawn(worker())
+        sim.run()
+        assert got == [handle.content_at(4096, 4096)]
+        assert kernel.disk.stats.completed == 1
+
+    def test_accept_blocks_until_connect(self):
+        kernel = SimKernel()
+        sim = NptlSim(kernel)
+        listener = kernel.net.listen()
+        got = []
+
+        def server():
+            conn = yield KAccept(listener)
+            data = yield KRead(conn, 100)
+            got.append(data)
+
+        def client():
+            yield KSleep(0.001)
+            conn = kernel.net.connect(listener)
+            yield KWrite(conn, b"hi server")
+
+        sim.spawn(server())
+        sim.spawn(client())
+        sim.run()
+        assert got == [b"hi server"]
+
+
+class TestMemoryCap:
+    def test_stack_accounting(self):
+        params = SimParams().with_overrides(ram_bytes=10 * 32 * 1024)
+        kernel = SimKernel(params)
+        sim = NptlSim(kernel)
+
+        def idle():
+            yield KSleep(1.0)
+
+        for _ in range(10):
+            sim.spawn(idle())
+        with pytest.raises(OutOfMemoryError):
+            sim.spawn(idle())
+
+    def test_paper_cap_is_16k_threads(self):
+        """512MB RAM / 32KB stacks == 16K threads — §5's NPTL limit."""
+        params = SimParams()
+        assert params.ram_bytes // params.kernel_stack_bytes == 16384
+
+    def test_can_spawn_reports_capacity(self):
+        params = SimParams().with_overrides(ram_bytes=3 * 32 * 1024)
+        kernel = SimKernel(params)
+        sim = NptlSim(kernel)
+
+        def idle():
+            yield KSleep(1.0)
+
+        assert sim.can_spawn(3)
+        assert not sim.can_spawn(4)
+        sim.spawn(idle())
+        assert sim.can_spawn(2)
+        assert not sim.can_spawn(3)
+
+    def test_stack_freed_on_exit(self):
+        params = SimParams().with_overrides(ram_bytes=2 * 32 * 1024)
+        kernel = SimKernel(params)
+        sim = NptlSim(kernel)
+
+        def quick():
+            return "done"
+            yield  # pragma: no cover
+
+        for _ in range(5):  # sequential spawns reuse freed stacks
+            sim.spawn(quick())
+            sim.run()
+        assert sim.finished == 5
+
+
+class TestPipePingPong:
+    def test_conversation_transfers_all_bytes(self):
+        """A miniature of the Figure 18 workload: one working pair."""
+        kernel = SimKernel()
+        sim = NptlSim(kernel)
+        r1, w1 = kernel.make_pipe()
+        r2, w2 = kernel.make_pipe()
+        message = 32 * 1024
+        rounds = 4
+
+        def left():
+            for _ in range(rounds):
+                sent = 0
+                while sent < message:
+                    sent += yield KWrite(w1, b"x" * min(4096, message - sent))
+                got = 0
+                while got < message:
+                    data = yield KRead(r2, 4096)
+                    got += len(data)
+
+        def right():
+            for _ in range(rounds):
+                got = 0
+                while got < message:
+                    data = yield KRead(r1, 4096)
+                    got += len(data)
+                sent = 0
+                while sent < message:
+                    sent += yield KWrite(w2, b"y" * min(4096, message - sent))
+
+        sim.spawn(left())
+        sim.spawn(right())
+        sim.run()
+        total = r1.pipe.bytes_written + r2.pipe.bytes_written
+        assert total == 2 * rounds * message
+        assert kernel.clock.now > 0

@@ -1,0 +1,195 @@
+"""FIFO pipes: EAGAIN, partial writes, EOF, readiness notifications."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.events import EVENT_HUP, EVENT_READ, EVENT_WRITE
+from repro.simos.errors import WOULD_BLOCK, BadFileError, BrokenPipeSimError
+from repro.simos.pipe import make_pipe
+
+
+class TestReadWrite:
+    def test_roundtrip(self):
+        r, w = make_pipe(16)
+        assert w.write(b"hello") == 5
+        assert r.read(5) == b"hello"
+
+    def test_read_empty_would_block(self):
+        r, _w = make_pipe(16)
+        assert r.read(4) is WOULD_BLOCK
+
+    def test_partial_write_at_capacity(self):
+        r, w = make_pipe(4)
+        assert w.write(b"abcdef") == 4
+        assert w.write(b"x") is WOULD_BLOCK
+        assert r.read(10) == b"abcd"
+        assert w.write(b"ef") == 2
+
+    def test_partial_read(self):
+        r, w = make_pipe(16)
+        w.write(b"abcdef")
+        assert r.read(2) == b"ab"
+        assert r.read(100) == b"cdef"
+
+    def test_fifo_order(self):
+        r, w = make_pipe(1024)
+        w.write(b"one")
+        w.write(b"two")
+        assert r.read(6) == b"onetwo"
+
+    def test_bytes_written_counter(self):
+        r, w = make_pipe(8)
+        w.write(b"abcd")
+        r.read(4)
+        w.write(b"efgh")
+        assert w.pipe.bytes_written == 8
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            make_pipe(0)
+
+
+class TestCloseSemantics:
+    def test_eof_after_writer_close(self):
+        r, w = make_pipe(16)
+        w.write(b"tail")
+        w.close()
+        assert r.read(10) == b"tail"
+        assert r.read(10) == b""  # EOF
+
+    def test_read_before_writer_close_blocks(self):
+        r, w = make_pipe(16)
+        assert r.read(1) is WOULD_BLOCK
+        w.close()
+        assert r.read(1) == b""
+
+    def test_write_to_closed_reader_raises(self):
+        r, w = make_pipe(16)
+        r.close()
+        with pytest.raises(BrokenPipeSimError):
+            w.write(b"x")
+
+    def test_ops_on_closed_end_raise(self):
+        r, w = make_pipe(16)
+        r.close()
+        with pytest.raises(BadFileError):
+            r.read(1)
+        w.close()
+        with pytest.raises(BadFileError):
+            w.write(b"x")
+
+    def test_close_idempotent(self):
+        r, w = make_pipe(16)
+        r.close()
+        r.close()
+        w.close()
+        w.close()
+
+
+class TestReadiness:
+    def test_poll_states(self):
+        r, w = make_pipe(4)
+        assert r.poll() == 0
+        assert w.poll() & EVENT_WRITE
+        w.write(b"ab")
+        assert r.poll() & EVENT_READ
+        w.write(b"cd")
+        assert w.poll() == 0  # full
+        r.read(4)
+        assert w.poll() & EVENT_WRITE
+
+    def test_hup_on_writer_close(self):
+        r, w = make_pipe(4)
+        w.close()
+        assert r.poll() & EVENT_HUP
+        assert r.poll() & EVENT_READ  # readable: EOF is observable
+
+    def test_read_waiter_fires_on_write(self):
+        r, w = make_pipe(4)
+        fired = []
+        r.add_waiter(EVENT_READ, lambda mask: fired.append(mask))
+        assert fired == []
+        w.write(b"x")
+        assert fired == [EVENT_READ]
+
+    def test_waiter_fires_immediately_if_ready(self):
+        r, w = make_pipe(4)
+        w.write(b"x")
+        fired = []
+        r.add_waiter(EVENT_READ, lambda mask: fired.append(mask))
+        assert fired == [EVENT_READ]
+
+    def test_write_waiter_fires_on_drain(self):
+        r, w = make_pipe(2)
+        w.write(b"ab")  # full
+        fired = []
+        w.add_waiter(EVENT_WRITE, lambda mask: fired.append(mask))
+        assert fired == []
+        r.read(1)
+        assert fired == [EVENT_WRITE]
+
+    def test_waiters_are_one_shot(self):
+        r, w = make_pipe(8)
+        fired = []
+        r.add_waiter(EVENT_READ, lambda mask: fired.append(mask))
+        w.write(b"a")
+        w.write(b"b")
+        assert len(fired) == 1
+
+    def test_waiter_cancel(self):
+        r, w = make_pipe(8)
+        fired = []
+        waiter = r.add_waiter(EVENT_READ, lambda mask: fired.append(mask))
+        waiter.cancel()
+        w.write(b"a")
+        assert fired == []
+
+    def test_reader_close_wakes_writer(self):
+        r, w = make_pipe(2)
+        w.write(b"ab")  # full
+        fired = []
+        w.add_waiter(EVENT_WRITE, lambda mask: fired.append(mask))
+        r.close()
+        assert fired  # woken so the writer can observe the broken pipe
+
+
+@given(
+    chunks=st.lists(st.binary(min_size=1, max_size=50), max_size=30),
+    capacity=st.integers(1, 64),
+    read_size=st.integers(1, 64),
+)
+def test_pipe_preserves_byte_stream(chunks, capacity, read_size):
+    """Property: alternating bounded writes/reads reproduce the exact
+    byte stream for any chunking, capacity, and read granularity."""
+    r, w = make_pipe(capacity)
+    sent = bytearray()
+    received = bytearray()
+    pending = list(chunks)
+    offset = 0
+    stalled = 0
+    while pending or offset or (len(sent) != len(received)):
+        progress = False
+        if pending:
+            chunk = pending[0][offset:]
+            wrote = w.write(chunk)
+            if wrote is not WOULD_BLOCK and wrote > 0:
+                sent.extend(chunk[:wrote])
+                offset += wrote
+                if offset == len(pending[0]):
+                    pending.pop(0)
+                    offset = 0
+                progress = True
+        data = r.read(read_size)
+        if data is not WOULD_BLOCK and data:
+            received.extend(data)
+            progress = True
+        if not progress:
+            stalled += 1
+            if stalled > 2:
+                break
+        else:
+            stalled = 0
+    assert bytes(received) == bytes(sent)
+    assert bytes(sent) == b"".join(chunks)[: len(sent)]

@@ -1,0 +1,334 @@
+"""TCP building blocks: segments, iovecs, RTT, Reno, windows."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tcp.congestion import RenoCongestion
+from repro.tcp.iovec import IoVec
+from repro.tcp.packet import (
+    FLAG_ACK,
+    FLAG_FIN,
+    FLAG_SYN,
+    ChecksumError,
+    Segment,
+    checksum,
+    seq_add,
+    seq_le,
+    seq_lt,
+    seq_sub,
+)
+from repro.tcp.rtt import RttEstimator
+from repro.tcp.window import RecvWindow, SendWindow
+
+
+class TestSegmentWire:
+    def test_encode_decode_roundtrip(self):
+        seg = Segment(1234, 80, 1000, 2000, FLAG_SYN | FLAG_ACK, 512, b"abc")
+        out = Segment.decode(seg.encode())
+        assert (out.src_port, out.dst_port) == (1234, 80)
+        assert (out.seq, out.ack) == (1000, 2000)
+        assert out.flags == FLAG_SYN | FLAG_ACK
+        assert out.window == 512
+        assert out.payload == b"abc"
+
+    def test_corruption_detected(self):
+        seg = Segment(1, 2, 3, 4, FLAG_ACK, 5, b"payload")
+        wire = bytearray(seg.encode())
+        wire[25] ^= 0xFF  # flip payload bits
+        with pytest.raises(ChecksumError):
+            Segment.decode(bytes(wire))
+
+    def test_header_corruption_detected(self):
+        seg = Segment(1, 2, 3, 4, FLAG_ACK, 5, b"payload")
+        wire = bytearray(seg.encode())
+        wire[4] ^= 0x01  # flip a seq bit
+        with pytest.raises(ChecksumError):
+            Segment.decode(bytes(wire))
+
+    def test_short_segment_rejected(self):
+        with pytest.raises(ValueError):
+            Segment.decode(b"too short")
+
+    def test_wire_size_includes_header(self):
+        seg = Segment(1, 2, 0, 0, 0, 0, b"x" * 100)
+        assert seg.wire_size == 140
+
+    def test_seg_len_counts_phantom_bytes(self):
+        assert Segment(1, 2, 0, 0, FLAG_SYN, 0).seg_len == 1
+        assert Segment(1, 2, 0, 0, FLAG_FIN, 0, b"ab").seg_len == 3
+
+    def test_checksum_ones_complement(self):
+        assert checksum(b"\x00\x00") == 0xFFFF
+        data = b"\x45\x00\x00\x3c"
+        assert 0 <= checksum(data) <= 0xFFFF
+
+    @given(st.binary(max_size=200))
+    def test_any_payload_roundtrips(self, payload):
+        seg = Segment(5555, 80, 42, 43, FLAG_ACK, 1024, payload)
+        assert Segment.decode(seg.encode()).payload == payload
+
+
+class TestSeqArithmetic:
+    def test_ordering_simple(self):
+        assert seq_lt(1, 2)
+        assert not seq_lt(2, 1)
+        assert seq_le(2, 2)
+
+    def test_wraparound(self):
+        near_max = (1 << 32) - 10
+        assert seq_lt(near_max, 5)  # wrapped
+        assert seq_add(near_max, 20) == 10
+        assert seq_sub(10, near_max) == 20
+
+
+class TestIoVec:
+    def test_append_and_length(self):
+        vec = IoVec(b"abc")
+        vec.append(b"defg")
+        assert len(vec) == 7
+        assert vec.to_bytes() == b"abcdefg"
+
+    def test_zero_copy_chunks(self):
+        vec = IoVec()
+        vec.append(b"chunk-one")
+        vec.append(b"chunk-two")
+        assert vec.chunk_count == 2  # no coalescing copies
+
+    def test_consume_across_chunks(self):
+        vec = IoVec()
+        vec.extend([b"abc", b"def", b"ghi"])
+        vec.consume(4)
+        assert vec.to_bytes() == b"efghi"
+
+    def test_slice_no_copy(self):
+        vec = IoVec()
+        vec.extend([b"0123", b"4567", b"89"])
+        window = vec.slice(2, 6)
+        assert window.to_bytes() == b"234567"
+        assert len(vec) == 10  # source untouched
+
+    def test_peek(self):
+        vec = IoVec(b"abcdef")
+        assert vec.peek(3).to_bytes() == b"abc"
+        assert len(vec) == 6
+
+    def test_slice_past_end_clamps(self):
+        vec = IoVec(b"abc")
+        assert vec.slice(2, 100).to_bytes() == b"c"
+        assert vec.slice(5, 10).to_bytes() == b""
+
+    def test_empty_append_ignored(self):
+        vec = IoVec()
+        vec.append(b"")
+        assert vec.chunk_count == 0
+
+    @given(
+        chunks=st.lists(st.binary(min_size=1, max_size=30), max_size=15),
+        start=st.integers(0, 100),
+        length=st.integers(0, 100),
+    )
+    def test_slice_matches_bytes_semantics(self, chunks, start, length):
+        vec = IoVec()
+        vec.extend(chunks)
+        joined = b"".join(chunks)
+        assert vec.slice(start, length).to_bytes() == joined[start:start + length]
+
+
+class TestRtt:
+    def test_first_sample_initializes(self):
+        est = RttEstimator()
+        est.sample(0.1)
+        assert est.srtt == pytest.approx(0.1)
+        assert est.rto >= 0.2  # min clamp
+
+    def test_steady_samples_tighten_rto(self):
+        est = RttEstimator()
+        for _ in range(50):
+            est.sample(0.1)
+        assert est.rto == pytest.approx(0.2, abs=0.05)  # near min_rto
+
+    def test_variance_inflates_rto(self):
+        steady = RttEstimator()
+        jittery = RttEstimator()
+        for i in range(50):
+            steady.sample(0.1)
+            jittery.sample(0.05 if i % 2 else 0.3)
+        assert jittery.rto > steady.rto
+
+    def test_backoff_doubles_and_clamps(self):
+        est = RttEstimator(initial_rto=1.0, max_rto=4.0)
+        est.backoff()
+        assert est.rto == 2.0
+        est.backoff()
+        est.backoff()
+        assert est.rto == 4.0  # clamped
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError):
+            RttEstimator().sample(-1)
+
+
+class TestReno:
+    def test_slow_start_doubles_per_rtt(self):
+        reno = RenoCongestion(mss=1000)
+        start = reno.window
+        # Each ACK of a full segment grows cwnd by one mss in slow start.
+        reno.on_new_ack(1000, 0)
+        assert reno.window == start + 1000
+
+    def test_transition_to_congestion_avoidance(self):
+        reno = RenoCongestion(mss=1000)
+        reno.ssthresh = 4000
+        while reno.state == "slow_start":
+            reno.on_new_ack(1000, 0)
+        assert reno.window >= 4000
+        before = reno.window
+        reno.on_new_ack(1000, 0)
+        # Linear growth now: much less than +mss.
+        assert reno.window - before <= 1000
+
+    def test_three_dupacks_trigger_fast_retransmit(self):
+        reno = RenoCongestion(mss=1000)
+        flight = 10_000
+        assert not reno.on_dup_ack(flight)
+        assert not reno.on_dup_ack(flight)
+        assert reno.on_dup_ack(flight)  # the third
+        assert reno.state == "fast_recovery"
+        assert reno.ssthresh == 5000
+        assert reno.window == 5000 + 3000
+
+    def test_recovery_exit_deflates(self):
+        reno = RenoCongestion(mss=1000)
+        for _ in range(3):
+            reno.on_dup_ack(10_000)
+        reno.on_new_ack(2000, 8000)
+        assert reno.state != "fast_recovery"
+        assert reno.window == reno.ssthresh
+
+    def test_timeout_collapses_to_one_mss(self):
+        reno = RenoCongestion(mss=1000)
+        for _ in range(10):
+            reno.on_new_ack(1000, 0)
+        reno.on_timeout(8000)
+        assert reno.window == 1000
+        assert reno.state == "slow_start"
+        assert reno.ssthresh == 4000
+
+    def test_ssthresh_floor_is_two_mss(self):
+        reno = RenoCongestion(mss=1000)
+        reno.on_timeout(1000)
+        assert reno.ssthresh == 2000
+
+
+class TestSendWindow:
+    def make(self, mss=1000, iss=5000):
+        return SendWindow(iss, mss)
+
+    def test_enqueue_and_segmentize(self):
+        snd = self.make()
+        snd.peer_window = 10_000
+        snd.enqueue(b"a" * 2500)
+        first = snd.next_segment_payload(cwnd=10_000)
+        assert len(first) == 1000
+        snd.mark_sent(1000, now=0.0)
+        second = snd.next_segment_payload(cwnd=10_000)
+        assert len(second) == 1000
+
+    def test_window_limits_transmission(self):
+        snd = self.make()
+        snd.peer_window = 1500
+        snd.enqueue(b"a" * 5000)
+        snd.mark_sent(1000, 0.0)
+        nxt = snd.next_segment_payload(cwnd=100_000)
+        assert len(nxt) == 500  # only 500 left in peer window
+
+    def test_cwnd_limits_transmission(self):
+        snd = self.make()
+        snd.peer_window = 100_000
+        snd.enqueue(b"a" * 5000)
+        assert len(snd.next_segment_payload(cwnd=700)) == 700
+
+    def test_ack_consumes_buffer(self):
+        snd = self.make(iss=0)
+        snd.peer_window = 10_000
+        snd.enqueue(b"x" * 3000)
+        snd.mark_sent(1000, 0.0)
+        acked, _rtt = snd.mark_acked(1000, 1.0)
+        assert acked == 1000
+        assert snd.flight_size == 0
+        assert len(snd.buffer) == 2000
+
+    def test_rtt_sample_on_timed_segment(self):
+        snd = self.make(iss=0)
+        snd.peer_window = 10_000
+        snd.enqueue(b"x" * 1000)
+        snd.mark_sent(1000, now=10.0)
+        _acked, rtt = snd.mark_acked(1000, now=10.25)
+        assert rtt == pytest.approx(0.25)
+
+    def test_karn_rule_suppresses_retransmit_sample(self):
+        snd = self.make(iss=0)
+        snd.peer_window = 10_000
+        snd.enqueue(b"x" * 1000)
+        snd.mark_sent(1000, now=10.0)
+        snd.retransmit_payload()  # retransmission covers the timed bytes
+        _acked, rtt = snd.mark_acked(1000, now=12.0)
+        assert rtt is None
+
+    def test_ack_is_new_bounds(self):
+        snd = self.make(iss=100)
+        snd.enqueue(b"x" * 10)
+        snd.mark_sent(10, 0.0)
+        assert not snd.ack_is_new(100)  # == una
+        assert snd.ack_is_new(105)
+        assert snd.ack_is_new(110)
+        assert not snd.ack_is_new(111)  # beyond nxt
+
+
+class TestRecvWindow:
+    def test_in_order_delivery(self):
+        rcv = RecvWindow(irs=1000, capacity=10_000)
+        assert rcv.accept(1000, b"abc")
+        assert rcv.read(10) == b"abc"
+        assert rcv.rcv_nxt == 1003
+
+    def test_out_of_order_held_then_drained(self):
+        rcv = RecvWindow(irs=0, capacity=10_000)
+        assert not rcv.accept(3, b"def")  # hole at 0
+        assert rcv.available == 0
+        assert rcv.accept(0, b"abc")
+        assert rcv.read(100) == b"abcdef"
+
+    def test_duplicate_ignored(self):
+        rcv = RecvWindow(irs=0, capacity=10_000)
+        rcv.accept(0, b"abc")
+        assert not rcv.accept(0, b"abc")
+        assert rcv.read(100) == b"abc"
+
+    def test_overlap_trimmed(self):
+        rcv = RecvWindow(irs=0, capacity=10_000)
+        rcv.accept(0, b"abcd")
+        rcv.accept(2, b"cdef")  # overlaps by 2
+        assert rcv.read(100) == b"abcdef"
+
+    def test_advertised_shrinks_with_buffered_data(self):
+        rcv = RecvWindow(irs=0, capacity=1000)
+        rcv.accept(0, b"x" * 400)
+        assert rcv.advertised == 600
+        rcv.read(400)
+        assert rcv.advertised == 1000
+
+    def test_out_of_order_counts_against_window(self):
+        rcv = RecvWindow(irs=0, capacity=1000)
+        rcv.accept(500, b"y" * 100)
+        assert rcv.advertised == 900
+
+    @given(st.permutations(list(range(8))))
+    def test_any_arrival_order_reassembles(self, order):
+        chunks = [bytes([65 + i]) * 10 for i in range(8)]
+        rcv = RecvWindow(irs=0, capacity=10_000)
+        for index in order:
+            rcv.accept(index * 10, chunks[index])
+        assert rcv.read(1000) == b"".join(chunks)

@@ -1,0 +1,154 @@
+"""TCP protocol options: delayed ACKs (RFC 1122) and Nagle's algorithm."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simos.clock import VirtualClock
+from repro.simos.net import DuplexPacketLink
+from repro.tcp.stack import TcpParams, TcpStack, connect_stacks
+
+from .test_stack import Sink, establish
+
+
+def make_pair(params):
+    clock = VirtualClock()
+    link = DuplexPacketLink(clock, 12.5e6, 0.001, seed=0)
+    stack_a = TcpStack(clock, "hostA", params, seed=1)
+    stack_b = TcpStack(clock, "hostB", params, seed=2)
+    connect_stacks(stack_a, stack_b, link)
+    return clock, stack_a, stack_b
+
+
+def bulk_transfer(params, size=200_000):
+    """One-way transfer; returns (sender stats, receiver stats, ok)."""
+    clock, a, b = make_pair(params)
+    client, server = establish(clock, a, b)
+    payload = bytes(i % 256 for i in range(size))
+    received = bytearray()
+
+    def drain(data, error):
+        assert error is None
+        if data:
+            received.extend(data)
+            if len(received) < size:
+                b.recv(server, 65536, drain)
+
+    b.recv(server, 65536, drain)
+    a.send(client, payload, Sink())
+    clock.run_until_idle()
+    return a.stats, b.stats, bytes(received) == payload
+
+
+class TestDelayedAck:
+    def test_bulk_correctness_preserved(self):
+        _a, _b, ok = bulk_transfer(TcpParams(delayed_ack=True))
+        assert ok
+
+    def test_halves_ack_traffic(self):
+        _a1, plain_receiver, ok1 = bulk_transfer(TcpParams())
+        _a2, delayed_receiver, ok2 = bulk_transfer(TcpParams(delayed_ack=True))
+        assert ok1 and ok2
+        # The receiver's outgoing segments are almost all ACKs; delayed
+        # ACKs cut them roughly in half.
+        assert (
+            delayed_receiver.segments_sent
+            < plain_receiver.segments_sent * 0.7
+        )
+
+    def test_lone_segment_acked_after_delay(self):
+        params = TcpParams(delayed_ack=True, ack_delay=0.04)
+        clock, a, b = make_pair(params)
+        client, server = establish(clock, a, b)
+        got = Sink()
+        b.recv(server, 100, got)
+        a.send(client, b"just one small segment", Sink())
+        clock.run_until_idle()
+        assert got.values == [b"just one small segment"]
+        # The sender eventually saw the ACK (flight drained, timer off).
+        assert client.snd.flight_size == 0
+
+    def test_ping_pong_still_fast(self):
+        """Piggybacking: request/response traffic must not pay the ACK
+        delay on every turn (data carries the ACK)."""
+        params = TcpParams(delayed_ack=True, ack_delay=0.2)
+        clock, a, b = make_pair(params)
+        client, server = establish(clock, a, b)
+        rounds = 10
+        state = {"rounds": 0}
+
+        def server_loop(data, error):
+            assert error is None
+            if data:
+                b.send(server, data, Sink())
+                if state["rounds"] < rounds:
+                    b.recv(server, 100, server_loop)
+
+        def client_loop(data, error):
+            assert error is None
+            if data:
+                state["rounds"] += 1
+                if state["rounds"] < rounds:
+                    a.send(client, b"ping", Sink())
+                    a.recv(client, 100, client_loop)
+
+        b.recv(server, 100, server_loop)
+        a.recv(client, 100, client_loop)
+        a.send(client, b"ping", Sink())
+        clock.run_until_idle()
+        assert state["rounds"] == rounds
+        # 10 RTTs at ~2ms plus slack — NOT 10 x 200ms of ACK delays.
+        assert clock.now < 0.5
+
+
+class TestNagle:
+    def test_bulk_correctness_preserved(self):
+        _a, _b, ok = bulk_transfer(TcpParams(nagle=True))
+        assert ok
+
+    def test_coalesces_small_writes(self):
+        def count_data_segments(nagle: bool) -> int:
+            clock, a, b = make_pair(TcpParams(nagle=nagle))
+            client, server = establish(clock, a, b)
+            received = bytearray()
+
+            def drain(data, error):
+                if data:
+                    received.extend(data)
+                    if len(received) < 600:
+                        b.recv(server, 4096, drain)
+
+            b.recv(server, 4096, drain)
+            for i in range(30):
+                a.send(client, b"x" * 20, Sink())
+            clock.run_until_idle()
+            assert len(received) == 600
+            return a.stats.segments_sent
+
+        with_nagle = count_data_segments(True)
+        without = count_data_segments(False)
+        assert with_nagle < without * 0.5
+
+    def test_single_small_write_not_delayed(self):
+        """Nagle holds runts only while data is in flight: the first small
+        write goes out immediately."""
+        clock, a, b = make_pair(TcpParams(nagle=True))
+        client, server = establish(clock, a, b)
+        got = Sink()
+        b.recv(server, 100, got)
+        a.send(client, b"immediate", Sink())
+        # Drive only a few milliseconds of virtual time.
+        deadline = clock.now + 0.05
+        while clock.now < deadline:
+            when = clock.next_event_time()
+            if when is None or when > deadline:
+                break
+            clock.advance()
+        assert got.values == [b"immediate"]
+
+    def test_nagle_with_delayed_ack_no_deadlock(self):
+        """The classic interaction: Nagle + delayed ACK must still make
+        progress (the delayed-ACK timer bounds the stall)."""
+        params = TcpParams(nagle=True, delayed_ack=True, ack_delay=0.04)
+        _a, _b, ok = bulk_transfer(params, size=10_000)
+        assert ok
