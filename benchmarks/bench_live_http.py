@@ -1,0 +1,177 @@
+"""Live HTTP serving under real load: shards vs throughput.
+
+The cluster (``repro.runtime.cluster``) replicates the live runtime across
+processes with ``SO_REUSEPORT`` sharding.  This harness measures it from
+the outside: several load-generator *processes*, each driving keep-alive
+connections over real sockets with back-to-back GETs for a fixed window,
+against clusters of 1, 2 and 4 shards.  Reported per point:
+
+* aggregate requests/sec (client-side, completed responses only);
+* p50 / p99 response latency;
+* the server-side shard counters (via the cluster control pipes), which
+  must account for every client-observed response.
+
+On a multi-core host the shared-nothing shards must scale: 2+ shards serve
+strictly more requests/sec than 1.  On a single core the table still
+prints, but the scaling assertion is vacuous (everything timeshares one
+CPU) and is skipped.
+
+``REPRO_BENCH_SCALE`` lengthens the measurement window.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import socket
+import time
+
+from conftest import scale
+
+from repro.bench.harness import Series, format_table
+from repro.http.blocking_client import read_response
+from repro.http.server import build_live_server
+from repro.runtime.cluster import ClusterServer
+
+SHARD_POINTS = [1, 2, 4]
+LOAD_PROCESSES = 6
+CONNECTIONS_PER_PROCESS = 4
+REQUEST = b"GET /index.html HTTP/1.1\r\nHost: bench\r\n\r\n"
+SITE = {"index.html": b"<html>" + b"x" * 1024 + b"</html>"}
+
+
+def app_factory(rt, listener):
+    return build_live_server(rt, listener, site=SITE)
+
+
+def _load_process(port, connections, duration, barrier, result_pipe) -> None:
+    """One load generator: keep-alive conns driven with sequential GETs."""
+    try:
+        socks = [
+            socket.create_connection(("127.0.0.1", port), timeout=10)
+            for _ in range(connections)
+        ]
+    except OSError:
+        barrier.abort()  # siblings must not wait for a generator that died
+        result_pipe.send([])
+        return
+    buffers = [bytearray() for _ in socks]
+    for sock in socks:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    try:
+        # All generators connected: start the clock together.
+        barrier.wait(timeout=30)
+    except Exception:
+        result_pipe.send([])
+        return
+    latencies = []
+    deadline = time.monotonic() + duration
+    try:
+        while time.monotonic() < deadline:
+            for sock, buffer in zip(socks, buffers):
+                begin = time.perf_counter()
+                sock.sendall(REQUEST)
+                read_response(sock, buffer)
+                latencies.append(time.perf_counter() - begin)
+    except OSError:
+        pass  # a shard vanished mid-run: report what completed
+    for sock in socks:
+        sock.close()
+    result_pipe.send(latencies)
+    result_pipe.close()
+
+
+def drive_load(port: int, duration: float) -> dict:
+    """Fan out the load processes; return count + latency percentiles."""
+    ctx = multiprocessing.get_context("fork")
+    barrier = ctx.Barrier(LOAD_PROCESSES)
+    pipes, procs = [], []
+    for _ in range(LOAD_PROCESSES):
+        receiver, sender = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_load_process,
+            args=(port, CONNECTIONS_PER_PROCESS, duration, barrier, sender),
+        )
+        proc.start()
+        sender.close()
+        pipes.append(receiver)
+        procs.append(proc)
+    latencies: list[float] = []
+    for receiver in pipes:
+        # Bounded wait: a generator that crashed outright (no result at
+        # all) must not hang the harness.
+        if receiver.poll(duration + 60):
+            latencies.extend(receiver.recv())
+    for proc in procs:
+        proc.join(timeout=10)
+        if proc.is_alive():
+            proc.terminate()
+    latencies.sort()
+    count = len(latencies)
+    return {
+        "requests": count,
+        "rps": count / duration,
+        "p50_ms": latencies[count // 2] * 1e3 if count else float("nan"),
+        "p99_ms": latencies[min(count - 1, (count * 99) // 100)] * 1e3
+        if count else float("nan"),
+    }
+
+
+def run_point(shards: int, duration: float) -> dict:
+    """One cluster of ``shards`` processes under the full load fleet."""
+    cluster = ClusterServer(app_factory, shards=shards)
+    cluster.start()
+    try:
+        result = drive_load(cluster.port, duration)
+        server = cluster.stats()["aggregate"]
+    finally:
+        cluster.stop()
+    result["server_requests"] = server["requests"]
+    result["server_accepted"] = server["accepted"]
+    result["workers_reporting"] = server["workers_reporting"]
+    return result
+
+
+def test_live_http_shard_scaling(report):
+    duration = 0.8 * scale()
+    throughput = Series("requests/sec")
+    p50 = Series("p50 ms")
+    p99 = Series("p99 ms")
+    results: dict[int, dict] = {}
+    for shards in SHARD_POINTS:
+        point = run_point(shards, duration)
+        results[shards] = point
+        throughput.add(shards, point["rps"])
+        p50.add(shards, point["p50_ms"])
+        p99.add(shards, point["p99_ms"])
+
+    cores = os.cpu_count() or 1
+    report(format_table(
+        f"Live HTTP over SO_REUSEPORT shards — {LOAD_PROCESSES} load "
+        f"processes x {CONNECTIONS_PER_PROCESS} keep-alive connections, "
+        f"{duration:.1f}s window, {cores} core(s)",
+        "shards",
+        [throughput, p50, p99],
+    ))
+
+    for shards, point in results.items():
+        # Real serving happened and every client response is accounted for
+        # by a shard (the server may have parsed a final request whose
+        # response the deadline cut off, so >=).
+        assert point["requests"] > 0, f"{shards} shards served nothing"
+        assert point["workers_reporting"] == shards
+        assert point["server_requests"] >= point["requests"], (
+            f"{shards} shards: server counted {point['server_requests']} "
+            f"requests, clients completed {point['requests']}"
+        )
+
+    if cores >= 2:
+        # The acceptance bar: shared-nothing shards scale on real CPUs.
+        assert throughput.at(2) > throughput.at(1), (
+            f"2 shards ({throughput.at(2):.0f} rps) not faster than 1 "
+            f"({throughput.at(1):.0f} rps) on a {cores}-core host"
+        )
+        assert throughput.at(4) > throughput.at(1)
+    else:
+        report("single core: shard-scaling assertion skipped "
+               "(shards timeshare one CPU)")

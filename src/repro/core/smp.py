@@ -44,6 +44,7 @@ class _Worker(Scheduler):
         # and live counts are global.
         tcb = TCB(next(self.parent._tids), name)
         self.parent.live_threads += 1
+        self.parent._home[tcb] = self
         return tcb
 
     def _finish(self, tcb: TCB, value: Any, exc: BaseException | None) -> None:
@@ -51,6 +52,7 @@ class _Worker(Scheduler):
         # Scheduler._finish decremented our local counter; mirror globally.
         self.live_threads += 1
         self.parent.live_threads -= 1
+        self.parent._home.pop(tcb, None)
 
 
 class SmpScheduler:
@@ -74,6 +76,9 @@ class SmpScheduler:
         self._spawn_cursor = 0
         self._turn = 0
         self._rng = random.Random(steal_seed)
+        # Home worker per live TCB: device loops resume a parked thread on
+        # the worker that created it (locality is preserved across parks).
+        self._home: dict[TCB, _Worker] = {}
         #: Number of steal operations performed.
         self.steals = 0
         #: Number of thread activations moved by stealing.
@@ -106,6 +111,37 @@ class SmpScheduler:
             worker = self._spawn_cursor
             self._spawn_cursor = (self._spawn_cursor + 1) % len(self.workers)
         return self.workers[worker].spawn(comp, name=name)
+
+    # ------------------------------------------------------------------
+    # Device-loop surface: the runtime drives an SmpScheduler exactly like
+    # a single Scheduler (spawn/step/ready/resume*), so a LiveRuntime can
+    # wrap one for intra-process shard locality (see repro.runtime.cluster).
+    # ------------------------------------------------------------------
+    @property
+    def ready(self) -> int:
+        """Total runnable activations across all workers (truthy when any
+        worker has work — the shape runtimes test before blocking)."""
+        return sum(len(worker.ready) for worker in self.workers)
+
+    def _worker_of(self, tcb: TCB) -> _Worker:
+        worker = self._home.get(tcb)
+        return worker if worker is not None else self.workers[self._turn]
+
+    def resume(self, tcb: TCB, thunk: Callable) -> None:
+        """Requeue a parked thread on its home worker."""
+        self._worker_of(tcb).resume(tcb, thunk)
+
+    def resume_value(self, tcb: TCB, cont: Callable, value: Any) -> None:
+        """Resume a parked thread by applying ``cont`` to ``value``."""
+        self._worker_of(tcb).resume_value(tcb, cont, value)
+
+    def resume_error(self, tcb: TCB, exc: BaseException) -> None:
+        """Resume a parked thread by delivering ``exc``."""
+        self._worker_of(tcb).resume_error(tcb, exc)
+
+    def kill(self, tcb: TCB, exc: BaseException | None = None) -> None:
+        """Request cooperative cancellation (same semantics as Scheduler)."""
+        self._worker_of(tcb).kill(tcb, exc)
 
     # ------------------------------------------------------------------
     # The interleaved SMP loop.

@@ -1,0 +1,80 @@
+"""A minimal blocking HTTP/1.1 client for drivers outside the runtimes.
+
+Load generators, cluster tests, and demos measure the serving stack from
+the *outside*, so they deliberately use plain blocking sockets rather than
+monadic threads — a separate process/thread model from the system under
+test.  This module is the one copy of the keep-alive response parsing they
+all need (header scan, Content-Length, body drain, strict EOF handling).
+"""
+
+from __future__ import annotations
+
+import socket
+
+__all__ = ["BlockingHttpClient", "read_response"]
+
+
+def read_response(sock: socket.socket, buffer: bytearray) -> tuple[str, bytes]:
+    """Consume exactly one response from ``sock``.
+
+    ``buffer`` holds pipelined/keep-alive leftovers between calls (pass
+    the same bytearray for the connection's lifetime).  Returns
+    ``(status_line, body)``; raises :class:`ConnectionError` if the peer
+    closes mid-response.
+    """
+    while True:
+        end = buffer.find(b"\r\n\r\n")
+        if end >= 0:
+            break
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise ConnectionError("EOF before end of response header")
+        buffer.extend(chunk)
+    head = bytes(buffer[:end])
+    length = 0
+    for line in head.split(b"\r\n"):
+        if line.lower().startswith(b"content-length:"):
+            length = int(line.split(b":", 1)[1])
+    total = end + 4 + length
+    while len(buffer) < total:
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise ConnectionError("EOF mid response body")
+        buffer.extend(chunk)
+    body = bytes(buffer[end + 4:total])
+    del buffer[:total]
+    status_line = head.split(b"\r\n", 1)[0].decode("latin-1")
+    return status_line, body
+
+
+class BlockingHttpClient:
+    """One keep-alive connection issuing GETs and reading full responses."""
+
+    def __init__(self, port: int, host: str = "127.0.0.1",
+                 timeout: float = 5.0) -> None:
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.host = host
+        self.buffer = bytearray()
+
+    def get(self, path: str, close: bool = False) -> tuple[str, bytes]:
+        """GET ``path``; returns ``(status_line, body)``."""
+        connection = "close" if close else "keep-alive"
+        self.sock.sendall(
+            f"GET /{path.lstrip('/')} HTTP/1.1\r\nHost: {self.host}\r\n"
+            f"Connection: {connection}\r\n\r\n".encode()
+        )
+        return read_response(self.sock, self.buffer)
+
+    def send_raw(self, payload: bytes) -> None:
+        """Write arbitrary bytes (pipelined bursts, malformed requests)."""
+        self.sock.sendall(payload)
+
+    def close(self) -> None:
+        self.sock.close()
+
+    def __enter__(self) -> "BlockingHttpClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

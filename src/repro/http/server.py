@@ -18,42 +18,37 @@ program that uses asynchronous I/O mechanisms".  Concretely:
 
 from __future__ import annotations
 
+import os
 from typing import Any
 
 from ..core.do_notation import do
-from ..core.monad import M
-from ..core.syscalls import sys_aio_read, sys_blio, sys_fork
+from ..core.monad import M, pure
+from ..core.syscalls import sys_aio_read, sys_blio, sys_fork, sys_nbio
 from ..runtime.io_api import NetIO
 from ..simos.filesys import SimFileSystem
 from .cache import FileCache
 from .message import HttpError, HttpRequest, HttpResponse, guess_content_type
 from .parser import HttpParseError, RequestParser
 
-__all__ = ["WebServer", "KernelSocketLayer", "AppTcpSocketLayer",
-           "ServerStats"]
+__all__ = ["WebServer", "IoSocketLayer", "KernelSocketLayer",
+           "LiveSocketLayer", "AppTcpSocketLayer", "ServerStats",
+           "DocRootFilesystem", "build_live_server"]
 
 
-class KernelSocketLayer:
-    """Socket operations over kernel-style simulated streams.
+class IoSocketLayer:
+    """Socket operations over a :class:`NetIO` and an existing listener.
 
-    Pass ``listener`` to serve on an existing listening socket (benchmarks
-    create it up front so load generators can reference it); otherwise
-    ``setup`` creates one.
+    Backend-agnostic: the same code path drives simulated kernel streams
+    and real non-blocking sockets, because ``NetIO`` is the shared monadic
+    I/O surface of both runtimes.
     """
 
-    def __init__(self, io: NetIO, network: Any, listener: Any = None) -> None:
+    def __init__(self, io: NetIO, listener: Any) -> None:
         self.io = io
-        self.network = network
         self.listener = listener
 
     def setup(self) -> M:
-        from ..core.syscalls import sys_nbio
-
-        if self.listener is not None:
-            from ..core.monad import pure
-
-            return pure(self.listener)
-        return sys_nbio(lambda: self.network.listen())
+        return pure(self.listener)
 
     def accept(self, listener: Any) -> M:
         return self.io.accept(listener)
@@ -66,6 +61,33 @@ class KernelSocketLayer:
 
     def close(self, conn: Any) -> M:
         return self.io.close(conn)
+
+
+class KernelSocketLayer(IoSocketLayer):
+    """Socket operations over kernel-style simulated streams.
+
+    Pass ``listener`` to serve on an existing listening socket (benchmarks
+    create it up front so load generators can reference it); otherwise
+    ``setup`` creates one.
+    """
+
+    def __init__(self, io: NetIO, network: Any, listener: Any = None) -> None:
+        super().__init__(io, listener)
+        self.network = network
+
+    def setup(self) -> M:
+        if self.listener is not None:
+            return pure(self.listener)
+        return sys_nbio(lambda: self.network.listen())
+
+
+class LiveSocketLayer(IoSocketLayer):
+    """Socket operations over real non-blocking sockets (live runtime).
+
+    The listener is created up front (``repro.runtime.live_runtime
+    .make_listener``) so the caller controls binding — in cluster mode each
+    shard process makes its own ``SO_REUSEPORT`` listener on a shared port.
+    """
 
 
 class AppTcpSocketLayer:
@@ -136,7 +158,15 @@ class WebServer:
         def main():
             listener = yield layer.setup()
             while self.running:
-                conn = yield layer.accept(listener)
+                try:
+                    conn = yield layer.accept(listener)
+                except (OSError, ValueError):
+                    if self.running:
+                        raise
+                    return  # listener torn down during shutdown
+                if not self.running:
+                    yield layer.close(conn)
+                    return
                 stats.connections += 1
                 yield sys_fork(handle_client(conn), name="client")
 
@@ -260,3 +290,85 @@ class WebServer:
     def stop(self) -> None:
         """Stop accepting new connections (current ones finish)."""
         self.running = False
+
+
+# ----------------------------------------------------------------------
+# Live serving: real files and a reusable construction entry point.
+# ----------------------------------------------------------------------
+class _DocRootHandle(str):
+    """An open-file handle for the real filesystem: just the path.
+
+    The live runtime's AIO handlers open the file per operation (the
+    paper's fallback path for AIO without a native interface), so the
+    handle needs no kernel state — only a ``close`` to satisfy the
+    server's ``finally`` block.
+    """
+
+    __slots__ = ()
+
+    def close(self) -> None:
+        pass
+
+
+class DocRootFilesystem:
+    """A real directory presented through the server's filesystem surface.
+
+    Paths are resolved under ``root``; anything escaping it — ``..``
+    traversal or a symlink pointing outside — is treated as nonexistent,
+    so the server answers 404 rather than leaking files.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.realpath(root)
+
+    def _resolve(self, path: str) -> str | None:
+        full = os.path.realpath(os.path.join(self.root, path.lstrip("/")))
+        if full != self.root and not full.startswith(self.root + os.sep):
+            return None
+        return full
+
+    def exists(self, path: str) -> bool:
+        full = self._resolve(path)
+        return full is not None and os.path.isfile(full)
+
+    def open(self, path: str) -> _DocRootHandle:
+        full = self._resolve(path)
+        if full is None or not os.path.isfile(full):
+            raise FileNotFoundError(path)
+        return _DocRootHandle(full)
+
+
+class _EmptyFilesystem:
+    """No files at all — for servers whose site lives in the cache."""
+
+    def exists(self, path: str) -> bool:
+        return False
+
+    def open(self, path: str):
+        raise FileNotFoundError(path)
+
+
+def build_live_server(
+    rt: Any,
+    listener: Any,
+    site: dict[str, bytes] | None = None,
+    docroot: str | None = None,
+    cache_bytes: int = 100 * 1024 * 1024,
+    read_chunk: int = 64 * 1024,
+    name: str = "webserver",
+) -> WebServer:
+    """Construct a :class:`WebServer` serving real sockets on ``rt``.
+
+    This is the entry point cluster shards and examples parameterize: an
+    existing listener (possibly one ``SO_REUSEPORT`` member of a shared
+    port), plus content from a real ``docroot`` directory and/or an
+    in-memory ``site`` mapping preloaded into the application cache.
+    """
+    fs: Any = DocRootFilesystem(docroot) if docroot else _EmptyFilesystem()
+    server = WebServer(
+        LiveSocketLayer(rt.io, listener), fs,
+        cache_bytes=cache_bytes, read_chunk=read_chunk, name=name,
+    )
+    for path, content in (site or {}).items():
+        server.cache.put(path.lstrip("/"), content)
+    return server

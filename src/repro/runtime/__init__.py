@@ -13,10 +13,37 @@ A runtime wires the programmable :class:`~repro.core.scheduler.Scheduler`
 
 Both expose the same monadic I/O surface (:class:`repro.runtime.io_api.NetIO`
 — the paper's Figure 10 wrappers), so server code is backend-agnostic.
+
+Scaling out: cluster mode
+=========================
+
+The paper's §4.4 runs several ``worker_main`` event loops on one machine
+and proposes per-scheduler queues with work stealing —
+:class:`~repro.core.smp.SmpScheduler` implements that design.  Under
+CPython, though, one process is one core of live serving, so
+:class:`repro.runtime.cluster.ClusterServer` replicates the architecture
+at the process level: ``N`` shard processes, each a complete
+``LiveRuntime`` event loop (optionally wrapping an ``SmpScheduler``), each
+listening on the *same* port through its own ``SO_REUSEPORT`` socket.  The
+kernel hashes incoming connections across the shard listeners, giving a
+shared-nothing accept path — no lock, no handoff — which is how
+thread-to-event systems (NFork, Continuation-Passing C) scale on SMPs.
+The master process reserves the port, forks shards, aggregates their
+counters over pipe-based control channels, and respawns any shard that
+crashes.  See ``examples/cluster_server.py`` and
+``benchmarks/bench_live_http.py`` for the demo and the load harness.
 """
 
 from .io_api import NetIO
 from .sim_runtime import SimRuntime
-from .live_runtime import LiveRuntime
+from .live_runtime import LiveRuntime, make_listener
+from .cluster import ClusterConfig, ClusterServer
 
-__all__ = ["SimRuntime", "LiveRuntime", "NetIO"]
+__all__ = [
+    "SimRuntime",
+    "LiveRuntime",
+    "NetIO",
+    "make_listener",
+    "ClusterConfig",
+    "ClusterServer",
+]

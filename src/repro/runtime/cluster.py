@@ -1,0 +1,501 @@
+"""Multi-process sharded live serving — §4.4 taken past one process.
+
+The paper scales its hybrid model across CPUs by running several
+``worker_main`` event loops; :class:`~repro.core.smp.SmpScheduler` models
+that inside one process.  Python's GIL means one process still serves live
+traffic on one core, so the cluster replicates the *whole runtime* instead:
+``N`` shard processes, each running its own :class:`LiveRuntime` event loop
+(optionally wrapping an ``SmpScheduler`` for intra-process locality), each
+with its own ``SO_REUSEPORT`` listener on one shared port.  The kernel
+hashes incoming connections across the listeners, so shards share nothing —
+no accept lock, no cross-process queue — which is the design NFork and
+Continuation-Passing C demonstrate for thread-to-event systems on SMPs.
+
+Layout:
+
+* the **master** reserves the port (a bound, non-listening ``SO_REUSEPORT``
+  socket, so ``port=0`` resolves once and respawned shards can rebind),
+  forks shard processes, monitors them, and respawns crashed ones;
+* each **shard** builds a runtime via :func:`build_runtime`, constructs its
+  application through the caller's ``app_factory(rt, listener)``, and runs
+  until told to stop;
+* a **control protocol** — newline-delimited JSON over a per-shard
+  ``socketpair`` — carries ``stats`` / ``stop`` / ``crash`` commands down
+  and ``ready`` / ``stats`` / ``stopped`` events up.  The shard side is an
+  ordinary monadic thread reading the control socket through ``rt.io``,
+  so control traffic multiplexes with serving traffic on the same loop.
+
+The application contract is :class:`~repro.http.server.WebServer`-shaped:
+``app.main()`` returns the root monadic computation (the accept loop),
+``app.stats`` carries counters (``connections``, ``requests``, ...), and
+``app.stop()`` stops accepting.  Any object with that surface clusters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import multiprocessing
+import os
+import select
+import signal
+import socket
+import threading
+import time
+from typing import Any, Callable
+
+from ..core.do_notation import do
+from ..core.smp import SmpScheduler
+from ..core.syscalls import sys_sleep
+from .live_runtime import LiveRuntime, make_listener
+
+__all__ = ["ClusterConfig", "ClusterServer", "build_runtime"]
+
+#: ``app_factory(rt, listener) -> app`` — builds one shard's application.
+AppFactory = Callable[[LiveRuntime, socket.socket], Any]
+
+_CRASH_EXIT_CODE = 86  # distinguishes a commanded crash from a real one
+
+
+@dataclasses.dataclass
+class ClusterConfig:
+    """Everything a shard needs to build its runtime and listener."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                 # 0: master resolves an ephemeral port
+    shards: int = 2
+    backlog: int = 1024
+    batch_limit: int = 128
+    scheduler: str = "simple"     # "simple" | "smp"
+    smp_workers: int = 4
+    pool_workers: int = 4
+    respawn: bool = True
+    grace: float = 0.25           # drain window after a stop command
+    ready_timeout: float = 10.0
+
+
+def build_runtime(config: ClusterConfig) -> LiveRuntime:
+    """One shard's runtime, per the cluster parameters.
+
+    ``uncaught="store"`` so a failure in one client thread is recorded, not
+    fatal to the whole shard.
+    """
+    if config.scheduler == "smp":
+        sched: Any = SmpScheduler(
+            workers=config.smp_workers, batch_limit=config.batch_limit,
+            uncaught="store",
+        )
+    elif config.scheduler == "simple":
+        sched = None
+    else:
+        raise ValueError(f"unknown scheduler kind {config.scheduler!r}")
+    return LiveRuntime(
+        batch_limit=config.batch_limit,
+        uncaught="store",
+        pool_workers=config.pool_workers,
+        scheduler=sched,
+    )
+
+
+# ----------------------------------------------------------------------
+# Control-protocol plumbing (both sides).
+# ----------------------------------------------------------------------
+def _send_msg(sock: socket.socket, obj: dict) -> None:
+    """Best-effort newline-framed JSON send (control messages are tiny)."""
+    try:
+        sock.sendall(json.dumps(obj).encode() + b"\n")
+    except OSError:
+        pass  # peer gone or buffer full: control traffic is advisory
+
+
+def _parse_lines(buffer: bytearray) -> list[dict]:
+    """Pop every complete JSON line from ``buffer``."""
+    messages = []
+    while True:
+        newline = buffer.find(b"\n")
+        if newline < 0:
+            return messages
+        line = bytes(buffer[:newline])
+        del buffer[:newline + 1]
+        try:
+            messages.append(json.loads(line))
+        except ValueError:
+            continue  # torn line from a crashed shard
+
+
+# ----------------------------------------------------------------------
+# The shard process.
+# ----------------------------------------------------------------------
+def _queue_depth(sched: Any) -> int:
+    ready = sched.ready
+    return ready if isinstance(ready, int) else len(ready)
+
+
+def _worker_main(
+    index: int,
+    config: ClusterConfig,
+    app_factory: AppFactory,
+    ctrl: socket.socket,
+    inherited_fds: tuple[int, ...] = (),
+) -> None:
+    """Shard entry point (runs in the forked child)."""
+    # Fork copied every master-side fd into this child: sibling control
+    # sockets, our own control socket's master end, the port reservation.
+    # Close them, or a master-side close would never read as EOF here and
+    # control-channel shutdown would hang on fd refcounts.
+    for fd in inherited_fds:
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+    # The master coordinates shutdown over the control socket; a terminal
+    # Ctrl-C goes to the whole process group, and shards must outlive the
+    # SIGINT long enough to drain.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    rt = build_runtime(config)
+    listener = make_listener(
+        config.host, config.port, backlog=config.backlog, reuse_port=True
+    )
+    app = app_factory(rt, listener)
+    state = {"stop": False}
+    ctrl.setblocking(False)
+
+    def snapshot(event: str = "stats") -> dict:
+        stats = getattr(app, "stats", None)
+        return {
+            "event": event,
+            "index": index,
+            "pid": os.getpid(),
+            "accepted": getattr(stats, "connections", 0),
+            "requests": getattr(stats, "requests", 0),
+            "responses_ok": getattr(stats, "responses_ok", 0),
+            "responses_err": getattr(stats, "responses_err", 0),
+            "bytes_sent": getattr(stats, "bytes_sent", 0),
+            "queue_depth": _queue_depth(rt.sched),
+            "live_threads": rt.sched.live_threads,
+        }
+
+    def handle(message: dict) -> None:
+        command = message.get("cmd")
+        if command == "stats":
+            _send_msg(ctrl, snapshot())
+        elif command == "stop":
+            state["stop"] = True
+        elif command == "crash":
+            os._exit(_CRASH_EXIT_CODE)  # chaos hook: fault-injection tests
+
+    @do
+    def control_loop():
+        buffer = bytearray()
+        while not state["stop"]:
+            data = yield rt.io.read(ctrl, 4096)
+            if not data:
+                state["stop"] = True  # master closed its end
+                break
+            buffer.extend(data)
+            for message in _parse_lines(buffer):
+                handle(message)
+
+    @do
+    def watchdog(master_pid):
+        # Belt and braces for a SIGKILLed master: daemonic children only
+        # die with a *cleanly* exiting parent.
+        while not state["stop"]:
+            yield sys_sleep(0.5)
+            if os.getppid() != master_pid:
+                state["stop"] = True
+
+    rt.spawn(app.main(), name=f"shard{index}-acceptor")
+    rt.spawn(control_loop(), name=f"shard{index}-control")
+    rt.spawn(watchdog(os.getppid()), name=f"shard{index}-watchdog")
+    _send_msg(ctrl, {
+        "event": "ready", "index": index, "pid": os.getpid(),
+        "port": listener.getsockname()[1],
+    })
+    rt.run(until=lambda: state["stop"])
+
+    # Graceful drain: stop accepting, give in-flight responses a window.
+    if hasattr(app, "stop"):
+        app.stop()
+    deadline = time.monotonic() + config.grace
+    rt.run(until=lambda: time.monotonic() >= deadline,
+           idle_timeout=config.grace)
+    _send_msg(ctrl, snapshot(event="stopped"))
+    try:
+        listener.close()
+    except OSError:
+        pass
+    rt.shutdown()
+
+
+# ----------------------------------------------------------------------
+# The master.
+# ----------------------------------------------------------------------
+class _WorkerHandle:
+    """Master-side record of one shard: process + control socket."""
+
+    __slots__ = ("index", "process", "sock", "buffer")
+
+    def __init__(self, index: int, process: Any, sock: socket.socket) -> None:
+        self.index = index
+        self.process = process
+        self.sock = sock
+        self.buffer = bytearray()
+
+    def read_messages(self, timeout: float) -> list[dict]:
+        """All control messages arriving within ``timeout`` seconds.
+
+        ``timeout=0`` still drains whatever already sits in the socket
+        buffer (a late caller must not lose replies that have arrived).
+        """
+        deadline = time.monotonic() + timeout
+        messages = _parse_lines(self.buffer)
+        while not messages:
+            remaining = max(0.0, deadline - time.monotonic())
+            try:
+                readable, _, _ = select.select([self.sock], [], [], remaining)
+            except OSError:
+                break
+            if not readable:
+                break
+            try:
+                data = self.sock.recv(65536)
+            except OSError:
+                break
+            if not data:
+                break
+            self.buffer.extend(data)
+            messages = _parse_lines(self.buffer)
+        return messages
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class ClusterServer:
+    """N shard processes serving one port, with respawn and stats.
+
+    Usage::
+
+        cluster = ClusterServer(app_factory, shards=4)
+        cluster.start()
+        ... cluster.port, cluster.stats() ...
+        cluster.stop()
+
+    ``app_factory`` runs *in the shard process* (after fork), so it may
+    close over unpicklable state.
+    """
+
+    def __init__(
+        self,
+        app_factory: AppFactory,
+        config: ClusterConfig | None = None,
+        **overrides: Any,
+    ) -> None:
+        if config is None:
+            config = ClusterConfig(**overrides)
+        elif overrides:
+            config = dataclasses.replace(config, **overrides)
+        if config.shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.config = config
+        self.app_factory = app_factory
+        self._ctx = multiprocessing.get_context("fork")
+        self._reservation: socket.socket | None = None
+        self._workers: list[_WorkerHandle] = []
+        self._lock = threading.RLock()
+        self._stats_lock = threading.Lock()  # serializes stats() readers
+        self._stopping = False
+        self._monitor: threading.Thread | None = None
+        #: Number of crashed shards replaced by the monitor.
+        self.respawns = 0
+        self.port: int | None = None
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "ClusterServer":
+        """Reserve the port, fork every shard, wait until all accept."""
+        if self._workers:
+            raise RuntimeError("cluster already started")
+        self._stopping = False
+        reservation = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        reservation.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        reservation.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        reservation.bind((self.config.host, self.config.port))
+        # Bound but never listening: reserves the port for rebinding
+        # shards without joining the kernel's listener group (a
+        # non-listening socket receives no connections).
+        self._reservation = reservation
+        self.port = reservation.getsockname()[1]
+        self.config = dataclasses.replace(self.config, port=self.port)
+        try:
+            with self._lock:
+                for index in range(self.config.shards):
+                    handle = self._spawn_worker(index)
+                    self._workers.append(handle)  # before ready: stop()
+                    self._await_ready(handle)     # must reap a failed one
+        except BaseException:
+            # A shard failed to come up: don't leak the ones that did.
+            self.stop(timeout=1.0)
+            raise
+        if self.config.respawn:
+            self._monitor = threading.Thread(
+                target=self._monitor_loop, name="cluster-monitor", daemon=True
+            )
+            self._monitor.start()
+        return self
+
+    def _spawn_worker(self, index: int) -> _WorkerHandle:
+        parent_sock, child_sock = socket.socketpair()
+        # Master-side fds the child must drop post-fork: sibling control
+        # sockets, this worker's own master end, and the port reservation
+        # (the master alone holds the port across respawns).
+        inherited = [parent_sock.fileno()]
+        for handle in self._workers:
+            try:
+                inherited.append(handle.sock.fileno())
+            except OSError:
+                pass
+        if self._reservation is not None:
+            inherited.append(self._reservation.fileno())
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(index, self.config, self.app_factory, child_sock,
+                  tuple(fd for fd in inherited if fd >= 0)),
+            name=f"repro-shard-{index}",
+            daemon=True,
+        )
+        process.start()
+        child_sock.close()
+        return _WorkerHandle(index, process, parent_sock)
+
+    def _await_ready(self, handle: _WorkerHandle) -> None:
+        deadline = time.monotonic() + self.config.ready_timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise RuntimeError(
+                    f"shard {handle.index} not ready within "
+                    f"{self.config.ready_timeout}s"
+                )
+            for message in handle.read_messages(min(remaining, 0.2)):
+                if message.get("event") == "ready":
+                    return
+            if not handle.process.is_alive():
+                raise RuntimeError(
+                    f"shard {handle.index} died during startup "
+                    f"(exit code {handle.process.exitcode})"
+                )
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Graceful shutdown: stop command, drain, join, then terminate."""
+        self._stopping = True
+        if self._monitor is not None:
+            self._monitor.join(timeout=timeout)
+            self._monitor = None
+        with self._lock:
+            workers, self._workers = self._workers, []
+        for handle in workers:
+            _send_msg(handle.sock, {"cmd": "stop"})
+        deadline = time.monotonic() + timeout
+        for handle in workers:
+            handle.process.join(timeout=max(0.1, deadline - time.monotonic()))
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=1.0)
+            handle.close()
+        if self._reservation is not None:
+            self._reservation.close()
+            self._reservation = None
+
+    def __enter__(self) -> "ClusterServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # -- monitoring ----------------------------------------------------
+    def _monitor_loop(self) -> None:
+        while not self._stopping:
+            try:
+                self.poll()
+            except Exception:
+                # Transient failure respawning (fd pressure, fork limits):
+                # the monitor must survive to retry on the next tick.
+                pass
+            time.sleep(0.05)
+
+    def poll(self) -> None:
+        """Detect dead shards and respawn them (monitor thread's body)."""
+        with self._lock:
+            for slot, handle in enumerate(self._workers):
+                if self._stopping or handle.process.is_alive():
+                    continue
+                handle.close()
+                replacement = self._spawn_worker(handle.index)
+                try:
+                    self._await_ready(replacement)
+                except RuntimeError:
+                    if replacement.process.is_alive():
+                        replacement.process.terminate()
+                    replacement.close()
+                    continue  # retried on the next poll
+                self.respawns += 1
+                self._workers[slot] = replacement
+
+    def worker_pids(self) -> list[int | None]:
+        """Current shard pids, index-ordered (None for a dead shard)."""
+        with self._lock:
+            return [
+                handle.process.pid if handle.process.is_alive() else None
+                for handle in self._workers
+            ]
+
+    # -- control commands ----------------------------------------------
+    def stats(self, timeout: float = 2.0) -> dict:
+        """Per-shard counters plus an aggregate, via the control pipes.
+
+        The reply wait runs outside the cluster lock so a slow shard
+        cannot stall crash respawn; a shard whose budget ran out still
+        gets a zero-timeout drain of already-arrived replies.
+        """
+        with self._stats_lock:
+            with self._lock:
+                handles = list(self._workers)
+                for handle in handles:
+                    _send_msg(handle.sock, {"cmd": "stats"})
+            per_worker: list[dict | None] = []
+            deadline = time.monotonic() + timeout
+            for handle in handles:
+                reply = None
+                while reply is None:
+                    remaining = max(0.0, deadline - time.monotonic())
+                    arrived = handle.read_messages(remaining)
+                    for message in arrived:
+                        if message.get("event") == "stats":
+                            reply = message
+                            break
+                    if reply is None and not arrived:
+                        if remaining == 0.0 or not handle.process.is_alive():
+                            break
+                per_worker.append(reply)
+        answered = [reply for reply in per_worker if reply is not None]
+        aggregate = {
+            key: sum(reply[key] for reply in answered)
+            for key in ("accepted", "requests", "responses_ok",
+                        "responses_err", "bytes_sent", "queue_depth")
+        }
+        aggregate["workers_reporting"] = len(answered)
+        return {"workers": per_worker, "aggregate": aggregate}
+
+    def crash_worker(self, index: int) -> None:
+        """Fault injection: command one shard to die (tests the respawn
+        path end to end)."""
+        with self._lock:
+            for handle in self._workers:
+                if handle.index == index:
+                    _send_msg(handle.sock, {"cmd": "crash"})
+                    return
+        raise IndexError(f"no shard with index {index}")

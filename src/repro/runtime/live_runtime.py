@@ -43,7 +43,33 @@ def _throw_thunk(exc: BaseException) -> Thunk:
 from ..simos.errors import WOULD_BLOCK
 from .io_api import NetIO
 
-__all__ = ["LiveRuntime", "LiveBackend"]
+__all__ = ["LiveRuntime", "LiveBackend", "make_listener"]
+
+
+def make_listener(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    backlog: int = 1024,
+    reuse_port: bool = False,
+) -> socket.socket:
+    """A non-blocking listening socket, independent of any runtime.
+
+    ``reuse_port`` sets ``SO_REUSEPORT`` so several processes can each own
+    a listener on the same port and let the kernel shard incoming
+    connections between them (the cluster's shared-nothing accept path).
+    Use ``port=0`` for an ephemeral port (read it back with
+    ``listener.getsockname()``).
+    """
+    if reuse_port and not hasattr(socket, "SO_REUSEPORT"):
+        raise RuntimeError("SO_REUSEPORT unsupported on this platform")
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    if reuse_port:
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+    listener.bind((host, port))
+    listener.listen(backlog)
+    listener.setblocking(False)
+    return listener
 
 
 class LiveBackend:
@@ -113,8 +139,17 @@ class LiveRuntime:
         batch_limit: int = 128,
         uncaught: str | Callable = "raise",
         pool_workers: int = 8,
+        scheduler: Any = None,
     ) -> None:
-        self.sched = Scheduler(batch_limit=batch_limit, uncaught=uncaught)
+        # Any Scheduler-shaped object works: a plain Scheduler (default) or
+        # an SmpScheduler for per-worker queues + stealing inside one
+        # process (the cluster parameterizes this per shard).  An injected
+        # scheduler arrives fully configured: it keeps its own batch_limit
+        # and uncaught policy, and this runtime's values apply only to the
+        # default scheduler it would otherwise build.
+        if scheduler is None:
+            scheduler = Scheduler(batch_limit=batch_limit, uncaught=uncaught)
+        self.sched = scheduler
         self.backend = LiveBackend()
         self.io = NetIO(self.backend)
         self.selector = selectors.DefaultSelector()
@@ -140,15 +175,16 @@ class LiveRuntime:
         """Spawn a monadic thread."""
         return self.sched.spawn(comp, name=name)
 
-    def make_listener(self, host: str = "127.0.0.1", port: int = 0) -> socket.socket:
+    def make_listener(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        backlog: int = 1024,
+        reuse_port: bool = False,
+    ) -> socket.socket:
         """A non-blocking listening socket; use port 0 for an ephemeral
         port (read it back with ``listener.getsockname()``)."""
-        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        listener.bind((host, port))
-        listener.listen(1024)
-        listener.setblocking(False)
-        return listener
+        return make_listener(host, port, backlog=backlog, reuse_port=reuse_port)
 
     # ------------------------------------------------------------------
     # Handlers

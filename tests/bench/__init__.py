@@ -1,0 +1,1 @@
+"""Test package (absolute+relative imports work under `python -m pytest`)."""

@@ -1,0 +1,222 @@
+"""Work stealing in depth: victim selection, steal order and size,
+round-robin determinism, deadlock detection, and the device-loop resume
+surface the live cluster relies on."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.do_notation import do
+from repro.core.exceptions import DeadlockError
+from repro.core.monad import pure
+from repro.core.smp import SmpScheduler
+from repro.core.sync import Channel, MVar
+from repro.core.syscalls import sys_epoll_wait, sys_nbio, sys_yield
+from repro.core.trace import SysEpollWait
+
+
+class TestVictimSelection:
+    def test_thief_picks_largest_queue(self):
+        smp = SmpScheduler(workers=3)
+        for _ in range(3):
+            smp.spawn(pure(None), worker=1)
+        for _ in range(9):
+            smp.spawn(pure(None), worker=2)
+        smp._steal_for(smp.workers[0])
+        # Worker 2 held the most work, so it pays; worker 1 is untouched.
+        assert len(smp.workers[1].ready) == 3
+        assert len(smp.workers[2].ready) == 5
+        assert len(smp.workers[0].ready) == 4
+        assert smp.steals == 1
+        assert smp.tasks_stolen == 4
+
+    def test_no_steal_when_all_queues_empty(self):
+        smp = SmpScheduler(workers=3)
+        smp._steal_for(smp.workers[0])
+        assert smp.steals == 0
+        assert all(not worker.ready for worker in smp.workers)
+
+    def test_single_worker_never_steals(self):
+        smp = SmpScheduler(workers=1)
+        for _ in range(10):
+            smp.spawn(pure(None))
+        smp.run()
+        assert smp.steals == 0
+
+
+class TestStealSize:
+    def test_steals_half_rounded_down(self):
+        smp = SmpScheduler(workers=2)
+        for _ in range(10):
+            smp.spawn(pure(None), worker=0)
+        smp._steal_for(smp.workers[1])
+        assert len(smp.workers[1].ready) == 5
+        assert len(smp.workers[0].ready) == 5
+
+    def test_steals_at_least_one(self):
+        smp = SmpScheduler(workers=2)
+        smp.spawn(pure(None), worker=0)
+        smp._steal_for(smp.workers[1])
+        assert len(smp.workers[1].ready) == 1
+        assert len(smp.workers[0].ready) == 0
+
+    def test_steals_tail_of_victim_queue_in_order(self):
+        """Half comes from the *back* (oldest-parked end the victim would
+        reach last), preserving both sides' relative order."""
+        smp = SmpScheduler(workers=2)
+        tcbs = [smp.spawn(pure(None), worker=0, name=f"t{i}")
+                for i in range(6)]
+        smp._steal_for(smp.workers[1])
+        victim_names = [tcb.name for tcb, _ in smp.workers[0].ready]
+        thief_names = [tcb.name for tcb, _ in smp.workers[1].ready]
+        assert victim_names == ["t0", "t1", "t2"]
+        assert thief_names == ["t3", "t4", "t5"]
+        assert [tcb.name for tcb in tcbs] == [f"t{i}" for i in range(6)]
+
+
+class TestDeterminism:
+    @staticmethod
+    def _run_once(seed_threads: int, workers: int):
+        smp = SmpScheduler(workers=workers, batch_limit=4)
+        log: list[int] = []
+
+        @do
+        def thread(ident):
+            for _ in range(ident % 3 + 1):
+                yield sys_yield()
+            yield sys_nbio(lambda: log.append(ident))
+
+        # Imbalanced placement so stealing actually happens.
+        for ident in range(seed_threads):
+            smp.spawn(thread(ident), worker=0)
+        smp.run()
+        stats = smp.stats()
+        return log, stats["steals"], stats["per_worker_batches"]
+
+    def test_identical_runs_identical_schedules(self):
+        first = self._run_once(24, 3)
+        second = self._run_once(24, 3)
+        assert first == second
+
+    def test_round_robin_turn_order(self):
+        """Workers take turns in index order: with every queue nonempty, N
+        consecutive steps run workers 0, 1, ..., N-1."""
+        smp = SmpScheduler(workers=3)
+        for worker in range(3):
+            smp.spawn(pure(None), worker=worker)
+        order = []
+        for worker in smp.workers:
+            def make_step(worker=worker, real=worker.step):
+                def step():
+                    order.append(worker.index)
+                    return real()
+                return step
+            worker.step = make_step()
+        smp.step()
+        smp.step()
+        smp.step()
+        assert order == [0, 1, 2]
+
+
+class TestDeadlockDetection:
+    def test_cross_worker_take_never_filled(self):
+        smp = SmpScheduler(workers=3)
+        box = MVar()
+
+        @do
+        def stuck():
+            yield box.take()
+
+        for worker in range(3):
+            smp.spawn(stuck(), worker=worker)
+        with pytest.raises(DeadlockError):
+            smp.run_all()
+        assert smp.live_threads == 3
+
+    def test_cross_worker_cycle(self):
+        """Two threads on different workers, each waiting on the other's
+        channel: no worker has runnable work and run_all reports it."""
+        smp = SmpScheduler(workers=2)
+        left, right = Channel(), Channel()
+
+        @do
+        def one():
+            value = yield left.read()
+            yield right.write(value)
+
+        @do
+        def other():
+            value = yield right.read()
+            yield left.write(value)
+
+        smp.spawn(one(), worker=0)
+        smp.spawn(other(), worker=1)
+        with pytest.raises(DeadlockError):
+            smp.run_all()
+
+    def test_no_false_deadlock_when_work_completes(self):
+        smp = SmpScheduler(workers=2)
+        box = MVar()
+
+        @do
+        def producer():
+            yield box.put(41)
+
+        @do
+        def consumer():
+            value = yield box.take()
+            return value + 1
+
+        tcb = smp.spawn(consumer(), worker=0)
+        smp.spawn(producer(), worker=1)
+        smp.run_all()
+        assert tcb.result == 42
+
+
+class TestDeviceResumeSurface:
+    """The runtime-facing API (`ready`, `resume*`) the cluster's live
+    shards use when wrapping an SmpScheduler."""
+
+    def test_ready_counts_across_workers(self):
+        smp = SmpScheduler(workers=3)
+        assert smp.ready == 0
+        for _ in range(5):
+            smp.spawn(pure(None))
+        assert smp.ready == 5
+        smp.run()
+        assert smp.ready == 0
+
+    def test_resume_routes_to_home_worker(self):
+        smp = SmpScheduler(workers=2)
+        parked = {}
+
+        def park_handler(sched, tcb, node):
+            parked["tcb"], parked["cont"] = tcb, node.cont
+            tcb.state = "blocked"
+            return None
+
+        # A device-style syscall parks the thread on worker 1; the runtime
+        # then resumes it through the parent scheduler, as LiveRuntime does.
+        results = []
+
+        @do
+        def thread():
+            value = yield sys_epoll_wait("fake-fd", 1)
+            results.append(value)
+
+        smp.register_syscall(SysEpollWait, park_handler)
+        smp.spawn(thread(), worker=1)
+        smp.run()
+        assert not results and parked  # parked on worker 1, nothing ready
+        smp.resume_value(parked["tcb"], parked["cont"], "resumed")
+        assert len(smp.workers[1].ready) == 1  # routed home, not elsewhere
+        assert len(smp.workers[0].ready) == 0
+        smp.run()
+        assert results == ["resumed"]
+
+    def test_home_map_cleared_on_finish(self):
+        smp = SmpScheduler(workers=2)
+        for _ in range(10):
+            smp.spawn(pure(None))
+        smp.run()
+        assert smp._home == {}

@@ -1,0 +1,172 @@
+"""Multi-process sharded serving: accept sharding, crash respawn,
+graceful shutdown, stats aggregation — over real sockets and real forks."""
+
+from __future__ import annotations
+
+import socket
+import time
+
+import pytest
+
+from repro.core.smp import SmpScheduler
+from repro.http.blocking_client import BlockingHttpClient
+from repro.http.server import build_live_server
+from repro.runtime.cluster import ClusterConfig, ClusterServer, build_runtime
+from repro.runtime.live_runtime import LiveRuntime
+
+SITE = {"index.html": b"<html>cluster under test</html>"}
+
+
+def app_factory(rt, listener):
+    return build_live_server(rt, listener, site=SITE)
+
+
+def get(port: int, path: str = "index.html",
+        client: BlockingHttpClient | None = None):
+    """One keep-alive GET; returns (status_line, body, client)."""
+    if client is None:
+        client = BlockingHttpClient(port)
+    status, body = client.get(path)
+    return status, body, client
+
+
+@pytest.fixture
+def cluster():
+    server = ClusterServer(app_factory, shards=2, grace=0.1)
+    server.start()
+    yield server
+    server.stop()
+
+
+class TestServing:
+    def test_serves_http_from_any_shard(self, cluster):
+        status, body, client = get(cluster.port)
+        assert status.endswith("200 OK")
+        assert body == SITE["index.html"]
+        client.close()
+
+    def test_both_workers_accept_connections(self, cluster):
+        # SO_REUSEPORT hashes per source port; distinct connections land on
+        # both shards with overwhelming probability well before the cap.
+        clients = []
+        try:
+            for _ in range(64):
+                status, _, client = get(cluster.port)
+                assert status.endswith("200 OK")
+                clients.append(client)
+                accepted = [
+                    worker["accepted"]
+                    for worker in cluster.stats()["workers"] if worker
+                ]
+                if len(accepted) == 2 and all(accepted):
+                    break
+            stats = cluster.stats()
+            accepted = [w["accepted"] for w in stats["workers"] if w]
+            assert len(accepted) == 2
+            assert all(count > 0 for count in accepted), accepted
+            assert sum(count for count in accepted) == len(clients)
+            assert stats["aggregate"]["requests"] == len(clients)
+        finally:
+            for client in clients:
+                client.close()
+
+    def test_keepalive_requests_counted_once_per_request(self, cluster):
+        status, _, client = get(cluster.port)
+        assert status.endswith("200 OK")
+        for _ in range(4):
+            status, _, _ = get(cluster.port, client=client)
+            assert status.endswith("200 OK")
+        stats = cluster.stats()["aggregate"]
+        assert stats["accepted"] == 1
+        assert stats["requests"] == 5
+        client.close()
+
+
+class TestCrashRespawn:
+    def test_crashed_worker_is_respawned(self, cluster):
+        pids_before = cluster.worker_pids()
+        assert all(pid is not None for pid in pids_before)
+        cluster.crash_worker(0)
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            pids = cluster.worker_pids()
+            if (cluster.respawns >= 1 and all(p is not None for p in pids)
+                    and pids != pids_before):
+                break
+            time.sleep(0.05)
+        assert cluster.respawns >= 1
+        pids_after = cluster.worker_pids()
+        assert all(pid is not None for pid in pids_after)
+        assert pids_after != pids_before
+        # The cluster still serves, and the replacement answers stats.
+        status, body, client = get(cluster.port)
+        assert status.endswith("200 OK")
+        assert body == SITE["index.html"]
+        client.close()
+        assert cluster.stats()["aggregate"]["workers_reporting"] == 2
+
+
+class TestGracefulShutdown:
+    def test_stop_closes_port_and_exits_cleanly(self):
+        cluster = ClusterServer(app_factory, shards=2, grace=0.1,
+                                respawn=False)
+        cluster.start()
+        workers = list(cluster._workers)
+        status, _, client = get(cluster.port)
+        assert status.endswith("200 OK")
+        client.close()
+        cluster.stop()
+        assert all(handle.process.exitcode == 0 for handle in workers), [
+            handle.process.exitcode for handle in workers
+        ]
+        with pytest.raises(OSError):
+            socket.create_connection(("127.0.0.1", cluster.port), timeout=1)
+
+    def test_stop_is_idempotent_and_start_once(self):
+        cluster = ClusterServer(app_factory, shards=1, grace=0.1)
+        cluster.start()
+        with pytest.raises(RuntimeError):
+            cluster.start()
+        cluster.stop()
+        cluster.stop()
+
+
+class TestConfig:
+    def test_shards_validation(self):
+        with pytest.raises(ValueError):
+            ClusterServer(app_factory, shards=0)
+
+    def test_bad_scheduler_kind(self):
+        with pytest.raises(ValueError):
+            build_runtime(ClusterConfig(scheduler="magic"))
+
+    def test_build_runtime_smp(self):
+        rt = build_runtime(ClusterConfig(scheduler="smp", smp_workers=3))
+        try:
+            assert isinstance(rt, LiveRuntime)
+            assert isinstance(rt.sched, SmpScheduler)
+            assert len(rt.sched.workers) == 3
+        finally:
+            rt.shutdown()
+
+    def test_smp_sharded_cluster_serves(self):
+        # The full stack: process shards whose runtimes wrap SmpScheduler
+        # (per-worker queues + stealing inside each shard).
+        cluster = ClusterServer(
+            app_factory, shards=2, scheduler="smp", smp_workers=2, grace=0.1
+        )
+        cluster.start()
+        try:
+            clients = []
+            for _ in range(8):
+                status, body, client = get(cluster.port)
+                assert status.endswith("200 OK")
+                assert body == SITE["index.html"]
+                clients.append(client)
+            for client in clients:
+                status, _, _ = get(cluster.port, client=client)
+                assert status.endswith("200 OK")
+                client.close()
+            assert cluster.stats()["aggregate"]["requests"] == 16
+        finally:
+            cluster.stop()
