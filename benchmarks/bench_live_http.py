@@ -1,29 +1,42 @@
-"""Live HTTP serving under real load: shards vs throughput.
+"""Live HTTP serving under real load: shards vs throughput, plus overload.
 
 The cluster (``repro.runtime.cluster``) replicates the live runtime across
 processes with ``SO_REUSEPORT`` sharding.  This harness measures it from
 the outside: several load-generator *processes*, each driving keep-alive
-connections over real sockets with back-to-back GETs for a fixed window,
-against clusters of 1, 2 and 4 shards.  Reported per point:
+connections over real sockets with back-to-back GETs for a fixed window.
 
-* aggregate requests/sec (client-side, completed responses only);
-* p50 / p99 response latency;
-* the server-side shard counters (via the cluster control pipes), which
-  must account for every client-observed response.
+Two modes:
 
-On a multi-core host the shared-nothing shards must scale: 2+ shards serve
-strictly more requests/sec than 1.  On a single core the table still
-prints, but the scaling assertion is vacuous (everything timeshares one
-CPU) and is skipped.
+* **scale** — clusters of 1, 2 and 4 shards under a fixed load fleet.
+  Reported per point: aggregate requests/sec (client-side, completed
+  responses only), p50/p99 response latency, and the server-side shard
+  counters (via the cluster control pipes), which must account for every
+  client-observed response.
+* **overload** — a capped cluster (``max_connections`` per shard) offered
+  more connections than it admits.  Excess connections are shed with a
+  503 + clean close and the clients reconnect; the number reported is the
+  p99 of *admitted* requests, which must stay bounded while shedding.
 
-``REPRO_BENCH_SCALE`` lengthens the measurement window.
+Run under pytest (the CI smoke path) or directly as a script::
+
+    python benchmarks/bench_live_http.py --mode both \
+        --json BENCH_live_http.json --duration 0.8 --deadline 240
+
+The script self-terminates: ``--duration`` bounds each measurement window
+and ``--deadline`` bounds the whole run (remaining points are skipped and
+recorded), so no external ``timeout`` wrapper is needed.
+
+``REPRO_BENCH_SCALE`` (or ``--scale``) lengthens the measurement window.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import multiprocessing
 import os
 import socket
+import sys
 import time
 
 from conftest import scale
@@ -39,11 +52,28 @@ CONNECTIONS_PER_PROCESS = 4
 REQUEST = b"GET /index.html HTTP/1.1\r\nHost: bench\r\n\r\n"
 SITE = {"index.html": b"<html>" + b"x" * 1024 + b"</html>"}
 
+# Overload mode: per-shard admission caps well below the offered load.
+OVERLOAD_SHARDS = 2
+OVERLOAD_CAP_PER_SHARD = 8
+OVERLOAD_PROCESSES = 6
+OVERLOAD_CONNECTIONS = 6          # 36 offered vs 16 admitted
+#: p99 bound (ms) for admitted requests while the cluster sheds excess.
+OVERLOAD_P99_BOUND_MS = 500.0
+
 
 def app_factory(rt, listener):
     return build_live_server(rt, listener, site=SITE)
 
 
+def capped_app_factory(rt, listener):
+    return build_live_server(
+        rt, listener, site=SITE, max_connections=OVERLOAD_CAP_PER_SHARD
+    )
+
+
+# ----------------------------------------------------------------------
+# Scale mode: uncapped cluster, fixed keep-alive fleet.
+# ----------------------------------------------------------------------
 def _load_process(port, connections, duration, barrier, result_pipe) -> None:
     """One load generator: keep-alive conns driven with sequential GETs."""
     try:
@@ -81,31 +111,7 @@ def _load_process(port, connections, duration, barrier, result_pipe) -> None:
     result_pipe.close()
 
 
-def drive_load(port: int, duration: float) -> dict:
-    """Fan out the load processes; return count + latency percentiles."""
-    ctx = multiprocessing.get_context("fork")
-    barrier = ctx.Barrier(LOAD_PROCESSES)
-    pipes, procs = [], []
-    for _ in range(LOAD_PROCESSES):
-        receiver, sender = ctx.Pipe(duplex=False)
-        proc = ctx.Process(
-            target=_load_process,
-            args=(port, CONNECTIONS_PER_PROCESS, duration, barrier, sender),
-        )
-        proc.start()
-        sender.close()
-        pipes.append(receiver)
-        procs.append(proc)
-    latencies: list[float] = []
-    for receiver in pipes:
-        # Bounded wait: a generator that crashed outright (no result at
-        # all) must not hang the harness.
-        if receiver.poll(duration + 60):
-            latencies.extend(receiver.recv())
-    for proc in procs:
-        proc.join(timeout=10)
-        if proc.is_alive():
-            proc.terminate()
+def _percentiles(latencies: list[float], duration: float) -> dict:
     latencies.sort()
     count = len(latencies)
     return {
@@ -117,9 +123,48 @@ def drive_load(port: int, duration: float) -> dict:
     }
 
 
-def run_point(shards: int, duration: float) -> dict:
+def _fan_out(worker, procs: int, worker_args: tuple, duration: float) -> list:
+    """Spawn ``procs`` load processes running ``worker`` behind a shared
+    start barrier; return their result payloads (one per process that
+    reported).  ``worker`` receives ``(*worker_args, barrier, pipe)``."""
+    ctx = multiprocessing.get_context("fork")
+    barrier = ctx.Barrier(procs)
+    pipes, children = [], []
+    for _ in range(procs):
+        receiver, sender = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=worker, args=(*worker_args, barrier, sender)
+        )
+        proc.start()
+        sender.close()
+        pipes.append(receiver)
+        children.append(proc)
+    payloads = []
+    for receiver in pipes:
+        # Bounded wait: a generator that crashed outright (no result at
+        # all) must not hang the harness.
+        if receiver.poll(duration + 60):
+            payloads.append(receiver.recv())
+    for proc in children:
+        proc.join(timeout=10)
+        if proc.is_alive():
+            proc.terminate()
+    return payloads
+
+
+def drive_load(port: int, duration: float) -> dict:
+    """Fan out the load processes; return count + latency percentiles."""
+    payloads = _fan_out(
+        _load_process, LOAD_PROCESSES,
+        (port, CONNECTIONS_PER_PROCESS, duration), duration,
+    )
+    latencies = [latency for payload in payloads for latency in payload]
+    return _percentiles(latencies, duration)
+
+
+def run_point(shards: int, duration: float, poller: str = "auto") -> dict:
     """One cluster of ``shards`` processes under the full load fleet."""
-    cluster = ClusterServer(app_factory, shards=shards)
+    cluster = ClusterServer(app_factory, shards=shards, poller=poller)
     cluster.start()
     try:
         result = drive_load(cluster.port, duration)
@@ -132,6 +177,99 @@ def run_point(shards: int, duration: float) -> dict:
     return result
 
 
+# ----------------------------------------------------------------------
+# Overload mode: capped cluster, reconnecting fleet, admitted-only p99.
+# ----------------------------------------------------------------------
+def _overload_process(port, connections, duration, barrier, result_pipe):
+    """Open-loop-ish overload driver: each shed/failed connection is
+    replaced, so the cluster sees sustained admission pressure."""
+
+    def connect():
+        try:
+            sock = socket.create_connection(("127.0.0.1", port), timeout=5)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            return sock, bytearray()
+        except OSError:
+            return None
+
+    slots = [connect() for _ in range(connections)]
+    try:
+        barrier.wait(timeout=30)
+    except Exception:
+        result_pipe.send({"latencies": [], "shed": 0})
+        return
+    latencies: list[float] = []
+    shed = 0
+    deadline = time.monotonic() + duration
+    while time.monotonic() < deadline:
+        for index in range(connections):
+            if slots[index] is None:
+                slots[index] = connect()
+                if slots[index] is None:
+                    continue
+            sock, buffer = slots[index]
+            begin = time.perf_counter()
+            try:
+                sock.sendall(REQUEST)
+                status, _body = read_response(sock, buffer)
+            except (ConnectionError, OSError):
+                shed += 1  # reset/EOF from a shed connection
+                sock.close()
+                slots[index] = None
+                continue
+            if "503" in status:
+                shed += 1  # clean shed: 503 + Connection: close
+                sock.close()
+                slots[index] = None
+                continue
+            latencies.append(time.perf_counter() - begin)
+    for slot in slots:
+        if slot is not None:
+            slot[0].close()
+    result_pipe.send({"latencies": latencies, "shed": shed})
+    result_pipe.close()
+
+
+def drive_overload(port: int, duration: float) -> dict:
+    payloads = _fan_out(
+        _overload_process, OVERLOAD_PROCESSES,
+        (port, OVERLOAD_CONNECTIONS, duration), duration,
+    )
+    latencies: list[float] = []
+    client_shed = 0
+    for payload in payloads:
+        latencies.extend(payload["latencies"])
+        client_shed += payload["shed"]
+    result = _percentiles(latencies, duration)
+    result["client_shed"] = client_shed
+    return result
+
+
+def run_overload(duration: float, poller: str = "auto") -> dict:
+    """The capped cluster under sustained admission pressure."""
+    cluster = ClusterServer(
+        capped_app_factory, shards=OVERLOAD_SHARDS, poller=poller
+    )
+    cluster.start()
+    try:
+        result = drive_overload(cluster.port, duration)
+        aggregate = cluster.stats()["aggregate"]
+    finally:
+        cluster.stop()
+    result["shards"] = OVERLOAD_SHARDS
+    result["cap_per_shard"] = OVERLOAD_CAP_PER_SHARD
+    result["offered_connections"] = OVERLOAD_PROCESSES * OVERLOAD_CONNECTIONS
+    result["server_shed"] = aggregate["shed"]
+    result["server_requests"] = aggregate["requests"]
+    result["active_at_end"] = aggregate["active"]
+    result["saturation_max"] = aggregate["saturation_max"]
+    result["workers_reporting"] = aggregate["workers_reporting"]
+    return result
+
+
+# ----------------------------------------------------------------------
+# Pytest entry points (the CI smoke path).
+# ----------------------------------------------------------------------
 def test_live_http_shard_scaling(report):
     duration = 0.8 * scale()
     throughput = Series("requests/sec")
@@ -175,3 +313,120 @@ def test_live_http_shard_scaling(report):
     else:
         report("single core: shard-scaling assertion skipped "
                "(shards timeshare one CPU)")
+
+
+def test_live_http_overload(report):
+    duration = 0.8 * scale()
+    point = run_overload(duration)
+    report(
+        f"Overload — {point['offered_connections']} offered connections vs "
+        f"{point['shards']} shards x {point['cap_per_shard']} cap: "
+        f"{point['rps']:.0f} admitted rps, p50 {point['p50_ms']:.2f} ms, "
+        f"p99 {point['p99_ms']:.2f} ms, server shed {point['server_shed']}, "
+        f"client-observed shed {point['client_shed']}, "
+        f"saturation {point['saturation_max']}"
+    )
+    # Admitted traffic kept flowing…
+    assert point["requests"] > 0, "no admitted requests completed"
+    assert point["workers_reporting"] == OVERLOAD_SHARDS
+    # …excess connections were actually shed…
+    assert point["server_shed"] > 0, "overload never shed a connection"
+    # …the cap held (stats taken after the fleet disconnected)…
+    assert point["active_at_end"] <= OVERLOAD_SHARDS * OVERLOAD_CAP_PER_SHARD
+    # …and admitted-request latency stayed bounded while shedding.
+    assert point["p99_ms"] < OVERLOAD_P99_BOUND_MS * scale(), (
+        f"admitted p99 {point['p99_ms']:.1f} ms exceeds bound "
+        f"{OVERLOAD_P99_BOUND_MS * scale():.0f} ms under overload"
+    )
+
+
+# ----------------------------------------------------------------------
+# Script mode: self-terminating runs that emit BENCH_live_http.json.
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Live-HTTP cluster benchmark (scale + overload modes)."
+    )
+    parser.add_argument("--mode", choices=("scale", "overload", "both"),
+                        default="both")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="seconds per measurement point "
+                             "(default: 0.8 x scale)")
+    parser.add_argument("--scale", type=int, default=None,
+                        help="workload multiplier "
+                             "(default: REPRO_BENCH_SCALE or 1)")
+    parser.add_argument("--deadline", type=float, default=240.0,
+                        help="overall wall-clock budget in seconds; "
+                             "points that would start past it are skipped")
+    parser.add_argument("--json", dest="json_path", default=None,
+                        help="write results to this JSON file")
+    parser.add_argument("--poller", choices=("auto", "epoll", "select"),
+                        default="auto",
+                        help="shard event-loop poller (select = the "
+                             "pre-persistent-epoll fallback, for A/B runs)")
+    args = parser.parse_args(argv)
+
+    factor = args.scale if args.scale is not None else scale()
+    duration = args.duration if args.duration is not None else 0.8 * factor
+    started = time.monotonic()
+    hard_deadline = started + args.deadline
+    skipped: list[str] = []
+
+    def budget_left(need: float) -> bool:
+        return time.monotonic() + need <= hard_deadline
+
+    # Each point costs roughly its window plus cluster setup/teardown.
+    point_cost = duration + 10.0
+
+    results: dict = {
+        "bench": "live_http",
+        "meta": {
+            "cores": os.cpu_count() or 1,
+            "duration_s": duration,
+            "load_processes": LOAD_PROCESSES,
+            "connections_per_process": CONNECTIONS_PER_PROCESS,
+            "poller": args.poller,
+            "python": sys.version.split()[0],
+        },
+    }
+
+    if args.mode in ("scale", "both"):
+        table: dict[str, dict] = {}
+        for shards in SHARD_POINTS:
+            if not budget_left(point_cost):
+                skipped.append(f"scale:{shards}")
+                continue
+            point = run_point(shards, duration, poller=args.poller)
+            table[str(shards)] = point
+            print(f"scale {shards} shard(s): {point['rps']:.0f} rps, "
+                  f"p50 {point['p50_ms']:.2f} ms, "
+                  f"p99 {point['p99_ms']:.2f} ms "
+                  f"({point['requests']} requests)")
+        results["scale"] = table
+
+    if args.mode in ("overload", "both"):
+        if budget_left(point_cost):
+            point = run_overload(duration, poller=args.poller)
+            results["overload"] = point
+            print(f"overload: {point['rps']:.0f} admitted rps, "
+                  f"p99 {point['p99_ms']:.2f} ms, "
+                  f"server shed {point['server_shed']}, "
+                  f"client shed {point['client_shed']}")
+        else:
+            skipped.append("overload")
+
+    results["meta"]["skipped_points"] = skipped
+    results["meta"]["elapsed_s"] = round(time.monotonic() - started, 3)
+    if skipped:
+        print(f"deadline {args.deadline:.0f}s reached; skipped: {skipped}")
+
+    if args.json_path:
+        with open(args.json_path, "w") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

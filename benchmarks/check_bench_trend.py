@@ -1,0 +1,113 @@
+"""CI regression gate over ``BENCH_live_http.json``.
+
+Compares a fresh bench run against the committed baseline floor
+(``benchmarks/BENCH_live_http.baseline.json``) and exits non-zero when:
+
+* any shard point's requests/sec falls more than ``--tolerance`` below the
+  baseline floor (default 30%);
+* a baseline shard point is missing from the results (the run was cut
+  short — a silent skip must not read as a pass);
+* the overload point's admitted-request p99 exceeds the baseline bound,
+  or the run shed nothing (the cap did not engage).
+
+Usage::
+
+    python benchmarks/check_bench_trend.py BENCH_live_http.json \
+        --baseline benchmarks/BENCH_live_http.baseline.json --tolerance 0.30
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def check(results: dict, baseline: dict, tolerance: float) -> list[str]:
+    """All regression findings (empty = gate passes)."""
+    failures: list[str] = []
+
+    scale = results.get("scale", {})
+    for shards, floor_rps in baseline.get("scale_rps", {}).items():
+        point = scale.get(str(shards))
+        if point is None:
+            failures.append(
+                f"scale point {shards} shard(s) missing from results "
+                f"(run cut short?)"
+            )
+            continue
+        minimum = floor_rps * (1.0 - tolerance)
+        rps = point.get("rps", 0.0)
+        status = "ok" if rps >= minimum else "REGRESSION"
+        print(
+            f"  scale {shards} shard(s): {rps:8.0f} rps "
+            f"(floor {floor_rps}, gate {minimum:.0f}) {status}"
+        )
+        if rps < minimum:
+            failures.append(
+                f"{shards} shard(s): {rps:.0f} rps is below "
+                f"{minimum:.0f} (floor {floor_rps} - {tolerance:.0%})"
+            )
+
+    overload_baseline = baseline.get("overload")
+    if overload_baseline:
+        overload = results.get("overload")
+        if overload is None:
+            failures.append("overload point missing from results")
+        else:
+            p99 = overload.get("p99_ms", float("inf"))
+            bound = overload_baseline.get("p99_ms_max")
+            if bound is not None:
+                status = "ok" if p99 <= bound else "REGRESSION"
+                print(
+                    f"  overload admitted p99: {p99:8.2f} ms "
+                    f"(bound {bound} ms) {status}"
+                )
+                if p99 > bound:
+                    failures.append(
+                        f"overload admitted p99 {p99:.2f} ms exceeds "
+                        f"bound {bound} ms"
+                    )
+            if overload_baseline.get("require_shed") and not (
+                overload.get("server_shed", 0) > 0
+            ):
+                failures.append(
+                    "overload run shed no connections: the admission cap "
+                    "never engaged"
+                )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail on live-HTTP bench regressions vs the committed "
+                    "baseline floor."
+    )
+    parser.add_argument("results", help="BENCH_live_http.json from a run")
+    parser.add_argument(
+        "--baseline", default="benchmarks/BENCH_live_http.baseline.json"
+    )
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional drop below the baseline "
+                             "floor (default 0.30)")
+    args = parser.parse_args(argv)
+
+    with open(args.results) as handle:
+        results = json.load(handle)
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+
+    print(f"bench-trend gate: {args.results} vs {args.baseline} "
+          f"(tolerance {args.tolerance:.0%})")
+    failures = check(results, baseline, args.tolerance)
+    if failures:
+        print("bench-trend gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("bench-trend gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,7 +11,11 @@ Run with::
 
     python examples/cluster_server.py             # demo: serve, load, stats
     python examples/cluster_server.py --serve     # run until Ctrl-C
+    python examples/cluster_server.py --serve --duration 10   # self-stop
     python examples/cluster_server.py --shards 4  # more shards
+
+``--duration`` is an internal deadline (seconds): serving stops cleanly on
+its own, so CI and scripts need no external ``timeout`` wrapper.
 """
 
 from __future__ import annotations
@@ -46,6 +50,9 @@ def main() -> None:
     shards = 2
     if "--shards" in sys.argv:
         shards = int(sys.argv[sys.argv.index("--shards") + 1])
+    duration = None
+    if "--duration" in sys.argv:
+        duration = float(sys.argv[sys.argv.index("--duration") + 1])
 
     cluster = ClusterServer(app_factory, shards=shards)
     cluster.start()
@@ -53,13 +60,18 @@ def main() -> None:
           f"(pids {cluster.worker_pids()})")
 
     if "--serve" in sys.argv:
+        deadline = None if duration is None else time.monotonic() + duration
         try:
-            while True:
-                time.sleep(2.0)
+            while deadline is None or time.monotonic() < deadline:
+                remaining = (2.0 if deadline is None
+                             else min(2.0, max(0.0,
+                                               deadline - time.monotonic())))
+                time.sleep(remaining)
                 aggregate = cluster.stats()["aggregate"]
                 print(f"  conns={aggregate['accepted']} "
                       f"requests={aggregate['requests']} "
                       f"respawns={cluster.respawns}")
+            print(f"duration {duration:.0f}s elapsed; stopping")
         except KeyboardInterrupt:
             pass
         finally:

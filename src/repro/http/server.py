@@ -23,7 +23,13 @@ from typing import Any
 
 from ..core.do_notation import do
 from ..core.monad import M, pure
-from ..core.syscalls import sys_aio_read, sys_blio, sys_fork, sys_nbio
+from ..core.syscalls import (
+    sys_aio_read,
+    sys_blio,
+    sys_catch,
+    sys_fork,
+    sys_nbio,
+)
 from ..runtime.io_api import NetIO
 from ..simos.filesys import SimFileSystem
 from .cache import FileCache
@@ -53,11 +59,20 @@ class IoSocketLayer:
     def accept(self, listener: Any) -> M:
         return self.io.accept(listener)
 
+    def accept_batch(self, listener: Any, limit: int) -> M:
+        """Accept a burst: drain the listen queue up to ``limit`` per
+        wakeup (resumes with a non-empty list)."""
+        return self.io.accept_many(listener, limit)
+
     def recv(self, conn: Any, nbytes: int) -> M:
         return self.io.read(conn, nbytes)
 
     def send(self, conn: Any, data: bytes) -> M:
         return self.io.write_all(conn, data)
+
+    def shed(self, conn: Any, farewell: bytes = b"") -> M:
+        """Overload path: best-effort farewell + close, never blocking."""
+        return self.io.shed(conn, farewell)
 
     def close(self, conn: Any) -> M:
         return self.io.close(conn)
@@ -103,11 +118,28 @@ class AppTcpSocketLayer:
     def accept(self, listener: Any) -> M:
         return self.tcp.accept(listener)
 
+    def accept_batch(self, listener: Any, limit: int) -> M:
+        # The app-level stack has no kernel accept queue to drain; a batch
+        # is one connection.
+        return self.accept(listener).bind(lambda conn: pure([conn]))
+
     def recv(self, conn: Any, nbytes: int) -> M:
         return self.tcp.recv(conn, nbytes)
 
     def send(self, conn: Any, data: bytes) -> M:
         return self.tcp.send(conn, data)
+
+    def shed(self, conn: Any, farewell: bytes = b"") -> M:
+        # Best effort: a peer that vanished mid-shed must not kill the
+        # accept loop, and the connection closes on every path.
+        def swallow(_exc: BaseException) -> M:
+            return pure(None)
+
+        farewell_op = (
+            sys_catch(self.send(conn, farewell), swallow)
+            if farewell else pure(None)
+        )
+        return farewell_op.then(sys_catch(self.close(conn), swallow))
 
     def close(self, conn: Any) -> M:
         return self.tcp.close(conn)
@@ -117,7 +149,7 @@ class ServerStats:
     """Counters the benchmarks report."""
 
     __slots__ = ("connections", "requests", "responses_ok", "responses_err",
-                 "bytes_sent", "aio_reads")
+                 "bytes_sent", "aio_reads", "active", "shed")
 
     def __init__(self) -> None:
         self.connections = 0
@@ -126,6 +158,10 @@ class ServerStats:
         self.responses_err = 0
         self.bytes_sent = 0
         self.aio_reads = 0
+        #: Currently admitted (open) client connections.
+        self.active = 0
+        #: Connections refused at the accept queue under the admission cap.
+        self.shed = 0
 
 
 class WebServer:
@@ -138,14 +174,27 @@ class WebServer:
         cache_bytes: int = 100 * 1024 * 1024,
         read_chunk: int = 64 * 1024,
         name: str = "webserver",
+        accept_batch: int = 64,
+        max_connections: int | None = None,
     ) -> None:
+        if accept_batch < 1:
+            raise ValueError("accept_batch must be >= 1")
+        if max_connections is not None and max_connections < 1:
+            raise ValueError("max_connections must be >= 1 (or None)")
         self.layer = socket_layer
         self.fs = fs
         self.cache = FileCache(cache_bytes)
         self.read_chunk = read_chunk
         self.name = name
+        #: Accept-queue drain cap per loop wakeup (batched accepts).
+        self.accept_batch = accept_batch
+        #: Admission cap: connections beyond this are shed with a 503.
+        self.max_connections = max_connections
         self.stats = ServerStats()
         self.running = True
+        self._shed_payload = HttpResponse.for_error(
+            HttpError(503, "connection capacity reached"), keep_alive=False
+        ).encode()
 
         # ------------------------------------------------------------
         # The per-client thread and its helpers, in do-notation.  This is
@@ -159,16 +208,36 @@ class WebServer:
             listener = yield layer.setup()
             while self.running:
                 try:
-                    conn = yield layer.accept(listener)
+                    conns = yield layer.accept_batch(
+                        listener, self.accept_batch
+                    )
                 except (OSError, ValueError):
                     if self.running:
                         raise
                     return  # listener torn down during shutdown
-                if not self.running:
-                    yield layer.close(conn)
-                    return
-                stats.connections += 1
-                yield sys_fork(handle_client(conn), name="client")
+                for conn in conns:
+                    if not self.running:
+                        yield layer.close(conn)
+                        continue
+                    if (self.max_connections is not None
+                            and stats.active >= self.max_connections):
+                        # Admission control: answer with a clean 503 and
+                        # hang up, without spawning a client thread.
+                        stats.shed += 1
+                        yield layer.shed(conn, self._shed_payload)
+                        continue
+                    stats.connections += 1
+                    stats.active += 1
+                    yield sys_fork(admitted_client(conn), name="client")
+
+        @do
+        def admitted_client(conn):
+            # ``active`` pairs with the admission in ``main``; the plain
+            # (non-yielding) decrement is safe even under GeneratorExit.
+            try:
+                yield handle_client(conn)
+            finally:
+                stats.active -= 1
 
         @do
         def handle_client(conn):
@@ -356,6 +425,8 @@ def build_live_server(
     cache_bytes: int = 100 * 1024 * 1024,
     read_chunk: int = 64 * 1024,
     name: str = "webserver",
+    accept_batch: int = 64,
+    max_connections: int | None = None,
 ) -> WebServer:
     """Construct a :class:`WebServer` serving real sockets on ``rt``.
 
@@ -363,11 +434,14 @@ def build_live_server(
     existing listener (possibly one ``SO_REUSEPORT`` member of a shared
     port), plus content from a real ``docroot`` directory and/or an
     in-memory ``site`` mapping preloaded into the application cache.
+    ``max_connections`` is the per-shard admission cap (overload shedding);
+    ``accept_batch`` caps how many connections one wakeup drains.
     """
     fs: Any = DocRootFilesystem(docroot) if docroot else _EmptyFilesystem()
     server = WebServer(
         LiveSocketLayer(rt.io, listener), fs,
         cache_bytes=cache_bytes, read_chunk=read_chunk, name=name,
+        accept_batch=accept_batch, max_connections=max_connections,
     )
     for path, content in (site or {}).items():
         server.cache.put(path.lstrip("/"), content)

@@ -69,6 +69,7 @@ class ClusterConfig:
     scheduler: str = "simple"     # "simple" | "smp"
     smp_workers: int = 4
     pool_workers: int = 4
+    poller: str = "auto"          # "auto" | "epoll" | "select"
     respawn: bool = True
     grace: float = 0.25           # drain window after a stop command
     ready_timeout: float = 10.0
@@ -94,6 +95,7 @@ def build_runtime(config: ClusterConfig) -> LiveRuntime:
         uncaught="store",
         pool_workers=config.pool_workers,
         scheduler=sched,
+        poller=config.poller,
     )
 
 
@@ -171,6 +173,15 @@ def _worker_main(
             "responses_ok": getattr(stats, "responses_ok", 0),
             "responses_err": getattr(stats, "responses_err", 0),
             "bytes_sent": getattr(stats, "bytes_sent", 0),
+            # Overload surface: admitted-now / shed-so-far / admission cap,
+            # so the master can report per-shard saturation.
+            "active": getattr(stats, "active", 0),
+            "shed": getattr(stats, "shed", 0),
+            "capacity": getattr(app, "max_connections", None),
+            # Event-loop overhead: cumulative epoll_ctl (or selector
+            # register/modify/unregister) traffic on this shard's poller.
+            "poller": rt.poller.name,
+            "poller_ctl": rt.poller.ctl_calls,
             "queue_depth": _queue_depth(rt.sched),
             "live_threads": rt.sched.live_threads,
         }
@@ -482,11 +493,22 @@ class ClusterServer:
                             break
                 per_worker.append(reply)
         answered = [reply for reply in per_worker if reply is not None]
+        for reply in answered:
+            capacity = reply.get("capacity")
+            reply["saturation"] = (
+                reply.get("active", 0) / capacity if capacity else None
+            )
         aggregate = {
-            key: sum(reply[key] for reply in answered)
+            key: sum(reply.get(key, 0) for reply in answered)
             for key in ("accepted", "requests", "responses_ok",
-                        "responses_err", "bytes_sent", "queue_depth")
+                        "responses_err", "bytes_sent", "queue_depth",
+                        "active", "shed")
         }
+        saturations = [
+            reply["saturation"] for reply in answered
+            if reply["saturation"] is not None
+        ]
+        aggregate["saturation_max"] = max(saturations, default=None)
         aggregate["workers_reporting"] = len(answered)
         return {"workers": per_worker, "aggregate": aggregate}
 

@@ -37,6 +37,10 @@ class NetIO:
 
     ``backend`` must provide ``nb_read``, ``nb_write``, ``nb_accept``,
     ``nb_connect`` and ``close`` with the ``WOULD_BLOCK`` convention.
+    Optionally it may provide ``nb_accept_batch(listener, limit)`` (a
+    native accept-queue drain; otherwise ``accept_many`` loops
+    ``nb_accept``) and ``nb_shed(fd, farewell)`` (an orderly
+    farewell/FIN/drain close used by overload shedding).
     All methods return :class:`~repro.core.monad.M` computations.
     """
 
@@ -91,6 +95,30 @@ class NetIO:
                     return conn
                 yield sys_epoll_wait(listener, EVENT_READ)
 
+        def _drain_accepts(listener, limit):
+            # One event-loop turn drains the whole burst (up to ``limit``)
+            # instead of paying a scheduler round-trip per connection.
+            batch_op = getattr(backend, "nb_accept_batch", None)
+            if batch_op is not None:
+                return batch_op(listener, limit)
+            conns = []
+            while len(conns) < limit:
+                conn = backend.nb_accept(listener)
+                if conn is WOULD_BLOCK:
+                    break
+                conns.append(conn)
+            return conns
+
+        @do
+        def _accept_many(listener, limit):
+            while True:
+                batch = yield sys_nbio(
+                    lambda: _drain_accepts(listener, limit)
+                )
+                if batch:
+                    return batch
+                yield sys_epoll_wait(listener, EVENT_READ)
+
         @do
         def _read_until(fd, delimiter, max_bytes):
             buffer = bytearray()
@@ -112,6 +140,7 @@ class NetIO:
         self._write = _write
         self._write_all = _write_all
         self._accept = _accept
+        self._accept_many = _accept_many
         self._read_until = _read_until
 
     # ------------------------------------------------------------------
@@ -144,6 +173,40 @@ class NetIO:
     def accept(self, listener: Any) -> M:
         """Accept one connection, blocking the thread until one arrives."""
         return self._accept(listener)
+
+    def accept_many(self, listener: Any, limit: int = 64) -> M:
+        """Accept a *batch*: drain the listen queue until empty or ``limit``
+        connections, blocking the thread only when the queue is empty.
+        Resumes with a non-empty list of connections."""
+        if limit < 1:
+            raise ValueError("accept batch limit must be >= 1")
+        return self._accept_many(listener, limit)
+
+    def shed(self, fd: Any, farewell: bytes = b"") -> M:
+        """Best-effort farewell + clean close, for overload shedding.
+
+        Never blocks the thread: one non-blocking attempt to send
+        ``farewell`` (a pre-encoded response), then a clean close.
+        Backends with a ``nb_shed`` primitive (the live backend) get the
+        full farewell/FIN/drain sequence so the peer sees an orderly end
+        of stream rather than a reset."""
+        backend = self.backend
+        shed_op = getattr(backend, "nb_shed", None)
+        if shed_op is not None:
+            return sys_nbio(lambda: shed_op(fd, farewell))
+
+        def action() -> None:
+            if farewell:
+                try:
+                    backend.nb_write(fd, farewell)
+                except OSError:
+                    pass
+            try:
+                backend.close(fd)
+            except OSError:
+                pass
+
+        return sys_nbio(action)
 
     def connect(self, target: Any, label: str = "conn") -> M:
         """Connect to a listener/address; resumes with the stream end."""

@@ -1,14 +1,28 @@
 """The live runtime: monadic threads over the real operating system.
 
 Same architecture as :class:`~repro.runtime.sim_runtime.SimRuntime`, but the
-devices are real: non-blocking sockets multiplexed through ``selectors``
-(epoll on Linux), timers on the monotonic clock, and a thread pool for
-blocking operations (§4.6).  Linux AIO has no portable Python binding, so
+devices are real: non-blocking sockets multiplexed through a persistent
+``epoll`` interest set (with a ``selectors`` fallback on platforms without
+epoll), timers on the monotonic clock, and a thread pool for blocking
+operations (§4.6).  Linux AIO has no portable Python binding, so
 ``sys_aio_read``/``sys_aio_write`` are routed through the blocking pool —
 the paper's own fallback path for operations without an async interface.
 
-This backend powers the runnable examples (a real echo server on real
-sockets); the benchmarks use the simulated runtime for determinism.
+The hot path follows §4.4's argument that the application-level scheduler
+only beats one-thread-per-connection if the event loop itself stays cheap:
+
+* :class:`EpollPoller` keeps every descriptor *persistently* registered and
+  issues ``epoll_ctl`` only when the combined interest mask actually
+  changes.  The canonical keep-alive cycle — park on ``EPOLLIN``, fire,
+  handle a request, park on ``EPOLLIN`` again — costs zero ``epoll_ctl``
+  calls after the first registration, instead of an add/del pair per wait.
+* :class:`SelectorPoller` is the portable fallback (macOS dev boxes, or any
+  platform without ``select.epoll``): the original register-per-wait loop
+  over ``selectors.DefaultSelector``.
+
+Both pollers expose ``ctl_adds``/``ctl_mods``/``ctl_dels`` counters so the
+no-rearm property is testable and per-shard loop overhead is observable
+through the cluster stats protocol.
 """
 
 from __future__ import annotations
@@ -17,6 +31,7 @@ import concurrent.futures
 import heapq
 import itertools
 import os
+import select
 import selectors
 import socket
 import time
@@ -43,7 +58,16 @@ def _throw_thunk(exc: BaseException) -> Thunk:
 from ..simos.errors import WOULD_BLOCK
 from .io_api import NetIO
 
-__all__ = ["LiveRuntime", "LiveBackend", "make_listener"]
+__all__ = [
+    "LiveRuntime",
+    "LiveBackend",
+    "EpollPoller",
+    "SelectorPoller",
+    "make_listener",
+    "make_poller",
+]
+
+HAS_EPOLL = hasattr(select, "epoll")
 
 
 def make_listener(
@@ -76,8 +100,13 @@ class LiveBackend:
     """Non-blocking wrappers over real sockets.
 
     ``fd`` objects are ``socket.socket`` instances in non-blocking mode.
-    ``nb_connect`` takes an ``(host, port)`` address.
+    ``nb_connect`` takes an ``(host, port)`` address.  ``on_close`` lets the
+    runtime drop poller bookkeeping before the descriptor number can be
+    reused.
     """
+
+    def __init__(self, on_close: Callable[[Any], None] | None = None) -> None:
+        self.on_close = on_close
 
     def nb_read(self, fd: socket.socket, nbytes: int):
         try:
@@ -99,6 +128,42 @@ class LiveBackend:
         conn.setblocking(False)
         return conn
 
+    def nb_accept_batch(self, listener: socket.socket, limit: int) -> list:
+        """Drain the accept queue: up to ``limit`` connections per call.
+
+        Accept-until-EAGAIN is the batched accept path — one loop wakeup
+        admits a whole burst instead of one connection per turn.  Returns
+        the (possibly empty) batch; an empty batch means the caller should
+        park on the listener.
+        """
+        conns = []
+        while len(conns) < limit:
+            try:
+                conn, _addr = listener.accept()
+            except (BlockingIOError, InterruptedError):
+                break
+            conn.setblocking(False)
+            conns.append(conn)
+        return conns
+
+    def nb_shed(self, fd: socket.socket, farewell: bytes) -> None:
+        """Overload-shedding close: farewell, FIN, drain, close.
+
+        ``shutdown(SHUT_WR)`` queues a FIN behind the farewell bytes, and
+        draining whatever the peer already sent keeps ``close()`` from
+        degrading into an RST (unread data in the receive queue resets the
+        connection instead of closing it cleanly).
+        """
+        try:
+            if farewell:
+                fd.send(farewell)
+            fd.shutdown(socket.SHUT_WR)
+            while fd.recv(4096):
+                pass
+        except OSError:
+            pass  # peer vanished or nothing buffered: close regardless
+        self.close(fd)
+
     def nb_connect(self, address: tuple, label: str = "conn"):
         sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         sock.setblocking(False)
@@ -109,6 +174,8 @@ class LiveBackend:
         return sock
 
     def close(self, fd: socket.socket) -> None:
+        if self.on_close is not None:
+            self.on_close(fd)
         fd.close()
 
     def now(self) -> float:
@@ -116,19 +183,285 @@ class LiveBackend:
 
 
 class _FdEntry:
-    """Per-fd selector bookkeeping: the set of parked waiters."""
+    """Per-fd poller bookkeeping: parked waiters + kernel interest state."""
 
-    __slots__ = ("waiters",)
+    __slots__ = ("fd", "waiters", "registered")
 
-    def __init__(self) -> None:
+    def __init__(self, fd: Any) -> None:
+        self.fd = fd
         # (mask, tcb, cont) triples.
         self.waiters: list[tuple[int, TCB, Callable]] = []
+        # The mask currently installed in the kernel interest set, or None
+        # when the fd is not registered at all.
+        self.registered: int | None = None
 
     def interest_mask(self) -> int:
         combined = 0
         for mask, _tcb, _cont in self.waiters:
             combined |= mask
         return combined
+
+
+#: ``poll()`` resumption: (tcb, continuation, ready-event mask).
+Resume = tuple[TCB, Callable, int]
+
+
+class EpollPoller:
+    """Persistent ``epoll`` interest sets: ``epoll_ctl`` only on change.
+
+    Registration is *sticky*: firing an event resumes the matching waiters
+    but leaves the kernel mask armed, so a thread that re-parks with the
+    same interest (the keep-alive read loop) costs zero syscalls.  A
+    spurious fire — readiness nobody currently waits for — narrows the mask
+    to the live interest, which prevents busy-wakeups from lingering
+    ``EPOLLOUT``/readable-but-unclaimed descriptors.  Descriptors stay in
+    the interest set (possibly with mask 0) until closed.
+    """
+
+    name = "epoll"
+
+    def __init__(self) -> None:
+        if not HAS_EPOLL:
+            raise RuntimeError("select.epoll unavailable on this platform")
+        self._epoll = select.epoll()
+        self._entries: dict[int, _FdEntry] = {}  # keyed by fileno
+        self._wake_fileno: int | None = None
+        # Maintained incrementally: the event loop reads it every
+        # iteration, and walking all (persistently registered) entries
+        # would reintroduce the O(active-fds) per-iteration cost this
+        # poller exists to remove.
+        self._waiter_count = 0
+        #: Cumulative ``epoll_ctl`` traffic, for tests and loop stats.
+        self.ctl_adds = 0
+        self.ctl_mods = 0
+        self.ctl_dels = 0
+
+    # -- bookkeeping ---------------------------------------------------
+    @property
+    def ctl_calls(self) -> int:
+        return self.ctl_adds + self.ctl_mods + self.ctl_dels
+
+    @property
+    def waiter_count(self) -> int:
+        return self._waiter_count
+
+    def register_wake(self, fd: Any) -> None:
+        self._wake_fileno = fd.fileno()
+        self._epoll.register(self._wake_fileno, select.EPOLLIN)
+
+    # -- waiting -------------------------------------------------------
+    def wait(self, fd: Any, mask: int, tcb: TCB, cont: Callable) -> None:
+        fileno = fd.fileno()
+        if fileno < 0:
+            raise ValueError("epoll_wait on a closed descriptor")
+        entry = self._entries.get(fileno)
+        if entry is not None and entry.fd is not fd:
+            # The old descriptor closed (the kernel dropped it from the
+            # interest set on close) and its number was reused: start
+            # over.  Waiters still parked on the dead descriptor can never
+            # fire; drop them from the count.
+            self._waiter_count -= len(entry.waiters)
+            entry = None
+        if entry is None:
+            entry = _FdEntry(fd)
+            self._entries[fileno] = entry
+        entry.waiters.append((mask, tcb, cont))
+        self._waiter_count += 1
+        desired = entry.interest_mask()
+        if entry.registered is None:
+            self._epoll.register(fileno, _to_epoll_mask(desired))
+            entry.registered = desired
+            self.ctl_adds += 1
+        elif desired & ~entry.registered:
+            merged = entry.registered | desired
+            self._epoll.modify(fileno, _to_epoll_mask(merged))
+            entry.registered = merged
+            self.ctl_mods += 1
+        # else: already armed for everything we want — zero syscalls.
+
+    # -- events --------------------------------------------------------
+    def poll(self, timeout: float | None) -> list[Resume]:
+        try:
+            events = self._epoll.poll(-1 if timeout is None else timeout)
+        except InterruptedError:
+            return []
+        resumes: list[Resume] = []
+        for fileno, epoll_mask in events:
+            if fileno == self._wake_fileno:
+                continue  # the wake pipe: drained by the completion queue
+            entry = self._entries.get(fileno)
+            if entry is None:
+                # No bookkeeping for a live registration: drop it.
+                try:
+                    self._epoll.unregister(fileno)
+                    self.ctl_dels += 1
+                except OSError:
+                    pass
+                continue
+            ready = _from_epoll_mask(epoll_mask)
+            remaining: list[tuple[int, TCB, Callable]] = []
+            resumed = False
+            for want, tcb, cont in entry.waiters:
+                hit = want & ready
+                if hit:
+                    resumes.append((tcb, cont, hit))
+                    resumed = True
+                else:
+                    remaining.append((want, tcb, cont))
+            self._waiter_count -= len(entry.waiters) - len(remaining)
+            entry.waiters = remaining
+            if resumed:
+                continue  # sticky mask: the re-park fast path stays armed
+            # Spurious fire — readiness nobody currently waits for.  On a
+            # busy poll (timeout 0, scheduler mid-batch) the resumed thread
+            # simply hasn't consumed its data yet: tolerate it, because
+            # narrowing here would re-arm on the next park and forfeit the
+            # zero-ctl cycle.  Only when the loop is about to *sleep* must
+            # the mask narrow, or the unclaimed descriptor would turn the
+            # sleep into a spin.
+            if timeout == 0 and entry.registered:
+                continue
+            desired = entry.interest_mask()
+            if entry.registered == 0 and not entry.waiters:
+                # A mask-0 registration still reports ERR/HUP: drop it.
+                try:
+                    self._epoll.unregister(fileno)
+                except OSError:
+                    pass
+                self.ctl_dels += 1
+                del self._entries[fileno]
+            elif desired != entry.registered:
+                self._epoll.modify(fileno, _to_epoll_mask(desired))
+                entry.registered = desired
+                self.ctl_mods += 1
+        return resumes
+
+    # -- teardown ------------------------------------------------------
+    def discard(self, fd: Any) -> None:
+        """Forget ``fd`` (called just before it closes)."""
+        try:
+            fileno = fd.fileno()
+        except (OSError, ValueError):
+            return
+        if fileno < 0:
+            return
+        entry = self._entries.get(fileno)
+        if entry is None or entry.fd is not fd:
+            return
+        if entry.registered is not None:
+            try:
+                self._epoll.unregister(fileno)
+                self.ctl_dels += 1
+            except OSError:
+                pass
+        self._waiter_count -= len(entry.waiters)
+        del self._entries[fileno]
+
+    def close(self) -> None:
+        self._epoll.close()
+
+
+class SelectorPoller:
+    """The portable fallback loop over ``selectors.DefaultSelector``.
+
+    Register-per-wait, unregister-on-fire — the original live-runtime
+    behavior, kept for platforms without ``select.epoll`` (and as the
+    reference the persistent path is benchmarked against).
+    """
+
+    name = "select"
+
+    def __init__(self) -> None:
+        self.selector = selectors.DefaultSelector()
+        self._entries: dict[Any, _FdEntry] = {}  # keyed by fd object
+        self._waiter_count = 0  # incremental: read every loop iteration
+        self.ctl_adds = 0
+        self.ctl_mods = 0
+        self.ctl_dels = 0
+
+    @property
+    def ctl_calls(self) -> int:
+        return self.ctl_adds + self.ctl_mods + self.ctl_dels
+
+    @property
+    def waiter_count(self) -> int:
+        return self._waiter_count
+
+    def register_wake(self, fd: Any) -> None:
+        self.selector.register(fd, selectors.EVENT_READ, None)
+
+    def wait(self, fd: Any, mask: int, tcb: TCB, cont: Callable) -> None:
+        entry = self._entries.get(fd)
+        if entry is None:
+            entry = _FdEntry(fd)
+            self._entries[fd] = entry
+            entry.waiters.append((mask, tcb, cont))
+            self.selector.register(
+                fd, _to_selector_mask(entry.interest_mask()), entry
+            )
+            self.ctl_adds += 1
+        else:
+            entry.waiters.append((mask, tcb, cont))
+            self.selector.modify(
+                fd, _to_selector_mask(entry.interest_mask()), entry
+            )
+            self.ctl_mods += 1
+        self._waiter_count += 1
+
+    def poll(self, timeout: float | None) -> list[Resume]:
+        events = self.selector.select(timeout)
+        resumes: list[Resume] = []
+        for key, mask in events:
+            if key.data is None:
+                continue  # the wake pipe
+            entry: _FdEntry = key.data
+            ready = _from_selector_mask(mask)
+            remaining: list[tuple[int, TCB, Callable]] = []
+            for want, tcb, cont in entry.waiters:
+                hit = want & ready
+                if hit:
+                    resumes.append((tcb, cont, hit))
+                else:
+                    remaining.append((want, tcb, cont))
+            self._waiter_count -= len(entry.waiters) - len(remaining)
+            entry.waiters = remaining
+            if remaining:
+                self.selector.modify(
+                    key.fileobj, _to_selector_mask(entry.interest_mask()),
+                    entry,
+                )
+                self.ctl_mods += 1
+            else:
+                self.selector.unregister(key.fileobj)
+                self.ctl_dels += 1
+                del self._entries[key.fileobj]
+        return resumes
+
+    def discard(self, fd: Any) -> None:
+        entry = self._entries.pop(fd, None)
+        if entry is None:
+            return
+        self._waiter_count -= len(entry.waiters)
+        try:
+            self.selector.unregister(fd)
+            self.ctl_dels += 1
+        except (KeyError, ValueError, OSError):
+            pass
+
+    def close(self) -> None:
+        self.selector.close()
+
+
+def make_poller(kind: str = "auto") -> EpollPoller | SelectorPoller:
+    """Build the I/O poller: ``"epoll"``, ``"select"``, or ``"auto"``
+    (persistent epoll where the platform has it, selectors elsewhere)."""
+    if kind == "auto":
+        kind = "epoll" if HAS_EPOLL else "select"
+    if kind == "epoll":
+        return EpollPoller()
+    if kind == "select":
+        return SelectorPoller()
+    raise ValueError(f"unknown poller kind {kind!r}")
 
 
 class LiveRuntime:
@@ -140,6 +473,7 @@ class LiveRuntime:
         uncaught: str | Callable = "raise",
         pool_workers: int = 8,
         scheduler: Any = None,
+        poller: str = "auto",
     ) -> None:
         # Any Scheduler-shaped object works: a plain Scheduler (default) or
         # an SmpScheduler for per-worker queues + stealing inside one
@@ -150,22 +484,21 @@ class LiveRuntime:
         if scheduler is None:
             scheduler = Scheduler(batch_limit=batch_limit, uncaught=uncaught)
         self.sched = scheduler
-        self.backend = LiveBackend()
+        self.poller = make_poller(poller)
+        self.backend = LiveBackend(on_close=self.poller.discard)
         self.io = NetIO(self.backend)
-        self.selector = selectors.DefaultSelector()
-        self._fd_entries: dict[Any, _FdEntry] = {}
         self._timers: list[tuple[float, int, TCB, Callable]] = []
         self._timer_seq = itertools.count()
         self.pool = concurrent.futures.ThreadPoolExecutor(
             max_workers=pool_workers, thread_name_prefix="blio"
         )
         # Completions from pool threads, drained on the main loop; the
-        # self-pipe wakes a sleeping select().
+        # self-pipe wakes a sleeping poll().
         self._completions: deque[tuple[TCB, Thunk]] = deque()
         self._wake_recv, self._wake_send = socket.socketpair()
         self._wake_recv.setblocking(False)
         self._wake_send.setblocking(False)
-        self.selector.register(self._wake_recv, selectors.EVENT_READ, None)
+        self.poller.register_wake(self._wake_recv)
         self._install_handlers()
 
     # ------------------------------------------------------------------
@@ -201,19 +534,7 @@ class LiveRuntime:
 
     def _handle_epoll_wait(self, _sched: Scheduler, tcb: TCB, node: SysEpollWait):
         tcb.state = "blocked"
-        entry = self._fd_entries.get(node.fd)
-        if entry is None:
-            entry = _FdEntry()
-            self._fd_entries[node.fd] = entry
-            entry.waiters.append((node.events, tcb, node.cont))
-            self.selector.register(
-                node.fd, _to_selector_mask(entry.interest_mask()), entry
-            )
-        else:
-            entry.waiters.append((node.events, tcb, node.cont))
-            self.selector.modify(
-                node.fd, _to_selector_mask(entry.interest_mask()), entry
-            )
+        self.poller.wait(node.fd, node.events, tcb, node.cont)
         return None
 
     def _handle_sleep(self, _sched: Scheduler, tcb: TCB, node: SysSleep):
@@ -241,6 +562,8 @@ class LiveRuntime:
                 self._wake_send.send(b"\0")
             except (BlockingIOError, InterruptedError):
                 pass  # wake pipe already full: the loop will wake anyway
+            except OSError:
+                pass  # runtime already shut down mid-flight
 
         tcb.state = "blocked"
         self.pool.submit(job)
@@ -295,11 +618,11 @@ class LiveRuntime:
                     return
                 self._drain_completions()
                 self._fire_timers()
-                self._poll_selector(0.0)
+                self._poll_io(0.0)
             if sched.live_threads == 0 and until is None:
                 return
             timeout = self._next_timeout()
-            if self._poll_selector(timeout):
+            if self._poll_io(timeout):
                 progressed = True
             if progressed:
                 last_progress = time.monotonic()
@@ -314,7 +637,7 @@ class LiveRuntime:
                     )
 
     def _has_waiters(self) -> bool:
-        return bool(self._timers) or bool(self._fd_entries) or bool(
+        return bool(self._timers) or self.poller.waiter_count > 0 or bool(
             self._completions
         )
 
@@ -323,7 +646,7 @@ class LiveRuntime:
             return 0.0
         if self._timers:
             return max(0.0, self._timers[0][0] - time.monotonic())
-        if self._fd_entries:
+        if self.poller.waiter_count:
             return 0.1
         return 0.05
 
@@ -350,42 +673,18 @@ class LiveRuntime:
             progressed = True
         return progressed
 
-    def _poll_selector(self, timeout: float | None) -> bool:
+    def _poll_io(self, timeout: float | None) -> bool:
         if timeout is not None and timeout < 0:
             timeout = 0
-        events = self.selector.select(timeout)
-        progressed = False
-        for key, mask in events:
-            if key.data is None:
-                continue  # the wake pipe
-            entry: _FdEntry = key.data
-            ready = _from_selector_mask(mask)
-            remaining: list[tuple[int, TCB, Callable]] = []
-            for want, tcb, cont in entry.waiters:
-                hit = want & ready
-                if hit:
-                    self.sched.resume_value(tcb, cont, hit)
-                    progressed = True
-                else:
-                    remaining.append((want, tcb, cont))
-            entry.waiters = remaining
-            if remaining:
-                self.selector.modify(
-                    key.fileobj, _to_selector_mask(entry.interest_mask()), entry
-                )
-            else:
-                self.selector.unregister(key.fileobj)
-                del self._fd_entries[key.fileobj]
-        return progressed
+        resumes = self.poller.poll(timeout)
+        for tcb, cont, ready in resumes:
+            self.sched.resume_value(tcb, cont, ready)
+        return bool(resumes)
 
     def shutdown(self) -> None:
-        """Release the selector, wake pipe, and pool threads."""
+        """Release the poller, wake pipe, and pool threads."""
         self.pool.shutdown(wait=False, cancel_futures=True)
-        try:
-            self.selector.unregister(self._wake_recv)
-        except (KeyError, ValueError):
-            pass
-        self.selector.close()
+        self.poller.close()
         self._wake_recv.close()
         self._wake_send.close()
 
@@ -406,3 +705,27 @@ def _from_selector_mask(mask: int) -> int:
     if mask & selectors.EVENT_WRITE:
         ours |= EVENT_WRITE
     return ours
+
+
+if HAS_EPOLL:
+    _EPOLL_ERRORS = select.EPOLLERR | select.EPOLLHUP
+
+    def _to_epoll_mask(mask: int) -> int:
+        epoll_mask = 0
+        if mask & EVENT_READ:
+            epoll_mask |= select.EPOLLIN
+        if mask & EVENT_WRITE:
+            epoll_mask |= select.EPOLLOUT
+        return epoll_mask
+
+    def _from_epoll_mask(epoll_mask: int) -> int:
+        ours = 0
+        if epoll_mask & (select.EPOLLIN | select.EPOLLPRI):
+            ours |= EVENT_READ
+        if epoll_mask & select.EPOLLOUT:
+            ours |= EVENT_WRITE
+        if epoll_mask & _EPOLL_ERRORS:
+            # Error/hangup wakes both directions: the waiter's retry
+            # observes the failure through its non-blocking call.
+            ours |= EVENT_READ | EVENT_WRITE
+        return ours

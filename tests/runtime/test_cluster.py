@@ -131,10 +131,63 @@ class TestGracefulShutdown:
         cluster.stop()
 
 
+class TestOverloadStats:
+    def test_saturation_surfaced_through_control_protocol(self):
+        def capped_factory(rt, listener):
+            return build_live_server(
+                rt, listener, site=SITE, max_connections=8
+            )
+
+        cluster = ClusterServer(capped_factory, shards=2, grace=0.1)
+        cluster.start()
+        try:
+            status, _, client = get(cluster.port)
+            assert status.endswith("200 OK")
+            stats = cluster.stats()
+            for worker in stats["workers"]:
+                assert worker is not None
+                assert worker["capacity"] == 8
+                assert worker["shed"] == 0
+                assert 0.0 <= worker["saturation"] <= 1.0
+                assert worker["poller"] in ("epoll", "select")
+                assert worker["poller_ctl"] >= 0
+            aggregate = stats["aggregate"]
+            assert aggregate["active"] == 1
+            assert aggregate["shed"] == 0
+            assert aggregate["saturation_max"] == 1 / 8
+            client.close()
+        finally:
+            cluster.stop()
+
+    def test_uncapped_shards_report_null_saturation(self, cluster):
+        stats = cluster.stats()
+        for worker in stats["workers"]:
+            assert worker is not None
+            assert worker["capacity"] is None
+            assert worker["saturation"] is None
+        assert stats["aggregate"]["saturation_max"] is None
+
+
 class TestConfig:
     def test_shards_validation(self):
         with pytest.raises(ValueError):
             ClusterServer(app_factory, shards=0)
+
+    def test_select_poller_cluster_serves(self):
+        # The portable fallback loop, end to end through the cluster.
+        cluster = ClusterServer(
+            app_factory, shards=1, grace=0.1, poller="select"
+        )
+        cluster.start()
+        try:
+            status, body, client = get(cluster.port)
+            assert status.endswith("200 OK")
+            assert body == SITE["index.html"]
+            client.close()
+            workers = cluster.stats()["workers"]
+            assert workers[0]["poller"] == "select"
+        finally:
+            cluster.stop()
 
     def test_bad_scheduler_kind(self):
         with pytest.raises(ValueError):
