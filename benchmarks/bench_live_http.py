@@ -5,7 +5,7 @@ processes with ``SO_REUSEPORT`` sharding.  This harness measures it from
 the outside: several load-generator *processes*, each driving keep-alive
 connections over real sockets with back-to-back GETs for a fixed window.
 
-Two modes:
+Three modes:
 
 * **scale** — clusters of 1, 2 and 4 shards under a fixed load fleet.
   Reported per point: aggregate requests/sec (client-side, completed
@@ -16,10 +16,17 @@ Two modes:
   more connections than it admits.  Excess connections are shed with a
   503 + clean close and the clients reconnect; the number reported is the
   p99 of *admitted* requests, which must stay bounded while shedding.
+* **kv** — the sharded-state workload: a mesh-enabled 4-shard KV cluster
+  (``repro.app.kv``) driven with single-key GETs through the HTTP facade.
+  Each response's ``X-Kv-Source`` header says whether the landing shard
+  owned the key (*local*) or proxied the op to the owner over the
+  shard-to-shard mesh, so the harness reports rps/p50/p99 for the two
+  paths separately, cross-checked against the server-side owned/proxied
+  counters.
 
 Run under pytest (the CI smoke path) or directly as a script::
 
-    python benchmarks/bench_live_http.py --mode both \
+    python benchmarks/bench_live_http.py --mode all \
         --json BENCH_live_http.json --duration 0.8 --deadline 240
 
 The script self-terminates: ``--duration`` bounds each measurement window
@@ -41,8 +48,13 @@ import time
 
 from conftest import scale
 
+from repro.app.kv import kv_app_factory
 from repro.bench.harness import Series, format_table
-from repro.http.blocking_client import read_response
+from repro.http.blocking_client import (
+    BlockingHttpClient,
+    read_full_response,
+    read_response,
+)
 from repro.http.server import build_live_server
 from repro.runtime.cluster import ClusterServer
 
@@ -51,6 +63,13 @@ LOAD_PROCESSES = 6
 CONNECTIONS_PER_PROCESS = 4
 REQUEST = b"GET /index.html HTTP/1.1\r\nHost: bench\r\n\r\n"
 SITE = {"index.html": b"<html>" + b"x" * 1024 + b"</html>"}
+
+# KV mode: a mesh-enabled sharded-state cluster under single-key GETs.
+KV_SHARDS = 4
+KV_PROCESSES = 4
+KV_CONNECTIONS = 3
+KV_KEYS = 48
+KV_VALUE = b"v" * 512
 
 # Overload mode: per-shard admission caps well below the offered load.
 OVERLOAD_SHARDS = 2
@@ -268,6 +287,112 @@ def run_overload(duration: float, poller: str = "auto") -> dict:
 
 
 # ----------------------------------------------------------------------
+# KV mode: sharded state, local hits vs mesh-proxied ops.
+# ----------------------------------------------------------------------
+def _kv_request(sock, buffer, key: str) -> tuple[str, bool]:
+    """One ``GET /kv/<key>``; returns (status_line, proxied?)."""
+    sock.sendall(
+        f"GET /kv/{key} HTTP/1.1\r\nHost: bench\r\n\r\n".encode()
+    )
+    status, headers, _body = read_full_response(sock, buffer)
+    return status, headers.get("x-kv-source") == "proxied"
+
+
+def _kv_load_process(port, connections, duration, barrier, result_pipe):
+    """Keep-alive GET load over the KV facade, latency split by source."""
+    try:
+        socks = [
+            socket.create_connection(("127.0.0.1", port), timeout=10)
+            for _ in range(connections)
+        ]
+    except OSError:
+        barrier.abort()
+        result_pipe.send({"local": [], "proxied": [], "errors": 1})
+        return
+    for sock in socks:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    buffers = [bytearray() for _ in socks]
+    try:
+        barrier.wait(timeout=30)
+    except Exception:
+        result_pipe.send({"local": [], "proxied": [], "errors": 1})
+        return
+    local: list[float] = []
+    proxied: list[float] = []
+    errors = 0
+    key_index = 0
+    deadline = time.monotonic() + duration
+    try:
+        while time.monotonic() < deadline:
+            for sock, buffer in zip(socks, buffers):
+                key = f"bench:{key_index % KV_KEYS}"
+                key_index += 1
+                begin = time.perf_counter()
+                status, was_proxied = _kv_request(sock, buffer, key)
+                elapsed = time.perf_counter() - begin
+                if not status.endswith("200 OK"):
+                    errors += 1
+                    continue
+                (proxied if was_proxied else local).append(elapsed)
+    except OSError:
+        pass  # a shard vanished mid-run: report what completed
+    for sock in socks:
+        sock.close()
+    result_pipe.send({"local": local, "proxied": proxied,
+                      "errors": errors})
+    result_pipe.close()
+
+
+def run_kv(duration: float, poller: str = "auto") -> dict:
+    """The mesh-enabled KV cluster under a keep-alive GET fleet."""
+    cluster = ClusterServer(
+        kv_app_factory, shards=KV_SHARDS, mesh=True, poller=poller
+    )
+    cluster.start()
+    try:
+        # Populate through the facade: proxying routes each key home.
+        writer = BlockingHttpClient(cluster.port)
+        for index in range(KV_KEYS):
+            status, _headers, _ = writer.request(
+                "PUT", f"/kv/bench:{index}", KV_VALUE
+            )
+            assert status.split()[1] in ("201", "204"), status
+        writer.close()
+        payloads = _fan_out(
+            _kv_load_process, KV_PROCESSES,
+            (cluster.port, KV_CONNECTIONS, duration), duration,
+        )
+        aggregate = cluster.stats()["aggregate"]
+    finally:
+        cluster.stop()
+    local: list[float] = []
+    proxied: list[float] = []
+    errors = 0
+    for payload in payloads:
+        local.extend(payload["local"])
+        proxied.extend(payload["proxied"])
+        errors += payload["errors"]
+    result = {
+        "shards": KV_SHARDS,
+        "keys": KV_KEYS,
+        "local": _percentiles(local, duration),
+        "proxied": _percentiles(proxied, duration),
+        "rps": (len(local) + len(proxied)) / duration,
+        "requests": len(local) + len(proxied),
+        "client_errors": errors,
+        "server_kv_owned": aggregate.get("app", {}).get("kv_owned_ops", 0),
+        "server_kv_proxied": aggregate.get("app", {}).get(
+            "kv_proxied_ops", 0
+        ),
+        "mesh_calls": aggregate.get("mesh", {}).get("calls", 0),
+        "mesh_served": aggregate.get("mesh", {}).get("served", 0),
+        "mesh_timeouts": aggregate.get("mesh", {}).get("timeouts", 0),
+        "workers_reporting": aggregate["workers_reporting"],
+    }
+    return result
+
+
+# ----------------------------------------------------------------------
 # Pytest entry points (the CI smoke path).
 # ----------------------------------------------------------------------
 def test_live_http_shard_scaling(report):
@@ -340,6 +465,34 @@ def test_live_http_overload(report):
     )
 
 
+def test_live_kv_cluster(report):
+    duration = 0.8 * scale()
+    point = run_kv(duration)
+    report(
+        f"KV over a {point['shards']}-shard mesh cluster — "
+        f"{KV_PROCESSES} load processes x {KV_CONNECTIONS} connections, "
+        f"{point['keys']} keys, {duration:.1f}s window: "
+        f"local {point['local']['rps']:.0f} rps "
+        f"(p99 {point['local']['p99_ms']:.2f} ms), "
+        f"proxied {point['proxied']['rps']:.0f} rps "
+        f"(p99 {point['proxied']['p99_ms']:.2f} ms), "
+        f"server owned/proxied "
+        f"{point['server_kv_owned']}/{point['server_kv_proxied']}, "
+        f"mesh calls {point['mesh_calls']}"
+    )
+    # Both paths flowed: kernel-hashed connections hit owners and
+    # non-owners, and non-owners proxied over the mesh.
+    assert point["local"]["requests"] > 0, "no local-hit requests"
+    assert point["proxied"]["requests"] > 0, "no proxied requests"
+    assert point["client_errors"] == 0
+    assert point["workers_reporting"] == KV_SHARDS
+    # Server-side accounting: proxied ops happened and the mesh carried
+    # them (each proxied op is one mesh call; populating PUTs add more).
+    assert point["server_kv_proxied"] >= point["proxied"]["requests"]
+    assert point["mesh_calls"] >= point["proxied"]["requests"]
+    assert point["mesh_timeouts"] == 0
+
+
 # ----------------------------------------------------------------------
 # Script mode: self-terminating runs that emit BENCH_live_http.json.
 # ----------------------------------------------------------------------
@@ -347,8 +500,11 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Live-HTTP cluster benchmark (scale + overload modes)."
     )
-    parser.add_argument("--mode", choices=("scale", "overload", "both"),
-                        default="both")
+    parser.add_argument("--mode",
+                        choices=("scale", "overload", "kv", "both", "all"),
+                        default="both",
+                        help="'both' = scale + overload (historical name); "
+                             "'all' adds the sharded-state kv mode")
     parser.add_argument("--duration", type=float, default=None,
                         help="seconds per measurement point "
                              "(default: 0.8 x scale)")
@@ -390,7 +546,7 @@ def main(argv: list[str] | None = None) -> int:
         },
     }
 
-    if args.mode in ("scale", "both"):
+    if args.mode in ("scale", "both", "all"):
         table: dict[str, dict] = {}
         for shards in SHARD_POINTS:
             if not budget_left(point_cost):
@@ -404,7 +560,7 @@ def main(argv: list[str] | None = None) -> int:
                   f"({point['requests']} requests)")
         results["scale"] = table
 
-    if args.mode in ("overload", "both"):
+    if args.mode in ("overload", "both", "all"):
         if budget_left(point_cost):
             point = run_overload(duration, poller=args.poller)
             results["overload"] = point
@@ -414,6 +570,19 @@ def main(argv: list[str] | None = None) -> int:
                   f"client shed {point['client_shed']}")
         else:
             skipped.append("overload")
+
+    if args.mode in ("kv", "all"):
+        if budget_left(point_cost):
+            point = run_kv(duration, poller=args.poller)
+            results["kv"] = point
+            print(f"kv ({point['shards']} shards, {point['keys']} keys): "
+                  f"local {point['local']['rps']:.0f} rps "
+                  f"p99 {point['local']['p99_ms']:.2f} ms | "
+                  f"proxied {point['proxied']['rps']:.0f} rps "
+                  f"p99 {point['proxied']['p99_ms']:.2f} ms | "
+                  f"mesh calls {point['mesh_calls']}")
+        else:
+            skipped.append("kv")
 
     results["meta"]["skipped_points"] = skipped
     results["meta"]["elapsed_s"] = round(time.monotonic() - started, 3)

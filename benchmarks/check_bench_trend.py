@@ -8,7 +8,10 @@ Compares a fresh bench run against the committed baseline floor
 * a baseline shard point is missing from the results (the run was cut
   short — a silent skip must not read as a pass);
 * the overload point's admitted-request p99 exceeds the baseline bound,
-  or the run shed nothing (the cap did not engage).
+  or the run shed nothing (the cap did not engage);
+* the kv point's total rps falls below the baseline floor, the run never
+  proxied an op over the mesh (the sharded-state path did not engage), or
+  any mesh call timed out.
 
 Usage::
 
@@ -74,6 +77,36 @@ def check(results: dict, baseline: dict, tolerance: float) -> list[str]:
                 failures.append(
                     "overload run shed no connections: the admission cap "
                     "never engaged"
+                )
+
+    kv_baseline = baseline.get("kv")
+    if kv_baseline:
+        kv = results.get("kv")
+        if kv is None:
+            failures.append("kv point missing from results")
+        else:
+            floor = kv_baseline.get("total_rps_min")
+            if floor is not None:
+                rps = kv.get("rps", 0.0)
+                minimum = floor * (1.0 - tolerance)
+                status = "ok" if rps >= minimum else "REGRESSION"
+                print(f"  kv total: {rps:8.0f} rps "
+                      f"(floor {floor}, gate {minimum:.0f}) {status}")
+                if rps < minimum:
+                    failures.append(
+                        f"kv: {rps:.0f} rps is below {minimum:.0f} "
+                        f"(floor {floor} - {tolerance:.0%})"
+                    )
+            if kv_baseline.get("require_proxied") and not (
+                kv.get("server_kv_proxied", 0) > 0
+            ):
+                failures.append(
+                    "kv run proxied nothing over the mesh: the "
+                    "sharded-state path never engaged"
+                )
+            if kv.get("mesh_timeouts", 0) > 0:
+                failures.append(
+                    f"kv run had {kv['mesh_timeouts']} mesh timeouts"
                 )
     return failures
 

@@ -1,0 +1,115 @@
+"""A sharded KV cluster — consistent hashing + shard-to-shard mesh, live.
+
+Four shard processes serve one ``SO_REUSEPORT`` port.  Keys are placed on
+shards by a consistent-hash ring; each shard holds a persistent mesh link
+to every peer, so *any* shard answers *any* key: ops on keys it owns run
+locally, the rest are proxied to the owner over the data plane.  Multi-key
+ops (``/mget``, ``/kv-stats``) fan out to every owner and merge.
+
+Run with::
+
+    python examples/kv_server.py              # demo: write, read, stats
+    python examples/kv_server.py --serve      # run until Ctrl-C
+    python examples/kv_server.py --serve --duration 10   # self-stop
+    python examples/kv_server.py --shards 8   # more shards
+
+``--duration`` is an internal deadline (seconds): serving stops cleanly on
+its own, so CI and scripts need no external ``timeout`` wrapper.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import sys
+import time
+
+from repro.app.kv import kv_app_factory
+from repro.http.blocking_client import BlockingHttpClient
+from repro.runtime.cluster import ClusterServer
+
+
+def main() -> None:
+    shards = 4
+    if "--shards" in sys.argv:
+        shards = int(sys.argv[sys.argv.index("--shards") + 1])
+    duration = None
+    if "--duration" in sys.argv:
+        duration = float(sys.argv[sys.argv.index("--duration") + 1])
+
+    cluster = ClusterServer(kv_app_factory, shards=shards, mesh=True)
+    cluster.start()
+    print(f"{shards} KV shards serving http://127.0.0.1:{cluster.port} "
+          f"(pids {cluster.worker_pids()}, mesh ports "
+          f"{cluster.config.mesh_ports})")
+
+    if "--serve" in sys.argv:
+        deadline = None if duration is None else time.monotonic() + duration
+        try:
+            while deadline is None or time.monotonic() < deadline:
+                remaining = (2.0 if deadline is None
+                             else min(2.0, max(0.0,
+                                               deadline - time.monotonic())))
+                time.sleep(remaining)
+                aggregate = cluster.stats()["aggregate"]
+                kv = aggregate.get("app", {})
+                mesh = aggregate.get("mesh", {})
+                print(f"  requests={aggregate['requests']} "
+                      f"keys={kv.get('kv_keys', 0)} "
+                      f"owned={kv.get('kv_owned_ops', 0)} "
+                      f"proxied={kv.get('kv_proxied_ops', 0)} "
+                      f"mesh_calls={mesh.get('calls', 0)}")
+            print(f"duration {duration:.0f}s elapsed; stopping")
+        except KeyboardInterrupt:
+            pass
+        finally:
+            cluster.stop()
+        return
+
+    # Demo: write and read keys through one connection (pinned to one
+    # shard by the kernel — proxying still reaches every owner).
+    client = BlockingHttpClient(cluster.port)
+    keys = {f"user:{i}": f"value-{i}".encode() for i in range(16)}
+    sources = {"local": 0, "proxied": 0}
+    for key, value in keys.items():
+        status, headers, _ = client.request("PUT", f"/kv/{key}", value)
+        assert status.split()[1] in ("201", "204"), status
+    for key, value in keys.items():
+        status, headers, body = client.request("GET", f"/kv/{key}")
+        assert status.endswith("200 OK"), status
+        assert body == value
+        sources[headers["x-kv-source"]] += 1
+    print(f"read {len(keys)} keys through one shard: "
+          f"{sources['local']} local, {sources['proxied']} proxied "
+          "(every shard answers any key)")
+
+    # Cross-shard multi-get, merged by the coordinating shard.
+    spec = ",".join(keys)
+    status, _headers, body = client.request("GET", f"/mget?keys={spec}")
+    assert status.endswith("200 OK"), status
+    values = json.loads(body)["values"]
+    assert all(
+        base64.b64decode(values[key]) == value
+        for key, value in keys.items()
+    )
+    print(f"mget merged {len(values)} keys across shards")
+
+    # Cluster-wide stats, streamed with chunked transfer encoding.
+    status, headers, body = client.request("GET", "/kv-stats")
+    assert headers.get("transfer-encoding") == "chunked"
+    for line in body.splitlines():
+        entry = json.loads(line)
+        print(f"  shard {entry['index']}: keys={entry['keys']} "
+              f"owned={entry['owned_ops']} proxied={entry['proxied_ops']} "
+              f"mesh_served={entry['mesh_served_ops']}")
+    client.close()
+
+    aggregate = cluster.stats()["aggregate"]
+    assert aggregate["app"]["kv_keys"] == len(keys)
+    assert aggregate["app"]["kv_proxied_ops"] > 0, "no op crossed the mesh"
+    cluster.stop()
+    print("kv cluster demo OK")
+
+
+if __name__ == "__main__":
+    main()

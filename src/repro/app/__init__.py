@@ -1,0 +1,7 @@
+"""Applications served through the layered protocol stack.
+
+Each application plugs into :class:`repro.http.server.HttpProtocol` as a
+request handler (and, for sharded-state apps, into the
+:class:`repro.runtime.mesh.MeshNode` data plane) — the serving layers
+below it are shared.
+"""

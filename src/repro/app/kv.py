@@ -1,0 +1,425 @@
+"""A sharded in-memory KV store over the mesh — the sharded-state workload.
+
+Keys map to owning shards through a consistent-hash ring (deterministic
+across processes, so every shard computes the same owner).  Any shard can
+answer any key:
+
+* single-key ops (``GET``/``PUT``/``DELETE``) on a key the shard owns run
+  against the local store; on a key owned elsewhere they are *proxied*
+  over the shard-to-shard mesh (one RPC to the owner), counted in the
+  ``owned``/``proxied`` split that cluster ``stats()`` reports;
+* multi-key ops fan out: ``MGET`` groups keys by owner and queries all
+  owners concurrently, merging the replies; ``STATS`` asks every shard for
+  its local counters.
+
+The HTTP facade serves the store through the layered stack
+(:class:`~repro.runtime.driver.ConnectionDriver` →
+:class:`~repro.http.server.HttpProtocol` → :class:`KvHttpHandler`):
+
+* ``GET/PUT/DELETE /kv/<key>`` — single-key ops; responses carry
+  ``X-Kv-Source: local|proxied`` so load generators can split latency by
+  path;
+* ``GET /mget?keys=a,b,c`` — the cross-shard multi-get, as JSON;
+* ``GET /kv-stats`` — the cluster-wide stats fan-out, streamed with
+  chunked transfer encoding (one JSON line per shard: length unknown up
+  front).
+
+The mesh wire format is JSON with base64 values (ops are small; the
+length-prefixed framing underneath handles the byte transport).
+"""
+
+from __future__ import annotations
+
+import base64
+import bisect
+import hashlib
+import json
+from typing import Any
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from ..core.do_notation import do
+from ..core.monad import M, pure
+from ..http.message import HttpError, HttpRequest, HttpResponse
+from ..http.server import EmptyFilesystem, LiveSocketLayer, WebServer
+from ..runtime.mesh import MeshError, MeshNode, MeshTimeout
+
+__all__ = ["HashRing", "KvNode", "KvHttpHandler", "build_kv_app",
+           "kv_app_factory"]
+
+
+class HashRing:
+    """A consistent-hash ring: ``vnodes`` points per shard.
+
+    Hashing is :mod:`hashlib`-based so the placement is identical in every
+    shard process (builtin ``hash`` is salted per process).
+    """
+
+    def __init__(self, shards: int, vnodes: int = 64) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.shards = shards
+        self.vnodes = vnodes
+        points: list[tuple[int, int]] = []
+        for shard in range(shards):
+            for vnode in range(vnodes):
+                digest = hashlib.md5(
+                    f"shard{shard}#{vnode}".encode()
+                ).digest()
+                points.append(
+                    (int.from_bytes(digest[:8], "big"), shard)
+                )
+        points.sort()
+        self._hashes = [point for point, _shard in points]
+        self._owners = [shard for _point, shard in points]
+
+    def owner(self, key: str) -> int:
+        """The shard owning ``key`` (clockwise successor on the ring)."""
+        digest = hashlib.md5(key.encode("utf-8", "surrogatepass")).digest()
+        point = int.from_bytes(digest[:8], "big")
+        index = bisect.bisect_right(self._hashes, point)
+        if index == len(self._hashes):
+            index = 0
+        return self._owners[index]
+
+
+def _b64(value: bytes | None) -> str | None:
+    return None if value is None else base64.b64encode(value).decode()
+
+
+def _unb64(value: str | None) -> bytes | None:
+    return None if value is None else base64.b64decode(value)
+
+
+class KvNode:
+    """One shard's view of the sharded store: local state + mesh client.
+
+    With ``mesh=None`` (single-process serving) the node owns every key.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        shards: int,
+        mesh: MeshNode | None = None,
+        vnodes: int = 64,
+    ) -> None:
+        self.index = index
+        self.shards = shards
+        self.ring = HashRing(shards, vnodes=vnodes)
+        self.mesh = mesh
+        self.store: dict[str, bytes] = {}
+        #: Single-key ops executed against the local store (this shard
+        #: owns the key), whether they arrived over HTTP or the mesh.
+        self.owned_ops = 0
+        #: Single-key ops forwarded to the owning shard over the mesh.
+        self.proxied_ops = 0
+        #: Requests this shard served for peers (the mesh-inbound side).
+        self.mesh_served_ops = 0
+        if mesh is not None:
+            mesh.handler = self._handle_mesh
+
+    # ------------------------------------------------------------------
+    # Local primitives (the owner's side of every op).
+    # ------------------------------------------------------------------
+    def _local_get(self, key: str) -> bytes | None:
+        return self.store.get(key)
+
+    def _local_put(self, key: str, value: bytes) -> bool:
+        created = key not in self.store
+        self.store[key] = value
+        return created
+
+    def _local_delete(self, key: str) -> bool:
+        return self.store.pop(key, None) is not None
+
+    def local_stats(self) -> dict:
+        return {
+            "index": self.index,
+            "keys": len(self.store),
+            "owned_ops": self.owned_ops,
+            "proxied_ops": self.proxied_ops,
+            "mesh_served_ops": self.mesh_served_ops,
+        }
+
+    def extra_stats(self) -> dict:
+        """Numeric app counters for the cluster control snapshot."""
+        return {
+            "kv_keys": len(self.store),
+            "kv_owned_ops": self.owned_ops,
+            "kv_proxied_ops": self.proxied_ops,
+            "kv_mesh_served_ops": self.mesh_served_ops,
+        }
+
+    # ------------------------------------------------------------------
+    # Sharded operations (any shard, any key).
+    # ------------------------------------------------------------------
+    def owner(self, key: str) -> int:
+        return self.ring.owner(key)
+
+    def get(self, key: str) -> M:
+        """Resumes with ``(found, value, proxied)``."""
+        return self._op("get", key)
+
+    def put(self, key: str, value: bytes) -> M:
+        """Resumes with ``(created, None, proxied)``."""
+        return self._op("put", key, value)
+
+    def delete(self, key: str) -> M:
+        """Resumes with ``(deleted, None, proxied)``."""
+        return self._op("delete", key)
+
+    @do
+    def _op(self, op, key, value=None):
+        owner = self.ring.owner(key)
+        if self.mesh is None or owner == self.index:
+            # The local majority path touches no JSON/base64 at all: the
+            # wire encoding is built only when the op actually crosses
+            # the mesh.
+            self.owned_ops += 1
+            found, out = self._apply(op, key, value)
+            return found, out, False
+        self.proxied_ops += 1
+        message = {"op": op, "key": key}
+        if op == "put":
+            message["value"] = _b64(value)
+        reply = yield self.mesh.call(owner, _encode(message))
+        decoded = _decode(reply)
+        return decoded["found"], _unb64(decoded.get("value")), True
+
+    @do
+    def mget(self, keys):
+        """Cross-shard multi-get; resumes with ``{key: value-or-None}``.
+
+        Keys are grouped by owner: the local group reads directly, every
+        remote group is one mesh call, all owners queried concurrently.
+        A failed owner surfaces as :class:`~repro.runtime.mesh.MeshError`
+        — partial silence must not read as "those keys are absent".
+        """
+        by_owner: dict[int, list[str]] = {}
+        for key in keys:
+            by_owner.setdefault(self.ring.owner(key), []).append(key)
+        merged: dict[str, bytes | None] = {}
+        if self.mesh is None:
+            # Single-owner store: every key is local.
+            local_groups = list(by_owner.values())
+            by_owner = {}
+        else:
+            local_groups = [by_owner.pop(self.index, [])]
+        for group in local_groups:
+            for key in group:
+                self.owned_ops += 1
+                merged[key] = self._local_get(key)
+        if not by_owner:
+            return merged
+        bodies = {
+            owner: _encode({"op": "mget", "keys": group})
+            for owner, group in by_owner.items()
+        }
+        replies = yield self.mesh.fan_out(bodies)
+        for owner, reply in replies.items():
+            if isinstance(reply, BaseException):
+                raise reply
+            self.proxied_ops += len(by_owner[owner])
+            for key, value in _decode(reply)["values"].items():
+                merged[key] = _unb64(value)
+        return merged
+
+    @do
+    def stats_all(self):
+        """Every shard's local stats (self included), index-ordered where
+        possible; unreachable shards report an ``error`` entry instead of
+        silently vanishing from the merge."""
+        results = [self.local_stats()]
+        if self.mesh is None:
+            return results
+        peers = [peer for peer in self.mesh.peers if peer != self.index]
+        if peers:
+            body = _encode({"op": "stats"})
+            replies = yield self.mesh.fan_out(
+                {peer: body for peer in peers}
+            )
+            for peer in sorted(replies):
+                reply = replies[peer]
+                if isinstance(reply, BaseException):
+                    results.append({"index": peer, "error": repr(reply)})
+                else:
+                    results.append(_decode(reply)["stats"])
+        results.sort(key=lambda entry: entry.get("index", -1))
+        return results
+
+    # ------------------------------------------------------------------
+    # The mesh-inbound side: execute an op we own.
+    # ------------------------------------------------------------------
+    def _handle_mesh(self, body: bytes) -> M:
+        return self._serve_mesh(body)
+
+    @do
+    def _serve_mesh(self, body):
+        yield pure(None)  # @do needs one yield; the op itself is pure
+        message = _decode(body)
+        op = message.get("op")
+        if op == "stats":
+            # Health polling is not a data op: don't inflate counters.
+            return _encode({"stats": self.local_stats()})
+        self.mesh_served_ops += 1
+        if op == "mget":
+            values = {}
+            for key in message["keys"]:
+                self.owned_ops += 1
+                values[key] = _b64(self._local_get(key))
+            return _encode({"values": values})
+        self.owned_ops += 1
+        found, value = self._apply(
+            op, message["key"], _unb64(message.get("value"))
+        )
+        return _encode({"found": found, "value": _b64(value)})
+
+    def _apply(
+        self, op: str, key: str, value: bytes | None
+    ) -> tuple[bool, bytes | None]:
+        """One single-key op against the local store (raw bytes)."""
+        if op == "get":
+            stored = self._local_get(key)
+            return stored is not None, stored
+        if op == "put":
+            return self._local_put(key, value if value is not None
+                                   else b""), None
+        if op == "delete":
+            return self._local_delete(key), None
+        raise ValueError(f"unknown kv op {op!r}")
+
+
+def _encode(message: dict) -> bytes:
+    return json.dumps(message, separators=(",", ":")).encode()
+
+
+def _decode(body: bytes) -> dict:
+    return json.loads(body.decode())
+
+
+class KvHttpHandler:
+    """The store's HTTP facade: a :class:`~repro.http.server.HttpProtocol`
+    request handler."""
+
+    def __init__(self, node: KvNode) -> None:
+        self.node = node
+
+    def respond(self, request: HttpRequest) -> M:
+        return self._respond(request)
+
+    @do
+    def _respond(self, request):
+        path = request.path
+        try:
+            if path.startswith("/kv/"):
+                response = yield self._single_key(request, path)
+                return response
+            if path == "/mget":
+                response = yield self._mget(request)
+                return response
+            if path == "/kv-stats":
+                response = yield self._stats(request)
+                return response
+        except MeshTimeout as exc:
+            raise HttpError(504, f"owner shard timed out: {exc}")
+        except MeshError as exc:
+            raise HttpError(502, f"owner shard unreachable: {exc}")
+        raise HttpError(404, path)
+
+    @do
+    def _single_key(self, request, path):
+        key = unquote(path[len("/kv/"):])
+        if not key:
+            raise HttpError(404, path)
+        node = self.node
+        if request.method in ("GET", "HEAD"):
+            found, value, proxied = yield node.get(key)
+            if not found:
+                raise HttpError(404, key)
+            return self._reply(
+                200, proxied, body=value,
+                content_type="application/octet-stream",
+            )
+        if request.method in ("PUT", "POST"):
+            created, _value, proxied = yield node.put(key, request.body)
+            return self._reply(201 if created else 204, proxied)
+        if request.method == "DELETE":
+            deleted, _value, proxied = yield node.delete(key)
+            if not deleted:
+                raise HttpError(404, key)
+            return self._reply(204, proxied)
+        raise HttpError(405, request.method)
+
+    @do
+    def _mget(self, request):
+        query = parse_qs(urlsplit(request.target).query)
+        spec = ",".join(query.get("keys", []))
+        keys = [unquote(key) for key in spec.split(",") if key]
+        if not keys:
+            raise HttpError(400, "mget needs ?keys=a,b,c")
+        values = yield self.node.mget(keys)
+        body = _encode({
+            "values": {key: _b64(value) for key, value in values.items()}
+        })
+        return HttpResponse(
+            200, body=body, headers={"Content-Type": "application/json"}
+        )
+
+    @do
+    def _stats(self, _request):
+        shards = yield self.node.stats_all()
+        # Length unknown until every shard answered: stream it chunked,
+        # one JSON line per shard.
+        lines = [_encode(entry) + b"\n" for entry in shards]
+        return HttpResponse(
+            200,
+            headers={"Content-Type": "application/json-lines"},
+            chunks=iter(lines),
+        )
+
+    @staticmethod
+    def _reply(status, proxied, body=b"", content_type=None):
+        headers = {"X-Kv-Source": "proxied" if proxied else "local"}
+        if content_type is not None:
+            headers["Content-Type"] = content_type
+        return HttpResponse(status, body=body, headers=headers)
+
+
+def build_kv_app(
+    rt: Any,
+    listener: Any,
+    mesh: MeshNode | None = None,
+    shards: int | None = None,
+    index: int | None = None,
+    vnodes: int = 64,
+    **server_kwargs: Any,
+) -> WebServer:
+    """One shard's KV application on the layered stack.
+
+    With a mesh, shard identity and the shard count come from the mesh's
+    address map; without one this is a single-owner store (every key
+    local).  Extra keyword arguments reach :class:`WebServer` (admission
+    caps, parser limits...).
+    """
+    if mesh is not None:
+        index = mesh.index if index is None else index
+        shards = len(mesh.peers) if shards is None else shards
+    node = KvNode(index or 0, shards or 1, mesh=mesh, vnodes=vnodes)
+    server = WebServer(
+        LiveSocketLayer(rt.io, listener),
+        EmptyFilesystem(),
+        handler=KvHttpHandler(node),
+        name="kv",
+        **server_kwargs,
+    )
+    server.kv = node
+    server.mesh = mesh
+    server.extra_stats = node.extra_stats
+    return server
+
+
+def kv_app_factory(rt: Any, listener: Any, mesh: MeshNode) -> WebServer:
+    """The cluster ``app_factory`` for a mesh-enabled KV cluster."""
+    return build_kv_app(rt, listener, mesh)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import socket
 
-__all__ = ["BlockingHttpClient", "read_response"]
+__all__ = ["BlockingHttpClient", "read_response", "read_full_response"]
 
 
 def read_response(sock: socket.socket, buffer: bytearray) -> tuple[str, bytes]:
@@ -47,6 +47,76 @@ def read_response(sock: socket.socket, buffer: bytearray) -> tuple[str, bytes]:
     return status_line, body
 
 
+def read_full_response(
+    sock: socket.socket, buffer: bytearray, head_only: bool = False
+) -> tuple[str, dict[str, str], bytes]:
+    """One response with parsed headers and chunked-body support.
+
+    Returns ``(status_line, headers, body)`` — headers lower-cased.
+    ``head_only`` is for HEAD requests, whose responses advertise a
+    Content-Length but carry no body bytes.  Slightly heavier than
+    :func:`read_response` (header dict, chunk decoding); the plain-GET
+    load generators keep the lean path.
+    """
+    while True:
+        end = buffer.find(b"\r\n\r\n")
+        if end >= 0:
+            break
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise ConnectionError("EOF before end of response header")
+        buffer.extend(chunk)
+    head = bytes(buffer[:end])
+    del buffer[:end + 4]
+    lines = head.split(b"\r\n")
+    status_line = lines[0].decode("latin-1")
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(b":")
+        headers[name.strip().lower().decode("latin-1")] = (
+            value.strip().decode("latin-1")
+        )
+
+    if head_only:
+        return status_line, headers, b""
+
+    def need(total: int) -> None:
+        while len(buffer) < total:
+            chunk = sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("EOF mid response body")
+            buffer.extend(chunk)
+
+    if headers.get("transfer-encoding", "").lower() == "chunked":
+        body = bytearray()
+        while True:
+            while True:
+                line_end = buffer.find(b"\r\n")
+                if line_end >= 0:
+                    break
+                chunk = sock.recv(65536)
+                if not chunk:
+                    raise ConnectionError("EOF mid chunk size line")
+                buffer.extend(chunk)
+            size = int(bytes(buffer[:line_end]), 16)
+            del buffer[:line_end + 2]
+            if size == 0:
+                need(2)  # the final CRLF after the terminal chunk
+                del buffer[:2]
+                return status_line, headers, bytes(body)
+            need(size + 2)
+            body.extend(buffer[:size])
+            if bytes(buffer[size:size + 2]) != b"\r\n":
+                raise ConnectionError("chunk not terminated by CRLF")
+            del buffer[:size + 2]
+
+    length = int(headers.get("content-length", "0"))
+    need(length)
+    body_bytes = bytes(buffer[:length])
+    del buffer[:length]
+    return status_line, headers, body_bytes
+
+
 class BlockingHttpClient:
     """One keep-alive connection issuing GETs and reading full responses."""
 
@@ -65,6 +135,32 @@ class BlockingHttpClient:
             f"Connection: {connection}\r\n\r\n".encode()
         )
         return read_response(self.sock, self.buffer)
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: bytes = b"",
+        headers: dict[str, str] | None = None,
+        close: bool = False,
+    ) -> tuple[str, dict[str, str], bytes]:
+        """Any-method request; returns ``(status_line, headers, body)``.
+
+        Handles chunked responses (via :func:`read_full_response`), so it
+        drives the KV facade (PUT/DELETE/MGET/kv-stats) end to end.
+        """
+        lines = [f"{method} /{path.lstrip('/')} HTTP/1.1",
+                 f"Host: {self.host}",
+                 f"Connection: {'close' if close else 'keep-alive'}"]
+        if body:
+            lines.append(f"Content-Length: {len(body)}")
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        payload = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+        self.sock.sendall(payload)
+        return read_full_response(
+            self.sock, self.buffer, head_only=(method == "HEAD")
+        )
 
     def send_raw(self, payload: bytes) -> None:
         """Write arbitrary bytes (pipelined bursts, malformed requests)."""

@@ -52,6 +52,10 @@ class FileCache:
         self._used += size
         return True
 
+    def contains(self, path: str) -> bool:
+        """Membership probe: no LRU promotion, no hit/miss accounting."""
+        return path in self._entries
+
     def invalidate(self, path: str) -> None:
         """Drop one entry if present."""
         entry = self._entries.pop(path, None)

@@ -2,11 +2,18 @@
 
 from __future__ import annotations
 
+from datetime import timezone
+from email.utils import formatdate, parsedate_to_datetime
+from typing import Iterable
+
 __all__ = ["HttpRequest", "HttpResponse", "HttpError", "REASON_PHRASES",
-           "guess_content_type"]
+           "guess_content_type", "http_date", "parse_http_date",
+           "encode_chunk", "LAST_CHUNK"]
 
 REASON_PHRASES = {
     200: "OK",
+    201: "Created",
+    204: "No Content",
     301: "Moved Permanently",
     304: "Not Modified",
     400: "Bad Request",
@@ -16,9 +23,12 @@ REASON_PHRASES = {
     408: "Request Timeout",
     413: "Payload Too Large",
     414: "URI Too Long",
+    431: "Request Header Fields Too Large",
     500: "Internal Server Error",
     501: "Not Implemented",
+    502: "Bad Gateway",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 _CONTENT_TYPES = {
@@ -33,6 +43,43 @@ _CONTENT_TYPES = {
     ".gif": "image/gif",
     ".bin": "application/octet-stream",
 }
+
+
+def http_date(timestamp: float) -> str:
+    """An RFC 7231 IMF-fixdate for ``timestamp`` (epoch seconds)."""
+    return formatdate(timestamp, usegmt=True)
+
+
+def parse_http_date(value: str) -> float | None:
+    """Epoch seconds for an HTTP date header, or ``None`` if unparseable."""
+    if not value:
+        return None
+    try:
+        parsed = parsedate_to_datetime(value)
+    except (TypeError, ValueError):
+        return None
+    if parsed is None:  # pre-3.10 parsedate returns None on garbage
+        return None
+    if parsed.tzinfo is None:
+        # asctime-form dates (RFC 7231 obsolete but MUST-accept) parse
+        # naive; HTTP dates are always GMT — never the server's zone.
+        parsed = parsed.replace(tzinfo=timezone.utc)
+    return parsed.timestamp()
+
+
+#: Terminal frame of a chunked body (zero-length chunk, no trailers).
+LAST_CHUNK = b"0\r\n\r\n"
+
+
+def encode_chunk(data: bytes) -> bytes:
+    """One ``Transfer-Encoding: chunked`` frame for ``data``.
+
+    Empty input encodes to ``b""`` (never the terminal chunk — emit
+    :data:`LAST_CHUNK` explicitly at end of body).
+    """
+    if not data:
+        return b""
+    return f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n"
 
 
 def guess_content_type(path: str) -> str:
@@ -103,9 +150,15 @@ class HttpRequest:
 
 
 class HttpResponse:
-    """A response under construction."""
+    """A response under construction.
 
-    __slots__ = ("status", "headers", "body", "version")
+    ``chunks`` switches the response to ``Transfer-Encoding: chunked``:
+    set it to an iterable of byte strings (the body of unknown total
+    length) and the serving protocol streams each element as one chunk,
+    ignoring ``body``/``Content-Length``.
+    """
+
+    __slots__ = ("status", "headers", "body", "version", "chunks")
 
     def __init__(
         self,
@@ -113,11 +166,13 @@ class HttpResponse:
         body: bytes = b"",
         headers: dict[str, str] | None = None,
         version: str = "HTTP/1.1",
+        chunks: Iterable[bytes] | None = None,
     ) -> None:
         self.status = status
         self.body = body
         self.headers = dict(headers) if headers else {}
         self.version = version
+        self.chunks = chunks
 
     def header_block(self, extra_length: int | None = None) -> bytes:
         """Serialize the status line and headers (plus Content-Length).
@@ -127,16 +182,31 @@ class HttpResponse:
         """
         reason = REASON_PHRASES.get(self.status, "Unknown")
         lines = [f"{self.version} {self.status} {reason}"]
-        length = extra_length if extra_length is not None else len(self.body)
         headers = dict(self.headers)
-        headers.setdefault("Content-Length", str(length))
+        if self.chunks is not None:
+            # Unknown total length: chunked framing instead of a
+            # Content-Length (the two are mutually exclusive).
+            headers.setdefault("Transfer-Encoding", "chunked")
+            headers.pop("Content-Length", None)
+        else:
+            length = (extra_length if extra_length is not None
+                      else len(self.body))
+            headers.setdefault("Content-Length", str(length))
         headers.setdefault("Server", "repro-monadic/1.0")
         for name, value in headers.items():
             lines.append(f"{name}: {value}")
         return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
 
     def encode(self) -> bytes:
-        """Full response bytes (header block + body)."""
+        """Full response bytes (header block + body).
+
+        Chunked responses serialize every chunk plus the terminal frame —
+        usable by tests and non-streaming paths; the serving protocol
+        streams chunks incrementally instead.
+        """
+        if self.chunks is not None:
+            framed = b"".join(encode_chunk(chunk) for chunk in self.chunks)
+            return self.header_block() + framed + LAST_CHUNK
         return self.header_block() + self.body
 
     @classmethod

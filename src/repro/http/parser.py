@@ -27,9 +27,26 @@ class HttpParseError(ValueError):
 
 
 class RequestParser:
-    """A streaming parser for a single connection."""
+    """A streaming parser for a single connection.
 
-    def __init__(self) -> None:
+    Memory is bounded: a header block that exceeds ``max_header_bytes``
+    without completing is rejected with 431 (Request Header Fields Too
+    Large) *before* more bytes accumulate, and a declared body larger
+    than ``max_body_bytes`` is rejected with 413 — a connection can never
+    make the parser buffer unboundedly.
+    """
+
+    def __init__(
+        self,
+        max_header_bytes: int = _MAX_HEADER_BYTES,
+        max_body_bytes: int = _MAX_BODY_BYTES,
+    ) -> None:
+        if max_header_bytes < 64:
+            raise ValueError("max_header_bytes must be >= 64")
+        if max_body_bytes < 0:
+            raise ValueError("max_body_bytes must be >= 0")
+        self.max_header_bytes = max_header_bytes
+        self.max_body_bytes = max_body_bytes
         self._buffer = bytearray()
         self._requests: list[HttpRequest] = []
         self._pending: HttpRequest | None = None
@@ -61,9 +78,13 @@ class RequestParser:
     def _advance_headers(self) -> bool:
         end = self._buffer.find(b"\r\n\r\n")
         if end < 0:
-            if len(self._buffer) > _MAX_HEADER_BYTES:
+            if len(self._buffer) > self.max_header_bytes:
                 raise HttpParseError(431, "header block too large")
             return False
+        if end > self.max_header_bytes:
+            # A complete block arriving in one feed() must obey the same
+            # bound as one dribbled across many.
+            raise HttpParseError(431, "header block too large")
         block = bytes(self._buffer[:end])
         del self._buffer[:end + 4]
         request = self._parse_header_block(block)
@@ -75,7 +96,7 @@ class RequestParser:
                 raise HttpParseError(400, f"bad Content-Length {length!r}")
             if needed < 0:
                 raise HttpParseError(400, "negative Content-Length")
-            if needed > _MAX_BODY_BYTES:
+            if needed > self.max_body_bytes:
                 raise HttpParseError(413, "body too large")
             self._pending = request
             self._body_needed = needed

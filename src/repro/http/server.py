@@ -1,19 +1,27 @@
-"""The monadic static web server (§5.2).
+"""The monadic HTTP serving stack (§5.2), in composable layers.
 
 The architecture is the paper's: "the code for each client is written in a
 'cheap', monad-based thread, while the entire application is an event-driven
-program that uses asynchronous I/O mechanisms".  Concretely:
+program that uses asynchronous I/O mechanisms".  The stack is layered so
+HTTP is one protocol among several rather than the hard-wired only one:
 
-* one ``@do`` thread per connection, written in plain blocking style;
-* file opens go through the blocking pool (``sys_blio``);
-* file content is read with AIO (``sys_aio_read``) into the application's
-  own 100MB cache (the kernel page cache is bypassed, as with O_DIRECT);
-* failures raise :class:`~repro.http.message.HttpError` anywhere in the
-  request path and one ``try``/``except`` per client turns them into error
-  responses — "I/O errors are handled gracefully using exceptions";
+* :class:`~repro.runtime.driver.ConnectionDriver` (runtime layer) owns the
+  accept/admission/keep-alive/shed loop, protocol-agnostically;
+* :class:`HttpProtocol` implements the driver's protocol contract: parse
+  requests, dispatch to a pluggable request *handler*, frame responses
+  (Content-Length or chunked), map :class:`~repro.http.message.HttpError`
+  to error responses — "I/O errors are handled gracefully using
+  exceptions";
+* :class:`StaticFileHandler` is the paper's application: file opens through
+  the blocking pool (``sys_blio``), content read with AIO
+  (``sys_aio_read``) into the application's own 100MB cache, conditional
+  GET (``If-Modified-Since``/304) against real filesystems; other
+  applications (``repro.app.kv``) plug in the same way;
 * the socket layer is pluggable: :class:`KernelSocketLayer` (simulated
   kernel streams) or :class:`AppTcpSocketLayer` (the application-level TCP
   stack).  Switching is the paper's "editing one line of code".
+
+:class:`WebServer` composes the four into the historical façade.
 """
 
 from __future__ import annotations
@@ -27,55 +35,28 @@ from ..core.syscalls import (
     sys_aio_read,
     sys_blio,
     sys_catch,
-    sys_fork,
     sys_nbio,
 )
+from ..runtime.driver import ConnectionDriver, IoSocketLayer
 from ..runtime.io_api import NetIO
 from ..simos.filesys import SimFileSystem
 from .cache import FileCache
-from .message import HttpError, HttpRequest, HttpResponse, guess_content_type
+from .message import (
+    LAST_CHUNK,
+    HttpError,
+    HttpRequest,
+    HttpResponse,
+    encode_chunk,
+    guess_content_type,
+    http_date,
+    parse_http_date,
+)
 from .parser import HttpParseError, RequestParser
 
 __all__ = ["WebServer", "IoSocketLayer", "KernelSocketLayer",
            "LiveSocketLayer", "AppTcpSocketLayer", "ServerStats",
-           "DocRootFilesystem", "build_live_server"]
-
-
-class IoSocketLayer:
-    """Socket operations over a :class:`NetIO` and an existing listener.
-
-    Backend-agnostic: the same code path drives simulated kernel streams
-    and real non-blocking sockets, because ``NetIO`` is the shared monadic
-    I/O surface of both runtimes.
-    """
-
-    def __init__(self, io: NetIO, listener: Any) -> None:
-        self.io = io
-        self.listener = listener
-
-    def setup(self) -> M:
-        return pure(self.listener)
-
-    def accept(self, listener: Any) -> M:
-        return self.io.accept(listener)
-
-    def accept_batch(self, listener: Any, limit: int) -> M:
-        """Accept a burst: drain the listen queue up to ``limit`` per
-        wakeup (resumes with a non-empty list)."""
-        return self.io.accept_many(listener, limit)
-
-    def recv(self, conn: Any, nbytes: int) -> M:
-        return self.io.read(conn, nbytes)
-
-    def send(self, conn: Any, data: bytes) -> M:
-        return self.io.write_all(conn, data)
-
-    def shed(self, conn: Any, farewell: bytes = b"") -> M:
-        """Overload path: best-effort farewell + close, never blocking."""
-        return self.io.shed(conn, farewell)
-
-    def close(self, conn: Any) -> M:
-        return self.io.close(conn)
+           "HttpProtocol", "StaticFileHandler",
+           "DocRootFilesystem", "EmptyFilesystem", "build_live_server"]
 
 
 class KernelSocketLayer(IoSocketLayer):
@@ -146,7 +127,13 @@ class AppTcpSocketLayer:
 
 
 class ServerStats:
-    """Counters the benchmarks report."""
+    """Counters the benchmarks report.
+
+    One object is shared across the layers: the connection driver mutates
+    ``connections``/``active``/``shed``, the HTTP protocol mutates
+    ``requests``/``responses_*``/``bytes_sent``, and the static-file
+    handler mutates ``aio_reads`` — so dashboards keep one surface.
+    """
 
     __slots__ = ("connections", "requests", "responses_ok", "responses_err",
                  "bytes_sent", "aio_reads", "active", "shed")
@@ -164,8 +151,314 @@ class ServerStats:
         self.shed = 0
 
 
+class StaticFileHandler:
+    """The paper's application: static files through cache + AIO.
+
+    Implements the :class:`HttpProtocol` handler contract —
+    ``respond(request) -> M[HttpResponse]`` — raising
+    :class:`~repro.http.message.HttpError` for every failure path.
+    Conditional GET: when the filesystem exposes ``mtime(path)`` (real
+    docroots do), responses carry ``Last-Modified`` and an
+    ``If-Modified-Since`` at or after it answers 304 with no body.
+    """
+
+    def __init__(
+        self,
+        fs: SimFileSystem,
+        cache: FileCache,
+        read_chunk: int = 64 * 1024,
+        stats: ServerStats | None = None,
+    ) -> None:
+        self.fs = fs
+        self.cache = cache
+        self.read_chunk = read_chunk
+        self.stats = stats if stats is not None else ServerStats()
+        #: mtime each cached entry was loaded at: a changed file on disk
+        #: must invalidate the cache, or revalidation would pin a stale
+        #: body under a fresh Last-Modified forever.
+        self._cached_mtimes: dict[str, float] = {}
+
+    #: Sweep threshold for the validator dict (see ``_load``).
+    _MTIME_SWEEP = 4096
+
+    def respond(self, request: HttpRequest) -> M:
+        return self._respond(request)
+
+    @do
+    def _respond(self, request):
+        if request.method not in ("GET", "HEAD"):
+            raise HttpError(405, request.method)
+        path = request.path.lstrip("/")
+        mtime = yield self._probe_mtime(path)
+        if mtime is not None:
+            since = parse_http_date(request.header("if-modified-since"))
+            # HTTP dates have one-second resolution: compare whole seconds.
+            if since is not None and int(mtime) <= int(since):
+                return HttpResponse(
+                    304, headers={"Last-Modified": http_date(mtime)}
+                )
+        content = yield self._load(path, mtime)
+        headers = {"Content-Type": guess_content_type(request.path)}
+        if mtime is not None:
+            headers["Last-Modified"] = http_date(mtime)
+        return HttpResponse(200, body=content, headers=headers)
+
+    @do
+    def _probe_mtime(self, path):
+        # The stat is real (possibly slow) filesystem I/O: route it
+        # through the blocking pool like every other file operation
+        # (§4.6), never inline on the event loop.
+        probe = getattr(self.fs, "mtime", None)
+        if probe is None:
+            return None
+
+        def stat() -> float | None:
+            try:
+                return probe(path)
+            except OSError:
+                return None
+
+        mtime = yield sys_blio(stat)
+        return mtime
+
+    @do
+    def _load(self, path, mtime=None):
+        content = self.cache.get(path)
+        if content is not None and (
+            mtime is None or self._cached_mtimes.get(path) == mtime
+        ):
+            return content
+        if not self.fs.exists(path):
+            raise HttpError(404, path)
+        # Open through the blocking pool (§4.6), read via AIO (§4.5).
+        handle = yield sys_blio(lambda: self.fs.open(path))
+        try:
+            chunks = []
+            offset = 0
+            while True:
+                chunk = yield sys_aio_read(handle, offset, self.read_chunk)
+                self.stats.aio_reads += 1
+                if not chunk:
+                    break
+                chunks.append(chunk)
+                offset += len(chunk)
+        finally:
+            yield sys_blio(handle.close)
+        content = b"".join(chunks)
+        self.cache.put(path, content)
+        if mtime is not None:
+            self._cached_mtimes[path] = mtime
+            if len(self._cached_mtimes) > self._MTIME_SWEEP:
+                # The byte-capped FileCache evicts bodies silently; drop
+                # validators whose body is gone so this dict stays
+                # proportional to the cache, not to every path ever seen.
+                self._cached_mtimes = {
+                    cached: stamp
+                    for cached, stamp in self._cached_mtimes.items()
+                    if self.cache.contains(cached)
+                }
+        return content
+
+
+class _ResponseAborted(Exception):
+    """A response failed after part of it was already on the wire.
+
+    At that point the stream framing is unrecoverable: sending an error
+    response would inject header bytes into the middle of a body, so the
+    only safe move is to close the connection.
+    """
+
+
+class HttpProtocol:
+    """HTTP/1.x as one pluggable application protocol.
+
+    Implements the :class:`~repro.runtime.driver.ConnectionDriver`
+    protocol contract.  Request handling is delegated to ``handler``
+    (``respond(request) -> M[HttpResponse]``); this class owns parsing,
+    keep-alive/pipelining, response framing (Content-Length or chunked
+    transfer encoding for responses of unknown length), and the
+    exception-to-error-response mapping.
+    """
+
+    def __init__(
+        self,
+        handler: Any,
+        stats: ServerStats | None = None,
+        max_header_bytes: int | None = None,
+        max_body_bytes: int | None = None,
+    ) -> None:
+        self.handler = handler
+        self.stats = stats if stats is not None else ServerStats()
+        self._parser_kwargs: dict[str, int] = {}
+        if max_header_bytes is not None:
+            self._parser_kwargs["max_header_bytes"] = max_header_bytes
+        if max_body_bytes is not None:
+            self._parser_kwargs["max_body_bytes"] = max_body_bytes
+        # Validate limits now, not on the first connection.
+        RequestParser(**self._parser_kwargs)
+
+    def shed_payload(self) -> bytes:
+        """The driver's overload farewell: a pre-encoded 503."""
+        return HttpResponse.for_error(
+            HttpError(503, "connection capacity reached"), keep_alive=False
+        ).encode()
+
+    def handle_connection(self, layer: Any, conn: Any) -> M:
+        """One client session: requests in, responses out, until close."""
+        return self._handle_connection(layer, conn)
+
+    @do
+    def _handle_connection(self, layer, conn):
+        stats = self.stats
+        parser = RequestParser(**self._parser_kwargs)
+        # When a benchmark or shutdown abandons this thread mid-session,
+        # the interpreter closes the generator with GeneratorExit; a
+        # monadic close cannot run then (nothing will resume us), so
+        # the finally below must not yield on that path.
+        can_yield = True
+        drained = False
+        try:
+            while True:
+                try:
+                    request = yield self._next_request(layer, conn, parser)
+                except HttpError as error:
+                    # Malformed request (431/413/400...): answer, then
+                    # the fatal drain-close.
+                    yield self._fatal_error(layer, conn, error,
+                                            keep_alive=False)
+                    drained = True
+                    return
+                if request is None:
+                    return  # client closed
+                stats.requests += 1
+                keep_alive = request.keep_alive
+                try:
+                    yield self._respond(layer, conn, request)
+                    stats.responses_ok += 1
+                except _ResponseAborted:
+                    return  # framing desynced mid-body: just hang up
+                except HttpError as error:
+                    if error.status >= 500:
+                        yield self._fatal_error(layer, conn, error,
+                                                keep_alive)
+                        drained = True
+                        return
+                    yield self._send_error(layer, conn, error, keep_alive)
+                except (ConnectionError, OSError):
+                    raise  # transport failure: the outer except handles it
+                except Exception as error:
+                    # A buggy handler must be contained as a 500, not
+                    # tear the connection down with no response (this
+                    # layer owns exception-to-error-response mapping for
+                    # *pluggable* handlers, not just well-behaved ones).
+                    yield self._fatal_error(
+                        layer, conn,
+                        HttpError(500, type(error).__name__),
+                        keep_alive=False,
+                    )
+                    drained = True
+                    return
+                if not keep_alive:
+                    return
+        except (ConnectionError, OSError):
+            return  # peer vanished: nothing to say to it
+        except GeneratorExit:
+            can_yield = False
+            raise
+        finally:
+            if can_yield and not drained:
+                yield layer.close(conn)
+
+    @do
+    def _next_request(self, layer, conn, parser):
+        while True:
+            request = parser.next_request()
+            if request is not None:
+                return request
+            data = yield layer.recv(conn, 4096)
+            if not data:
+                return None
+            try:
+                parser.feed(data)
+            except HttpParseError as bad:
+                raise HttpError(bad.status, bad.detail)
+
+    @do
+    def _respond(self, layer, conn, request):
+        response = yield self.handler.respond(request)
+        response.headers.setdefault(
+            "Connection", "keep-alive" if request.keep_alive else "close"
+        )
+        if response.chunks is not None and request.version != "HTTP/1.1":
+            # Chunked framing is an HTTP/1.1 construct; a 1.0 client
+            # would read the chunk-size lines as body bytes.  Nothing is
+            # on the wire yet, so buffering into a Content-Length body
+            # is still safe (a failing iterator takes the 500 path).
+            response.body = b"".join(response.chunks)
+            response.chunks = None
+        if response.chunks is not None:
+            yield self._send_chunked(layer, conn, request, response)
+            return
+        header = response.header_block()
+        if request.method == "HEAD":
+            yield layer.send(conn, header)
+            self.stats.bytes_sent += len(header)
+            return
+        payload = header + response.body
+        yield layer.send(conn, payload)
+        self.stats.bytes_sent += len(payload)
+
+    @do
+    def _send_chunked(self, layer, conn, request, response):
+        # Unknown total length: stream each element as one chunk frame.
+        header = response.header_block()
+        yield layer.send(conn, header)
+        self.stats.bytes_sent += len(header)
+        if request.method == "HEAD":
+            return
+        chunks = iter(response.chunks)
+        while True:
+            try:
+                chunk = next(chunks)
+                framed = encode_chunk(chunk)  # a non-bytes chunk raises
+            except StopIteration:
+                break
+            except Exception as exc:
+                # The header and earlier chunks are already on the wire;
+                # an error response here would corrupt the chunk framing.
+                raise _ResponseAborted(repr(exc)) from exc
+            if framed:
+                yield layer.send(conn, framed)
+                self.stats.bytes_sent += len(framed)
+        yield layer.send(conn, LAST_CHUNK)
+        self.stats.bytes_sent += len(LAST_CHUNK)
+
+    @do
+    def _send_error(self, layer, conn, error, keep_alive):
+        response = HttpResponse.for_error(error, keep_alive)
+        payload = response.encode()
+        yield layer.send(conn, payload)
+        self.stats.responses_err += 1
+        self.stats.bytes_sent += len(payload)
+
+    @do
+    def _fatal_error(self, layer, conn, error, keep_alive):
+        # Fatal hangup: answer, then drain-close — a straight close with
+        # unread request bytes (pipelined or mid-body) in the receive
+        # queue degrades to an RST that destroys the error response in
+        # flight.  Callers set ``drained`` and return.
+        yield self._send_error(layer, conn, error, keep_alive)
+        yield layer.shed(conn, b"")
+
+
 class WebServer:
-    """A static-file server built from monadic threads."""
+    """The historical façade: driver + HTTP protocol + request handler.
+
+    With the default ``handler`` this is the paper's static-file server;
+    pass any object with ``respond(request) -> M[HttpResponse]`` to serve
+    a different application (e.g. the KV store's HTTP facade) through the
+    same driver, protocol, and socket layers.
+    """
 
     def __init__(
         self,
@@ -176,189 +469,62 @@ class WebServer:
         name: str = "webserver",
         accept_batch: int = 64,
         max_connections: int | None = None,
+        handler: Any = None,
+        max_header_bytes: int | None = None,
+        max_body_bytes: int | None = None,
     ) -> None:
-        if accept_batch < 1:
-            raise ValueError("accept_batch must be >= 1")
-        if max_connections is not None and max_connections < 1:
-            raise ValueError("max_connections must be >= 1 (or None)")
         self.layer = socket_layer
         self.fs = fs
         self.cache = FileCache(cache_bytes)
         self.read_chunk = read_chunk
         self.name = name
-        #: Accept-queue drain cap per loop wakeup (batched accepts).
-        self.accept_batch = accept_batch
-        #: Admission cap: connections beyond this are shed with a 503.
-        self.max_connections = max_connections
         self.stats = ServerStats()
-        self.running = True
-        self._shed_payload = HttpResponse.for_error(
-            HttpError(503, "connection capacity reached"), keep_alive=False
-        ).encode()
-
-        # ------------------------------------------------------------
-        # The per-client thread and its helpers, in do-notation.  This is
-        # the code the paper counts as "370 lines using monadic threads".
-        # ------------------------------------------------------------
-        layer = self.layer
-        stats = self.stats
-
-        @do
-        def main():
-            listener = yield layer.setup()
-            while self.running:
-                try:
-                    conns = yield layer.accept_batch(
-                        listener, self.accept_batch
-                    )
-                except (OSError, ValueError):
-                    if self.running:
-                        raise
-                    return  # listener torn down during shutdown
-                for conn in conns:
-                    if not self.running:
-                        yield layer.close(conn)
-                        continue
-                    if (self.max_connections is not None
-                            and stats.active >= self.max_connections):
-                        # Admission control: answer with a clean 503 and
-                        # hang up, without spawning a client thread.
-                        stats.shed += 1
-                        yield layer.shed(conn, self._shed_payload)
-                        continue
-                    stats.connections += 1
-                    stats.active += 1
-                    yield sys_fork(admitted_client(conn), name="client")
-
-        @do
-        def admitted_client(conn):
-            # ``active`` pairs with the admission in ``main``; the plain
-            # (non-yielding) decrement is safe even under GeneratorExit.
-            try:
-                yield handle_client(conn)
-            finally:
-                stats.active -= 1
-
-        @do
-        def handle_client(conn):
-            parser = RequestParser()
-            # When a benchmark or shutdown abandons this thread mid-session,
-            # the interpreter closes the generator with GeneratorExit; a
-            # monadic close cannot run then (nothing will resume us), so
-            # the finally below must not yield on that path.
-            can_yield = True
-            try:
-                while True:
-                    try:
-                        request = yield next_request(conn, parser)
-                    except HttpError as error:
-                        # Malformed request: answer and hang up.
-                        yield send_error(conn, error, keep_alive=False)
-                        return
-                    if request is None:
-                        return  # client closed
-                    stats.requests += 1
-                    keep_alive = request.keep_alive
-                    try:
-                        yield respond(conn, request)
-                        stats.responses_ok += 1
-                    except HttpError as error:
-                        yield send_error(conn, error, keep_alive)
-                        if error.status >= 500:
-                            return
-                    if not keep_alive:
-                        return
-            except (ConnectionError, OSError):
-                return  # peer vanished: nothing to say to it
-            except GeneratorExit:
-                can_yield = False
-                raise
-            finally:
-                if can_yield:
-                    yield layer.close(conn)
-
-        @do
-        def next_request(conn, parser):
-            while True:
-                request = parser.next_request()
-                if request is not None:
-                    return request
-                data = yield layer.recv(conn, 4096)
-                if not data:
-                    return None
-                try:
-                    parser.feed(data)
-                except HttpParseError as bad:
-                    raise HttpError(bad.status, bad.detail)
-
-        @do
-        def respond(conn, request):
-            if request.method not in ("GET", "HEAD"):
-                raise HttpError(405, request.method)
-            content = yield load_file(request.path.lstrip("/"))
-            response = HttpResponse(
-                200,
-                headers={
-                    "Content-Type": guess_content_type(request.path),
-                    "Connection": "keep-alive" if request.keep_alive
-                    else "close",
-                },
+        if handler is None:
+            handler = StaticFileHandler(
+                fs, self.cache, read_chunk=read_chunk, stats=self.stats
             )
-            header = response.header_block(extra_length=len(content))
-            if request.method == "HEAD":
-                yield layer.send(conn, header)
-                stats.bytes_sent += len(header)
-                return
-            yield layer.send(conn, header + content)
-            stats.bytes_sent += len(header) + len(content)
+        self.handler = handler
+        self.protocol = HttpProtocol(
+            handler,
+            stats=self.stats,
+            max_header_bytes=max_header_bytes,
+            max_body_bytes=max_body_bytes,
+        )
+        self.driver = ConnectionDriver(
+            socket_layer,
+            self.protocol,
+            accept_batch=accept_batch,
+            max_connections=max_connections,
+            stats=self.stats,
+            name=name,
+        )
 
-        @do
-        def load_file(path):
-            content = self.cache.get(path)
-            if content is not None:
-                return content
-            if not self.fs.exists(path):
-                raise HttpError(404, path)
-            # Open through the blocking pool (§4.6), read via AIO (§4.5).
-            handle = yield sys_blio(lambda: self.fs.open(path))
-            try:
-                chunks = []
-                offset = 0
-                while True:
-                    chunk = yield sys_aio_read(handle, offset, self.read_chunk)
-                    stats.aio_reads += 1
-                    if not chunk:
-                        break
-                    chunks.append(chunk)
-                    offset += len(chunk)
-            finally:
-                yield sys_blio(handle.close)
-            content = b"".join(chunks)
-            self.cache.put(path, content)
-            return content
+    # -- driver surface (kept for existing callers) --------------------
+    @property
+    def accept_batch(self) -> int:
+        """Accept-queue drain cap per loop wakeup (batched accepts)."""
+        return self.driver.accept_batch
 
-        @do
-        def send_error(conn, error, keep_alive):
-            response = HttpResponse.for_error(error, keep_alive)
-            payload = response.encode()
-            yield layer.send(conn, payload)
-            stats.responses_err += 1
-            stats.bytes_sent += len(payload)
+    @property
+    def max_connections(self) -> int | None:
+        """Admission cap: connections beyond this are shed with a 503."""
+        return self.driver.max_connections
 
-        self._main = main
-        self._handle_client = handle_client
+    @property
+    def running(self) -> bool:
+        return self.driver.running
 
     def main(self) -> M:
         """The server's root thread: accept loop spawning client threads."""
-        return self._main()
+        return self.driver.main()
 
     def handle_client(self, conn: Any) -> M:
         """One client session (exposed for direct-drive tests)."""
-        return self._handle_client(conn)
+        return self.protocol.handle_connection(self.layer, conn)
 
     def stop(self) -> None:
         """Stop accepting new connections (current ones finish)."""
-        self.running = False
+        self.driver.stop()
 
 
 # ----------------------------------------------------------------------
@@ -406,15 +572,31 @@ class DocRootFilesystem:
             raise FileNotFoundError(path)
         return _DocRootHandle(full)
 
+    def mtime(self, path: str) -> float | None:
+        """Last-modified time (epoch seconds), or None if nonexistent.
 
-class _EmptyFilesystem:
-    """No files at all — for servers whose site lives in the cache."""
+        Drives conditional GET: the static handler emits ``Last-Modified``
+        and answers ``If-Modified-Since`` with 304 from this value.
+        """
+        full = self._resolve(path)
+        if full is None or not os.path.isfile(full):
+            return None
+        return os.path.getmtime(full)
+
+
+class EmptyFilesystem:
+    """No files at all — for servers whose site lives in the cache (or
+    whose handler serves no files, like the KV facade)."""
 
     def exists(self, path: str) -> bool:
         return False
 
     def open(self, path: str):
         raise FileNotFoundError(path)
+
+
+#: Backward-compatible private alias (pre-export name).
+_EmptyFilesystem = EmptyFilesystem
 
 
 def build_live_server(
@@ -427,6 +609,9 @@ def build_live_server(
     name: str = "webserver",
     accept_batch: int = 64,
     max_connections: int | None = None,
+    handler: Any = None,
+    max_header_bytes: int | None = None,
+    max_body_bytes: int | None = None,
 ) -> WebServer:
     """Construct a :class:`WebServer` serving real sockets on ``rt``.
 
@@ -435,13 +620,19 @@ def build_live_server(
     port), plus content from a real ``docroot`` directory and/or an
     in-memory ``site`` mapping preloaded into the application cache.
     ``max_connections`` is the per-shard admission cap (overload shedding);
-    ``accept_batch`` caps how many connections one wakeup drains.
+    ``accept_batch`` caps how many connections one wakeup drains;
+    ``handler`` swaps the static-file application for another one (any
+    object with ``respond(request) -> M[HttpResponse]``);
+    ``max_header_bytes``/``max_body_bytes`` bound per-connection parser
+    memory (431/413 beyond them).
     """
-    fs: Any = DocRootFilesystem(docroot) if docroot else _EmptyFilesystem()
+    fs: Any = DocRootFilesystem(docroot) if docroot else EmptyFilesystem()
     server = WebServer(
         LiveSocketLayer(rt.io, listener), fs,
         cache_bytes=cache_bytes, read_chunk=read_chunk, name=name,
         accept_batch=accept_batch, max_connections=max_connections,
+        handler=handler, max_header_bytes=max_header_bytes,
+        max_body_bytes=max_body_bytes,
     )
     for path, content in (site or {}).items():
         server.cache.put(path.lstrip("/"), content)

@@ -34,6 +34,7 @@ The application contract is :class:`~repro.http.server.WebServer`-shaped:
 from __future__ import annotations
 
 import dataclasses
+import inspect
 import json
 import multiprocessing
 import os
@@ -48,11 +49,15 @@ from ..core.do_notation import do
 from ..core.smp import SmpScheduler
 from ..core.syscalls import sys_sleep
 from .live_runtime import LiveRuntime, make_listener
+from .mesh import MeshNode
 
 __all__ = ["ClusterConfig", "ClusterServer", "build_runtime"]
 
 #: ``app_factory(rt, listener) -> app`` — builds one shard's application.
-AppFactory = Callable[[LiveRuntime, socket.socket], Any]
+#: Mesh-enabled clusters may instead take ``(rt, listener, mesh)``: when
+#: ``ClusterConfig.mesh`` is on and the factory accepts a third
+#: parameter, the shard's :class:`~repro.runtime.mesh.MeshNode` is passed.
+AppFactory = Callable[..., Any]
 
 _CRASH_EXIT_CODE = 86  # distinguishes a commanded crash from a real one
 
@@ -73,6 +78,14 @@ class ClusterConfig:
     respawn: bool = True
     grace: float = 0.25           # drain window after a stop command
     ready_timeout: float = 10.0
+    #: Shard-to-shard data plane: when on, every shard gets a mesh
+    #: listener (one extra port, reserved by the master) and a
+    #: :class:`~repro.runtime.mesh.MeshNode` dialed to every peer.
+    mesh: bool = False
+    #: Master-resolved mesh listener ports, one per shard index.  Shards
+    #: learn the full address map from this at spawn.
+    mesh_ports: tuple = ()
+    mesh_call_timeout: float = 5.0
 
 
 def build_runtime(config: ClusterConfig) -> LiveRuntime:
@@ -133,6 +146,38 @@ def _queue_depth(sched: Any) -> int:
     return ready if isinstance(ready, int) else len(ready)
 
 
+def _mesh_passing(app_factory: AppFactory) -> str | None:
+    """How to hand the factory its :class:`MeshNode`: ``"kw"`` (it has a
+    parameter literally named ``mesh``), ``"pos"`` (a third required
+    positional, or ``*args``), or ``None`` (two-argument contract).
+
+    A parameter *named* ``mesh`` wins even when defaulted (so
+    ``build_kv_app``-style signatures get the node); an unrelated
+    defaulted third parameter like ``cache_bytes=N`` must not silently
+    receive it.
+    """
+    try:
+        parameters = inspect.signature(app_factory).parameters
+    except (TypeError, ValueError):
+        return None
+    mesh_param = parameters.get("mesh")
+    if mesh_param is not None and mesh_param.kind in (
+        inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        inspect.Parameter.KEYWORD_ONLY,
+    ):
+        return "kw"
+    if any(p.kind == inspect.Parameter.VAR_POSITIONAL
+           for p in parameters.values()):
+        return "pos"
+    required = [
+        p for p in parameters.values()
+        if p.kind in (inspect.Parameter.POSITIONAL_ONLY,
+                      inspect.Parameter.POSITIONAL_OR_KEYWORD)
+        and p.default is inspect.Parameter.empty
+    ]
+    return "pos" if len(required) >= 3 else None
+
+
 def _worker_main(
     index: int,
     config: ClusterConfig,
@@ -158,13 +203,35 @@ def _worker_main(
     listener = make_listener(
         config.host, config.port, backlog=config.backlog, reuse_port=True
     )
-    app = app_factory(rt, listener)
+    mesh: MeshNode | None = None
+    if config.mesh:
+        # The master reserved one mesh port per shard; every shard learns
+        # the whole address map here, at spawn.
+        mesh_listener = make_listener(
+            config.host, config.mesh_ports[index],
+            backlog=config.backlog, reuse_port=True,
+        )
+        peers = {
+            peer: (config.host, port)
+            for peer, port in enumerate(config.mesh_ports)
+        }
+        mesh = MeshNode(
+            index, rt.io, mesh_listener, peers,
+            call_timeout=config.mesh_call_timeout,
+        )
+    passing = _mesh_passing(app_factory) if mesh is not None else None
+    if passing == "kw":
+        app = app_factory(rt, listener, mesh=mesh)
+    elif passing == "pos":
+        app = app_factory(rt, listener, mesh)
+    else:
+        app = app_factory(rt, listener)
     state = {"stop": False}
     ctrl.setblocking(False)
 
     def snapshot(event: str = "stats") -> dict:
         stats = getattr(app, "stats", None)
-        return {
+        reply = {
             "event": event,
             "index": index,
             "pid": os.getpid(),
@@ -185,6 +252,16 @@ def _worker_main(
             "queue_depth": _queue_depth(rt.sched),
             "live_threads": rt.sched.live_threads,
         }
+        if mesh is not None:
+            # Data-plane health rides the same control snapshot.
+            reply["mesh"] = mesh.health()
+        extra = getattr(app, "extra_stats", None)
+        if callable(extra):
+            # Application-level counters (e.g. the KV store's
+            # owned/proxied split) — numeric values are aggregated by
+            # the master.
+            reply["app"] = extra()
+        return reply
 
     def handle(message: dict) -> None:
         command = message.get("cmd")
@@ -217,6 +294,8 @@ def _worker_main(
                 state["stop"] = True
 
     rt.spawn(app.main(), name=f"shard{index}-acceptor")
+    if mesh is not None:
+        rt.spawn(mesh.serve(), name=f"shard{index}-mesh")
     rt.spawn(control_loop(), name=f"shard{index}-control")
     rt.spawn(watchdog(os.getppid()), name=f"shard{index}-watchdog")
     _send_msg(ctrl, {
@@ -228,6 +307,8 @@ def _worker_main(
     # Graceful drain: stop accepting, give in-flight responses a window.
     if hasattr(app, "stop"):
         app.stop()
+    if mesh is not None:
+        mesh.stop()
     deadline = time.monotonic() + config.grace
     rt.run(until=lambda: time.monotonic() >= deadline,
            idle_timeout=config.grace)
@@ -236,6 +317,11 @@ def _worker_main(
         listener.close()
     except OSError:
         pass
+    if mesh is not None:
+        try:
+            mesh.listener.close()
+        except OSError:
+            pass
     rt.shutdown()
 
 
@@ -265,13 +351,15 @@ class _WorkerHandle:
             remaining = max(0.0, deadline - time.monotonic())
             try:
                 readable, _, _ = select.select([self.sock], [], [], remaining)
-            except OSError:
+            except (OSError, ValueError):
+                # ValueError: the socket was closed under us (fileno -1)
+                # — e.g. stats() racing a reload()'s handle.close().
                 break
             if not readable:
                 break
             try:
                 data = self.sock.recv(65536)
-            except OSError:
+            except (OSError, ValueError):
                 break
             if not data:
                 break
@@ -316,6 +404,7 @@ class ClusterServer:
         self.app_factory = app_factory
         self._ctx = multiprocessing.get_context("fork")
         self._reservation: socket.socket | None = None
+        self._mesh_reservations: list[socket.socket] = []
         self._workers: list[_WorkerHandle] = []
         self._lock = threading.RLock()
         self._stats_lock = threading.Lock()  # serializes stats() readers
@@ -326,21 +415,53 @@ class ClusterServer:
         self.port: int | None = None
 
     # -- lifecycle -----------------------------------------------------
-    def start(self) -> "ClusterServer":
-        """Reserve the port, fork every shard, wait until all accept."""
-        if self._workers:
-            raise RuntimeError("cluster already started")
-        self._stopping = False
+    @staticmethod
+    def _reserve(host: str, port: int) -> socket.socket:
+        """A bound, never-listening ``SO_REUSEPORT`` socket: reserves the
+        port for (re)binding shards without joining the kernel's listener
+        group (a non-listening socket receives no connections)."""
         reservation = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         reservation.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         reservation.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
-        reservation.bind((self.config.host, self.config.port))
-        # Bound but never listening: reserves the port for rebinding
-        # shards without joining the kernel's listener group (a
-        # non-listening socket receives no connections).
+        reservation.bind((host, port))
+        return reservation
+
+    def start(self) -> "ClusterServer":
+        """Reserve the port(s), fork every shard, wait until all accept."""
+        if self._workers:
+            raise RuntimeError("cluster already started")
+        self._stopping = False
+        if self.config.mesh:
+            wanted = self.config.mesh_ports or (0,) * self.config.shards
+            if len(wanted) != self.config.shards:
+                raise ValueError(
+                    f"mesh_ports must name one port per shard "
+                    f"({len(wanted)} != {self.config.shards})"
+                )
+        reservation = self._reserve(self.config.host, self.config.port)
         self._reservation = reservation
         self.port = reservation.getsockname()[1]
         self.config = dataclasses.replace(self.config, port=self.port)
+        if self.config.mesh:
+            # One data-plane port per shard, reserved the same way so
+            # respawned/reloaded shards rebind their mesh listeners.  A
+            # port already in use must not leak the sockets bound so far
+            # (appending one at a time keeps them reachable by stop()).
+            try:
+                for port in wanted:
+                    self._mesh_reservations.append(
+                        self._reserve(self.config.host, port)
+                    )
+            except BaseException:
+                self.stop(timeout=1.0)
+                raise
+            self.config = dataclasses.replace(
+                self.config,
+                mesh_ports=tuple(
+                    sock.getsockname()[1]
+                    for sock in self._mesh_reservations
+                ),
+            )
         try:
             with self._lock:
                 for index in range(self.config.shards):
@@ -371,6 +492,11 @@ class ClusterServer:
                 pass
         if self._reservation is not None:
             inherited.append(self._reservation.fileno())
+        for reservation in self._mesh_reservations:
+            try:
+                inherited.append(reservation.fileno())
+            except OSError:
+                pass
         process = self._ctx.Process(
             target=_worker_main,
             args=(index, self.config, self.app_factory, child_sock,
@@ -420,6 +546,12 @@ class ClusterServer:
         if self._reservation is not None:
             self._reservation.close()
             self._reservation = None
+        for reservation in self._mesh_reservations:
+            try:
+                reservation.close()
+            except OSError:
+                pass
+        self._mesh_reservations = []
 
     def __enter__(self) -> "ClusterServer":
         return self.start()
@@ -438,6 +570,22 @@ class ClusterServer:
                 pass
             time.sleep(0.05)
 
+    def _replace_worker(self, slot: int) -> _WorkerHandle | None:
+        """Spawn and await a replacement for the (closed) worker at
+        ``slot``; on failure clean the replacement up and return None.
+        Caller holds ``_lock``."""
+        handle = self._workers[slot]
+        replacement = self._spawn_worker(handle.index)
+        try:
+            self._await_ready(replacement)
+        except RuntimeError:
+            if replacement.process.is_alive():
+                replacement.process.terminate()
+            replacement.close()
+            return None
+        self._workers[slot] = replacement
+        return replacement
+
     def poll(self) -> None:
         """Detect dead shards and respawn them (monitor thread's body)."""
         with self._lock:
@@ -445,16 +593,9 @@ class ClusterServer:
                 if self._stopping or handle.process.is_alive():
                     continue
                 handle.close()
-                replacement = self._spawn_worker(handle.index)
-                try:
-                    self._await_ready(replacement)
-                except RuntimeError:
-                    if replacement.process.is_alive():
-                        replacement.process.terminate()
-                    replacement.close()
+                if self._replace_worker(slot) is None:
                     continue  # retried on the next poll
                 self.respawns += 1
-                self._workers[slot] = replacement
 
     def worker_pids(self) -> list[int | None]:
         """Current shard pids, index-ordered (None for a dead shard)."""
@@ -510,7 +651,64 @@ class ClusterServer:
         ]
         aggregate["saturation_max"] = max(saturations, default=None)
         aggregate["workers_reporting"] = len(answered)
+        gauges = ("peers", "connected_peers")  # summing these is nonsense
+        for section in ("mesh", "app"):
+            # Cross-shard sums of the data-plane and application
+            # counters (each shard reports its own dict of numbers).
+            sections = [r[section] for r in answered if section in r]
+            if sections:
+                merged: dict = {}
+                for counters in sections:
+                    for key, value in counters.items():
+                        if key not in gauges and isinstance(
+                            value, (int, float)
+                        ):
+                            merged[key] = merged.get(key, 0) + value
+                if section == "mesh":
+                    # Health gauge: the worst-connected shard (every
+                    # shard should reach all its peers).
+                    merged["connected_peers_min"] = min(
+                        counters.get("connected_peers", 0)
+                        for counters in sections
+                    )
+                aggregate[section] = merged
         return {"workers": per_worker, "aggregate": aggregate}
+
+    # -- zero-downtime rolling restart ---------------------------------
+    def reload(self, timeout: float = 5.0) -> list[int]:
+        """Roll every shard, one at a time, without dropping the port.
+
+        Each shard gets a graceful ``stop`` (drain window included) and a
+        replacement is spawned and awaited before the next shard rolls —
+        so all other shards keep serving throughout and the cluster never
+        has fewer than ``shards - 1`` listeners.  The port reservations
+        (serving port and mesh ports) stay bound in the master across the
+        whole roll.  Returns the new pids, index-ordered.
+
+        If a replacement fails to come up the roll stops with
+        ``RuntimeError`` and that slot is left dead; with ``respawn``
+        enabled (the default) the monitor repairs it on its next tick,
+        otherwise the cluster keeps serving on the remaining shards.
+        """
+        with self._lock:
+            slots = list(range(len(self._workers)))
+        for slot in slots:
+            with self._lock:
+                if self._stopping:
+                    break
+                handle = self._workers[slot]
+                _send_msg(handle.sock, {"cmd": "stop"})
+                handle.process.join(timeout=timeout)
+                if handle.process.is_alive():
+                    handle.process.terminate()
+                    handle.process.join(timeout=1.0)
+                handle.close()
+                if self._replace_worker(slot) is None:
+                    raise RuntimeError(
+                        f"shard {handle.index} failed to come back "
+                        f"during reload"
+                    )
+        return [pid for pid in self.worker_pids() if pid is not None]
 
     def crash_worker(self, index: int) -> None:
         """Fault injection: command one shard to die (tests the respawn

@@ -1,0 +1,179 @@
+"""The reusable monadic connection driver.
+
+The paper's web server (§5.2) hard-wires one application protocol (HTTP)
+into its accept loop.  This module factors the loop out: a
+:class:`ConnectionDriver` owns everything *below* the application protocol
+— accept batching, admission control with overload shedding, per-connection
+thread spawning, live-connection accounting, shutdown — and delegates
+everything *above* the transport to a pluggable protocol object.  HTTP
+becomes one protocol among several (the KV service's mesh frames are
+another), which is exactly the "protocols among threads" composition the
+related work argues needs first-class treatment.
+
+The protocol contract is small and monadic:
+
+``protocol.handle_connection(layer, conn) -> M``
+    The whole per-connection session as one monadic computation.  It owns
+    the connection: every exit path (normal return, monadic exception,
+    peer disconnect) must close ``conn`` through ``layer`` — except
+    abandonment (``GeneratorExit``), where no scheduler remains to run a
+    monadic close.
+
+``protocol.shed_payload() -> bytes``
+    A pre-encoded farewell for connections refused under the admission
+    cap (e.g. an HTTP 503).  May return ``b""`` for silent sheds.
+
+The socket-layer contract is the one :class:`repro.http.server
+.IoSocketLayer` established: ``setup``/``accept_batch``/``recv``/``send``/
+``shed``/``close``, all returning :class:`~repro.core.monad.M`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.do_notation import do
+from ..core.monad import M, pure
+from ..core.syscalls import sys_fork
+from .io_api import NetIO
+
+__all__ = ["ConnectionDriver", "DriverStats", "IoSocketLayer"]
+
+
+class IoSocketLayer:
+    """Socket operations over a :class:`NetIO` and an existing listener.
+
+    Backend-agnostic: the same code path drives simulated kernel streams
+    and real non-blocking sockets, because ``NetIO`` is the shared monadic
+    I/O surface of both runtimes.  (Historically defined in
+    ``repro.http.server``, which still re-exports it; it lives here
+    because every protocol on the driver needs it, not just HTTP.)
+    """
+
+    def __init__(self, io: NetIO, listener: Any) -> None:
+        self.io = io
+        self.listener = listener
+
+    def setup(self) -> M:
+        return pure(self.listener)
+
+    def accept(self, listener: Any) -> M:
+        return self.io.accept(listener)
+
+    def accept_batch(self, listener: Any, limit: int) -> M:
+        """Accept a burst: drain the listen queue up to ``limit`` per
+        wakeup (resumes with a non-empty list)."""
+        return self.io.accept_many(listener, limit)
+
+    def recv(self, conn: Any, nbytes: int) -> M:
+        return self.io.read(conn, nbytes)
+
+    def send(self, conn: Any, data: bytes) -> M:
+        return self.io.write_all(conn, data)
+
+    def shed(self, conn: Any, farewell: bytes = b"") -> M:
+        """Overload path: best-effort farewell + close, never blocking."""
+        return self.io.shed(conn, farewell)
+
+    def close(self, conn: Any) -> M:
+        return self.io.close(conn)
+
+
+class DriverStats:
+    """Transport-level counters: what the driver itself can observe."""
+
+    __slots__ = ("connections", "active", "shed")
+
+    def __init__(self) -> None:
+        #: Connections admitted over the server's lifetime.
+        self.connections = 0
+        #: Currently admitted (open) client connections.
+        self.active = 0
+        #: Connections refused at the accept queue under the admission cap.
+        self.shed = 0
+
+
+class ConnectionDriver:
+    """Accept/admission/shed loop, parameterized by an application protocol.
+
+    The driver is the server's root thread: it accepts bursts of
+    connections, sheds the excess above ``max_connections`` with the
+    protocol's farewell payload, and forks one monadic thread per admitted
+    connection running ``protocol.handle_connection``.
+    """
+
+    def __init__(
+        self,
+        socket_layer: Any,
+        protocol: Any,
+        accept_batch: int = 64,
+        max_connections: int | None = None,
+        stats: Any = None,
+        name: str = "server",
+    ) -> None:
+        if accept_batch < 1:
+            raise ValueError("accept_batch must be >= 1")
+        if max_connections is not None and max_connections < 1:
+            raise ValueError("max_connections must be >= 1 (or None)")
+        self.layer = socket_layer
+        self.protocol = protocol
+        self.accept_batch = accept_batch
+        self.max_connections = max_connections
+        #: Any object with ``connections``/``active``/``shed`` attributes
+        #: (the HTTP layer shares one stats object across driver and
+        #: protocol so existing dashboards see one surface).
+        self.stats = stats if stats is not None else DriverStats()
+        self.name = name
+        self.running = True
+        self._shed_payload = protocol.shed_payload()
+
+    # ------------------------------------------------------------------
+    def main(self) -> M:
+        """The root thread: accept loop spawning per-connection threads."""
+        return self._main()
+
+    def handle_connection(self, conn: Any) -> M:
+        """One admitted session (exposed for direct-drive tests); does not
+        touch the admission counters."""
+        return self.protocol.handle_connection(self.layer, conn)
+
+    def stop(self) -> None:
+        """Stop accepting new connections (current ones finish)."""
+        self.running = False
+
+    # ------------------------------------------------------------------
+    @do
+    def _main(self):
+        layer = self.layer
+        stats = self.stats
+        listener = yield layer.setup()
+        while self.running:
+            try:
+                conns = yield layer.accept_batch(listener, self.accept_batch)
+            except (OSError, ValueError):
+                if self.running:
+                    raise
+                return  # listener torn down during shutdown
+            for conn in conns:
+                if not self.running:
+                    yield layer.close(conn)
+                    continue
+                if (self.max_connections is not None
+                        and stats.active >= self.max_connections):
+                    # Admission control: answer with the protocol's
+                    # farewell and hang up, without spawning a thread.
+                    stats.shed += 1
+                    yield layer.shed(conn, self._shed_payload)
+                    continue
+                stats.connections += 1
+                stats.active += 1
+                yield sys_fork(self._admitted(conn), name="client")
+
+    @do
+    def _admitted(self, conn):
+        # ``active`` pairs with the admission in ``_main``; the plain
+        # (non-yielding) decrement is safe even under GeneratorExit.
+        try:
+            yield self.protocol.handle_connection(self.layer, conn)
+        finally:
+            self.stats.active -= 1

@@ -146,20 +146,33 @@ class LiveBackend:
             conns.append(conn)
         return conns
 
+    #: Drain cap for shedding closes: enough to clear a buffered request,
+    #: bounded so a peer still streaming (e.g. an oversized body being
+    #: rejected) cannot spin the event loop inside one nb_shed call.
+    SHED_DRAIN_LIMIT = 256 * 1024
+
     def nb_shed(self, fd: socket.socket, farewell: bytes) -> None:
         """Overload-shedding close: farewell, FIN, drain, close.
 
         ``shutdown(SHUT_WR)`` queues a FIN behind the farewell bytes, and
         draining whatever the peer already sent keeps ``close()`` from
         degrading into an RST (unread data in the receive queue resets the
-        connection instead of closing it cleanly).
+        connection instead of closing it cleanly).  The drain is *bounded*:
+        this runs synchronously on the event loop, so a peer that keeps
+        sending must not head-of-line block every other connection — past
+        the cap the close may RST, which is the correct outcome for a
+        flooder.
         """
         try:
             if farewell:
                 fd.send(farewell)
             fd.shutdown(socket.SHUT_WR)
-            while fd.recv(4096):
-                pass
+            drained = 0
+            while drained < self.SHED_DRAIN_LIMIT:
+                data = fd.recv(4096)
+                if not data:
+                    break
+                drained += len(data)
         except OSError:
             pass  # peer vanished or nothing buffered: close regardless
         self.close(fd)

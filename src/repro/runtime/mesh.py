@@ -1,0 +1,571 @@
+"""The shard-to-shard data-plane mesh: framed RPC between event loops.
+
+Sharded-state workloads need shards to talk to each other — a key owned by
+shard 2 must be readable through a connection the kernel hashed onto shard
+0.  This module gives every shard a :class:`MeshNode`: a mesh *listener*
+(one extra port per shard) plus lazily dialed, persistent client links to
+every peer.  Everything is ordinary monadic code over :class:`~repro
+.runtime.io_api.NetIO` — mesh descriptors sit in the same poller interest
+set as client sockets, and mesh calls block only the calling CK thread,
+never the event loop.  That is the paper's thesis applied to the control
+*between* servers: cross-shard protocols written in blocking style over
+the event-driven core.
+
+Wire format (all integers big-endian)::
+
+    frame    := length:u32  kind:u8  request_id:u64  body:bytes
+    kind     := 0 request | 1 reply | 2 error-reply
+
+Requests multiplex: each persistent link carries many in-flight calls,
+matched by ``request_id``.  A per-link *demux* thread reads reply frames
+and fulfills the matching :class:`~repro.core.sync.MVar`; writers
+serialize frame writes with a per-link :class:`~repro.core.sync.Mutex`.
+Per-call timeouts race a timer thread against the reply — a dead peer
+surfaces as :class:`MeshTimeout`/:class:`MeshPeerDown` in the *calling*
+thread (a monadic exception, never a hang), and fails every other call
+pending on the same link.
+"""
+
+from __future__ import annotations
+
+import itertools
+import struct
+from typing import Any, Callable
+
+from ..core.do_notation import do
+from ..core.monad import M
+from ..core.sync import Mutex, MVar
+from ..core.syscalls import sys_fork, sys_now, sys_sleep
+from ..core.thread import join_all, spawn
+from .driver import ConnectionDriver, IoSocketLayer
+from .io_api import ConnectionClosed, NetIO
+
+__all__ = [
+    "MeshNode",
+    "MeshError",
+    "MeshTimeout",
+    "MeshPeerDown",
+    "MeshRemoteError",
+    "MeshProtocolError",
+    "recv_frame",
+    "send_frame",
+    "KIND_REQUEST",
+    "KIND_REPLY",
+    "KIND_ERROR",
+]
+
+_LEN = struct.Struct("!I")
+_HEAD = struct.Struct("!BQ")
+
+KIND_REQUEST = 0
+KIND_REPLY = 1
+KIND_ERROR = 2
+
+#: Frames above this are a protocol violation (memory bound per link).
+DEFAULT_MAX_FRAME = 16 * 1024 * 1024
+
+
+class MeshError(OSError):
+    """Base class for data-plane failures."""
+
+
+class MeshTimeout(MeshError):
+    """A call's per-peer timeout elapsed before a reply arrived."""
+
+
+class MeshPeerDown(MeshError):
+    """The peer link failed (dial refused, reset, or EOF mid-call)."""
+
+
+class MeshRemoteError(MeshError):
+    """The peer's handler raised; carries its message."""
+
+
+class MeshProtocolError(MeshError):
+    """Malformed or oversized frame on a mesh link."""
+
+
+# ----------------------------------------------------------------------
+# Framing (shared by both sides; also exercised directly by tests).
+# ----------------------------------------------------------------------
+def send_frame(io: NetIO, fd: Any, kind: int, request_id: int,
+               body: bytes) -> M:
+    """Write one length-prefixed frame (single ``write_all`` so frames
+    from different threads cannot interleave *within* a frame; callers
+    still serialize whole frames with a mutex)."""
+    payload = _HEAD.pack(kind, request_id) + body
+    return io.write_all(fd, _LEN.pack(len(payload)) + payload)
+
+
+@do
+def recv_frame(io: NetIO, fd: Any, max_frame: int = DEFAULT_MAX_FRAME):
+    """Read one frame; resumes with ``(kind, request_id, body)``.
+
+    Resumes with ``None`` on a clean EOF *between* frames; raises
+    :class:`~repro.runtime.io_api.ConnectionClosed` on EOF mid-frame
+    (partial reads inside a frame are reassembled transparently).
+    """
+    header = bytearray()
+    while len(header) < _LEN.size:
+        data = yield io.read(fd, _LEN.size - len(header))
+        if not data:
+            if header:
+                raise ConnectionClosed(
+                    f"EOF inside frame length prefix ({len(header)}/4 bytes)"
+                )
+            return None
+        header.extend(data)
+    (length,) = _LEN.unpack(bytes(header))
+    if length < _HEAD.size:
+        raise MeshProtocolError(f"frame shorter than its header: {length}")
+    if length > max_frame:
+        raise MeshProtocolError(f"frame of {length} bytes exceeds "
+                                f"max_frame={max_frame}")
+    payload = yield io.read_exact(fd, length)
+    kind, request_id = _HEAD.unpack_from(payload)
+    return kind, request_id, payload[_HEAD.size:]
+
+
+class _Timeout:
+    """Sentinel delivered into a pending MVar by the timer thread."""
+
+    __slots__ = ()
+
+
+_TIMED_OUT = _Timeout()
+
+
+class _PeerLink:
+    """One persistent client connection to a peer, with demux state."""
+
+    __slots__ = ("peer", "conn", "write_mutex", "pending", "alive",
+                 "sweeping")
+
+    def __init__(self, peer: int, conn: Any) -> None:
+        self.peer = peer
+        self.conn = conn
+        self.write_mutex = Mutex(name=f"mesh-peer{peer}-write")
+        #: request_id -> (MVar awaiting the reply, absolute deadline).
+        self.pending: dict[int, tuple[MVar, float]] = {}
+        self.alive = True
+        #: Whether the link's timeout sweeper thread is running.
+        self.sweeping = False
+
+
+class MeshStats:
+    """Data-plane counters, surfaced through cluster ``stats()``."""
+
+    __slots__ = ("calls", "served", "timeouts", "peer_failures",
+                 "frames_sent", "frames_received")
+
+    def __init__(self) -> None:
+        #: Client-side calls issued (including failed ones).
+        self.calls = 0
+        #: Requests this node's handler served for peers.
+        self.served = 0
+        #: Calls that hit their per-peer timeout.
+        self.timeouts = 0
+        #: Link failures observed (dial refused, reset, EOF mid-call).
+        self.peer_failures = 0
+        self.frames_sent = 0
+        self.frames_received = 0
+
+
+class _MeshServerProtocol:
+    """The mesh's server side as a :class:`~repro.runtime.driver
+    .ConnectionDriver` protocol — the second protocol on the same driver
+    that serves HTTP, sharing its accept batching and shutdown paths."""
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: "MeshNode") -> None:
+        self.node = node
+
+    def shed_payload(self) -> bytes:
+        return b""  # no farewell frame: a shed peer just redials
+
+    def handle_connection(self, layer: Any, conn: Any) -> M:
+        return self.node._serve_peer(conn)
+
+
+class MeshNode:
+    """One shard's end of the data plane.
+
+    ``peers`` maps shard index -> ``(host, port)`` of every shard's mesh
+    listener (self included).  ``handler(body: bytes) -> M[bytes]`` serves
+    inbound requests; set it before spawning :meth:`serve`.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        io: NetIO,
+        listener: Any,
+        peers: dict[int, tuple],
+        handler: Callable[[bytes], M] | None = None,
+        call_timeout: float = 5.0,
+        max_frame: int = DEFAULT_MAX_FRAME,
+        accept_batch: int = 16,
+        max_inflight: int = 128,
+    ) -> None:
+        self.index = index
+        self.io = io
+        self.listener = listener
+        self.peers = dict(peers)
+        self.handler = handler
+        self.call_timeout = call_timeout
+        self.max_frame = max_frame
+        self.accept_batch = accept_batch
+        #: Per-inbound-link cap on concurrently executing requests; past
+        #: it the link's reader runs requests inline (backpressure: it
+        #: stops pulling frames), bounding thread/memory growth per link.
+        self.max_inflight = max_inflight
+        self.stats = MeshStats()
+        self._links: dict[int, _PeerLink] = {}
+        self._dial_mutexes: dict[int, Mutex] = {}
+        self._request_ids = itertools.count(1)
+        self._driver = ConnectionDriver(
+            IoSocketLayer(io, listener),
+            _MeshServerProtocol(self),
+            accept_batch=accept_batch,
+            name=f"mesh{index}",
+        )
+
+    @property
+    def running(self) -> bool:
+        return self._driver.running
+
+    # ------------------------------------------------------------------
+    # Health (the cluster snapshot reads this).
+    # ------------------------------------------------------------------
+    def connected_peers(self) -> int:
+        return sum(1 for link in self._links.values() if link.alive)
+
+    def health(self) -> dict:
+        stats = self.stats
+        return {
+            "peers": len(self.peers),
+            "connected_peers": self.connected_peers(),
+            "calls": stats.calls,
+            "served": stats.served,
+            "timeouts": stats.timeouts,
+            "peer_failures": stats.peer_failures,
+        }
+
+    # ------------------------------------------------------------------
+    # Server side: accept peers, demux request frames, run the handler.
+    # ------------------------------------------------------------------
+    def serve(self) -> M:
+        """The mesh accept loop (spawn as one thread per shard).
+
+        The loop itself is the shared :class:`ConnectionDriver`; this
+        node contributes only the frame protocol.
+        """
+        return self._driver.main()
+
+    def stop(self) -> None:
+        self._driver.stop()
+
+    @do
+    def _serve_peer(self, conn):
+        # One inbound peer link: read request frames, fork a worker per
+        # request (a slow handler must not block later frames), write
+        # replies under a per-link mutex.  ``inflight`` caps the workers:
+        # at the cap the reader serves inline instead — it stops pulling
+        # frames, which is backpressure on the peer.
+        write_mutex = Mutex(name="mesh-serve-write")
+        inflight = [0]
+        can_yield = True
+        try:
+            while True:
+                frame = yield recv_frame(self.io, conn, self.max_frame)
+                if frame is None:
+                    return  # peer closed cleanly
+                self.stats.frames_received += 1
+                kind, request_id, body = frame
+                if kind != KIND_REQUEST:
+                    raise MeshProtocolError(
+                        f"unexpected frame kind {kind} on server link"
+                    )
+                if inflight[0] >= self.max_inflight:
+                    yield self._serve_request(
+                        conn, write_mutex, request_id, body, None
+                    )
+                    continue
+                inflight[0] += 1
+                yield sys_fork(
+                    self._serve_request(
+                        conn, write_mutex, request_id, body, inflight
+                    ),
+                    name="mesh-request",
+                )
+        except (ConnectionError, OSError):
+            return  # peer vanished; its pending calls fail on its side
+        except GeneratorExit:
+            can_yield = False
+            raise
+        finally:
+            if can_yield:
+                yield self.io.close(conn)
+
+    @do
+    def _serve_request(self, conn, write_mutex, request_id, body, inflight):
+        try:
+            try:
+                if self.handler is None:
+                    raise MeshError(
+                        f"shard {self.index} has no mesh handler"
+                    )
+                reply = yield self.handler(body)
+                kind = KIND_REPLY
+            except (KeyboardInterrupt, SystemExit, GeneratorExit):
+                raise
+            except BaseException as exc:
+                # ANY handler failure becomes an error reply — including
+                # OSError subclasses (every MeshError is one): the caller
+                # must fail fast with MeshRemoteError, not sit out its
+                # whole timeout waiting for a reply that never comes.
+                reply = repr(exc).encode()
+                kind = KIND_ERROR
+            self.stats.served += 1
+            try:
+                yield self._locked_send(write_mutex, conn, kind,
+                                        request_id, reply)
+            except (ConnectionError, OSError):
+                return  # peer vanished before the reply could be written
+        finally:
+            if inflight is not None:
+                inflight[0] -= 1
+
+    @do
+    def _locked_send(self, mutex, conn, kind, request_id, body):
+        yield mutex.acquire()
+        try:
+            yield send_frame(self.io, conn, kind, request_id, body)
+            self.stats.frames_sent += 1
+        finally:
+            yield mutex.release()
+
+    # ------------------------------------------------------------------
+    # Client side: lazily dialed links, multiplexed calls.
+    # ------------------------------------------------------------------
+    def call(self, peer: int, body: bytes, timeout: float | None = None) -> M:
+        """RPC to ``peer``: resumes with the reply body.
+
+        Raises :class:`MeshTimeout` after ``timeout`` (default: the
+        node's ``call_timeout``), :class:`MeshPeerDown` if the link
+        fails, :class:`MeshRemoteError` if the peer handler raised.
+        A self-call short-circuits through the local handler.
+        """
+        return self._call(peer, body, timeout)
+
+    @do
+    def _call(self, peer, body, timeout):
+        self.stats.calls += 1
+        if peer == self.index:
+            if self.handler is None:
+                raise MeshError(f"shard {self.index} has no mesh handler")
+            reply = yield self.handler(body)
+            return reply
+        if peer not in self.peers:
+            raise MeshError(f"unknown peer {peer}")
+        if timeout is None:
+            timeout = self.call_timeout
+        link = yield self._link(peer)
+        request_id = next(self._request_ids)
+        box = MVar(name=f"mesh-call-{peer}-{request_id}")
+        now = yield sys_now()
+        link.pending[request_id] = (box, now + timeout)
+        try:
+            yield self._locked_send(
+                link.write_mutex, link.conn, KIND_REQUEST, request_id, body
+            )
+        except (ConnectionError, OSError) as exc:
+            link.pending.pop(request_id, None)
+            yield self._fail_link(link)
+            raise MeshPeerDown(f"write to peer {peer} failed: {exc!r}")
+        if not link.alive:
+            # The link died between registration and here (the demux may
+            # already have drained ``pending``, missing this entry).
+            link.pending.pop(request_id, None)
+            raise MeshPeerDown(f"peer {peer} link failed during call")
+        if not link.sweeping:
+            link.sweeping = True
+            yield sys_fork(self._sweeper(link), name="mesh-sweeper")
+        outcome = yield box.take()
+        link.pending.pop(request_id, None)
+        if outcome is _TIMED_OUT:
+            self.stats.timeouts += 1
+            raise MeshTimeout(
+                f"peer {peer} did not reply within {timeout}s"
+            )
+        if isinstance(outcome, BaseException):
+            raise outcome
+        return outcome
+
+    #: Timeout sweep granularity (seconds): deadlines fire within one
+    #: tick of expiring.  Mesh RPC timeouts are hundreds of ms and up,
+    #: so coarse ticks are fine — and one sweeper per link replaces a
+    #: timer thread per call, whose live count would otherwise grow as
+    #: call-rate x timeout on the proxied hot path.
+    SWEEP_INTERVAL = 0.05
+
+    @do
+    def _sweeper(self, link):
+        # Runs only while the link has in-flight calls (the next call
+        # respawns it), so an idle mesh schedules no timers at all.
+        try:
+            while link.alive and link.pending:
+                yield sys_sleep(self.SWEEP_INTERVAL)
+                now = yield sys_now()
+                expired = [
+                    request_id
+                    for request_id, (_box, deadline) in link.pending.items()
+                    if deadline <= now
+                ]
+                for request_id in expired:
+                    # The demux (or a link failure) may have popped this
+                    # entry while the sweep yielded on an earlier one.
+                    entry = link.pending.pop(request_id, None)
+                    if entry is None:
+                        continue
+                    box, _deadline = entry
+                    # Lost the race if the box already holds its reply.
+                    yield box.try_put(_TIMED_OUT)
+            # A caller that registered on this link *after* the demux
+            # drained it (link downed mid-call) would otherwise wait on a
+            # box nothing fills: fail whatever is still pending on a dead
+            # link before exiting.
+            if not link.alive and link.pending:
+                failure = MeshPeerDown(f"peer {link.peer} link failed")
+                pending, link.pending = dict(link.pending), {}
+                for box, _deadline in pending.values():
+                    yield box.try_put(failure)
+        finally:
+            link.sweeping = False
+
+    def fan_out(
+        self,
+        bodies: dict[int, bytes],
+        timeout: float | None = None,
+    ) -> M:
+        """Concurrent calls to several peers with a per-peer timeout.
+
+        Resumes with ``{peer: reply-bytes | MeshError}`` — one dead or
+        slow peer yields its exception *as a value* instead of failing
+        the whole fan-out, so callers can merge partial results.
+        """
+        return self._fan_out(bodies, timeout)
+
+    @do
+    def _fan_out(self, bodies, timeout):
+        @do
+        def one(peer, body):
+            try:
+                reply = yield self.call(peer, body, timeout)
+                return peer, reply
+            except MeshError as exc:
+                return peer, exc
+
+        handles = []
+        for peer, body in bodies.items():
+            handle = yield spawn(one(peer, body), name=f"fanout-{peer}")
+            handles.append(handle)
+        results = yield join_all(handles)
+        return dict(results)
+
+    # -- link management ----------------------------------------------
+    @do
+    def _link(self, peer):
+        link = self._links.get(peer)
+        if link is not None and link.alive:
+            return link
+        mutex = self._dial_mutexes.setdefault(
+            peer, Mutex(name=f"mesh-dial-{peer}")
+        )
+        yield mutex.acquire()
+        try:
+            link = self._links.get(peer)
+            if link is not None and link.alive:
+                return link
+            try:
+                conn = yield self.io.connect(
+                    tuple(self.peers[peer]), label=f"mesh-{peer}"
+                )
+            except (ConnectionError, OSError) as exc:
+                self.stats.peer_failures += 1
+                raise MeshPeerDown(f"dial to peer {peer} failed: {exc!r}")
+            link = _PeerLink(peer, conn)
+            self._links[peer] = link
+            yield sys_fork(self._demux(link), name=f"mesh-demux-{peer}")
+            return link
+        finally:
+            yield mutex.release()
+
+    @do
+    def _demux(self, link):
+        # The link's reader: match reply frames to pending calls.  Any
+        # failure (EOF, reset, protocol violation) downs the link and
+        # fails every pending call so no caller hangs.
+        can_yield = True
+        try:
+            while link.alive:
+                frame = yield recv_frame(self.io, link.conn, self.max_frame)
+                if frame is None:
+                    return
+                self.stats.frames_received += 1
+                kind, request_id, body = frame
+                if kind not in (KIND_REPLY, KIND_ERROR):
+                    # Validate BEFORE popping: raising with the entry
+                    # already popped would orphan the caller's box (the
+                    # finally's _fail_link only fails boxes still in
+                    # ``pending``) — a permanent hang.
+                    raise MeshProtocolError(
+                        f"unexpected frame kind {kind} on client link"
+                    )
+                entry = link.pending.pop(request_id, None)
+                if entry is None:
+                    continue  # reply raced a timeout: drop it
+                box, _deadline = entry
+                if kind == KIND_REPLY:
+                    yield box.try_put(body)
+                else:
+                    yield box.try_put(
+                        MeshRemoteError(body.decode("utf-8", "replace"))
+                    )
+        except (ConnectionError, OSError):
+            return
+        except GeneratorExit:
+            can_yield = False
+            raise
+        finally:
+            if can_yield:
+                yield self._fail_link(link)
+                yield self.io.close(link.conn)
+            else:
+                # Abandonment: no scheduler remains to resume pending
+                # callers, so only the plain bookkeeping runs.
+                self._down_link(link)
+
+    def _down_link(self, link: _PeerLink) -> tuple[MVar, ...]:
+        """Mark a link dead and detach it (plain, non-yielding code).
+
+        Returns the pending reply boxes so a monadic caller can fail
+        them; the next :meth:`call` to this peer re-dials.
+        """
+        if link.alive:
+            link.alive = False
+            self.stats.peer_failures += 1
+        if self._links.get(link.peer) is link:
+            del self._links[link.peer]
+        pending, link.pending = dict(link.pending), {}
+        return tuple(box for box, _deadline in pending.values())
+
+    @do
+    def _fail_link(self, link):
+        # ``try_put``: a box already holding its reply (or timeout
+        # marker) keeps it; a parked taker is woken with the failure.
+        boxes = self._down_link(link)
+        failure = MeshPeerDown(f"peer {link.peer} link failed")
+        for box in boxes:
+            yield box.try_put(failure)

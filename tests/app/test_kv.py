@@ -1,0 +1,342 @@
+"""The sharded KV service: ring placement, mesh proxying, fan-out merges,
+and the full 4-shard cluster serving KV traffic where every shard answers
+any key."""
+
+from __future__ import annotations
+
+import base64
+import collections
+import json
+
+import pytest
+
+from repro.app.kv import HashRing, KvNode, build_kv_app, kv_app_factory
+from repro.core.do_notation import do
+from repro.http.blocking_client import BlockingHttpClient
+from repro.runtime.cluster import ClusterServer
+from repro.runtime.live_runtime import LiveRuntime
+from repro.runtime.mesh import MeshNode
+
+
+# ----------------------------------------------------------------------
+# The ring.
+# ----------------------------------------------------------------------
+class TestHashRing:
+    def test_deterministic_across_instances(self):
+        first = HashRing(4)
+        second = HashRing(4)
+        keys = [f"key-{i}" for i in range(200)]
+        assert [first.owner(k) for k in keys] == [
+            second.owner(k) for k in keys
+        ]
+
+    def test_every_shard_owns_some_keys(self):
+        ring = HashRing(4)
+        owners = collections.Counter(
+            ring.owner(f"key-{i}") for i in range(1000)
+        )
+        assert sorted(owners) == [0, 1, 2, 3]
+        # Consistent hashing with 64 vnodes: no shard is starved.
+        assert min(owners.values()) > 50
+
+    def test_growing_the_ring_moves_few_keys(self):
+        # The consistent-hashing property: adding a shard remaps roughly
+        # 1/n of the keys, not all of them.
+        small = HashRing(4)
+        large = HashRing(5)
+        keys = [f"key-{i}" for i in range(1000)]
+        moved = sum(
+            1 for k in keys if small.owner(k) != large.owner(k)
+        )
+        assert 0 < moved < 500
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HashRing(0)
+        with pytest.raises(ValueError):
+            HashRing(2, vnodes=0)
+
+
+# ----------------------------------------------------------------------
+# A single node without a mesh: every key local.
+# ----------------------------------------------------------------------
+class TestSoloNode:
+    def run_op(self, comp):
+        rt = LiveRuntime(uncaught="store")
+        try:
+            results = []
+
+            @do
+            def main():
+                value = yield comp
+                results.append(value)
+
+            rt.spawn(main())
+            rt.run(until=lambda: bool(results), idle_timeout=5.0)
+            return results[0]
+        finally:
+            rt.shutdown()
+
+    def test_put_get_delete_roundtrip(self):
+        node = KvNode(0, 1)
+        created, _, proxied = self.run_op(node.put("a", b"1"))
+        assert created and not proxied
+        found, value, proxied = self.run_op(node.get("a"))
+        assert (found, value, proxied) == (True, b"1", False)
+        deleted, _, _ = self.run_op(node.delete("a"))
+        assert deleted
+        found, value, _ = self.run_op(node.get("a"))
+        assert (found, value) == (False, None)
+        assert node.proxied_ops == 0
+        assert node.owned_ops == 4
+
+    def test_mget_all_local(self):
+        node = KvNode(0, 1)
+        self.run_op(node.put("a", b"1"))
+        self.run_op(node.put("b", b"2"))
+        merged = self.run_op(node.mget(["a", "b", "ghost"]))
+        assert merged == {"a": b"1", "b": b"2", "ghost": None}
+
+
+# ----------------------------------------------------------------------
+# Two nodes over a real mesh in one runtime: proxying and fan-out.
+# ----------------------------------------------------------------------
+class TestMeshedNodes:
+    @pytest.fixture
+    def world(self):
+        rt = LiveRuntime(uncaught="store")
+        listeners = [rt.make_listener(), rt.make_listener()]
+        peers = {
+            i: ("127.0.0.1", listener.getsockname()[1])
+            for i, listener in enumerate(listeners)
+        }
+        meshes = [
+            MeshNode(i, rt.io, listeners[i], peers) for i in range(2)
+        ]
+        nodes = [KvNode(i, 2, mesh=meshes[i]) for i in range(2)]
+        for mesh in meshes:
+            rt.spawn(mesh.serve())
+        yield rt, nodes
+        rt.shutdown()
+
+    def drive(self, rt, comp):
+        results = []
+
+        @do
+        def main():
+            value = yield comp
+            results.append(value)
+
+        rt.spawn(main())
+        rt.run(until=lambda: bool(results), idle_timeout=5.0)
+        assert results, "operation never completed"
+        return results[0]
+
+    def _key_owned_by(self, nodes, owner, start=0):
+        index = start
+        while True:
+            key = f"key-{index}"
+            if nodes[0].ring.owner(key) == owner:
+                return key
+            index += 1
+
+    def test_non_owner_proxies_to_owner(self, world):
+        rt, nodes = world
+        key = self._key_owned_by(nodes, owner=1)
+        # Write through the NON-owner: must land in the owner's store.
+        created, _, proxied = self.drive(rt, nodes[0].put(key, b"remote"))
+        assert created and proxied
+        assert key in nodes[1].store
+        assert key not in nodes[0].store
+        found, value, proxied = self.drive(rt, nodes[0].get(key))
+        assert (found, value, proxied) == (True, b"remote", True)
+        # Reading through the owner is local.
+        found, value, proxied = self.drive(rt, nodes[1].get(key))
+        assert (found, value, proxied) == (True, b"remote", False)
+        assert nodes[0].proxied_ops == 2
+        assert nodes[1].mesh_served_ops == 2
+
+    def test_mget_spans_both_shards(self, world):
+        rt, nodes = world
+        key_a = self._key_owned_by(nodes, owner=0)
+        key_b = self._key_owned_by(nodes, owner=1)
+        self.drive(rt, nodes[0].put(key_a, b"va"))
+        self.drive(rt, nodes[0].put(key_b, b"vb"))
+        merged = self.drive(rt, nodes[1].mget([key_a, key_b, "ghost-x"]))
+        assert merged[key_a] == b"va"
+        assert merged[key_b] == b"vb"
+        assert merged["ghost-x"] is None
+
+    def test_stats_all_reports_both_shards(self, world):
+        rt, nodes = world
+        key_b = self._key_owned_by(nodes, owner=1)
+        self.drive(rt, nodes[0].put(key_b, b"x"))
+        stats = self.drive(rt, nodes[0].stats_all())
+        assert [entry["index"] for entry in stats] == [0, 1]
+        assert stats[1]["keys"] == 1
+        assert stats[1]["mesh_served_ops"] == 1
+
+
+# ----------------------------------------------------------------------
+# The acceptance scenario: a 4-shard cluster, every shard answers any key.
+# ----------------------------------------------------------------------
+def solo_factory(rt, listener):
+    return build_kv_app(rt, listener)
+
+
+class TestKvCluster:
+    @pytest.fixture(scope="class")
+    def cluster(self):
+        server = ClusterServer(
+            kv_app_factory, shards=4, mesh=True, grace=0.1
+        )
+        server.start()
+        yield server
+        server.stop()
+
+    def test_every_shard_answers_any_key(self, cluster):
+        keys = {f"user:{i}": f"value-{i}".encode() for i in range(32)}
+        # Populate over several connections (the kernel spreads them over
+        # shards; proxying routes each key to its owner).
+        writer = BlockingHttpClient(cluster.port)
+        put_proxied = 0
+        for key, value in keys.items():
+            status, headers, _ = writer.request("PUT", f"/kv/{key}", value)
+            assert status.split()[1] in ("201", "204"), status
+            assert headers["x-kv-source"] in ("local", "proxied")
+            put_proxied += headers["x-kv-source"] == "proxied"
+        writer.close()
+
+        sources = collections.Counter()
+        reads = 0
+        # Many fresh connections: land on multiple shards, read all keys.
+        for _round in range(4):
+            client = BlockingHttpClient(cluster.port)
+            for key, value in keys.items():
+                status, headers, body = client.request("GET", f"/kv/{key}")
+                assert status.endswith("200 OK"), (key, status)
+                assert body == value
+                sources[headers["x-kv-source"]] += 1
+                reads += 1
+            client.close()
+        # 4 shards, 4 connections, 32 keys: both paths must be exercised.
+        assert sources["local"] > 0
+        assert sources["proxied"] > 0
+        assert sources["local"] + sources["proxied"] == reads
+
+        # Server-side accounting agrees: the owned/proxied split is
+        # visible per shard through the control-plane stats.
+        stats = cluster.stats()
+        assert stats["aggregate"]["workers_reporting"] == 4
+        per_shard = [w["app"] for w in stats["workers"] if w]
+        assert len(per_shard) == 4
+        assert all("kv_owned_ops" in entry for entry in per_shard)
+        aggregate = stats["aggregate"]["app"]
+        assert aggregate["kv_proxied_ops"] == sources["proxied"] + put_proxied
+        assert aggregate["kv_keys"] == len(keys)
+        mesh_aggregate = stats["aggregate"]["mesh"]
+        assert mesh_aggregate["calls"] > 0
+        assert mesh_aggregate["served"] > 0
+
+    def test_mget_merges_across_all_shards(self, cluster):
+        keys = {f"mget:{i}": f"m-{i}".encode() for i in range(16)}
+        client = BlockingHttpClient(cluster.port)
+        for key, value in keys.items():
+            client.request("PUT", f"/kv/{key}", value)
+        spec = ",".join(list(keys) + ["mget:ghost"])
+        status, _headers, body = client.request("GET", f"/mget?keys={spec}")
+        assert status.endswith("200 OK")
+        values = json.loads(body)["values"]
+        for key, value in keys.items():
+            assert base64.b64decode(values[key]) == value
+        assert values["mget:ghost"] is None
+        # The coordinating shard cannot own all 16 keys: the merge spans
+        # shards (all four owners appear with 64 vnodes and 16 keys).
+        owners = {HashRing(4).owner(key) for key in keys}
+        assert len(owners) > 1
+        client.close()
+
+    def test_kv_stats_streams_chunked_per_shard(self, cluster):
+        client = BlockingHttpClient(cluster.port)
+        status, headers, body = client.request("GET", "/kv-stats")
+        assert status.endswith("200 OK")
+        assert headers.get("transfer-encoding") == "chunked"
+        lines = [json.loads(line) for line in body.splitlines()]
+        assert [entry.get("index") for entry in lines] == [0, 1, 2, 3]
+        assert all("keys" in entry for entry in lines)
+        client.close()
+
+    def test_delete_and_missing_key_semantics(self, cluster):
+        client = BlockingHttpClient(cluster.port)
+        client.request("PUT", "/kv/doomed", b"bye")
+        status, headers, _ = client.request("DELETE", "/kv/doomed")
+        assert status.split()[1] == "204"
+        status, _, _ = client.request("GET", "/kv/doomed")
+        assert status.split()[1] == "404"
+        status, _, _ = client.request("DELETE", "/kv/doomed")
+        assert status.split()[1] == "404"
+        status, _, _ = client.request("GET", "/unknown-route")
+        assert status.split()[1] == "404"
+        client.close()
+
+    def test_put_then_overwrite_statuses(self, cluster):
+        client = BlockingHttpClient(cluster.port)
+        status, _, _ = client.request("PUT", "/kv/fresh-key", b"v1")
+        assert status.split()[1] == "201"
+        status, _, _ = client.request("PUT", "/kv/fresh-key", b"v2")
+        assert status.split()[1] == "204"
+        status, _, body = client.request("GET", "/kv/fresh-key")
+        assert body == b"v2"
+        client.close()
+
+
+class TestFactorySignatures:
+    def test_build_kv_app_direct_as_factory_gets_mesh_by_keyword(self):
+        # ``build_kv_app``'s mesh parameter is defaulted (mesh=None); the
+        # cluster must still pass the MeshNode (matched by name), or a
+        # mesh=True cluster would silently serve inconsistent data.
+        cluster = ClusterServer(build_kv_app, shards=2, mesh=True,
+                                grace=0.1)
+        cluster.start()
+        try:
+            client = BlockingHttpClient(cluster.port)
+            sources = set()
+            for index in range(12):
+                status, headers, _ = client.request(
+                    "PUT", f"/kv/sig:{index}", b"v"
+                )
+                assert status.split()[1] in ("201", "204"), status
+                sources.add(headers["x-kv-source"])
+            # One connection is pinned to one shard: with 2 shards and
+            # 12 keys, some ops must have crossed the mesh.
+            assert "proxied" in sources
+            client.close()
+        finally:
+            cluster.stop()
+
+
+class TestKvSoloCluster:
+    def test_single_shard_without_mesh_serves_kv(self):
+        cluster = ClusterServer(solo_factory, shards=1, grace=0.1)
+        cluster.start()
+        try:
+            client = BlockingHttpClient(cluster.port)
+            status, headers, _ = client.request("PUT", "/kv/solo", b"one")
+            assert status.split()[1] == "201"
+            assert headers["x-kv-source"] == "local"
+            status, _, body = client.request("GET", "/kv/solo")
+            assert body == b"one"
+            # HEAD advertises the length but carries no body — and must
+            # not desync the keep-alive connection for the next request.
+            status, headers, body = client.request("HEAD", "/kv/solo")
+            assert status.endswith("200 OK")
+            assert headers["content-length"] == "3"
+            assert body == b""
+            status, _, body = client.request("GET", "/kv/solo")
+            assert body == b"one"
+            stats = cluster.stats()
+            assert stats["aggregate"]["app"]["kv_keys"] == 1
+            assert "mesh" not in stats["workers"][0]
+            client.close()
+        finally:
+            cluster.stop()

@@ -4,6 +4,7 @@ graceful shutdown, stats aggregation — over real sockets and real forks."""
 from __future__ import annotations
 
 import socket
+import threading
 import time
 
 import pytest
@@ -104,6 +105,85 @@ class TestCrashRespawn:
         assert body == SITE["index.html"]
         client.close()
         assert cluster.stats()["aggregate"]["workers_reporting"] == 2
+
+
+class TestReload:
+    def test_rolling_reload_keeps_serving(self):
+        """Zero-downtime restart: the port stays up, every shard is
+        replaced, and keep-alive traffic keeps completing while shards
+        roll one at a time."""
+        cluster = ClusterServer(app_factory, shards=2, grace=0.1)
+        cluster.start()
+        stop = threading.Event()
+        successes: list[float] = []
+        bad_statuses: list[str] = []
+
+        def hammer():
+            client = None
+            while not stop.is_set():
+                try:
+                    if client is None:
+                        client = BlockingHttpClient(
+                            cluster.port, timeout=2.0
+                        )
+                    status, body = client.get("index.html")
+                    if status.endswith("200 OK") and body == SITE[
+                        "index.html"
+                    ]:
+                        successes.append(time.monotonic())
+                    else:
+                        bad_statuses.append(status)
+                except OSError:
+                    # The keep-alive connection was pinned to the shard
+                    # being rolled: reconnect (the kernel re-hashes onto
+                    # a live listener).
+                    if client is not None:
+                        client.close()
+                    client = None
+            if client is not None:
+                client.close()
+
+        thread = threading.Thread(target=hammer, daemon=True)
+        thread.start()
+        try:
+            deadline = time.monotonic() + 5
+            while not successes and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert successes, "no traffic before the roll"
+            pids_before = cluster.worker_pids()
+            roll_started = time.monotonic()
+            new_pids = cluster.reload()
+            roll_ended = time.monotonic()
+            # Traffic completed *during* the roll, not only around it.
+            during = [
+                stamp for stamp in successes
+                if roll_started <= stamp <= roll_ended
+            ]
+            assert during, "no request completed during the rolling restart"
+        finally:
+            stop.set()
+            thread.join(timeout=5)
+            cluster.stop()
+        assert not bad_statuses, bad_statuses
+        # Every shard was replaced, same port, same shard count.
+        assert len(new_pids) == 2
+        assert set(new_pids).isdisjoint(set(pids_before))
+
+    def test_reload_then_stats_and_serving(self):
+        cluster = ClusterServer(app_factory, shards=2, grace=0.1)
+        cluster.start()
+        try:
+            port_before = cluster.port
+            cluster.reload()
+            assert cluster.port == port_before
+            status, body, client = get(cluster.port)
+            assert status.endswith("200 OK")
+            assert body == SITE["index.html"]
+            client.close()
+            stats = cluster.stats()
+            assert stats["aggregate"]["workers_reporting"] == 2
+        finally:
+            cluster.stop()
 
 
 class TestGracefulShutdown:

@@ -1,0 +1,318 @@
+"""Mesh framing and data-plane edge cases, over real sockets.
+
+Two :class:`MeshNode` ends run in one :class:`LiveRuntime` (both sets of
+descriptors in one poller — the mesh is ordinary monadic I/O), plus raw
+"fake peer" endpoints for the failure scenarios: partial reads mid-frame,
+peer disconnect mid-call, timeouts, and fan-out with a dead peer.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+
+import pytest
+
+from repro.core.do_notation import do
+from repro.core.monad import pure
+from repro.core.syscalls import sys_sleep
+from repro.runtime.live_runtime import LiveRuntime
+from repro.runtime.mesh import (
+    KIND_REPLY,
+    KIND_REQUEST,
+    MeshNode,
+    MeshPeerDown,
+    MeshRemoteError,
+    MeshTimeout,
+)
+
+_LEN = struct.Struct("!I")
+_HEAD = struct.Struct("!BQ")
+
+
+def frame_bytes(kind: int, request_id: int, body: bytes) -> bytes:
+    payload = _HEAD.pack(kind, request_id) + body
+    return _LEN.pack(len(payload)) + payload
+
+
+@pytest.fixture
+def rt():
+    runtime = LiveRuntime(uncaught="store")
+    yield runtime
+    runtime.shutdown()
+
+
+def echo_handler(body):
+    return pure(b"echo:" + body)
+
+
+def make_pair(rt, handler_a=echo_handler, handler_b=echo_handler, **kwargs):
+    """Two mesh nodes, both served on one runtime."""
+    listener_a = rt.make_listener()
+    listener_b = rt.make_listener()
+    peers = {
+        0: ("127.0.0.1", listener_a.getsockname()[1]),
+        1: ("127.0.0.1", listener_b.getsockname()[1]),
+    }
+    node_a = MeshNode(0, rt.io, listener_a, peers, handler=handler_a,
+                      **kwargs)
+    node_b = MeshNode(1, rt.io, listener_b, peers, handler=handler_b,
+                      **kwargs)
+    rt.spawn(node_a.serve(), name="mesh-a")
+    rt.spawn(node_b.serve(), name="mesh-b")
+    return node_a, node_b
+
+
+class TestCalls:
+    def test_round_trip_and_persistent_link(self, rt):
+        node_a, node_b = make_pair(rt)
+        replies = []
+
+        @do
+        def caller():
+            first = yield node_a.call(1, b"one")
+            second = yield node_a.call(1, b"two")
+            replies.append((first, second))
+
+        rt.spawn(caller())
+        rt.run(until=lambda: bool(replies), idle_timeout=5.0)
+        assert replies == [(b"echo:one", b"echo:two")]
+        # Lazily dialed once, then reused: one persistent link.
+        assert node_a.connected_peers() == 1
+        assert node_a.stats.calls == 2
+        assert node_b.stats.served == 2
+
+    def test_self_call_short_circuits(self, rt):
+        node_a, _node_b = make_pair(rt)
+        replies = []
+
+        @do
+        def caller():
+            reply = yield node_a.call(0, b"me")
+            replies.append(reply)
+
+        rt.spawn(caller())
+        rt.run(until=lambda: bool(replies), idle_timeout=5.0)
+        assert replies == [b"echo:me"]
+        assert node_a.connected_peers() == 0  # no socket for self-calls
+
+    def test_concurrent_calls_multiplex_one_link(self, rt):
+        # Slow replies out of order: request ids must demultiplex them.
+        @do
+        def staggered(body):
+            delay = 0.05 if body == b"0" else 0.005
+            yield sys_sleep(delay)
+            return b"r:" + body
+
+        node_a, _node_b = make_pair(rt, handler_b=staggered)
+        results = {}
+
+        @do
+        def caller(i):
+            reply = yield node_a.call(1, str(i).encode())
+            results[i] = reply
+
+        count = 8
+        for i in range(count):
+            rt.spawn(caller(i))
+        rt.run(until=lambda: len(results) == count, idle_timeout=5.0)
+        assert results == {i: b"r:" + str(i).encode() for i in range(count)}
+        assert node_a.connected_peers() == 1
+
+    def test_missing_handler_fails_fast_not_timeout(self, rt):
+        # A shard without a mesh handler (OSError-derived failure) must
+        # answer with an error reply, not strand the caller until its
+        # timeout.
+        node_a, _node_b = make_pair(rt, handler_b=None)
+        outcome = []
+
+        @do
+        def caller():
+            try:
+                yield node_a.call(1, b"x", timeout=10.0)
+            except MeshRemoteError as exc:
+                outcome.append(exc)
+
+        started = time.monotonic()
+        rt.spawn(caller())
+        rt.run(until=lambda: bool(outcome), idle_timeout=10.0)
+        assert "no mesh handler" in str(outcome[0])
+        assert time.monotonic() - started < 5.0
+        assert node_a.stats.timeouts == 0
+
+    def test_remote_handler_error_surfaces(self, rt):
+        @do
+        def broken(body):
+            yield sys_sleep(0)
+            raise ValueError("kaboom")
+
+        node_a, _node_b = make_pair(rt, handler_b=broken)
+        outcome = []
+
+        @do
+        def caller():
+            try:
+                yield node_a.call(1, b"x")
+            except MeshRemoteError as exc:
+                outcome.append(exc)
+
+        rt.spawn(caller())
+        rt.run(until=lambda: bool(outcome), idle_timeout=5.0)
+        assert "kaboom" in str(outcome[0])
+
+
+class TestFramingEdges:
+    def test_partial_reads_mid_frame_reassemble(self, rt):
+        """A request dribbled one byte at a time parses identically."""
+        node_a, _node_b = make_pair(rt)
+        port = node_a.listener.getsockname()[1]
+        raw = frame_bytes(KIND_REQUEST, 7, b"dribble")
+        received = []
+
+        @do
+        def dribbler():
+            conn = yield rt.io.connect(("127.0.0.1", port))
+            for index in range(len(raw)):
+                yield rt.io.write_all(conn, raw[index:index + 1])
+                yield sys_sleep(0.001)
+            reply = bytearray()
+            while True:
+                data = yield rt.io.read(conn, 4096)
+                if not data:
+                    break
+                reply.extend(data)
+                # One whole reply frame is enough.
+                if len(reply) >= 4:
+                    (length,) = _LEN.unpack(bytes(reply[:4]))
+                    if len(reply) >= 4 + length:
+                        break
+            received.append(bytes(reply))
+            yield rt.io.close(conn)
+
+        rt.spawn(dribbler())
+        rt.run(until=lambda: bool(received), idle_timeout=10.0)
+        assert received[0] == frame_bytes(KIND_REPLY, 7, b"echo:dribble")
+
+    def test_oversized_frame_downs_the_link(self, rt):
+        node_a, _node_b = make_pair(rt, max_frame=1024)
+        port = node_a.listener.getsockname()[1]
+        finished = []
+
+        @do
+        def attacker():
+            conn = yield rt.io.connect(("127.0.0.1", port))
+            # Announce a frame far beyond max_frame; the server must
+            # close the link instead of buffering toward it.
+            yield rt.io.write_all(conn, _LEN.pack(64 * 1024 * 1024))
+            data = yield rt.io.read(conn, 4096)
+            finished.append(data)
+            yield rt.io.close(conn)
+
+        rt.spawn(attacker())
+        rt.run(until=lambda: bool(finished), idle_timeout=5.0)
+        assert finished == [b""]  # EOF: link closed, nothing served
+        assert node_a.stats.served == 0
+
+
+class TestFailureModes:
+    def _fake_peer_node(self, rt, fake_behavior):
+        """Node 0 whose peer 1 is a raw endpoint driven by the test."""
+        listener = rt.make_listener()
+        fake = rt.make_listener()
+        peers = {
+            0: ("127.0.0.1", listener.getsockname()[1]),
+            1: ("127.0.0.1", fake.getsockname()[1]),
+        }
+        node = MeshNode(0, rt.io, listener, peers, handler=echo_handler)
+        rt.spawn(node.serve(), name="mesh-real")
+        rt.spawn(fake_behavior(fake), name="mesh-fake")
+        return node
+
+    def test_peer_disconnect_mid_call_raises_not_hangs(self, rt):
+        @do
+        def reads_then_hangs_up(fake):
+            conn = yield rt.io.accept(fake)
+            yield rt.io.read(conn, 8)  # partial frame consumed
+            yield rt.io.close(conn)    # then vanish before replying
+
+        node = self._fake_peer_node(rt, reads_then_hangs_up)
+        outcome = []
+
+        @do
+        def caller():
+            try:
+                yield node.call(1, b"doomed", timeout=10.0)
+                outcome.append("reply")
+            except MeshPeerDown as exc:
+                outcome.append(exc)
+
+        started = time.monotonic()
+        rt.spawn(caller())
+        rt.run(until=lambda: bool(outcome), idle_timeout=10.0)
+        # Failure arrived via the demux EOF path, well before the 10s
+        # timeout: a monadic exception, not a hang.
+        assert isinstance(outcome[0], MeshPeerDown)
+        assert time.monotonic() - started < 5.0
+        assert node.stats.peer_failures >= 1
+
+    def test_unresponsive_peer_times_out(self, rt):
+        @do
+        def accepts_but_never_replies(fake):
+            conn = yield rt.io.accept(fake)
+            while True:
+                data = yield rt.io.read(conn, 4096)
+                if not data:
+                    break
+            yield rt.io.close(conn)
+
+        node = self._fake_peer_node(rt, accepts_but_never_replies)
+        outcome = []
+
+        @do
+        def caller():
+            try:
+                yield node.call(1, b"slow", timeout=0.2)
+            except MeshTimeout as exc:
+                outcome.append(exc)
+
+        rt.spawn(caller())
+        rt.run(until=lambda: bool(outcome), idle_timeout=10.0)
+        assert isinstance(outcome[0], MeshTimeout)
+        assert node.stats.timeouts == 1
+
+    def test_fan_out_with_one_dead_peer_merges_partials(self, rt):
+        # Peer 2's address is a closed port: dial is refused.
+        dead = rt.make_listener()
+        dead_address = ("127.0.0.1", dead.getsockname()[1])
+        dead.close()
+
+        listener_a = rt.make_listener()
+        listener_b = rt.make_listener()
+        peers = {
+            0: ("127.0.0.1", listener_a.getsockname()[1]),
+            1: ("127.0.0.1", listener_b.getsockname()[1]),
+            2: dead_address,
+        }
+        node_a = MeshNode(0, rt.io, listener_a, peers,
+                          handler=echo_handler)
+        node_b = MeshNode(1, rt.io, listener_b, peers,
+                          handler=echo_handler)
+        rt.spawn(node_a.serve(), name="mesh-a")
+        rt.spawn(node_b.serve(), name="mesh-b")
+        results = []
+
+        @do
+        def caller():
+            merged = yield node_a.fan_out(
+                {1: b"live", 2: b"dead"}, timeout=0.5
+            )
+            results.append(merged)
+
+        started = time.monotonic()
+        rt.spawn(caller())
+        rt.run(until=lambda: bool(results), idle_timeout=10.0)
+        merged = results[0]
+        assert merged[1] == b"echo:live"
+        # The dead peer is an exception *value*, not a lost fan-out.
+        assert isinstance(merged[2], MeshPeerDown | MeshTimeout)
+        assert time.monotonic() - started < 5.0
