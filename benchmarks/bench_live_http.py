@@ -22,7 +22,13 @@ Three modes:
   owned the key (*local*) or proxied the op to the owner over the
   shard-to-shard mesh, so the harness reports rps/p50/p99 for the two
   paths separately, cross-checked against the server-side owned/proxied
-  counters.
+  counters.  The kv mode also runs the **replicated** point: a 4-shard
+  cluster with ``replication=2`` under a PUT fleet (replicated-write
+  rps/p99, split local/proxied by coordinator placement), followed by a
+  kill-one-shard availability check — one shard is crashed, every key
+  must stay readable and outage-window writes must succeed, and after
+  the respawn the hinted-handoff queue must drain to zero (cross-checked
+  against the ``/kv-stats`` replica/handoff counters).
 
 Run under pytest (the CI smoke path) or directly as a script::
 
@@ -70,6 +76,16 @@ KV_PROCESSES = 4
 KV_CONNECTIONS = 3
 KV_KEYS = 48
 KV_VALUE = b"v" * 512
+
+# Replicated KV point: N-successor replication under a PUT fleet, plus
+# the kill-one-shard availability / hinted-handoff check.
+KV_REPL_SHARDS = 4
+KV_REPL_FACTOR = 2
+KV_REPL_PROCESSES = 3
+KV_REPL_CONNECTIONS = 2
+KV_REPL_KEYS = 32
+#: How long to wait for hinted handoff to drain after the respawn.
+KV_REPL_DRAIN_DEADLINE = 20.0
 
 # Overload mode: per-shard admission caps well below the offered load.
 OVERLOAD_SHARDS = 2
@@ -393,6 +409,192 @@ def run_kv(duration: float, poller: str = "auto") -> dict:
 
 
 # ----------------------------------------------------------------------
+# Replicated KV mode: write fan-out + kill-one-shard availability.
+# ----------------------------------------------------------------------
+def _kv_put(sock, buffer, key: str, value: bytes):
+    """One ``PUT /kv/<key>``; returns (status_line, headers)."""
+    sock.sendall(
+        (f"PUT /kv/{key} HTTP/1.1\r\nHost: bench\r\n"
+         f"Content-Length: {len(value)}\r\n\r\n").encode() + value
+    )
+    status, headers, _body = read_full_response(sock, buffer)
+    return status, headers
+
+
+def _kv_write_process(port, connections, duration, barrier, result_pipe):
+    """Keep-alive PUT load over the replicated KV facade: replicated
+    writes, latency split by coordinator placement (X-Kv-Source)."""
+    try:
+        socks = [
+            socket.create_connection(("127.0.0.1", port), timeout=10)
+            for _ in range(connections)
+        ]
+    except OSError:
+        barrier.abort()
+        result_pipe.send({"local": [], "proxied": [], "errors": 1,
+                          "full_acks": 0, "writes": 0})
+        return
+    for sock in socks:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    buffers = [bytearray() for _ in socks]
+    try:
+        barrier.wait(timeout=30)
+    except Exception:
+        result_pipe.send({"local": [], "proxied": [], "errors": 1,
+                          "full_acks": 0, "writes": 0})
+        return
+    local: list[float] = []
+    proxied: list[float] = []
+    errors = 0
+    full_acks = 0
+    writes = 0
+    key_index = 0
+    deadline = time.monotonic() + duration
+    try:
+        while time.monotonic() < deadline:
+            for sock, buffer in zip(socks, buffers):
+                key = f"rep:{key_index % KV_REPL_KEYS}"
+                key_index += 1
+                begin = time.perf_counter()
+                status, headers = _kv_put(sock, buffer, key, KV_VALUE)
+                elapsed = time.perf_counter() - begin
+                if status.split()[1] not in ("201", "204"):
+                    errors += 1
+                    continue
+                writes += 1
+                acked = headers.get("x-kv-replicas", "")
+                if acked == f"{KV_REPL_FACTOR}/{KV_REPL_FACTOR}":
+                    full_acks += 1
+                was_proxied = headers.get("x-kv-source") == "proxied"
+                (proxied if was_proxied else local).append(elapsed)
+    except OSError:
+        pass  # a shard vanished mid-run: report what completed
+    for sock in socks:
+        sock.close()
+    result_pipe.send({"local": local, "proxied": proxied,
+                      "errors": errors, "full_acks": full_acks,
+                      "writes": writes})
+    result_pipe.close()
+
+
+def run_kv_replicated(duration: float, poller: str = "auto") -> dict:
+    """Replicated writes under load, then the availability drill: crash
+    a shard mid-traffic, require every key readable and outage writes to
+    succeed, respawn, and require hinted handoff to drain."""
+    cluster = ClusterServer(
+        kv_app_factory, shards=KV_REPL_SHARDS, mesh=True,
+        replication=KV_REPL_FACTOR, respawn=False, grace=0.5,
+        poller=poller,
+    )
+    cluster.start()
+    try:
+        # Populate so the availability pass has a full key set.
+        writer = BlockingHttpClient(cluster.port)
+        for index in range(KV_REPL_KEYS):
+            status, headers, _ = writer.request(
+                "PUT", f"/kv/rep:{index}", KV_VALUE
+            )
+            assert status.split()[1] in ("201", "204"), status
+            assert headers.get("x-kv-replicas") == (
+                f"{KV_REPL_FACTOR}/{KV_REPL_FACTOR}"
+            ), headers
+        writer.close()
+
+        # The measured window: a replicated-write fleet.
+        payloads = _fan_out(
+            _kv_write_process, KV_REPL_PROCESSES,
+            (cluster.port, KV_REPL_CONNECTIONS, duration), duration,
+        )
+        local: list[float] = []
+        proxied: list[float] = []
+        errors = full_acks = writes = 0
+        for payload in payloads:
+            local.extend(payload["local"])
+            proxied.extend(payload["proxied"])
+            errors += payload["errors"]
+            full_acks += payload["full_acks"]
+            writes += payload["writes"]
+
+        # Kill one shard; every key must stay readable and writes must
+        # keep succeeding on the surviving replicas (hints park).
+        victim = 1
+        cluster.crash_worker(victim)
+        crash_deadline = time.monotonic() + 5.0
+        while (cluster.worker_pids()[victim] is not None
+               and time.monotonic() < crash_deadline):
+            time.sleep(0.02)
+        unavailable = 0
+        outage_write_errors = 0
+        drill = BlockingHttpClient(cluster.port)
+        for index in range(KV_REPL_KEYS):
+            status, _headers, _body = drill.request(
+                "GET", f"/kv/rep:{index}"
+            )
+            if not status.endswith("200 OK"):
+                unavailable += 1
+        for index in range(KV_REPL_KEYS):
+            status, _headers, _ = drill.request(
+                "PUT", f"/kv/rep:{index}", KV_VALUE + b"+outage"
+            )
+            if status.split()[1] not in ("201", "204"):
+                outage_write_errors += 1
+        drill.close()
+        app = cluster.stats()["aggregate"].get("app", {})
+        hints_queued = app.get("kv_hints_queued", 0)
+
+        # Respawn (manual monitor tick: deterministic outage window) and
+        # wait for the hinted-handoff queue to drain.
+        cluster.poll()
+        drain_deadline = time.monotonic() + KV_REPL_DRAIN_DEADLINE
+        while time.monotonic() < drain_deadline:
+            app = cluster.stats()["aggregate"].get("app", {})
+            if (app.get("kv_hints_pending", 1) == 0
+                    and app.get("kv_hints_replayed", 0) > 0):
+                break
+            time.sleep(0.1)
+
+        # Post-respawn read pass: the cluster serves every key.
+        post_unavailable = 0
+        check = BlockingHttpClient(cluster.port)
+        for index in range(KV_REPL_KEYS):
+            status, _headers, _body = check.request(
+                "GET", f"/kv/rep:{index}"
+            )
+            if not status.endswith("200 OK"):
+                post_unavailable += 1
+        check.close()
+        aggregate = cluster.stats()["aggregate"]
+        app = aggregate.get("app", {})
+    finally:
+        cluster.stop()
+    return {
+        "shards": KV_REPL_SHARDS,
+        "replication": KV_REPL_FACTOR,
+        "keys": KV_REPL_KEYS,
+        "local": _percentiles(local, duration),
+        "proxied": _percentiles(proxied, duration),
+        "rps": (len(local) + len(proxied)) / duration,
+        "requests": len(local) + len(proxied),
+        "writes": writes,
+        "full_acks": full_acks,
+        "client_errors": errors,
+        "unavailable_during_kill": unavailable,
+        "outage_write_errors": outage_write_errors,
+        "post_respawn_unavailable": post_unavailable,
+        "hints_queued": hints_queued,
+        "hints_replayed": app.get("kv_hints_replayed", 0),
+        "hints_pending_at_end": app.get("kv_hints_pending", 0),
+        "replica_writes": app.get("kv_replica_writes", 0),
+        "read_repairs": app.get("kv_read_repairs", 0),
+        "quorum_failures": app.get("kv_quorum_failures", 0),
+        "mesh_write_timeouts": aggregate.get("mesh", {}).get(
+            "write_timeouts", 0
+        ),
+        "workers_reporting": aggregate["workers_reporting"],
+    }
+
+
+# ----------------------------------------------------------------------
 # Pytest entry points (the CI smoke path).
 # ----------------------------------------------------------------------
 def test_live_http_shard_scaling(report):
@@ -493,6 +695,43 @@ def test_live_kv_cluster(report):
     assert point["mesh_timeouts"] == 0
 
 
+def test_live_kv_replicated(report):
+    duration = 0.8 * scale()
+    point = run_kv_replicated(duration)
+    report(
+        f"Replicated KV ({point['shards']} shards, replication="
+        f"{point['replication']}, {point['keys']} keys, "
+        f"{duration:.1f}s window): "
+        f"writes local {point['local']['rps']:.0f} rps "
+        f"(p99 {point['local']['p99_ms']:.2f} ms), "
+        f"proxied {point['proxied']['rps']:.0f} rps "
+        f"(p99 {point['proxied']['p99_ms']:.2f} ms), "
+        f"{point['full_acks']}/{point['writes']} fully acked; "
+        f"kill-drill: {point['unavailable_during_kill']} unavailable, "
+        f"{point['outage_write_errors']} outage write errors, "
+        f"hints {point['hints_queued']} queued / "
+        f"{point['hints_replayed']} replayed / "
+        f"{point['hints_pending_at_end']} pending"
+    )
+    # The measured window flowed on both coordinator placements.
+    assert point["requests"] > 0, "no replicated writes completed"
+    assert point["client_errors"] == 0
+    assert point["workers_reporting"] == KV_REPL_SHARDS
+    # Healthy-cluster writes reach the full replica set.
+    assert point["full_acks"] == point["writes"]
+    # Availability: one dead shard of four with replication=2 loses no
+    # key (reads fall back) and refuses no write (quorum W=1 + hints).
+    assert point["unavailable_during_kill"] == 0
+    assert point["outage_write_errors"] == 0
+    assert point["post_respawn_unavailable"] == 0
+    # Hinted handoff engaged and drained after the respawn.
+    assert point["hints_queued"] > 0, "outage writes parked no hints"
+    assert point["hints_replayed"] > 0
+    assert point["hints_pending_at_end"] == 0
+    assert point["replica_writes"] > 0
+    assert point["quorum_failures"] == 0
+
+
 # ----------------------------------------------------------------------
 # Script mode: self-terminating runs that emit BENCH_live_http.json.
 # ----------------------------------------------------------------------
@@ -583,6 +822,23 @@ def main(argv: list[str] | None = None) -> int:
                   f"mesh calls {point['mesh_calls']}")
         else:
             skipped.append("kv")
+        # The replicated point includes the kill/respawn drill, so its
+        # budget is wider than one measurement window.
+        if budget_left(point_cost + KV_REPL_DRAIN_DEADLINE):
+            point = run_kv_replicated(duration, poller=args.poller)
+            results["kv_replicated"] = point
+            print(f"kv-replicated (replication={point['replication']}): "
+                  f"write local {point['local']['rps']:.0f} rps "
+                  f"p99 {point['local']['p99_ms']:.2f} ms | "
+                  f"proxied {point['proxied']['rps']:.0f} rps "
+                  f"p99 {point['proxied']['p99_ms']:.2f} ms | "
+                  f"kill-drill unavailable "
+                  f"{point['unavailable_during_kill']} | hints "
+                  f"{point['hints_queued']}/{point['hints_replayed']}"
+                  f"/{point['hints_pending_at_end']} "
+                  f"queued/replayed/pending")
+        else:
+            skipped.append("kv_replicated")
 
     results["meta"]["skipped_points"] = skipped
     results["meta"]["elapsed_s"] = round(time.monotonic() - started, 3)

@@ -11,7 +11,10 @@ Compares a fresh bench run against the committed baseline floor
   or the run shed nothing (the cap did not engage);
 * the kv point's total rps falls below the baseline floor, the run never
   proxied an op over the mesh (the sharded-state path did not engage), or
-  any mesh call timed out.
+  any mesh call timed out;
+* the replicated-kv point's write rps falls below the baseline floor, a
+  key was unavailable (or a write refused) during the kill-one-shard
+  drill, or hinted handoff failed to engage and drain after the respawn.
 
 Usage::
 
@@ -108,6 +111,44 @@ def check(results: dict, baseline: dict, tolerance: float) -> list[str]:
                 failures.append(
                     f"kv run had {kv['mesh_timeouts']} mesh timeouts"
                 )
+
+    kvr_baseline = baseline.get("kv_replicated")
+    if kvr_baseline:
+        kvr = results.get("kv_replicated")
+        if kvr is None:
+            failures.append("kv_replicated point missing from results")
+        else:
+            floor = kvr_baseline.get("total_rps_min")
+            if floor is not None:
+                rps = kvr.get("rps", 0.0)
+                minimum = floor * (1.0 - tolerance)
+                status = "ok" if rps >= minimum else "REGRESSION"
+                print(f"  kv-replicated writes: {rps:8.0f} rps "
+                      f"(floor {floor}, gate {minimum:.0f}) {status}")
+                if rps < minimum:
+                    failures.append(
+                        f"kv_replicated: {rps:.0f} rps is below "
+                        f"{minimum:.0f} (floor {floor} - {tolerance:.0%})"
+                    )
+            if kvr_baseline.get("require_available"):
+                lost = kvr.get("unavailable_during_kill", -1)
+                refused = kvr.get("outage_write_errors", -1)
+                if lost != 0 or refused != 0:
+                    failures.append(
+                        f"kv_replicated kill drill: {lost} keys "
+                        f"unavailable, {refused} writes refused with one "
+                        f"shard down (replication floor broken)"
+                    )
+            if kvr_baseline.get("require_handoff"):
+                queued = kvr.get("hints_queued", 0)
+                replayed = kvr.get("hints_replayed", 0)
+                pending = kvr.get("hints_pending_at_end", -1)
+                if queued <= 0 or replayed <= 0 or pending != 0:
+                    failures.append(
+                        f"kv_replicated hinted handoff did not engage "
+                        f"and drain (queued={queued} replayed={replayed} "
+                        f"pending={pending})"
+                    )
     return failures
 
 

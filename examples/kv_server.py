@@ -6,12 +6,22 @@ to every peer, so *any* shard answers *any* key: ops on keys it owns run
 locally, the rest are proxied to the owner over the data plane.  Multi-key
 ops (``/mget``, ``/kv-stats``) fan out to every owner and merge.
 
+With ``--replication N`` every key lives on its N ring successors:
+writes fan out to all replicas (``--quorum`` acks required to succeed,
+hinted handoff parks writes for downed replicas), reads fall back past
+dead replicas and read-repair stale ones — kill a shard mid-serve and
+every key stays readable; the master respawns it and the parked hints
+replay (watch the ``hints`` counters in ``--serve`` mode, or follow the
+kill-a-shard walkthrough in ``benchmarks/README.md``).
+
 Run with::
 
     python examples/kv_server.py              # demo: write, read, stats
     python examples/kv_server.py --serve      # run until Ctrl-C
     python examples/kv_server.py --serve --duration 10   # self-stop
     python examples/kv_server.py --shards 8   # more shards
+    python examples/kv_server.py --replication 2         # replicated
+    python examples/kv_server.py --replication 3 --quorum 2
 
 ``--duration`` is an internal deadline (seconds): serving stops cleanly on
 its own, so CI and scripts need no external ``timeout`` wrapper.
@@ -24,7 +34,7 @@ import json
 import sys
 import time
 
-from repro.app.kv import kv_app_factory
+from repro.app.kv import build_kv_app
 from repro.http.blocking_client import BlockingHttpClient
 from repro.runtime.cluster import ClusterServer
 
@@ -36,11 +46,27 @@ def main() -> None:
     duration = None
     if "--duration" in sys.argv:
         duration = float(sys.argv[sys.argv.index("--duration") + 1])
+    replication = 1
+    if "--replication" in sys.argv:
+        replication = int(sys.argv[sys.argv.index("--replication") + 1])
+        # The store clamps to the shard count; mirror that here so the
+        # printed banner and the demo's assertions match reality.
+        replication = max(1, min(replication, shards))
+    quorum = 1
+    if "--quorum" in sys.argv:
+        quorum = int(sys.argv[sys.argv.index("--quorum") + 1])
+        quorum = max(1, min(quorum, replication))
 
-    cluster = ClusterServer(kv_app_factory, shards=shards, mesh=True)
+    def app_factory(rt, listener, mesh):
+        return build_kv_app(rt, listener, mesh, replication=replication,
+                            write_quorum=quorum)
+
+    cluster = ClusterServer(app_factory, shards=shards, mesh=True,
+                            replication=replication)
     cluster.start()
     print(f"{shards} KV shards serving http://127.0.0.1:{cluster.port} "
-          f"(pids {cluster.worker_pids()}, mesh ports "
+          f"(replication={replication}, write_quorum={quorum}, "
+          f"pids {cluster.worker_pids()}, mesh ports "
           f"{cluster.config.mesh_ports})")
 
     if "--serve" in sys.argv:
@@ -54,11 +80,19 @@ def main() -> None:
                 aggregate = cluster.stats()["aggregate"]
                 kv = aggregate.get("app", {})
                 mesh = aggregate.get("mesh", {})
-                print(f"  requests={aggregate['requests']} "
-                      f"keys={kv.get('kv_keys', 0)} "
-                      f"owned={kv.get('kv_owned_ops', 0)} "
-                      f"proxied={kv.get('kv_proxied_ops', 0)} "
-                      f"mesh_calls={mesh.get('calls', 0)}")
+                line = (f"  requests={aggregate['requests']} "
+                        f"keys={kv.get('kv_keys', 0)} "
+                        f"owned={kv.get('kv_owned_ops', 0)} "
+                        f"proxied={kv.get('kv_proxied_ops', 0)} "
+                        f"mesh_calls={mesh.get('calls', 0)}")
+                if replication > 1:
+                    line += (
+                        f" replica_writes={kv.get('kv_replica_writes', 0)}"
+                        f" repairs={kv.get('kv_read_repairs', 0)}"
+                        f" hints={kv.get('kv_hints_pending', 0)}"
+                        f" replayed={kv.get('kv_hints_replayed', 0)}"
+                    )
+                print(line)
             print(f"duration {duration:.0f}s elapsed; stopping")
         except KeyboardInterrupt:
             pass
@@ -71,9 +105,15 @@ def main() -> None:
     client = BlockingHttpClient(cluster.port)
     keys = {f"user:{i}": f"value-{i}".encode() for i in range(16)}
     sources = {"local": 0, "proxied": 0}
+    full_acks = 0
     for key, value in keys.items():
         status, headers, _ = client.request("PUT", f"/kv/{key}", value)
         assert status.split()[1] in ("201", "204"), status
+        full_acks += (headers.get("x-kv-replicas")
+                      == f"{replication}/{replication}")
+    if replication > 1:
+        print(f"{full_acks}/{len(keys)} writes acked by all "
+              f"{replication} replicas (X-Kv-Replicas)")
     for key, value in keys.items():
         status, headers, body = client.request("GET", f"/kv/{key}")
         assert status.endswith("200 OK"), status
@@ -105,7 +145,8 @@ def main() -> None:
     client.close()
 
     aggregate = cluster.stats()["aggregate"]
-    assert aggregate["app"]["kv_keys"] == len(keys)
+    # Summed across shards, each key appears once per replica.
+    assert aggregate["app"]["kv_keys"] == len(keys) * replication
     assert aggregate["app"]["kv_proxied_ops"] > 0, "no op crossed the mesh"
     cluster.stop()
     print("kv cluster demo OK")

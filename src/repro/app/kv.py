@@ -1,28 +1,53 @@
-"""A sharded in-memory KV store over the mesh — the sharded-state workload.
+"""A sharded, replicated in-memory KV store over the mesh.
 
-Keys map to owning shards through a consistent-hash ring (deterministic
-across processes, so every shard computes the same owner).  Any shard can
-answer any key:
+Keys map to shards through a consistent-hash ring (deterministic across
+processes, so every shard computes the same placement).  Any shard can
+answer any key.
 
-* single-key ops (``GET``/``PUT``/``DELETE``) on a key the shard owns run
-  against the local store; on a key owned elsewhere they are *proxied*
-  over the shard-to-shard mesh (one RPC to the owner), counted in the
-  ``owned``/``proxied`` split that cluster ``stats()`` reports;
-* multi-key ops fan out: ``MGET`` groups keys by owner and queries all
-  owners concurrently, merging the replies; ``STATS`` asks every shard for
-  its local counters.
+Ring / replication rules (the invariants the service is built on):
+
+* a key's **preference list** is its first ``replication`` *distinct*
+  shards clockwise from the key's ring point (:meth:`HashRing.successors`);
+  element 0 is the *primary*.  Every shard computes the same list.
+* every write is stamped with a **per-key lamport-ish version** — a
+  ``(counter, coordinator)`` pair.  Each node keeps one logical clock,
+  bumped past every counter it observes, so versions from different
+  coordinators totally order (ties broken by coordinator index) and a
+  replica applies a write only if its version is *newer* than what it
+  holds (last-write-wins).  Deletes are versioned tombstones: the version
+  survives in the node's version map after the value is dropped, so a
+  stale live value cannot resurrect a deleted key through read-repair.
+* **writes fan out** to the whole preference list concurrently; the op
+  succeeds once ``write_quorum`` replicas acked (a partial failure below
+  the quorum surfaces as :class:`KvQuorumError`, a monadic exception).
+  Each *failed* replica gets **hinted handoff**: the versioned write is
+  parked on a live successor (the coordinator when it is itself a
+  replica, else the first replica that acked) and replayed when the peer
+  comes back — triggered by the cluster control protocol's ``peer_up``
+  event after a respawn/reload, and by a periodic hint pump as backstop.
+* **reads consult the preference list** (primary's answer preferred, so
+  a healthy cluster reads exactly like the unreplicated one), fall back
+  to successors when the primary is down, return the newest version seen,
+  and **read-repair** any answering replica that was stale or missing —
+  patched with the newest versioned value over one-way mesh casts.
+* on a graceful stop each shard **drains**: it pushes every key it holds
+  to the key's other replicas, so a rolling ``reload()`` never drops the
+  last live copy of a key.
+
+With ``replication=1`` (the default) all of the above collapses to the
+PR-3 behavior: single owner per key, non-owned ops proxied to the owner.
 
 The HTTP facade serves the store through the layered stack
 (:class:`~repro.runtime.driver.ConnectionDriver` →
 :class:`~repro.http.server.HttpProtocol` → :class:`KvHttpHandler`):
 
 * ``GET/PUT/DELETE /kv/<key>`` — single-key ops; responses carry
-  ``X-Kv-Source: local|proxied`` so load generators can split latency by
-  path;
+  ``X-Kv-Source: local|proxied`` (did the landing shard hold a replica?)
+  and ``X-Kv-Replicas: acked/replicas`` (how many replicas answered);
 * ``GET /mget?keys=a,b,c`` — the cross-shard multi-get, as JSON;
 * ``GET /kv-stats`` — the cluster-wide stats fan-out, streamed with
-  chunked transfer encoding (one JSON line per shard: length unknown up
-  front).
+  chunked transfer encoding (one JSON line per shard, including the
+  replication/read-repair/handoff counters).
 
 The mesh wire format is JSON with base64 values (ops are small; the
 length-prefixed framing underneath handles the byte transport).
@@ -39,12 +64,19 @@ from urllib.parse import parse_qs, unquote, urlsplit
 
 from ..core.do_notation import do
 from ..core.monad import M, pure
+from ..core.syscalls import sys_fork, sys_sleep
 from ..http.message import HttpError, HttpRequest, HttpResponse
 from ..http.server import EmptyFilesystem, LiveSocketLayer, WebServer
 from ..runtime.mesh import MeshError, MeshNode, MeshTimeout
 
-__all__ = ["HashRing", "KvNode", "KvHttpHandler", "build_kv_app",
-           "kv_app_factory"]
+__all__ = ["HashRing", "KvNode", "KvHttpHandler", "KvQuorumError",
+           "build_kv_app", "kv_app_factory"]
+
+
+class KvQuorumError(MeshError):
+    """A replicated write was acked by fewer than ``write_quorum``
+    replicas (the acked subset keeps the write; hints are parked for the
+    rest, but the client must treat the op as failed)."""
 
 
 class HashRing:
@@ -52,15 +84,21 @@ class HashRing:
 
     Hashing is :mod:`hashlib`-based so the placement is identical in every
     shard process (builtin ``hash`` is salted per process).
+    ``replication`` is the default preference-list length served by
+    :meth:`replicas` (clamped to the shard count).
     """
 
-    def __init__(self, shards: int, vnodes: int = 64) -> None:
+    def __init__(self, shards: int, vnodes: int = 64,
+                 replication: int = 1) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
         if vnodes < 1:
             raise ValueError("vnodes must be >= 1")
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
         self.shards = shards
         self.vnodes = vnodes
+        self.replication = min(replication, shards)
         points: list[tuple[int, int]] = []
         for shard in range(shards):
             for vnode in range(vnodes):
@@ -74,14 +112,38 @@ class HashRing:
         self._hashes = [point for point, _shard in points]
         self._owners = [shard for _point, shard in points]
 
+    def _point(self, key: str) -> int:
+        digest = hashlib.md5(key.encode("utf-8", "surrogatepass")).digest()
+        return int.from_bytes(digest[:8], "big")
+
     def owner(self, key: str) -> int:
         """The shard owning ``key`` (clockwise successor on the ring)."""
-        digest = hashlib.md5(key.encode("utf-8", "surrogatepass")).digest()
-        point = int.from_bytes(digest[:8], "big")
-        index = bisect.bisect_right(self._hashes, point)
+        index = bisect.bisect_right(self._hashes, self._point(key))
         if index == len(self._hashes):
             index = 0
         return self._owners[index]
+
+    def successors(self, key: str, count: int) -> list[int]:
+        """The first ``count`` *distinct* shards clockwise from ``key``'s
+        ring point — the key's preference list; element 0 is the primary
+        owner.  Capped at the shard count."""
+        start = bisect.bisect_right(self._hashes, self._point(key))
+        total = len(self._owners)
+        want = min(count, self.shards)
+        found: list[int] = []
+        seen: set[int] = set()
+        for step in range(total):
+            shard = self._owners[(start + step) % total]
+            if shard not in seen:
+                seen.add(shard)
+                found.append(shard)
+                if len(found) == want:
+                    break
+        return found
+
+    def replicas(self, key: str) -> list[int]:
+        """``key``'s preference list at the ring's replication factor."""
+        return self.successors(key, self.replication)
 
 
 def _b64(value: bytes | None) -> str | None:
@@ -92,10 +154,22 @@ def _unb64(value: str | None) -> bytes | None:
     return None if value is None else base64.b64decode(value)
 
 
+def _newer(a, b) -> bool:
+    """Version comparison; ``None`` (never written) loses to any stamp."""
+    if a is None:
+        return False
+    if b is None:
+        return True
+    return tuple(a) > tuple(b)
+
+
 class KvNode:
     """One shard's view of the sharded store: local state + mesh client.
 
     With ``mesh=None`` (single-process serving) the node owns every key.
+    With ``replication > 1`` every key lives on its ``replication`` ring
+    successors and ops run the replicated read/write paths (see the
+    module docstring for the invariants).
     """
 
     def __init__(
@@ -104,24 +178,52 @@ class KvNode:
         shards: int,
         mesh: MeshNode | None = None,
         vnodes: int = 64,
+        replication: int = 1,
+        write_quorum: int = 1,
+        hint_replay_interval: float = 1.0,
     ) -> None:
         self.index = index
         self.shards = shards
-        self.ring = HashRing(shards, vnodes=vnodes)
+        self.replication = max(1, min(replication, shards))
+        self.write_quorum = max(1, min(write_quorum, self.replication))
+        self.ring = HashRing(shards, vnodes=vnodes,
+                             replication=self.replication)
         self.mesh = mesh
         self.store: dict[str, bytes] = {}
+        #: Per-key version stamps: ``key -> (counter, coordinator)``.
+        #: Tombstones live here (key stamped but absent from ``store``).
+        self.versions: dict[str, tuple[int, int]] = {}
+        #: This node's lamport-ish clock: bumped past every counter seen.
+        self.clock = 0
+        #: Parked hinted-handoff writes:
+        #: ``target shard -> {key: (version, value-or-None)}``.
+        self.hints: dict[int, dict[str, tuple[tuple[int, int],
+                                              bytes | None]]] = {}
+        self.hint_replay_interval = hint_replay_interval
+        self.pump_running = False
         #: Single-key ops executed against the local store (this shard
-        #: owns the key), whether they arrived over HTTP or the mesh.
+        #: holds a replica of the key), whether over HTTP or the mesh.
         self.owned_ops = 0
-        #: Single-key ops forwarded to the owning shard over the mesh.
+        #: Single-key ops this shard coordinated without holding a
+        #: replica (forwarded over the mesh).
         self.proxied_ops = 0
         #: Requests this shard served for peers (the mesh-inbound side).
         self.mesh_served_ops = 0
+        #: Replica writes applied for remote coordinators (r_write ops).
+        self.replica_writes = 0
+        #: Stale/missing replicas this node patched during reads.
+        self.read_repairs = 0
+        #: Hinted writes parked here (for any downed target).
+        self.hints_queued = 0
+        #: Parked hints successfully replayed to their target.
+        self.hints_replayed = 0
+        #: Replicated writes that failed their write quorum.
+        self.quorum_failures = 0
         if mesh is not None:
             mesh.handler = self._handle_mesh
 
     # ------------------------------------------------------------------
-    # Local primitives (the owner's side of every op).
+    # Local primitives (a replica's side of every op).
     # ------------------------------------------------------------------
     def _local_get(self, key: str) -> bytes | None:
         return self.store.get(key)
@@ -134,13 +236,53 @@ class KvNode:
     def _local_delete(self, key: str) -> bool:
         return self.store.pop(key, None) is not None
 
+    def _apply_versioned(
+        self, key: str, version, value: bytes | None
+    ) -> tuple[bool, bool]:
+        """Apply a versioned write if it is newer than what we hold.
+
+        Returns ``(applied, existed)`` where ``existed`` is whether a
+        live value was present *before* the apply (drives the HTTP
+        201-created / 404-delete semantics).  ``value=None`` is a
+        tombstone: the value is dropped but the version stamp stays, so
+        an older live copy can never win against the delete.
+        """
+        version = tuple(version)
+        existed = key in self.store
+        current = self.versions.get(key)
+        if current is not None and current >= version:
+            # Rejected as stale — but still *observe* the newer counter
+            # (lamport's rule), so this node's next stamp beats it.
+            self.clock = max(self.clock, current[0])
+            return False, existed
+        self.versions[key] = version
+        self.clock = max(self.clock, version[0])
+        if value is None:
+            self.store.pop(key, None)
+        else:
+            self.store[key] = value
+        return True, existed
+
+    @property
+    def hints_pending(self) -> int:
+        return sum(len(bucket) for bucket in self.hints.values())
+
     def local_stats(self) -> dict:
         return {
             "index": self.index,
             "keys": len(self.store),
+            "replication": self.replication,
+            "write_quorum": self.write_quorum,
             "owned_ops": self.owned_ops,
             "proxied_ops": self.proxied_ops,
             "mesh_served_ops": self.mesh_served_ops,
+            "replica_writes": self.replica_writes,
+            "read_repairs": self.read_repairs,
+            "hints_queued": self.hints_queued,
+            "hints_replayed": self.hints_replayed,
+            "hints_pending": self.hints_pending,
+            "quorum_failures": self.quorum_failures,
+            "clock": self.clock,
         }
 
     def extra_stats(self) -> dict:
@@ -150,6 +292,12 @@ class KvNode:
             "kv_owned_ops": self.owned_ops,
             "kv_proxied_ops": self.proxied_ops,
             "kv_mesh_served_ops": self.mesh_served_ops,
+            "kv_replica_writes": self.replica_writes,
+            "kv_read_repairs": self.read_repairs,
+            "kv_hints_queued": self.hints_queued,
+            "kv_hints_replayed": self.hints_replayed,
+            "kv_hints_pending": self.hints_pending,
+            "kv_quorum_failures": self.quorum_failures,
         }
 
     # ------------------------------------------------------------------
@@ -158,20 +306,38 @@ class KvNode:
     def owner(self, key: str) -> int:
         return self.ring.owner(key)
 
-    def get(self, key: str) -> M:
-        """Resumes with ``(found, value, proxied)``."""
-        return self._op("get", key)
+    def replicas(self, key: str) -> list[int]:
+        return self.ring.replicas(key)
 
-    def put(self, key: str, value: bytes) -> M:
+    def _replicated(self) -> bool:
+        return self.mesh is not None and self.replication > 1
+
+    def get(self, key: str, info: dict | None = None) -> M:
+        """Resumes with ``(found, value, proxied)``.
+
+        ``info`` (optional dict) is filled with replication detail:
+        ``replicas``/``consulted``/``repaired``/``served_by``.
+        """
+        if self._replicated():
+            return self._replicated_get(key, info)
+        return self._op("get", key, info=info)
+
+    def put(self, key: str, value: bytes, info: dict | None = None) -> M:
         """Resumes with ``(created, None, proxied)``."""
-        return self._op("put", key, value)
+        if self._replicated():
+            return self._rput(key, value, info)
+        return self._op("put", key, value, info=info)
 
-    def delete(self, key: str) -> M:
+    def delete(self, key: str, info: dict | None = None) -> M:
         """Resumes with ``(deleted, None, proxied)``."""
-        return self._op("delete", key)
+        if self._replicated():
+            return self._rdelete(key, info)
+        return self._op("delete", key, info=info)
 
     @do
-    def _op(self, op, key, value=None):
+    def _op(self, op, key, value=None, info=None):
+        if info is not None:
+            info.update(replicas=1, acked=1, consulted=1)
         owner = self.ring.owner(key)
         if self.mesh is None or owner == self.index:
             # The local majority path touches no JSON/base64 at all: the
@@ -188,14 +354,337 @@ class KvNode:
         decoded = _decode(reply)
         return decoded["found"], _unb64(decoded.get("value")), True
 
+    # ------------------------------------------------------------------
+    # The replicated write path: fan out, quorum, hinted handoff.
+    # ------------------------------------------------------------------
+    @do
+    def _rput(self, key, value, info):
+        existed, is_local = yield self._replicated_write(key, value, info)
+        return not existed, None, not is_local
+
+    @do
+    def _rdelete(self, key, info):
+        existed, is_local = yield self._replicated_write(key, None, info)
+        return existed, None, not is_local
+
+    @do
+    def _replicated_write(self, key, value, info):
+        """Stamp, fan out to the preference list, enforce the quorum.
+
+        Resumes with ``(existed_anywhere, coordinator_is_replica)``;
+        raises :class:`KvQuorumError` below ``write_quorum`` acks.
+
+        A coordinator whose clock lags the key's current counter (it
+        never applied the earlier writes — a non-replica shard, or a
+        freshly respawned one) would stamp a version the replicas
+        reject as stale.  Replica replies therefore carry the replica's
+        clock; the coordinator merges them, and if any replica rejected
+        the stamp it re-stamps (now guaranteed newer) and repeats the
+        round once — so an acknowledged write is never silently lost to
+        a stale stamp.
+        """
+        replicas = self.ring.replicas(key)
+        is_local = self.index in replicas
+        if is_local:
+            self.owned_ops += 1
+        else:
+            self.proxied_ops += 1
+        (version, acked, existed_any, rejected, failures,
+         acked_remote) = yield self._write_round(
+            key, value, replicas, is_local
+        )
+        if rejected:
+            # Clocks merged above: the fresh stamp beats whatever the
+            # rejecting replica held.  ``existed`` from the first round
+            # stays authoritative (it reflects the pre-write state).
+            (version, acked, _existed_retry, _rejected, failures,
+             acked_remote) = yield self._write_round(
+                key, value, replicas, is_local
+            )
+        if failures and acked > 0:
+            # Hinted handoff: park the write for each downed replica on
+            # a live successor — this node when it holds a replica, else
+            # the first replica that acked (the hint then sits next to a
+            # durable copy of the data).
+            for peer in failures:
+                yield self._park_hint(peer, key, version, value,
+                                      is_local, acked_remote)
+        if info is not None:
+            info.update(replicas=len(replicas), acked=acked,
+                        hinted=len(failures) if acked else 0,
+                        version=list(version))
+        if acked < self.write_quorum:
+            self.quorum_failures += 1
+            detail = ", ".join(
+                f"peer {peer}: {exc!r}" for peer, exc in failures.items()
+            )
+            raise KvQuorumError(
+                f"write to {key!r} acked by {acked}/{len(replicas)} "
+                f"replicas (write_quorum={self.write_quorum}): {detail}"
+            )
+        return existed_any, is_local
+
+    @do
+    def _write_round(self, key, value, replicas, is_local):
+        """One stamped fan-out to the preference list.
+
+        Resumes with ``(version, acked, existed_any, rejected, failures,
+        acked_remote)``; merges every reply's clock into this node's.
+        """
+        self.clock += 1
+        version = (self.clock, self.index)
+        acked = 0
+        rejected = False
+        existed_any = False
+        if is_local:
+            applied, existed = self._apply_versioned(key, version, value)
+            existed_any = existed_any or existed
+            rejected = rejected or not applied
+            acked += 1
+        remote = [peer for peer in replicas if peer != self.index]
+        failures: dict[int, BaseException | None] = {}
+        acked_remote: list[int] = []
+        if remote:
+            body = _encode({"op": "r_write", "key": key,
+                            "version": list(version),
+                            "value": _b64(value)})
+            replies = yield self.mesh.fan_out(
+                {peer: body for peer in remote}
+            )
+            for peer in remote:
+                reply = replies.get(peer)
+                if reply is None or isinstance(reply, BaseException):
+                    failures[peer] = reply
+                    continue
+                decoded = _decode(reply)
+                self.clock = max(self.clock, decoded.get("clock", 0))
+                existed_any = existed_any or decoded.get("existed", False)
+                rejected = rejected or not decoded.get("applied", True)
+                acked += 1
+                acked_remote.append(peer)
+        return version, acked, existed_any, rejected, failures, acked_remote
+
+    @do
+    def _park_hint(self, target, key, version, value, is_local,
+                   acked_remote):
+        if is_local or not acked_remote:
+            self._queue_hint(target, key, version, value)
+            return None
+        body = _encode({"op": "r_hint", "target": target, "key": key,
+                        "version": list(version), "value": _b64(value)})
+        try:
+            yield self.mesh.cast(acked_remote[0], body)
+        except MeshError:
+            # The acked replica went down between the write and the hint
+            # forward: park locally as the live node of last resort.
+            self._queue_hint(target, key, version, value)
+        return None
+
+    def _queue_hint(self, target, key, version, value) -> None:
+        bucket = self.hints.setdefault(target, {})
+        old = bucket.get(key)
+        if old is None or _newer(version, old[0]):
+            bucket[key] = (tuple(version), value)
+            # Counted only when something was actually parked/updated,
+            # so queued - replayed tracks the real backlog.
+            self.hints_queued += 1
+
+    # ------------------------------------------------------------------
+    # The replicated read path: newest version wins, repair the rest.
+    # ------------------------------------------------------------------
+    @do
+    def _replicated_get(self, key, info):
+        replicas = self.ring.replicas(key)
+        is_local = self.index in replicas
+        if is_local:
+            self.owned_ops += 1
+        else:
+            self.proxied_ops += 1
+        #: replica -> (version-or-None, live-value-or-None)
+        answers: dict[int, tuple[tuple[int, int] | None, bytes | None]] = {}
+        failures: dict[int, BaseException | None] = {}
+        if is_local:
+            answers[self.index] = (self.versions.get(key),
+                                   self._local_get(key))
+        remote = [peer for peer in replicas if peer != self.index]
+        if remote:
+            body = _encode({"op": "r_get", "key": key})
+            replies = yield self.mesh.fan_out(
+                {peer: body for peer in remote}
+            )
+            for peer in remote:
+                reply = replies.get(peer)
+                if reply is None or isinstance(reply, BaseException):
+                    failures[peer] = reply
+                    continue
+                decoded = _decode(reply)
+                version = decoded.get("version")
+                if version is not None:
+                    # Reads observe versions too: keep the clock ahead
+                    # of every counter this node has seen.
+                    self.clock = max(self.clock, version[0])
+                answers[peer] = (
+                    tuple(version) if version is not None else None,
+                    _unb64(decoded.get("value")),
+                )
+        if not answers:
+            # Primary down AND every fallback successor down.
+            failure = failures.get(replicas[0])
+            if isinstance(failure, MeshError):
+                raise failure
+            raise MeshTimeout(
+                f"all {len(replicas)} replicas of {key!r} unreachable"
+            )
+        # Newest version wins; the primary's answer wins ties, so the
+        # fallback order is the ring's preference order.
+        best_peer: int | None = None
+        best_version: tuple[int, int] | None = None
+        best_value: bytes | None = None
+        for peer in replicas:
+            if peer not in answers:
+                continue
+            version, value = answers[peer]
+            if best_peer is None or _newer(version, best_version):
+                best_peer, best_version, best_value = peer, version, value
+        repaired = 0
+        if best_version is not None:
+            for peer in replicas:
+                if peer == best_peer or peer not in answers:
+                    continue
+                version, _stale = answers[peer]
+                if _newer(best_version, version):
+                    yield self._repair(peer, key, best_version, best_value)
+                    repaired += 1
+        if info is not None:
+            info.update(replicas=len(replicas), consulted=len(answers),
+                        acked=len(answers), repaired=repaired,
+                        served_by=best_peer)
+        return best_value is not None, best_value, not is_local
+
+    @do
+    def _repair(self, peer, key, version, value):
+        """Patch one stale/missing replica with the newest versioned
+        value.  Remote repairs are fire-and-forget one-way casts — a
+        lost patch is re-detected by the next read."""
+        self.read_repairs += 1
+        if peer == self.index:
+            self._apply_versioned(key, version, value)
+            return None
+        body = _encode({"op": "r_write", "key": key,
+                        "version": list(version), "value": _b64(value),
+                        "repair": True})
+        yield sys_fork(self._cast_quietly(peer, body),
+                       name="kv-read-repair")
+        return None
+
+    @do
+    def _cast_quietly(self, peer, body):
+        try:
+            yield self.mesh.cast(peer, body)
+        except MeshError:
+            pass  # replica went down again: a later read repairs it
+
+    # ------------------------------------------------------------------
+    # Hinted handoff: replay parked writes when their target returns.
+    # ------------------------------------------------------------------
+    def replay_hints(self, peer: int | None = None) -> M:
+        """Replay parked writes to ``peer`` (or every hinted target).
+
+        Resumes with the number of hints drained.  A target that is
+        still down keeps its remaining hints for the next attempt.  The
+        cluster control protocol calls this (via the app's
+        ``on_peer_up`` hook) when a shard respawns or reloads; the
+        periodic :meth:`hint_pump` is the backstop.
+        """
+        return self._replay_hints(peer)
+
+    @do
+    def _replay_hints(self, peer):
+        if self.mesh is None:
+            return 0
+        targets = [peer] if peer is not None else list(self.hints)
+        replayed = 0
+        for target in targets:
+            bucket = self.hints.get(target)
+            while bucket:
+                key, (version, value) = next(iter(bucket.items()))
+                body = _encode({"op": "r_write", "key": key,
+                                "version": list(version),
+                                "value": _b64(value), "handoff": True})
+                try:
+                    yield self.mesh.call(target, body)
+                except MeshError:
+                    break  # still down: keep the rest for the next pass
+                current = bucket.get(key)
+                if current is not None and current[0] == version:
+                    del bucket[key]
+                self.hints_replayed += 1
+                replayed += 1
+            if not bucket:
+                self.hints.pop(target, None)
+        return replayed
+
+    @do
+    def hint_pump(self, interval: float | None = None):
+        """Background retry loop: replays any parked hints every
+        ``interval`` seconds until :attr:`pump_running` is cleared
+        (wired to the server's ``stop()`` by :func:`build_kv_app`)."""
+        if interval is None:
+            interval = self.hint_replay_interval
+        self.pump_running = True
+        while self.pump_running:
+            yield sys_sleep(interval)
+            if self.hints:
+                try:
+                    yield self._replay_hints(None)
+                except MeshError:
+                    pass
+
+    @do
+    def drain_to_replicas(self):
+        """Graceful-stop handoff: push every locally held key to its
+        other replicas (and flush parked hints), so a rolling restart
+        never holds the last live copy of a key when it exits.  Resumes
+        with the number of pushes that succeeded."""
+        if self.mesh is None or self.replication <= 1:
+            return 0
+        pushed = 0
+        for key in list(self.store):
+            version = self.versions.get(key)
+            value = self.store.get(key)
+            if version is None or value is None:
+                continue
+            body = _encode({"op": "r_write", "key": key,
+                            "version": list(version), "value": _b64(value),
+                            "handoff": True})
+            for peer in self.ring.replicas(key):
+                if peer == self.index:
+                    continue
+                try:
+                    yield self.mesh.call(peer, body)
+                    pushed += 1
+                except MeshError:
+                    continue  # best effort: we are shutting down
+        try:
+            yield self._replay_hints(None)
+        except MeshError:
+            pass
+        return pushed
+
+    # ------------------------------------------------------------------
+    # Multi-key operations.
+    # ------------------------------------------------------------------
     @do
     def mget(self, keys):
         """Cross-shard multi-get; resumes with ``{key: value-or-None}``.
 
-        Keys are grouped by owner: the local group reads directly, every
-        remote group is one mesh call, all owners queried concurrently.
-        A failed owner surfaces as :class:`~repro.runtime.mesh.MeshError`
-        — partial silence must not read as "those keys are absent".
+        Keys are grouped by primary owner: the local group reads
+        directly, every remote group is one mesh call, all owners
+        queried concurrently.  Under replication a failed owner's group
+        falls back to per-key replicated reads (with read-repair);
+        without replication the failure surfaces as
+        :class:`~repro.runtime.mesh.MeshError` — partial silence must
+        not read as "those keys are absent".
         """
         by_owner: dict[int, list[str]] = {}
         for key in keys:
@@ -220,6 +709,14 @@ class KvNode:
         replies = yield self.mesh.fan_out(bodies)
         for owner, reply in replies.items():
             if isinstance(reply, BaseException):
+                if self._replicated():
+                    # Primary down: read each key through its replicas.
+                    for key in by_owner[owner]:
+                        found, value, _proxied = yield self._replicated_get(
+                            key, None
+                        )
+                        merged[key] = value if found else None
+                    continue
                 raise reply
             self.proxied_ops += len(by_owner[owner])
             for key, value in _decode(reply)["values"].items():
@@ -250,7 +747,7 @@ class KvNode:
         return results
 
     # ------------------------------------------------------------------
-    # The mesh-inbound side: execute an op we own.
+    # The mesh-inbound side: execute an op we hold a replica of.
     # ------------------------------------------------------------------
     def _handle_mesh(self, body: bytes) -> M:
         return self._serve_mesh(body)
@@ -264,6 +761,31 @@ class KvNode:
             # Health polling is not a data op: don't inflate counters.
             return _encode({"stats": self.local_stats()})
         self.mesh_served_ops += 1
+        if op == "r_get":
+            key = message["key"]
+            version = self.versions.get(key)
+            value = self._local_get(key)
+            return _encode({
+                "found": value is not None,
+                "version": list(version) if version is not None else None,
+                "value": _b64(value),
+            })
+        if op == "r_write":
+            self.replica_writes += 1
+            applied, existed = self._apply_versioned(
+                message["key"], message["version"],
+                _unb64(message.get("value")),
+            )
+            # ``clock`` lets a lagging coordinator merge and re-stamp.
+            return _encode({"applied": applied, "existed": existed,
+                            "clock": self.clock})
+        if op == "r_hint":
+            # A coordinator without a replica forwarded a hint here (we
+            # acked the write, so the data sits next to the hint).
+            self._queue_hint(int(message["target"]), message["key"],
+                             message["version"],
+                             _unb64(message.get("value")))
+            return _encode({"parked": True})
         if op == "mget":
             values = {}
             for key in message["keys"]:
@@ -279,7 +801,8 @@ class KvNode:
     def _apply(
         self, op: str, key: str, value: bytes | None
     ) -> tuple[bool, bytes | None]:
-        """One single-key op against the local store (raw bytes)."""
+        """One single-key op against the local store (raw bytes,
+        unversioned — the ``replication=1`` proxy path)."""
         if op == "get":
             stored = self._local_get(key)
             return stored is not None, stored
@@ -322,6 +845,8 @@ class KvHttpHandler:
             if path == "/kv-stats":
                 response = yield self._stats(request)
                 return response
+        except KvQuorumError as exc:
+            raise HttpError(503, f"write quorum not met: {exc}")
         except MeshTimeout as exc:
             raise HttpError(504, f"owner shard timed out: {exc}")
         except MeshError as exc:
@@ -334,22 +859,25 @@ class KvHttpHandler:
         if not key:
             raise HttpError(404, path)
         node = self.node
+        info: dict = {}
         if request.method in ("GET", "HEAD"):
-            found, value, proxied = yield node.get(key)
+            found, value, proxied = yield node.get(key, info)
             if not found:
                 raise HttpError(404, key)
             return self._reply(
                 200, proxied, body=value,
-                content_type="application/octet-stream",
+                content_type="application/octet-stream", info=info,
             )
         if request.method in ("PUT", "POST"):
-            created, _value, proxied = yield node.put(key, request.body)
-            return self._reply(201 if created else 204, proxied)
+            created, _value, proxied = yield node.put(
+                key, request.body, info
+            )
+            return self._reply(201 if created else 204, proxied, info=info)
         if request.method == "DELETE":
-            deleted, _value, proxied = yield node.delete(key)
+            deleted, _value, proxied = yield node.delete(key, info)
             if not deleted:
                 raise HttpError(404, key)
-            return self._reply(204, proxied)
+            return self._reply(204, proxied, info=info)
         raise HttpError(405, request.method)
 
     @do
@@ -380,8 +908,11 @@ class KvHttpHandler:
         )
 
     @staticmethod
-    def _reply(status, proxied, body=b"", content_type=None):
+    def _reply(status, proxied, body=b"", content_type=None, info=None):
         headers = {"X-Kv-Source": "proxied" if proxied else "local"}
+        if info:
+            acked = info.get("acked", info.get("consulted", 1))
+            headers["X-Kv-Replicas"] = f"{acked}/{info.get('replicas', 1)}"
         if content_type is not None:
             headers["Content-Type"] = content_type
         return HttpResponse(status, body=body, headers=headers)
@@ -394,19 +925,27 @@ def build_kv_app(
     shards: int | None = None,
     index: int | None = None,
     vnodes: int = 64,
+    replication: int = 1,
+    write_quorum: int = 1,
     **server_kwargs: Any,
 ) -> WebServer:
     """One shard's KV application on the layered stack.
 
     With a mesh, shard identity and the shard count come from the mesh's
     address map; without one this is a single-owner store (every key
-    local).  Extra keyword arguments reach :class:`WebServer` (admission
-    caps, parser limits...).
+    local).  ``replication`` puts every key on that many ring successors;
+    ``write_quorum`` is the minimum replica acks for a write to succeed.
+    A replicated app also wires the background hinted-handoff machinery:
+    a hint pump forked next to the accept loop, an ``on_peer_up`` hook
+    for the cluster control protocol, and a graceful-stop ``drain``.
+    Extra keyword arguments reach :class:`WebServer` (admission caps,
+    parser limits...).
     """
     if mesh is not None:
         index = mesh.index if index is None else index
         shards = len(mesh.peers) if shards is None else shards
-    node = KvNode(index or 0, shards or 1, mesh=mesh, vnodes=vnodes)
+    node = KvNode(index or 0, shards or 1, mesh=mesh, vnodes=vnodes,
+                  replication=replication, write_quorum=write_quorum)
     server = WebServer(
         LiveSocketLayer(rt.io, listener),
         EmptyFilesystem(),
@@ -417,9 +956,38 @@ def build_kv_app(
     server.kv = node
     server.mesh = mesh
     server.extra_stats = node.extra_stats
+    if mesh is not None and node.replication > 1:
+        driver_main = server.main
+
+        @do
+        def main_with_pump():
+            yield sys_fork(node.hint_pump(), name="kv-hint-pump")
+            yield driver_main()
+
+        base_stop = server.stop
+
+        def stop() -> None:
+            node.pump_running = False
+            base_stop()
+
+        server.main = main_with_pump
+        server.stop = stop
+        server.on_peer_up = node.replay_hints
+        server.drain = node.drain_to_replicas
     return server
 
 
-def kv_app_factory(rt: Any, listener: Any, mesh: MeshNode) -> WebServer:
-    """The cluster ``app_factory`` for a mesh-enabled KV cluster."""
-    return build_kv_app(rt, listener, mesh)
+def kv_app_factory(
+    rt: Any,
+    listener: Any,
+    mesh: MeshNode,
+    replication: int = 1,
+    write_quorum: int = 1,
+) -> WebServer:
+    """The cluster ``app_factory`` for a mesh-enabled KV cluster.
+
+    ``replication`` arrives from :class:`~repro.runtime.cluster
+    .ClusterConfig` (the cluster passes it to any factory whose
+    signature names it)."""
+    return build_kv_app(rt, listener, mesh, replication=replication,
+                        write_quorum=write_quorum)

@@ -36,6 +36,7 @@ from ..core.syscalls import (
     sys_blio,
     sys_catch,
     sys_nbio,
+    sys_now,
 )
 from ..runtime.driver import ConnectionDriver, IoSocketLayer
 from ..runtime.io_api import NetIO
@@ -160,6 +161,14 @@ class StaticFileHandler:
     Conditional GET: when the filesystem exposes ``mtime(path)`` (real
     docroots do), responses carry ``Last-Modified`` and an
     ``If-Modified-Since`` at or after it answers 304 with no body.
+
+    The mtime *probe* is real (possibly slow) filesystem I/O through the
+    blocking pool — one pool hop per request.  ``mtime_ttl`` bounds that
+    cost: probes are cached for that many seconds (default 250 ms), so a
+    hot file costs one stat per TTL window instead of one per request,
+    trading sub-second staleness of the validator for removing the
+    per-request pool hop.  ``mtime_ttl=0`` disables the cache and keeps
+    the strict probe-every-request behavior.
     """
 
     def __init__(
@@ -168,11 +177,15 @@ class StaticFileHandler:
         cache: FileCache,
         read_chunk: int = 64 * 1024,
         stats: ServerStats | None = None,
+        mtime_ttl: float = 0.25,
     ) -> None:
         self.fs = fs
         self.cache = cache
         self.read_chunk = read_chunk
         self.stats = stats if stats is not None else ServerStats()
+        self.mtime_ttl = mtime_ttl
+        #: Short-TTL probe cache: ``path -> (mtime, fresh_until)``.
+        self._mtime_probes: dict[str, tuple[float | None, float]] = {}
         #: mtime each cached entry was loaded at: a changed file on disk
         #: must invalidate the cache, or revalidation would pin a stale
         #: body under a fresh Last-Modified forever.
@@ -207,10 +220,17 @@ class StaticFileHandler:
     def _probe_mtime(self, path):
         # The stat is real (possibly slow) filesystem I/O: route it
         # through the blocking pool like every other file operation
-        # (§4.6), never inline on the event loop.
+        # (§4.6), never inline on the event loop — and within
+        # ``mtime_ttl``, don't repeat it at all.
         probe = getattr(self.fs, "mtime", None)
         if probe is None:
             return None
+        now = None
+        if self.mtime_ttl > 0:
+            now = yield sys_now()
+            cached = self._mtime_probes.get(path)
+            if cached is not None and now < cached[1]:
+                return cached[0]
 
         def stat() -> float | None:
             try:
@@ -219,6 +239,16 @@ class StaticFileHandler:
                 return None
 
         mtime = yield sys_blio(stat)
+        if self.mtime_ttl > 0:
+            if len(self._mtime_probes) > self._MTIME_SWEEP:
+                # Drop expired probes so the dict stays proportional to
+                # the hot set, not to every path ever requested.
+                self._mtime_probes = {
+                    probed: entry
+                    for probed, entry in self._mtime_probes.items()
+                    if now < entry[1]
+                }
+            self._mtime_probes[path] = (mtime, now + self.mtime_ttl)
         return mtime
 
     @do
@@ -472,6 +502,7 @@ class WebServer:
         handler: Any = None,
         max_header_bytes: int | None = None,
         max_body_bytes: int | None = None,
+        mtime_ttl: float = 0.25,
     ) -> None:
         self.layer = socket_layer
         self.fs = fs
@@ -481,7 +512,8 @@ class WebServer:
         self.stats = ServerStats()
         if handler is None:
             handler = StaticFileHandler(
-                fs, self.cache, read_chunk=read_chunk, stats=self.stats
+                fs, self.cache, read_chunk=read_chunk, stats=self.stats,
+                mtime_ttl=mtime_ttl,
             )
         self.handler = handler
         self.protocol = HttpProtocol(
@@ -612,6 +644,7 @@ def build_live_server(
     handler: Any = None,
     max_header_bytes: int | None = None,
     max_body_bytes: int | None = None,
+    mtime_ttl: float = 0.25,
 ) -> WebServer:
     """Construct a :class:`WebServer` serving real sockets on ``rt``.
 
@@ -624,7 +657,8 @@ def build_live_server(
     ``handler`` swaps the static-file application for another one (any
     object with ``respond(request) -> M[HttpResponse]``);
     ``max_header_bytes``/``max_body_bytes`` bound per-connection parser
-    memory (431/413 beyond them).
+    memory (431/413 beyond them); ``mtime_ttl`` bounds the per-request
+    conditional-GET stat cost (0 probes on every request).
     """
     fs: Any = DocRootFilesystem(docroot) if docroot else EmptyFilesystem()
     server = WebServer(
@@ -632,7 +666,7 @@ def build_live_server(
         cache_bytes=cache_bytes, read_chunk=read_chunk, name=name,
         accept_batch=accept_batch, max_connections=max_connections,
         handler=handler, max_header_bytes=max_header_bytes,
-        max_body_bytes=max_body_bytes,
+        max_body_bytes=max_body_bytes, mtime_ttl=mtime_ttl,
     )
     for path, content in (site or {}).items():
         server.cache.put(path.lstrip("/"), content)

@@ -86,6 +86,16 @@ class ClusterConfig:
     #: learn the full address map from this at spawn.
     mesh_ports: tuple = ()
     mesh_call_timeout: float = 5.0
+    #: Bound on one mesh frame write (a peer that stops reading is
+    #: declared wedged past it and its link is downed).
+    mesh_write_timeout: float = 5.0
+    #: Replication factor for replicated applications: passed through to
+    #: any ``app_factory`` whose signature names a ``replication``
+    #: parameter (e.g. the KV store's N-successor replication).
+    replication: int = 1
+    #: Write quorum for replicated applications, forwarded the same way
+    #: (minimum replica acks before a write reports success).
+    write_quorum: int = 1
 
 
 def build_runtime(config: ClusterConfig) -> LiveRuntime:
@@ -178,6 +188,21 @@ def _mesh_passing(app_factory: AppFactory) -> str | None:
     return "pos" if len(required) >= 3 else None
 
 
+def _accepts_keyword(app_factory: AppFactory, name: str) -> bool:
+    """Whether the factory's signature names ``name`` as a passable
+    keyword (used to forward cluster-level app knobs like
+    ``replication`` only to factories that ask for them)."""
+    try:
+        parameters = inspect.signature(app_factory).parameters
+    except (TypeError, ValueError):
+        return False
+    parameter = parameters.get(name)
+    return parameter is not None and parameter.kind in (
+        inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        inspect.Parameter.KEYWORD_ONLY,
+    )
+
+
 def _worker_main(
     index: int,
     config: ClusterConfig,
@@ -218,14 +243,19 @@ def _worker_main(
         mesh = MeshNode(
             index, rt.io, mesh_listener, peers,
             call_timeout=config.mesh_call_timeout,
+            write_timeout=config.mesh_write_timeout,
         )
+    factory_kwargs: dict[str, Any] = {}
+    for knob in ("replication", "write_quorum"):
+        if _accepts_keyword(app_factory, knob):
+            factory_kwargs[knob] = getattr(config, knob)
     passing = _mesh_passing(app_factory) if mesh is not None else None
     if passing == "kw":
-        app = app_factory(rt, listener, mesh=mesh)
+        app = app_factory(rt, listener, mesh=mesh, **factory_kwargs)
     elif passing == "pos":
-        app = app_factory(rt, listener, mesh)
+        app = app_factory(rt, listener, mesh, **factory_kwargs)
     else:
-        app = app_factory(rt, listener)
+        app = app_factory(rt, listener, **factory_kwargs)
     state = {"stop": False}
     ctrl.setblocking(False)
 
@@ -269,6 +299,19 @@ def _worker_main(
             _send_msg(ctrl, snapshot())
         elif command == "stop":
             state["stop"] = True
+        elif command == "peer_up":
+            # The master reports a peer shard respawned/reloaded.  Apps
+            # that park state for downed peers (the KV store's hinted
+            # handoff) expose ``on_peer_up(index) -> M`` and get a thread
+            # on this shard's loop to replay it.
+            hook = getattr(app, "on_peer_up", None)
+            if callable(hook):
+                try:
+                    comp = hook(int(message.get("index", -1)))
+                except Exception:
+                    comp = None
+                if comp is not None:
+                    rt.spawn(comp, name=f"shard{index}-peer-up")
         elif command == "crash":
             os._exit(_CRASH_EXIT_CODE)  # chaos hook: fault-injection tests
 
@@ -308,10 +351,31 @@ def _worker_main(
     if hasattr(app, "stop"):
         app.stop()
     if mesh is not None:
-        mesh.stop()
-    deadline = time.monotonic() + config.grace
-    rt.run(until=lambda: time.monotonic() >= deadline,
-           idle_timeout=config.grace)
+        mesh.stop()  # inbound only: outbound links keep working below
+    drain = getattr(app, "drain", None)
+    drained: list[bool] = []
+    if callable(drain):
+        # Replicated apps push their state to peers before exiting (a
+        # rolling restart must not take the last live copy of a key
+        # down with it); give the push a wider window than the
+        # response-drain grace, but exit as soon as it finishes.
+        @do
+        def _drain_app():
+            try:
+                yield drain()
+            finally:
+                drained.append(True)
+
+        rt.spawn(_drain_app(), name=f"shard{index}-drain")
+    grace_deadline = time.monotonic() + config.grace
+    hard_deadline = (time.monotonic() + max(config.grace, 3.0)
+                     if callable(drain) else grace_deadline)
+    rt.run(
+        until=lambda: time.monotonic() >= hard_deadline or (
+            bool(drained) and time.monotonic() >= grace_deadline
+        ),
+        idle_timeout=max(config.grace, 0.05),
+    )
     _send_msg(ctrl, snapshot(event="stopped"))
     try:
         listener.close()
@@ -586,8 +650,19 @@ class ClusterServer:
         self._workers[slot] = replacement
         return replacement
 
+    def _notify_peer_up(self, index: int) -> None:
+        """Tell every other shard that ``index`` came back (respawn or
+        reload), so state parked for it — hinted-handoff writes — can
+        replay promptly instead of waiting for a retry tick."""
+        with self._lock:
+            for handle in self._workers:
+                if handle.index != index:
+                    _send_msg(handle.sock,
+                              {"cmd": "peer_up", "index": index})
+
     def poll(self) -> None:
         """Detect dead shards and respawn them (monitor thread's body)."""
+        revived = []
         with self._lock:
             for slot, handle in enumerate(self._workers):
                 if self._stopping or handle.process.is_alive():
@@ -596,6 +671,9 @@ class ClusterServer:
                 if self._replace_worker(slot) is None:
                     continue  # retried on the next poll
                 self.respawns += 1
+                revived.append(handle.index)
+        for index in revived:
+            self._notify_peer_up(index)
 
     def worker_pids(self) -> list[int | None]:
         """Current shard pids, index-ordered (None for a dead shard)."""
@@ -708,6 +786,7 @@ class ClusterServer:
                         f"shard {handle.index} failed to come back "
                         f"during reload"
                     )
+            self._notify_peer_up(handle.index)
         return [pid for pid in self.worker_pids() if pid is not None]
 
     def crash_worker(self, index: int) -> None:

@@ -26,6 +26,26 @@ The protocol contract is small and monadic:
 The socket-layer contract is the one :class:`repro.http.server
 .IoSocketLayer` established: ``setup``/``accept_batch``/``recv``/``send``/
 ``shed``/``close``, all returning :class:`~repro.core.monad.M`.
+
+Invariants the layers above rely on:
+
+* **One thread per admitted connection** — the driver forks exactly one
+  monadic thread per admitted connection and never touches the
+  connection again; ``stats.active`` is incremented before the fork and
+  decremented in a non-yielding ``finally`` (correct even under
+  abandonment), so ``active <= max_connections`` always holds.
+* **Shedding never blocks the accept loop** — a connection refused at
+  the cap gets the farewell + close through ``layer.shed``, which is
+  best-effort and bounded; a flooding peer cannot head-of-line block
+  accepts.
+* **Shutdown is cooperative** — ``stop()`` only stops *accepting*;
+  in-flight sessions run to completion (the cluster's drain window
+  bounds how long that is allowed to take).  A listener torn down during
+  shutdown is a clean exit, not an error.
+* **Protocol neutrality** — the driver never reads or writes connection
+  bytes itself; HTTP (:class:`~repro.http.server.HttpProtocol`) and the
+  mesh's frame protocol (:class:`~repro.runtime.mesh.MeshNode`) run on
+  identical drivers, differing only in the protocol object.
 """
 
 from __future__ import annotations

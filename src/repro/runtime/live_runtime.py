@@ -56,7 +56,7 @@ from ..core.trace import (
 def _throw_thunk(exc: BaseException) -> Thunk:
     return lambda: SysThrow(exc)
 from ..simos.errors import WOULD_BLOCK
-from .io_api import NetIO
+from .io_api import ConnectionClosed, NetIO
 
 __all__ = [
     "LiveRuntime",
@@ -350,17 +350,23 @@ class EpollPoller:
         return resumes
 
     # -- teardown ------------------------------------------------------
-    def discard(self, fd: Any) -> None:
-        """Forget ``fd`` (called just before it closes)."""
+    def discard(self, fd: Any) -> list[tuple[TCB, Callable]]:
+        """Forget ``fd`` (called just before it closes).
+
+        Returns the waiters still parked on the descriptor so the caller
+        can resume them with an error — a thread parked in
+        ``sys_epoll_wait`` on an fd another thread closes (e.g. a mesh
+        watchdog downing a wedged link) must be woken, not orphaned.
+        """
         try:
             fileno = fd.fileno()
         except (OSError, ValueError):
-            return
+            return []
         if fileno < 0:
-            return
+            return []
         entry = self._entries.get(fileno)
         if entry is None or entry.fd is not fd:
-            return
+            return []
         if entry.registered is not None:
             try:
                 self._epoll.unregister(fileno)
@@ -369,6 +375,7 @@ class EpollPoller:
                 pass
         self._waiter_count -= len(entry.waiters)
         del self._entries[fileno]
+        return [(tcb, cont) for _mask, tcb, cont in entry.waiters]
 
     def close(self) -> None:
         self._epoll.close()
@@ -450,16 +457,17 @@ class SelectorPoller:
                 del self._entries[key.fileobj]
         return resumes
 
-    def discard(self, fd: Any) -> None:
+    def discard(self, fd: Any) -> list[tuple[TCB, Callable]]:
         entry = self._entries.pop(fd, None)
         if entry is None:
-            return
+            return []
         self._waiter_count -= len(entry.waiters)
         try:
             self.selector.unregister(fd)
             self.ctl_dels += 1
         except (KeyError, ValueError, OSError):
             pass
+        return [(tcb, cont) for _mask, tcb, cont in entry.waiters]
 
     def close(self) -> None:
         self.selector.close()
@@ -498,7 +506,7 @@ class LiveRuntime:
             scheduler = Scheduler(batch_limit=batch_limit, uncaught=uncaught)
         self.sched = scheduler
         self.poller = make_poller(poller)
-        self.backend = LiveBackend(on_close=self.poller.discard)
+        self.backend = LiveBackend(on_close=self._discard_fd)
         self.io = NetIO(self.backend)
         self._timers: list[tuple[float, int, TCB, Callable]] = []
         self._timer_seq = itertools.count()
@@ -513,6 +521,25 @@ class LiveRuntime:
         self._wake_send.setblocking(False)
         self.poller.register_wake(self._wake_recv)
         self._install_handlers()
+
+    def _discard_fd(self, fd: Any) -> None:
+        """Drop poller state for a closing fd and wake its parked waiters.
+
+        A thread can be parked in ``sys_epoll_wait`` on a descriptor some
+        *other* thread closes — the mesh write watchdog downing a wedged
+        link, a demux thread tearing down a failed connection.  The kernel
+        silently drops a closed fd from the interest set, so without this
+        resume the parked thread would block forever; instead it is woken
+        with :class:`~repro.runtime.io_api.ConnectionClosed`, which the
+        I/O wrappers surface as an ordinary monadic exception.
+        """
+        for tcb, _cont in self.poller.discard(fd):
+            self.sched.resume_error(
+                tcb,
+                ConnectionClosed(
+                    "descriptor closed while parked in epoll_wait"
+                ),
+            )
 
     # ------------------------------------------------------------------
     # Spawning and listeners

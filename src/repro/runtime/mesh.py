@@ -14,16 +14,33 @@ the event-driven core.
 Wire format (all integers big-endian)::
 
     frame    := length:u32  kind:u8  request_id:u64  body:bytes
-    kind     := 0 request | 1 reply | 2 error-reply
+    kind     := 0 request | 1 reply | 2 error-reply | 3 cast
 
-Requests multiplex: each persistent link carries many in-flight calls,
-matched by ``request_id``.  A per-link *demux* thread reads reply frames
-and fulfills the matching :class:`~repro.core.sync.MVar`; writers
-serialize frame writes with a per-link :class:`~repro.core.sync.Mutex`.
-Per-call timeouts race a timer thread against the reply — a dead peer
-surfaces as :class:`MeshTimeout`/:class:`MeshPeerDown` in the *calling*
-thread (a monadic exception, never a hang), and fails every other call
-pending on the same link.
+Invariants the rest of the stack builds on:
+
+* **Framing** — a frame is exactly ``length`` bytes after the length
+  prefix, ``length`` covers the kind/request-id header, and no frame may
+  exceed ``max_frame`` (a protocol violation downs the link).  Partial
+  reads mid-frame are reassembled; EOF *between* frames is a clean close,
+  EOF *inside* one is :class:`~repro.runtime.io_api.ConnectionClosed`.
+* **Multiplexing** — each persistent link carries many in-flight calls,
+  matched by ``request_id``; a per-link *demux* thread reads reply frames
+  and fulfills the matching :class:`~repro.core.sync.MVar`, and writers
+  serialize whole frames with a per-link :class:`~repro.core.sync.Mutex`.
+  ``kind 3`` (*cast*) is one-way: the server runs the handler and sends
+  no reply (used for read-repair patches and hint forwarding, where
+  at-most-once delivery is acceptable).
+* **Timeout semantics** — every blocking edge has a bound, and every
+  failure surfaces as a monadic exception in the *calling* thread, never
+  a hang: per-call timeouts (``call_timeout``) are swept by one
+  per-link sweeper thread and raise :class:`MeshTimeout`; link failures
+  (dial refused, reset, EOF mid-call) raise :class:`MeshPeerDown` and
+  fail every other call pending on the same link; and frame *writes* are
+  bounded by ``write_timeout`` — a peer that stops reading until the
+  socket buffers fill no longer wedges writers: a watchdog closes the
+  wedged link, the parked writer is woken by the runtime with an error,
+  and the caller sees :class:`MeshPeerDown` (counted in
+  ``stats.write_timeouts``).
 """
 
 from __future__ import annotations
@@ -52,6 +69,7 @@ __all__ = [
     "KIND_REQUEST",
     "KIND_REPLY",
     "KIND_ERROR",
+    "KIND_CAST",
 ]
 
 _LEN = struct.Struct("!I")
@@ -60,6 +78,8 @@ _HEAD = struct.Struct("!BQ")
 KIND_REQUEST = 0
 KIND_REPLY = 1
 KIND_ERROR = 2
+#: One-way request: the server runs the handler but never replies.
+KIND_CAST = 3
 
 #: Frames above this are a protocol violation (memory bound per link).
 DEFAULT_MAX_FRAME = 16 * 1024 * 1024
@@ -155,18 +175,22 @@ class _PeerLink:
 class MeshStats:
     """Data-plane counters, surfaced through cluster ``stats()``."""
 
-    __slots__ = ("calls", "served", "timeouts", "peer_failures",
-                 "frames_sent", "frames_received")
+    __slots__ = ("calls", "casts", "served", "timeouts", "peer_failures",
+                 "write_timeouts", "frames_sent", "frames_received")
 
     def __init__(self) -> None:
         #: Client-side calls issued (including failed ones).
         self.calls = 0
+        #: Client-side one-way casts issued (including failed ones).
+        self.casts = 0
         #: Requests this node's handler served for peers.
         self.served = 0
         #: Calls that hit their per-peer timeout.
         self.timeouts = 0
         #: Link failures observed (dial refused, reset, EOF mid-call).
         self.peer_failures = 0
+        #: Frame writes that stalled past ``write_timeout`` (wedged peer).
+        self.write_timeouts = 0
         self.frames_sent = 0
         self.frames_received = 0
 
@@ -204,6 +228,7 @@ class MeshNode:
         peers: dict[int, tuple],
         handler: Callable[[bytes], M] | None = None,
         call_timeout: float = 5.0,
+        write_timeout: float = 5.0,
         max_frame: int = DEFAULT_MAX_FRAME,
         accept_batch: int = 16,
         max_inflight: int = 128,
@@ -214,6 +239,10 @@ class MeshNode:
         self.peers = dict(peers)
         self.handler = handler
         self.call_timeout = call_timeout
+        #: Bound on one frame write: past it the link is declared wedged
+        #: (the peer stopped reading), closed, and the writer fails with
+        #: :class:`MeshPeerDown` instead of blocking forever.
+        self.write_timeout = write_timeout
         self.max_frame = max_frame
         self.accept_batch = accept_batch
         #: Per-inbound-link cap on concurrently executing requests; past
@@ -224,6 +253,10 @@ class MeshNode:
         self._links: dict[int, _PeerLink] = {}
         self._dial_mutexes: dict[int, Mutex] = {}
         self._request_ids = itertools.count(1)
+        #: In-flight frame writes under watch: token -> (conn, deadline).
+        self._write_watch: dict[int, tuple[Any, float]] = {}
+        self._watch_tokens = itertools.count(1)
+        self._watching = False
         self._driver = ConnectionDriver(
             IoSocketLayer(io, listener),
             _MeshServerProtocol(self),
@@ -247,9 +280,11 @@ class MeshNode:
             "peers": len(self.peers),
             "connected_peers": self.connected_peers(),
             "calls": stats.calls,
+            "casts": stats.casts,
             "served": stats.served,
             "timeouts": stats.timeouts,
             "peer_failures": stats.peer_failures,
+            "write_timeouts": stats.write_timeouts,
         }
 
     # ------------------------------------------------------------------
@@ -283,19 +318,21 @@ class MeshNode:
                     return  # peer closed cleanly
                 self.stats.frames_received += 1
                 kind, request_id, body = frame
-                if kind != KIND_REQUEST:
+                if kind not in (KIND_REQUEST, KIND_CAST):
                     raise MeshProtocolError(
                         f"unexpected frame kind {kind} on server link"
                     )
+                one_way = kind == KIND_CAST
                 if inflight[0] >= self.max_inflight:
                     yield self._serve_request(
-                        conn, write_mutex, request_id, body, None
+                        conn, write_mutex, request_id, body, None, one_way
                     )
                     continue
                 inflight[0] += 1
                 yield sys_fork(
                     self._serve_request(
-                        conn, write_mutex, request_id, body, inflight
+                        conn, write_mutex, request_id, body, inflight,
+                        one_way,
                     ),
                     name="mesh-request",
                 )
@@ -309,7 +346,8 @@ class MeshNode:
                 yield self.io.close(conn)
 
     @do
-    def _serve_request(self, conn, write_mutex, request_id, body, inflight):
+    def _serve_request(self, conn, write_mutex, request_id, body, inflight,
+                       one_way=False):
         try:
             try:
                 if self.handler is None:
@@ -328,6 +366,8 @@ class MeshNode:
                 reply = repr(exc).encode()
                 kind = KIND_ERROR
             self.stats.served += 1
+            if one_way:
+                return  # a cast gets no reply, success or failure
             try:
                 yield self._locked_send(write_mutex, conn, kind,
                                         request_id, reply)
@@ -339,12 +379,59 @@ class MeshNode:
 
     @do
     def _locked_send(self, mutex, conn, kind, request_id, body):
+        # The write is watched: a peer that accepted the frame's first
+        # bytes but stopped reading (buffers full, writer parked on
+        # EPOLLOUT) is detected by the watchdog, which closes the conn —
+        # the runtime then wakes the parked writer with an error.
         yield mutex.acquire()
+        token = next(self._watch_tokens)
+        now = yield sys_now()
+        self._write_watch[token] = (conn, now + self.write_timeout)
+        if not self._watching:
+            self._watching = True
+            yield sys_fork(self._write_watchdog(),
+                           name="mesh-write-watchdog")
         try:
             yield send_frame(self.io, conn, kind, request_id, body)
             self.stats.frames_sent += 1
         finally:
+            watched = self._write_watch.pop(token, None)
             yield mutex.release()
+        if watched is None:
+            # The watchdog fired for this write (it pops the entry when
+            # it downs the conn).  If the close won the race against the
+            # final write syscall no exception surfaced here — but the
+            # link is gone either way, so fail the frame explicitly.
+            raise MeshPeerDown(
+                f"frame write stalled past write_timeout="
+                f"{self.write_timeout}s (peer stopped reading)"
+            )
+
+    @do
+    def _write_watchdog(self):
+        # One watchdog per node, alive only while frame writes are in
+        # flight.  Closing a wedged conn wakes its parked writer (the
+        # poller resumes orphaned waiters with an error on close), which
+        # the caller surfaces as MeshPeerDown.
+        try:
+            while self._write_watch:
+                yield sys_sleep(self.SWEEP_INTERVAL)
+                now = yield sys_now()
+                expired = [
+                    token
+                    for token, (_conn, deadline)
+                    in self._write_watch.items()
+                    if deadline <= now
+                ]
+                for token in expired:
+                    entry = self._write_watch.pop(token, None)
+                    if entry is None:
+                        continue
+                    conn, _deadline = entry
+                    self.stats.write_timeouts += 1
+                    yield self.io.close(conn)
+        finally:
+            self._watching = False
 
     # ------------------------------------------------------------------
     # Client side: lazily dialed links, multiplexed calls.
@@ -443,6 +530,38 @@ class MeshNode:
                     yield box.try_put(failure)
         finally:
             link.sweeping = False
+
+    def cast(self, peer: int, body: bytes) -> M:
+        """One-way message to ``peer``: the remote handler runs, but no
+        reply frame ever crosses the wire (at-most-once delivery).
+
+        Resumes with ``None`` once the frame is written; raises
+        :class:`MeshPeerDown` if the link cannot be dialed or the write
+        fails/stalls.  A self-cast runs the local handler inline.  Used
+        where a lost message is repaired by a later pass anyway —
+        read-repair patches, hint forwarding.
+        """
+        return self._cast(peer, body)
+
+    @do
+    def _cast(self, peer, body):
+        self.stats.casts += 1
+        if peer == self.index:
+            if self.handler is None:
+                raise MeshError(f"shard {self.index} has no mesh handler")
+            yield self.handler(body)
+            return None
+        if peer not in self.peers:
+            raise MeshError(f"unknown peer {peer}")
+        link = yield self._link(peer)
+        try:
+            yield self._locked_send(
+                link.write_mutex, link.conn, KIND_CAST, 0, body
+            )
+        except (ConnectionError, OSError) as exc:
+            yield self._fail_link(link)
+            raise MeshPeerDown(f"cast to peer {peer} failed: {exc!r}")
+        return None
 
     def fan_out(
         self,

@@ -1,0 +1,459 @@
+"""Replicated KV: N-successor placement, quorum writes, read-repair,
+hinted handoff, and the replicated cluster surviving a killed shard and a
+rolling reload."""
+
+from __future__ import annotations
+
+import collections
+import time
+
+import pytest
+
+from repro.app.kv import HashRing, KvNode, KvQuorumError, kv_app_factory
+from repro.core.do_notation import do
+from repro.http.blocking_client import BlockingHttpClient
+from repro.runtime.cluster import ClusterServer
+from repro.runtime.live_runtime import LiveRuntime
+from repro.runtime.mesh import MeshNode
+
+
+# ----------------------------------------------------------------------
+# Preference lists on the ring.
+# ----------------------------------------------------------------------
+class TestSuccessors:
+    def test_primary_first_and_distinct(self):
+        ring = HashRing(4, replication=3)
+        for i in range(200):
+            key = f"key-{i}"
+            replicas = ring.successors(key, 3)
+            assert replicas[0] == ring.owner(key)
+            assert len(replicas) == len(set(replicas)) == 3
+
+    def test_deterministic_across_instances(self):
+        first = HashRing(5, replication=2)
+        second = HashRing(5, replication=2)
+        keys = [f"key-{i}" for i in range(200)]
+        assert [first.replicas(k) for k in keys] == [
+            second.replicas(k) for k in keys
+        ]
+
+    def test_replication_clamped_to_shard_count(self):
+        ring = HashRing(2, replication=5)
+        assert ring.replication == 2
+        assert len(ring.successors("x", 5)) == 2
+
+    def test_replica_load_is_spread(self):
+        ring = HashRing(4, replication=2)
+        holders = collections.Counter()
+        for i in range(1000):
+            for shard in ring.replicas(f"key-{i}"):
+                holders[shard] += 1
+        assert sorted(holders) == [0, 1, 2, 3]
+        assert min(holders.values()) > 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HashRing(2, replication=0)
+
+
+# ----------------------------------------------------------------------
+# Replicated nodes over a real mesh in one runtime.
+# ----------------------------------------------------------------------
+def _drive(rt, comp, idle=5.0):
+    results = []
+
+    @do
+    def main():
+        value = yield comp
+        results.append(value)
+
+    rt.spawn(main())
+    rt.run(until=lambda: bool(results), idle_timeout=idle)
+    assert results, "operation never completed"
+    return results[0]
+
+
+def _drive_error(rt, comp, exc_type, idle=5.0):
+    outcome = []
+
+    @do
+    def main():
+        try:
+            value = yield comp
+            outcome.append(("value", value))
+        except exc_type as exc:
+            outcome.append(("error", exc))
+
+    rt.spawn(main())
+    rt.run(until=lambda: bool(outcome), idle_timeout=idle)
+    assert outcome, "operation never completed"
+    return outcome[0]
+
+
+def _key_with_replicas(ring, wanted, start=0):
+    """A key whose preference list is exactly ``wanted`` (ordered)."""
+    index = start
+    while True:
+        key = f"rkey-{index}"
+        if ring.replicas(key) == list(wanted):
+            return key
+        index += 1
+
+
+@pytest.fixture
+def rt():
+    runtime = LiveRuntime(uncaught="store")
+    yield runtime
+    runtime.shutdown()
+
+
+def make_world(rt, count, live=None, replication=2, write_quorum=1):
+    """``count`` mesh peers, of which only ``live`` actually serve.
+
+    A non-live peer's address is a closed port: dials fail fast, which
+    models a crashed shard.  Returns the KvNode list (None for dead
+    slots).
+    """
+    live = set(range(count)) if live is None else set(live)
+    listeners = {}
+    peers = {}
+    for i in range(count):
+        listener = rt.make_listener()
+        address = ("127.0.0.1", listener.getsockname()[1])
+        peers[i] = address
+        if i in live:
+            listeners[i] = listener
+        else:
+            listener.close()  # dead shard: connection refused
+    nodes: list[KvNode | None] = []
+    for i in range(count):
+        if i not in live:
+            nodes.append(None)
+            continue
+        mesh = MeshNode(i, rt.io, listeners[i], peers, call_timeout=2.0)
+        node = KvNode(i, count, mesh=mesh, replication=replication,
+                      write_quorum=write_quorum)
+        rt.spawn(mesh.serve(), name=f"mesh-{i}")
+        nodes.append(node)
+    return nodes
+
+
+class TestReplicatedWrites:
+    def test_write_lands_on_every_replica(self, rt):
+        nodes = make_world(rt, 3, replication=2)
+        key = _key_with_replicas(nodes[0].ring, (1, 2))
+        info = {}
+        created, _, proxied = _drive(rt, nodes[0].put(key, b"v1", info))
+        assert created and proxied  # node 0 holds no replica of this key
+        assert info["acked"] == 2 and info["replicas"] == 2
+        assert nodes[1].store[key] == b"v1"
+        assert nodes[2].store[key] == b"v1"
+        assert key not in nodes[0].store
+        # Overwrite through a replica: version advances, not created.
+        created, _, proxied = _drive(rt, nodes[1].put(key, b"v2"))
+        assert not created and not proxied
+        assert nodes[2].store[key] == b"v2"
+        assert nodes[1].versions[key] > (0, 0)
+
+    def test_quorum_met_with_one_dead_replica(self, rt):
+        # W=1 (the default): a write with one dead replica succeeds and
+        # parks a hint for the dead peer.
+        nodes = make_world(rt, 3, live={0, 1}, replication=2)
+        ring = nodes[0].ring
+        key = _key_with_replicas(ring, (1, 2))  # replica 2 is dead
+        info = {}
+        created, _, _ = _drive(rt, nodes[0].put(key, b"v", info))
+        assert created
+        assert info["acked"] == 1 and info["replicas"] == 2
+        assert nodes[1].store[key] == b"v"
+        # The hint parked on the live successor (node 1 acked the write
+        # and the coordinator holds no replica).
+        deadline = time.monotonic() + 2.0
+        while (nodes[1].hints_pending == 0
+               and time.monotonic() < deadline):
+            rt.run(until=lambda: False, idle_timeout=0.05)
+        assert nodes[1].hints_pending == 1
+        assert key in nodes[1].hints[2]
+
+    def test_quorum_failure_is_monadic_exception(self, rt):
+        # W=2 with one dead replica: the write must fail loudly.
+        nodes = make_world(rt, 3, live={0, 1}, replication=2,
+                           write_quorum=2)
+        key = _key_with_replicas(nodes[0].ring, (1, 2))
+        kind, exc = _drive_error(rt, nodes[0].put(key, b"v"),
+                                 KvQuorumError)
+        assert kind == "error"
+        assert "1/2" in str(exc)
+        assert nodes[0].quorum_failures == 1
+        # The acked replica keeps the write (sloppy, documented).
+        assert nodes[1].store[key] == b"v"
+
+    def test_lagging_coordinator_clock_cannot_lose_a_write(self, rt):
+        # A coordinator that holds no replica never applies writes, so
+        # its lamport clock can lag far behind a key's counter.  Its
+        # stamp would be rejected as stale by every replica — the write
+        # must be re-stamped and land, not be reported as acked while
+        # the old value survives.
+        nodes = make_world(rt, 3, replication=2)
+        key = _key_with_replicas(nodes[0].ring, (1, 2))
+        # Drive the key's version counter well past node 0's clock.
+        for round_no in range(5):
+            _drive(rt, nodes[1].put(key, f"v{round_no}".encode()))
+        assert nodes[1].versions[key][0] > nodes[0].clock
+        info = {}
+        created, _, _ = _drive(rt, nodes[0].put(key, b"winner", info))
+        assert not created
+        assert info["acked"] == 2
+        assert nodes[1].store[key] == b"winner"
+        assert nodes[2].store[key] == b"winner"
+        found, value, _ = _drive(rt, nodes[0].get(key))
+        assert (found, value) == (True, b"winner")
+        # The coordinator's clock caught up past the merged counter.
+        assert nodes[0].clock >= nodes[1].versions[key][0]
+
+    def test_delete_replicates_a_tombstone(self, rt):
+        nodes = make_world(rt, 2, replication=2)
+        key = "tomb-key"
+        _drive(rt, nodes[0].put(key, b"v"))
+        deleted, _, _ = _drive(rt, nodes[1].delete(key))
+        assert deleted
+        assert key not in nodes[0].store and key not in nodes[1].store
+        # The tombstone version survives: a stale live copy cannot win.
+        assert key in nodes[0].versions and key in nodes[1].versions
+        found, value, _ = _drive(rt, nodes[0].get(key))
+        assert (found, value) == (False, None)
+
+
+class TestReadFallbackAndRepair:
+    def test_read_falls_back_past_a_dead_primary(self, rt):
+        nodes = make_world(rt, 3, live={0, 1}, replication=2)
+        # Primary (node 2) is dead; the successor (node 1) acked.
+        key = _key_with_replicas(nodes[0].ring, (2, 1))
+        _drive(rt, nodes[0].put(key, b"survives"))
+        info = {}
+        found, value, _ = _drive(rt, nodes[0].get(key, info))
+        assert (found, value) == (True, b"survives")
+        assert info["consulted"] == 1 and info["replicas"] == 2
+        assert info["served_by"] == 1
+
+    def test_read_repair_patches_stale_replica(self, rt):
+        nodes = make_world(rt, 2, replication=2)
+        key = "repair-key"
+        _drive(rt, nodes[0].put(key, b"old"))
+        # Simulate node 1 missing an overwrite (it was down for it):
+        # node 0 holds a newer version locally.
+        version = (nodes[0].clock + 1, 0)
+        nodes[0].clock += 1
+        nodes[0]._apply_versioned(key, version, b"new")
+        assert nodes[1].store[key] == b"old"
+        # A read through the *stale* node returns the newest version and
+        # repairs the stale copy (itself, in this case) synchronously.
+        found, value, _ = _drive(rt, nodes[1].get(key))
+        assert (found, value) == (True, b"new")
+        assert nodes[1].store[key] == b"new"
+        assert nodes[1].read_repairs == 1
+
+    def test_read_repair_patches_remote_missing_replica(self, rt):
+        nodes = make_world(rt, 2, replication=2)
+        key = "missing-key"
+        # Write applied only on node 0 (simulating node 1 down for it).
+        version = (1, 0)
+        nodes[0].clock = 1
+        nodes[0]._apply_versioned(key, version, b"val")
+        found, value, _ = _drive(rt, nodes[0].get(key))
+        assert (found, value) == (True, b"val")
+        # The repair is an async one-way cast: run until it lands.
+        rt.run(until=lambda: key in nodes[1].store, idle_timeout=2.0)
+        assert nodes[1].store[key] == b"val"
+        assert nodes[1].versions[key] == version
+
+    def test_tombstone_wins_read_repair(self, rt):
+        nodes = make_world(rt, 2, replication=2)
+        key = "zombie-key"
+        _drive(rt, nodes[0].put(key, b"v"))
+        # Node 0 saw the delete, node 1 missed it.
+        version = (nodes[0].clock + 1, 0)
+        nodes[0].clock += 1
+        nodes[0]._apply_versioned(key, version, None)
+        assert nodes[1].store[key] == b"v"
+        found, _value, _ = _drive(rt, nodes[1].get(key))
+        assert not found  # the newer tombstone wins over the live copy
+        assert key not in nodes[1].store
+
+
+class TestHintedHandoff:
+    def test_hints_replay_when_the_peer_comes_back(self, rt):
+        # Peer 1 starts dead; writes park hints; then a real node binds
+        # the same address and replay drains the hints into it.
+        nodes = make_world(rt, 2, live={0}, replication=2)
+        node0 = nodes[0]
+        keys = {}
+        for i in range(64):
+            key = f"handoff-{i}"
+            if node0.ring.replicas(key) != [0, 1]:
+                continue
+            keys[key] = f"v-{i}".encode()
+            if len(keys) == 4:
+                break
+        for key, value in keys.items():
+            _drive(rt, node0.put(key, value))
+        assert node0.hints_pending == len(keys)
+        assert node0.hints_queued == len(keys)
+        # Resurrect peer 1 on its advertised address.
+        host, port = node0.mesh.peers[1]
+        listener = rt.make_listener(host, port)
+        mesh1 = MeshNode(1, rt.io, listener, dict(node0.mesh.peers),
+                         call_timeout=2.0)
+        node1 = KvNode(1, 2, mesh=mesh1, replication=2)
+        rt.spawn(mesh1.serve(), name="mesh-1-revived")
+        replayed = _drive(rt, node0.replay_hints(1))
+        assert replayed == len(keys)
+        assert node0.hints_pending == 0
+        assert node0.hints_replayed == len(keys)
+        for key, value in keys.items():
+            assert node1.store[key] == value
+
+    def test_replay_keeps_hints_for_a_still_dead_peer(self, rt):
+        nodes = make_world(rt, 2, live={0}, replication=2)
+        node0 = nodes[0]
+        key = _key_with_replicas(node0.ring, (0, 1))
+        _drive(rt, node0.put(key, b"v"))
+        assert node0.hints_pending == 1
+        replayed = _drive(rt, node0.replay_hints(1))
+        assert replayed == 0
+        assert node0.hints_pending == 1  # kept for the next attempt
+
+
+# ----------------------------------------------------------------------
+# The acceptance scenario: a replicated cluster under faults.
+# ----------------------------------------------------------------------
+class TestReplicatedCluster:
+    def _put(self, client, key, value):
+        status, headers, _ = client.request("PUT", f"/kv/{key}", value)
+        assert status.split()[1] in ("201", "204"), status
+        return headers
+
+    def _aggregate_app(self, cluster):
+        return cluster.stats()["aggregate"].get("app", {})
+
+    def test_kill_one_shard_every_key_readable_then_handoff_drains(self):
+        cluster = ClusterServer(
+            kv_app_factory, shards=4, mesh=True, replication=2,
+            respawn=False, grace=0.5,
+        )
+        cluster.start()
+        try:
+            keys = {f"acc:{i}": f"value-{i}".encode() for i in range(24)}
+            client = BlockingHttpClient(cluster.port)
+            for key, value in keys.items():
+                headers = self._put(client, key, value)
+                assert headers["x-kv-replicas"] == "2/2"
+            client.close()
+
+            victim = 1
+            cluster.crash_worker(victim)
+            deadline = time.monotonic() + 5.0
+            while (cluster.worker_pids()[victim] is not None
+                   and time.monotonic() < deadline):
+                time.sleep(0.02)
+            assert cluster.worker_pids()[victim] is None
+
+            # Every key still readable with a shard down (reads fall
+            # back to the surviving replica).
+            reader = BlockingHttpClient(cluster.port)
+            for key, value in keys.items():
+                status, _headers, body = reader.request("GET", f"/kv/{key}")
+                assert status.endswith("200 OK"), (key, status)
+                assert body == value
+            # Writes during the outage succeed on the surviving replica
+            # and park hints for the dead one.
+            updated = {key: value + b"+2" for key, value in keys.items()}
+            for key, value in updated.items():
+                headers = self._put(reader, key, value)
+                assert headers["x-kv-replicas"] in ("1/2", "2/2")
+            reader.close()
+            app = self._aggregate_app(cluster)
+            assert app.get("kv_hints_queued", 0) > 0
+            assert app.get("kv_hints_pending", 0) > 0
+
+            # Respawn the dead shard (the monitor path, driven manually
+            # because respawn=False keeps the outage deterministic); the
+            # master broadcasts peer_up and handoff drains.
+            cluster.poll()
+            assert cluster.worker_pids()[victim] is not None
+            deadline = time.monotonic() + 15.0
+            while time.monotonic() < deadline:
+                app = self._aggregate_app(cluster)
+                if (app.get("kv_hints_pending", 1) == 0
+                        and app.get("kv_hints_replayed", 0) > 0):
+                    break
+                time.sleep(0.1)
+            assert app.get("kv_hints_pending", 1) == 0, app
+            assert app.get("kv_hints_replayed", 0) > 0
+            assert app.get("kv_replica_writes", 0) > 0
+
+            # And the cluster serves every updated value.
+            check = BlockingHttpClient(cluster.port)
+            for key, value in updated.items():
+                status, _headers, body = check.request("GET", f"/kv/{key}")
+                assert status.endswith("200 OK"), (key, status)
+                assert body == value
+            check.close()
+        finally:
+            cluster.stop()
+
+    def test_rolling_reload_loses_no_keys(self):
+        # Every shard drains its store to the key's other replicas on
+        # graceful stop, so a full rolling reload — every shard restarts
+        # empty, one at a time — never drops the last live copy.
+        cluster = ClusterServer(
+            kv_app_factory, shards=2, mesh=True, replication=2,
+            respawn=False, grace=0.5,
+        )
+        cluster.start()
+        try:
+            keys = {f"roll:{i}": f"r-{i}".encode() for i in range(12)}
+            client = BlockingHttpClient(cluster.port)
+            for key, value in keys.items():
+                self._put(client, key, value)
+            client.close()
+
+            old_pids = cluster.worker_pids()
+            new_pids = cluster.reload(timeout=10.0)
+            assert set(new_pids).isdisjoint(set(old_pids))
+
+            check = BlockingHttpClient(cluster.port)
+            for key, value in keys.items():
+                status, _headers, body = check.request("GET", f"/kv/{key}")
+                assert status.endswith("200 OK"), (key, status)
+                assert body == value
+            check.close()
+        finally:
+            cluster.stop()
+
+    def test_kv_stats_reports_replication_fields(self):
+        cluster = ClusterServer(
+            kv_app_factory, shards=2, mesh=True, replication=2, grace=0.2,
+        )
+        cluster.start()
+        try:
+            import json as json_mod
+            client = BlockingHttpClient(cluster.port)
+            self._put(client, "stats-key", b"x")
+            status, headers, body = client.request("GET", "/kv-stats")
+            assert status.endswith("200 OK")
+            assert headers.get("transfer-encoding") == "chunked"
+            lines = [json_mod.loads(line) for line in body.splitlines()]
+            assert [entry["index"] for entry in lines] == [0, 1]
+            for entry in lines:
+                assert entry["replication"] == 2
+                assert entry["write_quorum"] == 1
+                for field in ("read_repairs", "hints_queued",
+                              "hints_replayed", "hints_pending",
+                              "replica_writes"):
+                    assert field in entry
+            # Both replicas hold the key.
+            assert sum(entry["keys"] for entry in lines) == 2
+            client.close()
+        finally:
+            cluster.stop()

@@ -275,7 +275,10 @@ class TestLiveConditionalGet:
 
     def test_updated_file_invalidates_304_and_cache(self, live):
         rt, start, root = live
-        server, port = start()
+        # mtime_ttl=0: this test is about the *strict* validator path —
+        # a change must be visible on the very next request, without
+        # waiting out the probe cache's TTL window.
+        server, port = start(mtime_ttl=0)
         # Warm the cache with v1.
         raw_plain = b"GET /index.html HTTP/1.1\r\nConnection: close\r\n\r\n"
         data = _drive(rt, port, raw_plain)
@@ -294,6 +297,53 @@ class TestLiveConditionalGet:
         data = _drive(rt, port, raw)
         assert data.startswith(b"HTTP/1.1 200 OK")
         assert data.endswith(b"<html>version two</html>")
+
+
+class _CountingFs:
+    """Wrap a filesystem to count mtime probes (the stat cost)."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.mtime_calls = 0
+
+    def mtime(self, path):
+        self.mtime_calls += 1
+        return self.inner.mtime(path)
+
+    def exists(self, path):
+        return self.inner.exists(path)
+
+    def open(self, path):
+        return self.inner.open(path)
+
+
+class TestMtimeProbeCache:
+    def test_probe_cached_within_ttl(self, live):
+        # Default short TTL: back-to-back requests for a hot file cost
+        # one stat, not one per request (the conditional-GET stat-cost
+        # fix: the blocking-pool hop is amortized over the TTL window).
+        rt, start, _root = live
+        server, port = start()
+        counting = _CountingFs(server.handler.fs)
+        server.handler.fs = counting
+        raw = b"GET /index.html HTTP/1.1\r\nConnection: close\r\n\r\n"
+        for _ in range(3):
+            data = _drive(rt, port, raw)
+            assert data.startswith(b"HTTP/1.1 200 OK")
+        assert counting.mtime_calls == 1
+
+    def test_ttl_zero_probes_every_request(self, live):
+        # mtime_ttl=0 keeps the strict pre-cache behavior: every request
+        # revalidates against the real filesystem.
+        rt, start, _root = live
+        server, port = start(mtime_ttl=0)
+        counting = _CountingFs(server.handler.fs)
+        server.handler.fs = counting
+        raw = b"GET /index.html HTTP/1.1\r\nConnection: close\r\n\r\n"
+        for _ in range(3):
+            data = _drive(rt, port, raw)
+            assert data.startswith(b"HTTP/1.1 200 OK")
+        assert counting.mtime_calls == 3
 
 
 class _BrokenHandler:

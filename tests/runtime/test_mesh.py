@@ -8,6 +8,7 @@ peer disconnect mid-call, timeouts, and fan-out with a dead peer.
 
 from __future__ import annotations
 
+import socket as socket_mod
 import struct
 import time
 
@@ -80,6 +81,32 @@ class TestCalls:
         # Lazily dialed once, then reused: one persistent link.
         assert node_a.connected_peers() == 1
         assert node_a.stats.calls == 2
+        assert node_b.stats.served == 2
+
+    def test_cast_is_one_way(self, rt):
+        # A cast runs the remote handler but sends no reply frame: the
+        # server's served counter moves, the client's pending map never
+        # grows, and a follow-up call on the same link still works.
+        seen = []
+
+        def recording(body):
+            seen.append(body)
+            return pure(b"ignored")
+
+        node_a, node_b = make_pair(rt, handler_b=recording)
+        done = []
+
+        @do
+        def caller():
+            yield node_a.cast(1, b"fire-and-forget")
+            reply = yield node_a.call(1, b"sync")
+            done.append(reply)
+
+        rt.spawn(caller())
+        rt.run(until=lambda: bool(done), idle_timeout=5.0)
+        assert seen == [b"fire-and-forget", b"sync"]
+        assert done == [b"ignored"]
+        assert node_a.stats.casts == 1
         assert node_b.stats.served == 2
 
     def test_self_call_short_circuits(self, rt):
@@ -279,6 +306,66 @@ class TestFailureModes:
         rt.run(until=lambda: bool(outcome), idle_timeout=10.0)
         assert isinstance(outcome[0], MeshTimeout)
         assert node.stats.timeouts == 1
+
+    def test_wedged_peer_write_times_out_as_peer_down(self, rt):
+        """A peer that accepts the link but stops *reading* (socket
+        buffers fill, the writer parks on EPOLLOUT forever) must fail
+        the writer with MeshPeerDown within write_timeout — the ROADMAP
+        mesh-hardening item."""
+        # Tiny buffers on both ends so a modest frame wedges the write.
+        fake = socket_mod.socket(socket_mod.AF_INET,
+                                 socket_mod.SOCK_STREAM)
+        fake.setsockopt(socket_mod.SOL_SOCKET, socket_mod.SO_RCVBUF, 4096)
+        fake.bind(("127.0.0.1", 0))
+        fake.listen(8)
+        fake.setblocking(False)
+
+        original_connect = rt.backend.nb_connect
+
+        def small_buffer_connect(address, label="conn"):
+            sock = original_connect(address, label)
+            sock.setsockopt(socket_mod.SOL_SOCKET, socket_mod.SO_SNDBUF,
+                            4096)
+            return sock
+
+        rt.backend.nb_connect = small_buffer_connect
+
+        listener = rt.make_listener()
+        peers = {
+            0: ("127.0.0.1", listener.getsockname()[1]),
+            1: fake.getsockname(),
+        }
+        node = MeshNode(0, rt.io, listener, peers, handler=echo_handler,
+                        write_timeout=0.3)
+        rt.spawn(node.serve(), name="mesh-real")
+
+        @do
+        def accepts_but_never_reads():
+            conn = yield rt.io.accept(fake)
+            while True:
+                yield sys_sleep(0.5)
+                _ = conn  # hold the connection open, read nothing
+
+        rt.spawn(accepts_but_never_reads(), name="wedged-peer")
+        outcome = []
+
+        @do
+        def caller():
+            try:
+                yield node.call(1, b"w" * (1024 * 1024), timeout=30.0)
+                outcome.append("reply")
+            except MeshPeerDown as exc:
+                outcome.append(exc)
+
+        started = time.monotonic()
+        rt.spawn(caller())
+        rt.run(until=lambda: bool(outcome), idle_timeout=10.0)
+        # The failure came from the write watchdog, well before the 30s
+        # call timeout — the wedged link no longer wedges the writer.
+        assert isinstance(outcome[0], MeshPeerDown)
+        assert time.monotonic() - started < 5.0
+        assert node.stats.write_timeouts == 1
+        fake.close()
 
     def test_fan_out_with_one_dead_peer_merges_partials(self, rt):
         # Peer 2's address is a closed port: dial is refused.
