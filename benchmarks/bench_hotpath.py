@@ -1,0 +1,374 @@
+"""Syscalls-per-operation microbench for the gathered-write hot path.
+
+The CI box has one CPU, so cluster rps deltas are timesharing noise; the
+honest way to measure the egress rewrite is the same ctl-counter method
+the persistent-epoll work used: run server and clients **in one process,
+on one event loop**, and read the backend's syscall counters.
+
+Three properties are measured (and gated by ``check_bench_trend.py``):
+
+* **writes per HTTP response** — header+body (and a small chunked body,
+  and an error page) must leave as ONE ``sendmsg``:
+  ``(write_calls + writev_calls) attributable to the server / responses``.
+* **mesh frames per flush** — N concurrent casts/calls per link must
+  coalesce into few gathered writes (``frames_sent / flushes > 1``).
+* **timer threads per call** — mesh call timeouts are heap entries on
+  the shared wheel: R calls must spawn O(1) sleeper threads, not O(R).
+
+Run stand-alone (merges a ``hotpath`` section into an existing
+``BENCH_live_http.json`` when present)::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py \
+        --json BENCH_live_http.json
+
+or under pytest (the CI smoke path)::
+
+    PYTHONPATH=src python -m pytest -q benchmarks/bench_hotpath.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.core.do_notation import do          # noqa: E402
+from repro.core.monad import pure              # noqa: E402
+from repro.http.message import HttpResponse    # noqa: E402
+from repro.http.server import build_live_server  # noqa: E402
+from repro.runtime.live_runtime import LiveRuntime  # noqa: E402
+from repro.runtime.mesh import MeshNode        # noqa: E402
+
+#: Requests per keep-alive connection for the HTTP point.
+HTTP_REQUESTS = 200
+#: Concurrent casts per round and rounds for the mesh point.
+MESH_CASTS_PER_ROUND = 16
+MESH_ROUNDS = 25
+#: Sequential mesh calls for the timer-wheel point.
+TIMER_CALLS = 200
+
+
+class _ChunkedHandler:
+    """A small chunked body: header + chunks + trailer in one flush."""
+
+    def respond(self, request):
+        return pure(HttpResponse(
+            200, chunks=iter([b"alpha-", b"beta-", b"gamma-", b"delta"])
+        ))
+
+
+def _drive_http(rt, port, raw_request, responses, marker):
+    """One monadic keep-alive client issuing ``responses`` requests.
+
+    Returns (client_write_syscalls, collected_bytes): the client writes
+    each request with one ``write_all`` (1 syscall on an uncongested
+    loopback), counted so the caller can subtract client traffic from
+    the process-wide backend counters.
+    """
+    collected = bytearray()
+    finished = []
+
+    @do
+    def client():
+        conn = yield rt.io.connect(("127.0.0.1", port))
+        for _ in range(responses):
+            yield rt.io.write_all(conn, raw_request)
+            # Read until this response's terminator appears.
+            while collected.count(marker) < len(finished) + 1:
+                data = yield rt.io.read(conn, 65536)
+                if not data:
+                    raise AssertionError("server closed early")
+                collected.extend(data)
+            finished.append(True)
+        yield rt.io.close(conn)
+
+    rt.spawn(client(), name="bench-client")
+    rt.run(until=lambda: len(finished) >= responses, idle_timeout=30.0)
+    assert len(finished) == responses, "client never completed"
+    return responses, bytes(collected)
+
+
+def run_http_writes(requests: int = HTTP_REQUESTS) -> dict:
+    """Writes-per-response for fixed-length, chunked, and error paths."""
+    rt = LiveRuntime(uncaught="store")
+    try:
+        body = b"x" * 512
+        listener = rt.make_listener()
+        server = build_live_server(rt, listener,
+                                   site={"/bench.txt": body})
+        rt.spawn(server.main(), name="server")
+        port = listener.getsockname()[1]
+        raw = b"GET /bench.txt HTTP/1.1\r\nHost: bench\r\n\r\n"
+
+        def measure(path_raw, marker, count):
+            before = rt.backend.write_syscalls
+            client_writes, collected = _drive_http(
+                rt, port, path_raw, count, marker
+            )
+            server_writes = (
+                rt.backend.write_syscalls - before - client_writes
+            )
+            return server_writes / count, collected
+
+        fixed_ratio, _ = measure(raw, body, requests)
+
+        chunked_listener = rt.make_listener()
+        chunked = build_live_server(rt, chunked_listener,
+                                    handler=_ChunkedHandler())
+        rt.spawn(chunked.main(), name="chunked-server")
+        chunked_port = chunked_listener.getsockname()[1]
+        before = rt.backend.write_syscalls
+        client_writes, collected = _drive_http(
+            rt, chunked_port,
+            b"GET /stream HTTP/1.1\r\nHost: bench\r\n\r\n",
+            requests, b"\r\n0\r\n\r\n",
+        )
+        chunked_ratio = (
+            rt.backend.write_syscalls - before - client_writes
+        ) / requests
+
+        error_ratio, _ = measure(
+            b"GET /missing HTTP/1.1\r\nHost: bench\r\n\r\n",
+            b"</html>", requests,
+        )
+
+        server.stop()
+        chunked.stop()
+        return {
+            "requests": requests,
+            "writes_per_response": round(fixed_ratio, 4),
+            "writes_per_chunked_response": round(chunked_ratio, 4),
+            "writes_per_error_response": round(error_ratio, 4),
+            "send_calls": rt.backend.write_calls,
+            "sendmsg_calls": rt.backend.writev_calls,
+            "sendmsg_bufs": rt.backend.writev_bufs,
+        }
+    finally:
+        rt.shutdown()
+
+
+def run_mesh_flush(rounds: int = MESH_ROUNDS,
+                   casts: int = MESH_CASTS_PER_ROUND) -> dict:
+    """Frames-per-flush under bursts of concurrent casts on one link."""
+    rt = LiveRuntime(uncaught="store")
+    try:
+        seen = []
+
+        def recording(body):
+            seen.append(body)
+            return pure(b"")
+
+        listener_a = rt.make_listener()
+        listener_b = rt.make_listener()
+        peers = {
+            0: ("127.0.0.1", listener_a.getsockname()[1]),
+            1: ("127.0.0.1", listener_b.getsockname()[1]),
+        }
+        node_a = MeshNode(0, rt.io, listener_a, peers,
+                          handler=lambda body: pure(b""),
+                          timers=rt.timers)
+        node_b = MeshNode(1, rt.io, listener_b, peers, handler=recording,
+                          timers=rt.timers)
+        rt.spawn(node_a.serve(), name="mesh-a")
+        rt.spawn(node_b.serve(), name="mesh-b")
+
+        warmed = []
+
+        @do
+        def warm():
+            yield node_a.call(1, b"warm")
+            warmed.append(True)
+
+        rt.spawn(warm())
+        rt.run(until=lambda: bool(warmed), idle_timeout=10.0)
+
+        done = []
+
+        @do
+        def one_cast(payload):
+            yield node_a.cast(1, payload)
+            done.append(True)
+
+        expected = 1  # the warm call
+        for round_index in range(rounds):
+            for cast_index in range(casts):
+                rt.spawn(one_cast(b"r%03d-c%03d" % (round_index,
+                                                    cast_index)))
+            expected += casts
+            rt.run(
+                until=lambda: len(done) >= expected - 1
+                and len(seen) >= expected,
+                idle_timeout=10.0,
+            )
+        assert len(seen) == 1 + rounds * casts, (
+            f"receiver saw {len(seen)} of {1 + rounds * casts} frames"
+        )
+        stats = node_a.stats
+        node_a.stop()
+        node_b.stop()
+        return {
+            "rounds": rounds,
+            "casts_per_round": casts,
+            "frames_sent": stats.frames_sent,
+            "flushes": stats.flushes,
+            "frames_per_flush": round(stats.frames_per_flush, 3),
+            "batched_flushes": stats.batched_flushes,
+            "max_frames_per_flush": stats.max_frames_per_flush,
+        }
+    finally:
+        rt.shutdown()
+
+
+def run_timer_wheel(calls: int = TIMER_CALLS) -> dict:
+    """Timer threads per mesh call: heap entries, not forks."""
+    rt = LiveRuntime(uncaught="store")
+    try:
+        names: list = []
+        original = rt.sched._new_tcb
+
+        def recording(name):
+            names.append(name or "")
+            return original(name)
+
+        rt.sched._new_tcb = recording
+        listener_a = rt.make_listener()
+        listener_b = rt.make_listener()
+        peers = {
+            0: ("127.0.0.1", listener_a.getsockname()[1]),
+            1: ("127.0.0.1", listener_b.getsockname()[1]),
+        }
+        echo = lambda body: pure(b"ok")  # noqa: E731
+        node_a = MeshNode(0, rt.io, listener_a, peers, handler=echo,
+                          timers=rt.timers)
+        node_b = MeshNode(1, rt.io, listener_b, peers, handler=echo,
+                          timers=rt.timers)
+        rt.spawn(node_a.serve(), name="mesh-a")
+        rt.spawn(node_b.serve(), name="mesh-b")
+        done = []
+
+        @do
+        def caller():
+            for index in range(calls):
+                yield node_a.call(1, b"t%05d" % index)
+            done.append(True)
+
+        rt.spawn(caller())
+        rt.run(until=lambda: bool(done), idle_timeout=30.0)
+        assert done, "mesh calls never completed"
+        sleeper_forks = sum(1 for name in names if "sleeper" in name)
+        legacy_timer_forks = sum(
+            1 for name in names
+            if "sweeper" in name or "watchdog" in name
+        )
+        node_a.stop()
+        node_b.stop()
+        return {
+            "calls": calls,
+            "timers_scheduled": rt.timers.scheduled,
+            "sleeper_spawns": rt.timers.sleeper_spawns,
+            "sleeper_forks_observed": sleeper_forks,
+            "legacy_timer_forks": legacy_timer_forks,
+            "timer_threads_per_call": round(sleeper_forks / calls, 4),
+        }
+    finally:
+        rt.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Pytest entry points (the CI smoke path).
+# ----------------------------------------------------------------------
+def test_hotpath_http_single_write_per_response(report):
+    point = run_http_writes()
+    report(
+        f"HTTP egress ({point['requests']} keep-alive requests/path): "
+        f"{point['writes_per_response']:.2f} writes/response fixed, "
+        f"{point['writes_per_chunked_response']:.2f} chunked, "
+        f"{point['writes_per_error_response']:.2f} error "
+        f"({point['sendmsg_calls']} sendmsg / {point['send_calls']} send)"
+    )
+    # The headline claim: header+body = one gathered syscall.  A tiny
+    # slack absorbs rare loopback EAGAIN retries.
+    assert point["writes_per_response"] <= 1.05
+    assert point["writes_per_chunked_response"] <= 1.05
+    assert point["writes_per_error_response"] <= 1.05
+    assert point["sendmsg_calls"] > 0, "vectored path never engaged"
+
+
+def test_hotpath_mesh_flush_batching(report):
+    point = run_mesh_flush()
+    report(
+        f"Mesh egress ({point['rounds']}x{point['casts_per_round']} "
+        f"concurrent casts): {point['frames_per_flush']:.1f} frames/flush "
+        f"(max {point['max_frames_per_flush']}, "
+        f"{point['batched_flushes']} batched of {point['flushes']})"
+    )
+    assert point["frames_per_flush"] > 1.0, "flush coalescing never engaged"
+    assert point["batched_flushes"] > 0
+    assert point["max_frames_per_flush"] > 1
+
+
+def test_hotpath_timer_wheel_no_thread_per_call(report):
+    point = run_timer_wheel()
+    report(
+        f"Timer wheel ({point['calls']} mesh calls): "
+        f"{point['timers_scheduled']} timers as heap entries, "
+        f"{point['sleeper_forks_observed']} sleeper fork(s), "
+        f"{point['legacy_timer_forks']} legacy timer thread(s)"
+    )
+    assert point["timers_scheduled"] >= point["calls"]
+    assert point["legacy_timer_forks"] == 0
+    # O(1) sleepers for O(calls) timers (a couple of idle->busy
+    # transitions are fine; one thread per call is not).
+    assert point["sleeper_forks_observed"] <= 5
+    assert point["timer_threads_per_call"] <= 0.05
+
+
+# ----------------------------------------------------------------------
+# Script mode: merge a "hotpath" section into BENCH_live_http.json.
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="In-process syscalls-per-op microbench for the "
+                    "gathered-write egress path."
+    )
+    parser.add_argument("--json", dest="json_path", default=None,
+                        help="merge results into this JSON file as the "
+                             "'hotpath' section (created if missing)")
+    args = parser.parse_args(argv)
+
+    http_point = run_http_writes()
+    print(f"http: {http_point['writes_per_response']:.2f} writes/response "
+          f"(chunked {http_point['writes_per_chunked_response']:.2f}, "
+          f"error {http_point['writes_per_error_response']:.2f})")
+    mesh_point = run_mesh_flush()
+    print(f"mesh: {mesh_point['frames_per_flush']:.1f} frames/flush, "
+          f"max {mesh_point['max_frames_per_flush']}")
+    timer_point = run_timer_wheel()
+    print(f"timers: {timer_point['sleeper_forks_observed']} sleeper "
+          f"fork(s) for {timer_point['calls']} calls")
+
+    section = {
+        "http": http_point,
+        "mesh": mesh_point,
+        "timers": timer_point,
+    }
+    if args.json_path:
+        results: dict = {"bench": "live_http"}
+        if os.path.exists(args.json_path):
+            with open(args.json_path) as handle:
+                results = json.load(handle)
+        results["hotpath"] = section
+        with open(args.json_path, "w") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote hotpath section into {args.json_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

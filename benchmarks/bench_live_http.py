@@ -590,6 +590,15 @@ def run_kv_replicated(duration: float, poller: str = "auto") -> dict:
         "mesh_write_timeouts": aggregate.get("mesh", {}).get(
             "write_timeouts", 0
         ),
+        # Egress batching engagement: replicated fan-out + acks on the
+        # shard-to-shard links must coalesce into gathered flushes.
+        "mesh_flushes": aggregate.get("mesh", {}).get("flushes", 0),
+        "mesh_frames_sent": aggregate.get("mesh", {}).get(
+            "frames_sent", 0
+        ),
+        "mesh_batched_flushes": aggregate.get("mesh", {}).get(
+            "batched_flushes", 0
+        ),
         "workers_reporting": aggregate["workers_reporting"],
     }
 
@@ -730,6 +739,12 @@ def test_live_kv_replicated(report):
     assert point["hints_pending_at_end"] == 0
     assert point["replica_writes"] > 0
     assert point["quorum_failures"] == 0
+    # Egress batching engaged on the mesh: concurrent replica writes /
+    # acks per link coalesced into gathered flushes at least once.
+    assert point["mesh_batched_flushes"] > 0, (
+        "replicated write drill never batched an outbound mesh flush"
+    )
+    assert point["mesh_frames_sent"] >= point["mesh_flushes"]
 
 
 # ----------------------------------------------------------------------

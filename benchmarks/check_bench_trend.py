@@ -14,7 +14,11 @@ Compares a fresh bench run against the committed baseline floor
   any mesh call timed out;
 * the replicated-kv point's write rps falls below the baseline floor, a
   key was unavailable (or a write refused) during the kill-one-shard
-  drill, or hinted handoff failed to engage and drain after the respawn.
+  drill, hinted handoff failed to engage and drain after the respawn,
+  or the mesh never batched an outbound flush under the drill's load;
+* the hotpath point (``bench_hotpath.py``) shows more than the bounded
+  write syscalls per HTTP response (the gathered-write claim), no mesh
+  flush coalescing, or timer-thread forks growing with call count.
 
 Usage::
 
@@ -148,6 +152,62 @@ def check(results: dict, baseline: dict, tolerance: float) -> list[str]:
                         f"kv_replicated hinted handoff did not engage "
                         f"and drain (queued={queued} replayed={replayed} "
                         f"pending={pending})"
+                    )
+            if kvr_baseline.get("require_flush_batching") and not (
+                kvr.get("mesh_batched_flushes", 0) > 0
+            ):
+                failures.append(
+                    "kv_replicated run never batched an outbound mesh "
+                    "flush: per-link egress coalescing did not engage"
+                )
+
+    hot_baseline = baseline.get("hotpath")
+    if hot_baseline:
+        hot = results.get("hotpath")
+        if hot is None:
+            failures.append("hotpath point missing from results "
+                            "(bench_hotpath.py did not run?)")
+        else:
+            http = hot.get("http", {})
+            bound = hot_baseline.get("writes_per_response_max")
+            if bound is not None:
+                for key in ("writes_per_response",
+                            "writes_per_chunked_response",
+                            "writes_per_error_response"):
+                    value = http.get(key, float("inf"))
+                    status = "ok" if value <= bound else "REGRESSION"
+                    print(f"  hotpath {key}: {value:6.2f} "
+                          f"(bound {bound}) {status}")
+                    if value > bound:
+                        failures.append(
+                            f"hotpath {key} {value:.2f} exceeds {bound} "
+                            f"(gathered-write path regressed)"
+                        )
+            if hot_baseline.get("require_flush_batching"):
+                mesh = hot.get("mesh", {})
+                ratio = mesh.get("frames_per_flush", 0.0)
+                if mesh.get("batched_flushes", 0) <= 0 or ratio <= 1.0:
+                    failures.append(
+                        f"hotpath mesh flush coalescing did not engage "
+                        f"(frames_per_flush={ratio}, batched_flushes="
+                        f"{mesh.get('batched_flushes', 0)})"
+                    )
+                else:
+                    print(f"  hotpath frames_per_flush: {ratio:6.2f} ok")
+            bound = hot_baseline.get("max_timer_threads_per_call")
+            if bound is not None:
+                timers = hot.get("timers", {})
+                ratio = timers.get("timer_threads_per_call", float("inf"))
+                legacy = timers.get("legacy_timer_forks", 0)
+                status = ("ok" if ratio <= bound and legacy == 0
+                          else "REGRESSION")
+                print(f"  hotpath timer_threads_per_call: {ratio:7.4f} "
+                      f"(bound {bound}, legacy forks {legacy}) {status}")
+                if ratio > bound or legacy > 0:
+                    failures.append(
+                        f"hotpath timer threads regressed: "
+                        f"{ratio} per call (bound {bound}), "
+                        f"{legacy} legacy timer fork(s)"
                     )
     return failures
 

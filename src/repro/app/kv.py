@@ -628,7 +628,12 @@ class KvNode:
     def hint_pump(self, interval: float | None = None):
         """Background retry loop: replays any parked hints every
         ``interval`` seconds until :attr:`pump_running` is cleared
-        (wired to the server's ``stop()`` by :func:`build_kv_app`)."""
+        (wired to the server's ``stop()`` by :func:`build_kv_app`).
+
+        This is the standalone (dedicated-thread) form; on a runtime
+        with a shared :class:`~repro.runtime.timer_wheel.TimerWheel`,
+        :func:`build_kv_app` arms :meth:`pump_tick` on the wheel instead
+        — same cadence, no thread of its own."""
         if interval is None:
             interval = self.hint_replay_interval
         self.pump_running = True
@@ -639,6 +644,29 @@ class KvNode:
                     yield self._replay_hints(None)
                 except MeshError:
                     pass
+
+    def pump_tick(self, timers: Any) -> M:
+        """One timer-wheel firing of the hint pump: fork a replay if
+        hints are parked (the wheel's sleeper must never block on mesh
+        I/O), then re-arm.  Stops re-arming once ``pump_running`` is
+        cleared."""
+        return self._pump_tick(timers)
+
+    @do
+    def _pump_tick(self, timers):
+        if not self.pump_running:
+            return
+        if self.hints:
+            yield sys_fork(self._replay_quietly(), name="kv-hint-replay")
+        yield timers.schedule(self.hint_replay_interval,
+                              lambda: self._pump_tick(timers))
+
+    @do
+    def _replay_quietly(self):
+        try:
+            yield self._replay_hints(None)
+        except MeshError:
+            pass  # target still down: the next tick retries
 
     @do
     def drain_to_replicas(self):
@@ -927,6 +955,7 @@ def build_kv_app(
     vnodes: int = 64,
     replication: int = 1,
     write_quorum: int = 1,
+    timers: Any = None,
     **server_kwargs: Any,
 ) -> WebServer:
     """One shard's KV application on the layered stack.
@@ -936,10 +965,12 @@ def build_kv_app(
     local).  ``replication`` puts every key on that many ring successors;
     ``write_quorum`` is the minimum replica acks for a write to succeed.
     A replicated app also wires the background hinted-handoff machinery:
-    a hint pump forked next to the accept loop, an ``on_peer_up`` hook
-    for the cluster control protocol, and a graceful-stop ``drain``.
-    Extra keyword arguments reach :class:`WebServer` (admission caps,
-    parser limits...).
+    a hint pump — recurring ticks on ``timers`` (a shared
+    :class:`~repro.runtime.timer_wheel.TimerWheel`, usually the
+    runtime's) when given, else a dedicated thread forked next to the
+    accept loop — an ``on_peer_up`` hook for the cluster control
+    protocol, and a graceful-stop ``drain``.  Extra keyword arguments
+    reach :class:`WebServer` (admission caps, parser limits...).
     """
     if mesh is not None:
         index = mesh.index if index is None else index
@@ -959,10 +990,20 @@ def build_kv_app(
     if mesh is not None and node.replication > 1:
         driver_main = server.main
 
-        @do
-        def main_with_pump():
-            yield sys_fork(node.hint_pump(), name="kv-hint-pump")
-            yield driver_main()
+        if timers is not None:
+            @do
+            def main_with_pump():
+                node.pump_running = True
+                yield timers.schedule(
+                    node.hint_replay_interval,
+                    lambda: node.pump_tick(timers),
+                )
+                yield driver_main()
+        else:
+            @do
+            def main_with_pump():
+                yield sys_fork(node.hint_pump(), name="kv-hint-pump")
+                yield driver_main()
 
         base_stop = server.stop
 
@@ -988,6 +1029,8 @@ def kv_app_factory(
 
     ``replication`` arrives from :class:`~repro.runtime.cluster
     .ClusterConfig` (the cluster passes it to any factory whose
-    signature names it)."""
+    signature names it).  The runtime's shared timer wheel drives the
+    hint pump, so a replicated shard spawns no pump thread."""
     return build_kv_app(rt, listener, mesh, replication=replication,
-                        write_quorum=write_quorum)
+                        write_quorum=write_quorum,
+                        timers=getattr(rt, "timers", None))

@@ -310,15 +310,31 @@ class HttpProtocol:
     exception-to-error-response mapping.
     """
 
+    #: Chunked-response coalescing watermark: framed chunks buffer until
+    #: at least this many bytes are pending, then leave as one gathered
+    #: write.  The terminal chunk always rides the final data flush.
+    #: Deliberate tradeoff: a *long-lived incremental* stream (progress
+    #: events, long-poll) is withheld until the watermark fills — such
+    #: handlers should run with ``chunk_watermark=1`` (every chunk
+    #: flushes as produced, the pre-coalescing behavior); the default
+    #: optimizes the common short-stream case (one response, one
+    #: syscall).
+    DEFAULT_CHUNK_WATERMARK = 16 * 1024
+
     def __init__(
         self,
         handler: Any,
         stats: ServerStats | None = None,
         max_header_bytes: int | None = None,
         max_body_bytes: int | None = None,
+        chunk_watermark: int | None = None,
     ) -> None:
         self.handler = handler
         self.stats = stats if stats is not None else ServerStats()
+        self.chunk_watermark = (
+            self.DEFAULT_CHUNK_WATERMARK if chunk_watermark is None
+            else max(1, chunk_watermark)
+        )
         self._parser_kwargs: dict[str, int] = {}
         if max_header_bytes is not None:
             self._parser_kwargs["max_header_bytes"] = max_header_bytes
@@ -326,6 +342,19 @@ class HttpProtocol:
             self._parser_kwargs["max_body_bytes"] = max_body_bytes
         # Validate limits now, not on the first connection.
         RequestParser(**self._parser_kwargs)
+
+    def _send_bufs(self, layer: Any, conn: Any, bufs: list) -> M:
+        """Gathered send through the layer, with a join fallback.
+
+        The egress fast path: header + body (or header + many framed
+        chunks) leave as **one** vectored write on layers exposing
+        ``send_v``; layers without it (the app-level TCP stack) get the
+        joined bytes through plain ``send``.
+        """
+        send_v = getattr(layer, "send_v", None)
+        if send_v is not None:
+            return send_v(conn, bufs)
+        return layer.send(conn, b"".join(bufs))
 
     def shed_payload(self) -> bytes:
         """The driver's overload farewell: a pre-encoded 503."""
@@ -431,21 +460,34 @@ class HttpProtocol:
             return
         header = response.header_block()
         if request.method == "HEAD":
-            yield layer.send(conn, header)
+            yield self._send_bufs(layer, conn, [header])
             self.stats.bytes_sent += len(header)
             return
-        payload = header + response.body
-        yield layer.send(conn, payload)
-        self.stats.bytes_sent += len(payload)
+        # Header + body as one gathered write: one syscall, and the two
+        # buffers are never concatenated in the application.
+        if response.body:
+            bufs = [header, response.body]
+        else:
+            bufs = [header]
+        yield self._send_bufs(layer, conn, bufs)
+        self.stats.bytes_sent += len(header) + len(response.body)
 
     @do
     def _send_chunked(self, layer, conn, request, response):
-        # Unknown total length: stream each element as one chunk frame.
+        # Unknown total length: frame each element as one chunk, but
+        # coalesce the wire writes — the header and framed chunks buffer
+        # until ``chunk_watermark`` bytes are pending, then leave as one
+        # gathered write.  A small chunked response (the common KV-stats
+        # case) is therefore ONE syscall: header + every chunk + the
+        # terminal chunk, which always rides the final data flush
+        # instead of paying its own write.
         header = response.header_block()
-        yield layer.send(conn, header)
-        self.stats.bytes_sent += len(header)
         if request.method == "HEAD":
+            yield self._send_bufs(layer, conn, [header])
+            self.stats.bytes_sent += len(header)
             return
+        pending: list[bytes] = [header]
+        pending_bytes = len(header)
         chunks = iter(response.chunks)
         while True:
             try:
@@ -454,22 +496,32 @@ class HttpProtocol:
             except StopIteration:
                 break
             except Exception as exc:
-                # The header and earlier chunks are already on the wire;
-                # an error response here would corrupt the chunk framing.
+                # The 200 header is committed (and possibly partly on
+                # the wire): flush what the stream produced, then hang
+                # up — an error response here would corrupt the chunk
+                # framing mid-body.
+                if pending:
+                    yield self._send_bufs(layer, conn, pending)
+                    self.stats.bytes_sent += pending_bytes
                 raise _ResponseAborted(repr(exc)) from exc
             if framed:
-                yield layer.send(conn, framed)
-                self.stats.bytes_sent += len(framed)
-        yield layer.send(conn, LAST_CHUNK)
-        self.stats.bytes_sent += len(LAST_CHUNK)
+                pending.append(framed)
+                pending_bytes += len(framed)
+            if pending_bytes >= self.chunk_watermark:
+                bufs, pending, pending_bytes = pending, [], 0
+                yield self._send_bufs(layer, conn, bufs)
+                self.stats.bytes_sent += sum(len(buf) for buf in bufs)
+        pending.append(LAST_CHUNK)
+        yield self._send_bufs(layer, conn, pending)
+        self.stats.bytes_sent += pending_bytes + len(LAST_CHUNK)
 
     @do
     def _send_error(self, layer, conn, error, keep_alive):
         response = HttpResponse.for_error(error, keep_alive)
-        payload = response.encode()
-        yield layer.send(conn, payload)
+        header = response.header_block()
+        yield self._send_bufs(layer, conn, [header, response.body])
         self.stats.responses_err += 1
-        self.stats.bytes_sent += len(payload)
+        self.stats.bytes_sent += len(header) + len(response.body)
 
     @do
     def _fatal_error(self, layer, conn, error, keep_alive):
@@ -503,6 +555,7 @@ class WebServer:
         max_header_bytes: int | None = None,
         max_body_bytes: int | None = None,
         mtime_ttl: float = 0.25,
+        chunk_watermark: int | None = None,
     ) -> None:
         self.layer = socket_layer
         self.fs = fs
@@ -521,6 +574,7 @@ class WebServer:
             stats=self.stats,
             max_header_bytes=max_header_bytes,
             max_body_bytes=max_body_bytes,
+            chunk_watermark=chunk_watermark,
         )
         self.driver = ConnectionDriver(
             socket_layer,
@@ -645,6 +699,7 @@ def build_live_server(
     max_header_bytes: int | None = None,
     max_body_bytes: int | None = None,
     mtime_ttl: float = 0.25,
+    chunk_watermark: int | None = None,
 ) -> WebServer:
     """Construct a :class:`WebServer` serving real sockets on ``rt``.
 
@@ -658,7 +713,9 @@ def build_live_server(
     object with ``respond(request) -> M[HttpResponse]``);
     ``max_header_bytes``/``max_body_bytes`` bound per-connection parser
     memory (431/413 beyond them); ``mtime_ttl`` bounds the per-request
-    conditional-GET stat cost (0 probes on every request).
+    conditional-GET stat cost (0 probes on every request);
+    ``chunk_watermark`` sets how many framed-chunk bytes buffer before a
+    chunked response flushes one gathered write.
     """
     fs: Any = DocRootFilesystem(docroot) if docroot else EmptyFilesystem()
     server = WebServer(
@@ -667,6 +724,7 @@ def build_live_server(
         accept_batch=accept_batch, max_connections=max_connections,
         handler=handler, max_header_bytes=max_header_bytes,
         max_body_bytes=max_body_bytes, mtime_ttl=mtime_ttl,
+        chunk_watermark=chunk_watermark,
     )
     for path, content in (site or {}).items():
         server.cache.put(path.lstrip("/"), content)

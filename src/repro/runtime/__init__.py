@@ -38,6 +38,7 @@ from .io_api import NetIO
 from .sim_runtime import SimRuntime
 from .live_runtime import LiveRuntime, make_listener
 from .cluster import ClusterConfig, ClusterServer
+from .timer_wheel import TimerHandle, TimerWheel
 
 __all__ = [
     "SimRuntime",
@@ -46,4 +47,6 @@ __all__ = [
     "make_listener",
     "ClusterConfig",
     "ClusterServer",
+    "TimerWheel",
+    "TimerHandle",
 ]

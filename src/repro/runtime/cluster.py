@@ -89,6 +89,11 @@ class ClusterConfig:
     #: Bound on one mesh frame write (a peer that stops reading is
     #: declared wedged past it and its link is downed).
     mesh_write_timeout: float = 5.0
+    #: Idle-link keepalive period for the mesh (seconds): each shard
+    #: pings client links that sent nothing for one interval, so a
+    #: wedged peer trips the write watchdog *before* real traffic
+    #: blocks on it.  ``None``/``0`` disables probing.
+    mesh_keepalive: float | None = 5.0
     #: Replication factor for replicated applications: passed through to
     #: any ``app_factory`` whose signature names a ``replication``
     #: parameter (e.g. the KV store's N-successor replication).
@@ -244,6 +249,11 @@ def _worker_main(
             index, rt.io, mesh_listener, peers,
             call_timeout=config.mesh_call_timeout,
             write_timeout=config.mesh_write_timeout,
+            # One deadline heap per shard: mesh call timeouts, write
+            # watchdogs, keepalive ticks and the KV hint pump all share
+            # the runtime's wheel (and its single sleeper thread).
+            timers=rt.timers,
+            keepalive_interval=config.mesh_keepalive,
         )
     factory_kwargs: dict[str, Any] = {}
     for knob in ("replication", "write_quorum"):
@@ -279,6 +289,11 @@ def _worker_main(
             # register/modify/unregister) traffic on this shard's poller.
             "poller": rt.poller.name,
             "poller_ctl": rt.poller.ctl_calls,
+            # Egress syscall split: plain send() vs gathered sendmsg().
+            # The hot-path bench divides these by responses to verify
+            # the one-write-per-response property in situ.
+            "io_write_calls": getattr(rt.backend, "write_calls", 0),
+            "io_writev_calls": getattr(rt.backend, "writev_calls", 0),
             "queue_depth": _queue_depth(rt.sched),
             "live_threads": rt.sched.live_threads,
         }
@@ -721,7 +736,8 @@ class ClusterServer:
             key: sum(reply.get(key, 0) for reply in answered)
             for key in ("accepted", "requests", "responses_ok",
                         "responses_err", "bytes_sent", "queue_depth",
-                        "active", "shed")
+                        "active", "shed", "io_write_calls",
+                        "io_writev_calls")
         }
         saturations = [
             reply["saturation"] for reply in answered
@@ -729,7 +745,9 @@ class ClusterServer:
         ]
         aggregate["saturation_max"] = max(saturations, default=None)
         aggregate["workers_reporting"] = len(answered)
-        gauges = ("peers", "connected_peers")  # summing these is nonsense
+        # Summing these cross-shard is nonsense: connectivity is a
+        # gauge, max_frames_per_flush a high-water mark (merged as max).
+        gauges = ("peers", "connected_peers", "max_frames_per_flush")
         for section in ("mesh", "app"):
             # Cross-shard sums of the data-plane and application
             # counters (each shard reports its own dict of numbers).
@@ -748,6 +766,11 @@ class ClusterServer:
                     merged["connected_peers_min"] = min(
                         counters.get("connected_peers", 0)
                         for counters in sections
+                    )
+                    merged["max_frames_per_flush"] = max(
+                        (counters.get("max_frames_per_flush", 0)
+                         for counters in sections),
+                        default=0,
                     )
                 aggregate[section] = merged
         return {"workers": per_worker, "aggregate": aggregate}

@@ -25,7 +25,9 @@ The protocol contract is small and monadic:
 
 The socket-layer contract is the one :class:`repro.http.server
 .IoSocketLayer` established: ``setup``/``accept_batch``/``recv``/``send``/
-``shed``/``close``, all returning :class:`~repro.core.monad.M`.
+``shed``/``close``, all returning :class:`~repro.core.monad.M`; layers
+may additionally offer ``send_v(conn, bufs)`` (a gathered write —
+protocols fall back to joining when it is absent).
 
 Invariants the layers above rely on:
 
@@ -90,6 +92,11 @@ class IoSocketLayer:
 
     def send(self, conn: Any, data: bytes) -> M:
         return self.io.write_all(conn, data)
+
+    def send_v(self, conn: Any, bufs: list) -> M:
+        """Gathered send: every buffer in order, one syscall where the
+        backend supports scatter-gather (the egress fast path)."""
+        return self.io.write_all_v(conn, bufs)
 
     def shed(self, conn: Any, farewell: bytes = b"") -> M:
         """Overload path: best-effort farewell + close, never blocking."""

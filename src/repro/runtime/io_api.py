@@ -25,11 +25,17 @@ from ..core.monad import M
 from ..core.syscalls import sys_epoll_wait, sys_nbio
 from ..simos.errors import WOULD_BLOCK
 
-__all__ = ["NetIO", "ConnectionClosed"]
+__all__ = ["NetIO", "ConnectionClosed", "WRITEV_IOV_LIMIT"]
 
 
 class ConnectionClosed(OSError):
     """The peer closed the stream mid-operation (unexpected EOF)."""
+
+
+#: Buffers handed to one gathered-write syscall.  Linux's IOV_MAX is
+#: 1024; staying far below it keeps per-call setup cheap and the partial
+#: -write resume bookkeeping short.
+WRITEV_IOV_LIMIT = 128
 
 
 class NetIO:
@@ -39,8 +45,11 @@ class NetIO:
     ``nb_connect`` and ``close`` with the ``WOULD_BLOCK`` convention.
     Optionally it may provide ``nb_accept_batch(listener, limit)`` (a
     native accept-queue drain; otherwise ``accept_many`` loops
-    ``nb_accept``) and ``nb_shed(fd, farewell)`` (an orderly
-    farewell/FIN/drain close used by overload shedding).
+    ``nb_accept``), ``nb_shed(fd, farewell)`` (an orderly
+    farewell/FIN/drain close used by overload shedding), and
+    ``nb_writev(fd, bufs)`` (a scatter-gather write; otherwise the
+    vectored operations degrade to a join + ``nb_write``).  A backend
+    may also set ``nb_writev = None`` to force the fallback.
     All methods return :class:`~repro.core.monad.M` computations.
     """
 
@@ -86,6 +95,49 @@ class NetIO:
                 count = yield _write(fd, bytes(view[offset:]))
                 offset += count
             return len(view)
+
+        @do
+        def _writev(fd, bufs):
+            # One gathered write: some prefix of ``bufs`` hits the wire
+            # in one syscall.  Falls back to join+write when the backend
+            # has no scatter-gather primitive.
+            op = getattr(backend, "nb_writev", None)
+            if op is None:
+                count = yield _write(
+                    fd, b"".join(bytes(buf) for buf in bufs)
+                )
+                return count
+            while True:
+                count = yield sys_nbio(lambda: op(fd, bufs))
+                if count is not WOULD_BLOCK:
+                    return count
+                yield sys_epoll_wait(fd, EVENT_WRITE)
+
+        @do
+        def _write_all_v(fd, bufs):
+            # Write every buffer, resuming mid-iovec after partial
+            # writes — no intermediate concatenation on the sendmsg
+            # path (the whole point: header + body, or length-prefix +
+            # frame, is one syscall and zero copies in the application).
+            views = [memoryview(buf) for buf in bufs if len(buf)]
+            if not views:
+                return 0
+            total = sum(len(view) for view in views)
+            sent = 0
+            index = 0
+            while True:
+                window = views[index:index + WRITEV_IOV_LIMIT]
+                count = yield _writev(fd, window)
+                sent += count
+                if sent >= total:
+                    return total
+                # Advance past fully-written buffers; slice the first
+                # partially-written one so the retry starts mid-buffer.
+                while count and count >= len(views[index]):
+                    count -= len(views[index])
+                    index += 1
+                if count:
+                    views[index] = views[index][count:]
 
         @do
         def _accept(listener):
@@ -139,6 +191,8 @@ class NetIO:
         self._read_exact = _read_exact
         self._write = _write
         self._write_all = _write_all
+        self._writev = _writev
+        self._write_all_v = _write_all_v
         self._accept = _accept
         self._accept_many = _accept_many
         self._read_until = _read_until
@@ -169,6 +223,20 @@ class NetIO:
     def write_all(self, fd: Any, data: bytes) -> M:
         """Write all of ``data``, blocking the thread as needed."""
         return self._write_all(fd, data)
+
+    def writev(self, fd: Any, bufs: list) -> M:
+        """One gathered write of (a prefix of) ``bufs``; resumes with the
+        byte count accepted.  One syscall on backends with scatter-gather
+        (``sendmsg``); join + ``write`` elsewhere."""
+        return self._writev(fd, bufs)
+
+    def write_all_v(self, fd: Any, bufs: list) -> M:
+        """Write every buffer in ``bufs`` in order, resuming mid-iovec
+        after partial writes; resumes with the total byte count.  The
+        fast path never concatenates: a header+body response or a
+        length-prefix+frame message is one ``sendmsg`` with zero
+        intermediate copies."""
+        return self._write_all_v(fd, bufs)
 
     def accept(self, listener: Any) -> M:
         """Accept one connection, blocking the thread until one arrives."""

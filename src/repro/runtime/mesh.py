@@ -14,7 +14,7 @@ the event-driven core.
 Wire format (all integers big-endian)::
 
     frame    := length:u32  kind:u8  request_id:u64  body:bytes
-    kind     := 0 request | 1 reply | 2 error-reply | 3 cast
+    kind     := 0 request | 1 reply | 2 error-reply | 3 cast | 4 ping
 
 Invariants the rest of the stack builds on:
 
@@ -25,22 +25,37 @@ Invariants the rest of the stack builds on:
   EOF *inside* one is :class:`~repro.runtime.io_api.ConnectionClosed`.
 * **Multiplexing** — each persistent link carries many in-flight calls,
   matched by ``request_id``; a per-link *demux* thread reads reply frames
-  and fulfills the matching :class:`~repro.core.sync.MVar`, and writers
-  serialize whole frames with a per-link :class:`~repro.core.sync.Mutex`.
+  and fulfills the matching :class:`~repro.core.sync.MVar`.
   ``kind 3`` (*cast*) is one-way: the server runs the handler and sends
   no reply (used for read-repair patches and hint forwarding, where
-  at-most-once delivery is acceptable).
+  at-most-once delivery is acceptable).  ``kind 4`` (*ping*) is an empty
+  keepalive frame both sides silently discard.
+* **Batched egress** — senders never write the socket directly: each
+  frame is *enqueued* on the connection's outbound queue (header and
+  body as separate buffers — zero concatenation) and a single flusher
+  thread per connection drains the queue with one gathered
+  ``write_all_v`` per batch (bounded by ``flush_max_iov``/
+  ``flush_max_bytes``).  Frames enqueued while a flush is in flight are
+  picked up by the next ``writev``, so N concurrent calls/casts/replies
+  on one link cost one syscall, not N.  The queue is FIFO, so frames
+  never interleave or reorder; ``stats.flushes``/``batched_flushes``/
+  ``max_frames_per_flush`` make the coalescing observable.
 * **Timeout semantics** — every blocking edge has a bound, and every
   failure surfaces as a monadic exception in the *calling* thread, never
-  a hang: per-call timeouts (``call_timeout``) are swept by one
-  per-link sweeper thread and raise :class:`MeshTimeout`; link failures
-  (dial refused, reset, EOF mid-call) raise :class:`MeshPeerDown` and
-  fail every other call pending on the same link; and frame *writes* are
-  bounded by ``write_timeout`` — a peer that stops reading until the
-  socket buffers fill no longer wedges writers: a watchdog closes the
-  wedged link, the parked writer is woken by the runtime with an error,
-  and the caller sees :class:`MeshPeerDown` (counted in
-  ``stats.write_timeouts``).
+  a hang: per-call timeouts (``call_timeout``) and per-flush write
+  bounds (``write_timeout``) are deadlines on the node's shared
+  :class:`~repro.runtime.timer_wheel.TimerWheel` — a heap entry each,
+  *no thread per call*.  An expired call raises :class:`MeshTimeout`;
+  link failures (dial refused, reset, EOF mid-call) raise
+  :class:`MeshPeerDown` and fail every other frame and call pending on
+  the same link; a flush that stalls past ``write_timeout`` (the peer
+  stopped reading) is downed by the wheel closing the connection — the
+  runtime wakes the parked flusher, and every waiter sees
+  :class:`MeshPeerDown` (counted in ``stats.write_timeouts``).
+* **Keepalive** — with ``keepalive_interval`` set, a wheel tick pings
+  every client link that sent nothing since the previous tick; the ping
+  costs one (batched) frame on a healthy link, and on a wedged peer it
+  arms the write watchdog *before* real traffic blocks on the corpse.
 """
 
 from __future__ import annotations
@@ -49,13 +64,16 @@ import itertools
 import struct
 from typing import Any, Callable
 
+from collections import deque
+
 from ..core.do_notation import do
 from ..core.monad import M
 from ..core.sync import Mutex, MVar
-from ..core.syscalls import sys_fork, sys_now, sys_sleep
+from ..core.syscalls import sys_fork
 from ..core.thread import join_all, spawn
 from .driver import ConnectionDriver, IoSocketLayer
 from .io_api import ConnectionClosed, NetIO
+from .timer_wheel import TimerWheel
 
 __all__ = [
     "MeshNode",
@@ -70,6 +88,7 @@ __all__ = [
     "KIND_REPLY",
     "KIND_ERROR",
     "KIND_CAST",
+    "KIND_PING",
 ]
 
 _LEN = struct.Struct("!I")
@@ -80,6 +99,9 @@ KIND_REPLY = 1
 KIND_ERROR = 2
 #: One-way request: the server runs the handler but never replies.
 KIND_CAST = 3
+#: Keepalive probe: both sides discard it on receipt.  Its value is the
+#: *write* — a wedged peer stalls the flush and trips the watchdog.
+KIND_PING = 4
 
 #: Frames above this are a protocol violation (memory bound per link).
 DEFAULT_MAX_FRAME = 16 * 1024 * 1024
@@ -108,13 +130,24 @@ class MeshProtocolError(MeshError):
 # ----------------------------------------------------------------------
 # Framing (shared by both sides; also exercised directly by tests).
 # ----------------------------------------------------------------------
+def frame_header(kind: int, request_id: int, body_len: int) -> bytes:
+    """The 12-byte length-prefix + kind + request-id header for a frame
+    whose body is ``body_len`` bytes."""
+    return (_LEN.pack(_HEAD.size + body_len)
+            + _HEAD.pack(kind, request_id))
+
+
 def send_frame(io: NetIO, fd: Any, kind: int, request_id: int,
                body: bytes) -> M:
-    """Write one length-prefixed frame (single ``write_all`` so frames
-    from different threads cannot interleave *within* a frame; callers
-    still serialize whole frames with a mutex)."""
-    payload = _HEAD.pack(kind, request_id) + body
-    return io.write_all(fd, _LEN.pack(len(payload)) + payload)
+    """Write one length-prefixed frame as a single gathered write
+    (header + body, one syscall, no concatenation) so frames from
+    different threads cannot interleave *within* a frame.  Test peers
+    and one-shot senders use this directly; :class:`MeshNode` goes
+    through the per-link outbound queue instead, which batches many
+    frames into one ``writev``."""
+    return io.write_all_v(
+        fd, [frame_header(kind, request_id, len(body)), body]
+    )
 
 
 @do
@@ -155,28 +188,60 @@ class _Timeout:
 _TIMED_OUT = _Timeout()
 
 
+class _Outbound:
+    """Per-connection outbound frame queue + its flusher state.
+
+    ``queue`` entries are ``(bufs, box)``: the frame's buffers (header,
+    body — never joined) and an :class:`~repro.core.sync.MVar` the
+    flusher fills with ``None`` (flushed) or an exception.  ``link`` is
+    the owning client :class:`_PeerLink` for client connections (so the
+    flusher can down the link on failure), ``None`` for inbound server
+    connections (their reader tears them down).
+    """
+
+    __slots__ = ("conn", "queue", "flushing", "link", "enqueued",
+                 "failed")
+
+    def __init__(self, conn: Any, link: "_PeerLink | None" = None) -> None:
+        self.conn = conn
+        self.queue: deque[tuple[tuple[bytes, ...], MVar]] = deque()
+        #: Whether a flusher thread currently owns the queue (at most
+        #: one per connection; enqueuers fork it on demand).
+        self.flushing = False
+        self.link = link
+        #: Frames ever enqueued — the keepalive tick compares this
+        #: against its last mark to find idle links.
+        self.enqueued = 0
+        #: Set (to the failure) once a flush on this connection has
+        #: failed: later enqueues raise immediately instead of queueing
+        #: behind a dead flusher.  Sticky — a downed link is re-dialed
+        #: with a fresh ``_Outbound``, never resurrected.
+        self.failed: MeshError | None = None
+
+
 class _PeerLink:
     """One persistent client connection to a peer, with demux state."""
 
-    __slots__ = ("peer", "conn", "write_mutex", "pending", "alive",
-                 "sweeping")
+    __slots__ = ("peer", "conn", "out", "pending", "alive", "ka_mark")
 
     def __init__(self, peer: int, conn: Any) -> None:
         self.peer = peer
         self.conn = conn
-        self.write_mutex = Mutex(name=f"mesh-peer{peer}-write")
-        #: request_id -> (MVar awaiting the reply, absolute deadline).
-        self.pending: dict[int, tuple[MVar, float]] = {}
+        self.out = _Outbound(conn, link=self)
+        #: request_id -> (MVar awaiting the reply, timeout TimerHandle).
+        self.pending: dict[int, tuple[MVar, Any]] = {}
         self.alive = True
-        #: Whether the link's timeout sweeper thread is running.
-        self.sweeping = False
+        #: ``out.enqueued`` at the last keepalive tick (idle detection).
+        self.ka_mark = 0
 
 
 class MeshStats:
     """Data-plane counters, surfaced through cluster ``stats()``."""
 
     __slots__ = ("calls", "casts", "served", "timeouts", "peer_failures",
-                 "write_timeouts", "frames_sent", "frames_received")
+                 "write_timeouts", "frames_sent", "frames_received",
+                 "flushes", "batched_flushes", "max_frames_per_flush",
+                 "pings_sent")
 
     def __init__(self) -> None:
         #: Client-side calls issued (including failed ones).
@@ -193,6 +258,19 @@ class MeshStats:
         self.write_timeouts = 0
         self.frames_sent = 0
         self.frames_received = 0
+        #: Gathered writes issued by outbound-queue flushers.
+        self.flushes = 0
+        #: Flushes that carried more than one frame (coalescing engaged).
+        self.batched_flushes = 0
+        #: Largest frame count one flush ever carried.
+        self.max_frames_per_flush = 0
+        #: Keepalive probes written to idle links.
+        self.pings_sent = 0
+
+    @property
+    def frames_per_flush(self) -> float:
+        """Mean egress batching ratio (1.0 = no coalescing happened)."""
+        return self.frames_sent / self.flushes if self.flushes else 0.0
 
 
 class _MeshServerProtocol:
@@ -232,6 +310,10 @@ class MeshNode:
         max_frame: int = DEFAULT_MAX_FRAME,
         accept_batch: int = 16,
         max_inflight: int = 128,
+        timers: TimerWheel | None = None,
+        keepalive_interval: float | None = None,
+        flush_max_iov: int = 64,
+        flush_max_bytes: int = 256 * 1024,
     ) -> None:
         self.index = index
         self.io = io
@@ -239,9 +321,9 @@ class MeshNode:
         self.peers = dict(peers)
         self.handler = handler
         self.call_timeout = call_timeout
-        #: Bound on one frame write: past it the link is declared wedged
-        #: (the peer stopped reading), closed, and the writer fails with
-        #: :class:`MeshPeerDown` instead of blocking forever.
+        #: Bound on one flush write: past it the link is declared wedged
+        #: (the peer stopped reading), closed, and every waiter fails
+        #: with :class:`MeshPeerDown` instead of blocking forever.
         self.write_timeout = write_timeout
         self.max_frame = max_frame
         self.accept_batch = accept_batch
@@ -249,14 +331,26 @@ class MeshNode:
         #: it the link's reader runs requests inline (backpressure: it
         #: stops pulling frames), bounding thread/memory growth per link.
         self.max_inflight = max_inflight
+        #: Shared deadline heap for call timeouts, write watchdogs and
+        #: keepalive ticks.  The cluster passes the runtime's wheel so
+        #: the whole shard shares one sleeper; a standalone node makes
+        #: its own.
+        self.timers = timers if timers is not None else TimerWheel(
+            name=f"mesh{index}-timers"
+        )
+        #: Ping idle client links every this many seconds (None/0 = no
+        #: keepalive).  See the module docs: the ping's *write* is the
+        #: wedge detector.
+        self.keepalive_interval = keepalive_interval
+        #: Caps on one gathered flush: at most this many frames and
+        #: roughly this many bytes per ``writev`` (a frame is never
+        #: split across the caps — the next flush picks it up).
+        self.flush_max_iov = flush_max_iov
+        self.flush_max_bytes = flush_max_bytes
         self.stats = MeshStats()
         self._links: dict[int, _PeerLink] = {}
         self._dial_mutexes: dict[int, Mutex] = {}
         self._request_ids = itertools.count(1)
-        #: In-flight frame writes under watch: token -> (conn, deadline).
-        self._write_watch: dict[int, tuple[Any, float]] = {}
-        self._watch_tokens = itertools.count(1)
-        self._watching = False
         self._driver = ConnectionDriver(
             IoSocketLayer(io, listener),
             _MeshServerProtocol(self),
@@ -285,6 +379,11 @@ class MeshNode:
             "timeouts": stats.timeouts,
             "peer_failures": stats.peer_failures,
             "write_timeouts": stats.write_timeouts,
+            "frames_sent": stats.frames_sent,
+            "flushes": stats.flushes,
+            "batched_flushes": stats.batched_flushes,
+            "max_frames_per_flush": stats.max_frames_per_flush,
+            "pings_sent": stats.pings_sent,
         }
 
     # ------------------------------------------------------------------
@@ -294,9 +393,19 @@ class MeshNode:
         """The mesh accept loop (spawn as one thread per shard).
 
         The loop itself is the shared :class:`ConnectionDriver`; this
-        node contributes only the frame protocol.
+        node contributes only the frame protocol.  With
+        ``keepalive_interval`` set, the first act is arming the
+        keepalive tick on the timer wheel.
         """
+        if self.keepalive_interval:
+            return self._serve_with_keepalive()
         return self._driver.main()
+
+    @do
+    def _serve_with_keepalive(self):
+        yield self.timers.schedule(self.keepalive_interval,
+                                   self._keepalive_tick)
+        yield self._driver.main()
 
     def stop(self) -> None:
         self._driver.stop()
@@ -304,11 +413,13 @@ class MeshNode:
     @do
     def _serve_peer(self, conn):
         # One inbound peer link: read request frames, fork a worker per
-        # request (a slow handler must not block later frames), write
-        # replies under a per-link mutex.  ``inflight`` caps the workers:
-        # at the cap the reader serves inline instead — it stops pulling
-        # frames, which is backpressure on the peer.
-        write_mutex = Mutex(name="mesh-serve-write")
+        # request (a slow handler must not block later frames).  Replies
+        # go through the connection's outbound queue, so replies to a
+        # burst of concurrent requests leave as one gathered write.
+        # ``inflight`` caps the workers: at the cap the reader serves
+        # inline instead — it stops pulling frames, which is
+        # backpressure on the peer.
+        out = _Outbound(conn)
         inflight = [0]
         can_yield = True
         try:
@@ -318,6 +429,8 @@ class MeshNode:
                     return  # peer closed cleanly
                 self.stats.frames_received += 1
                 kind, request_id, body = frame
+                if kind == KIND_PING:
+                    continue  # keepalive probe: reading it is the point
                 if kind not in (KIND_REQUEST, KIND_CAST):
                     raise MeshProtocolError(
                         f"unexpected frame kind {kind} on server link"
@@ -325,14 +438,13 @@ class MeshNode:
                 one_way = kind == KIND_CAST
                 if inflight[0] >= self.max_inflight:
                     yield self._serve_request(
-                        conn, write_mutex, request_id, body, None, one_way
+                        out, request_id, body, None, one_way
                     )
                     continue
                 inflight[0] += 1
                 yield sys_fork(
                     self._serve_request(
-                        conn, write_mutex, request_id, body, inflight,
-                        one_way,
+                        out, request_id, body, inflight, one_way,
                     ),
                     name="mesh-request",
                 )
@@ -346,7 +458,7 @@ class MeshNode:
                 yield self.io.close(conn)
 
     @do
-    def _serve_request(self, conn, write_mutex, request_id, body, inflight,
+    def _serve_request(self, out, request_id, body, inflight,
                        one_way=False):
         try:
             try:
@@ -369,69 +481,161 @@ class MeshNode:
             if one_way:
                 return  # a cast gets no reply, success or failure
             try:
-                yield self._locked_send(write_mutex, conn, kind,
-                                        request_id, reply)
+                yield self._enqueue(out, kind, request_id, reply)
             except (ConnectionError, OSError):
                 return  # peer vanished before the reply could be written
         finally:
             if inflight is not None:
                 inflight[0] -= 1
 
+    # ------------------------------------------------------------------
+    # Egress: per-connection outbound queues, one gathered flush each.
+    # ------------------------------------------------------------------
     @do
-    def _locked_send(self, mutex, conn, kind, request_id, body):
-        # The write is watched: a peer that accepted the frame's first
-        # bytes but stopped reading (buffers full, writer parked on
-        # EPOLLOUT) is detected by the watchdog, which closes the conn —
-        # the runtime then wakes the parked writer with an error.
-        yield mutex.acquire()
-        token = next(self._watch_tokens)
-        now = yield sys_now()
-        self._write_watch[token] = (conn, now + self.write_timeout)
-        if not self._watching:
-            self._watching = True
-            yield sys_fork(self._write_watchdog(),
-                           name="mesh-write-watchdog")
+    def _enqueue(self, out, kind, request_id, body):
+        # Queue the frame (header and body stay separate buffers: the
+        # flusher's writev gathers them), fork the connection's flusher
+        # if none is running, then park until this frame's batch is on
+        # the wire.  Concurrent enqueuers on one connection all land in
+        # the queue before the forked flusher first runs — that is the
+        # once-per-loop-turn batching.
+        if out.failed is not None:
+            # The connection's flusher already died; queueing now would
+            # park behind a drain that has passed (nothing would ever
+            # fill the box).  Fail fast instead.
+            raise out.failed
+        box = MVar(name="mesh-flush")
+        header = frame_header(kind, request_id, len(body))
+        out.queue.append(((header, body) if body else (header,), box))
+        out.enqueued += 1
+        if not out.flushing:
+            out.flushing = True
+            yield sys_fork(self._flusher(out), name="mesh-flush")
+        outcome = yield box.take()
+        if isinstance(outcome, BaseException):
+            raise outcome
+        return None
+
+    @do
+    def _flusher(self, out):
+        # The connection's single writer: drain the queue in bounded
+        # gathered writes until it is empty, then exit (the next
+        # enqueue forks a fresh one).  Each flush is watched on the
+        # timer wheel: a stall past ``write_timeout`` means the peer
+        # stopped reading — the wheel closes the connection, the
+        # runtime wakes this thread with an error, and every queued
+        # frame fails with MeshPeerDown.
+        stats = self.stats
         try:
-            yield send_frame(self.io, conn, kind, request_id, body)
-            self.stats.frames_sent += 1
+            while out.queue:
+                batch: list[tuple[tuple[bytes, ...], MVar]] = []
+                bufs: list[bytes] = []
+                nbytes = 0
+                while (out.queue and len(batch) < self.flush_max_iov
+                        and nbytes < self.flush_max_bytes):
+                    entry = out.queue.popleft()
+                    batch.append(entry)
+                    for buf in entry[0]:
+                        bufs.append(buf)
+                        nbytes += len(buf)
+                watchdog = None
+                if self.write_timeout:
+                    watchdog = yield self.timers.schedule(
+                        self.write_timeout,
+                        lambda: self._wedge(out),
+                    )
+                try:
+                    yield self.io.write_all_v(out.conn, bufs)
+                except (ConnectionError, OSError) as exc:
+                    if watchdog is not None:
+                        watchdog.cancel()
+                    yield self._fail_outbound(out, batch, exc, bool(
+                        watchdog is not None and watchdog.fired
+                    ))
+                    return
+                if watchdog is not None:
+                    watchdog.cancel()
+                    if watchdog.fired:
+                        # The wedge won the race against the final write
+                        # syscall: the connection is gone either way.
+                        yield self._fail_outbound(out, batch, None, True)
+                        return
+                stats.flushes += 1
+                stats.frames_sent += len(batch)
+                if len(batch) > 1:
+                    stats.batched_flushes += 1
+                if len(batch) > stats.max_frames_per_flush:
+                    stats.max_frames_per_flush = len(batch)
+                for _bufs, box in batch:
+                    yield box.try_put(None)
         finally:
-            watched = self._write_watch.pop(token, None)
-            yield mutex.release()
-        if watched is None:
-            # The watchdog fired for this write (it pops the entry when
-            # it downs the conn).  If the close won the race against the
-            # final write syscall no exception surfaced here — but the
-            # link is gone either way, so fail the frame explicitly.
-            raise MeshPeerDown(
+            # Plain code: safe under GeneratorExit (abandonment).
+            out.flushing = False
+
+    @do
+    def _wedge(self, out):
+        # Timer-wheel action: the flush on ``out`` stalled past
+        # ``write_timeout``.  Closing the descriptor wakes the parked
+        # flusher (the poller resumes orphaned waiters on close), which
+        # then fails every queued frame.
+        self.stats.write_timeouts += 1
+        yield self.io.close(out.conn)
+
+    @do
+    def _fail_outbound(self, out, batch, exc, stalled):
+        # Fail the in-flight batch and everything still queued; down the
+        # owning client link (a server connection is torn down by its
+        # reader instead).
+        if stalled:
+            failure: MeshError = MeshPeerDown(
                 f"frame write stalled past write_timeout="
                 f"{self.write_timeout}s (peer stopped reading)"
             )
+        else:
+            failure = MeshPeerDown(f"frame write failed: {exc!r}")
+        # Latch the failure *before* the first yield: an enqueue racing
+        # this drain (the try_put below is a scheduling point) must
+        # raise immediately, not park behind a drain that already
+        # snapshotted the queue.
+        out.failed = failure
+        entries = list(batch)
+        while out.queue:
+            entries.append(out.queue.popleft())
+        for _bufs, box in entries:
+            yield box.try_put(failure)
+        if out.link is not None:
+            yield self._fail_link(out.link)
+
+    # ------------------------------------------------------------------
+    # Keepalive: ping idle client links from the timer wheel.
+    # ------------------------------------------------------------------
+    @do
+    def _keepalive_tick(self):
+        # Runs on the wheel's sleeper: find links idle since the last
+        # tick, fork a pinger per idle link (the tick itself must never
+        # block on a wedged peer), then re-arm.
+        if not self._driver.running:
+            return  # shutting down: stop re-arming
+        for link in list(self._links.values()):
+            if not link.alive:
+                continue
+            if link.out.enqueued == link.ka_mark:
+                yield sys_fork(self._send_ping(link), name="mesh-ping")
+            link.ka_mark = link.out.enqueued
+        yield self.timers.schedule(self.keepalive_interval,
+                                   self._keepalive_tick)
 
     @do
-    def _write_watchdog(self):
-        # One watchdog per node, alive only while frame writes are in
-        # flight.  Closing a wedged conn wakes its parked writer (the
-        # poller resumes orphaned waiters with an error on close), which
-        # the caller surfaces as MeshPeerDown.
+    def _send_ping(self, link):
         try:
-            while self._write_watch:
-                yield sys_sleep(self.SWEEP_INTERVAL)
-                now = yield sys_now()
-                expired = [
-                    token
-                    for token, (_conn, deadline)
-                    in self._write_watch.items()
-                    if deadline <= now
-                ]
-                for token in expired:
-                    entry = self._write_watch.pop(token, None)
-                    if entry is None:
-                        continue
-                    conn, _deadline = entry
-                    self.stats.write_timeouts += 1
-                    yield self.io.close(conn)
-        finally:
-            self._watching = False
+            yield self._enqueue(link.out, KIND_PING, 0, b"")
+            self.stats.pings_sent += 1
+            # The ping itself bumped ``enqueued``; resync the mark so
+            # the probe does not read as link traffic (which would skip
+            # every other tick and double the wedge-detection latency).
+            link.ka_mark = link.out.enqueued
+        except (ConnectionError, OSError):
+            pass  # wedged/vanished: the flusher path downed the link
 
     # ------------------------------------------------------------------
     # Client side: lazily dialed links, multiplexed calls.
@@ -461,26 +665,32 @@ class MeshNode:
         link = yield self._link(peer)
         request_id = next(self._request_ids)
         box = MVar(name=f"mesh-call-{peer}-{request_id}")
-        now = yield sys_now()
-        link.pending[request_id] = (box, now + timeout)
+        # The timeout is a heap entry on the shared wheel, not a thread:
+        # it covers queue wait + flush + remote handling + reply, and is
+        # cancelled (a flag write) the moment the outcome is known.
+        deadline = yield self.timers.schedule(
+            timeout, lambda: box.try_put(_TIMED_OUT)
+        )
+        link.pending[request_id] = (box, deadline)
         try:
-            yield self._locked_send(
-                link.write_mutex, link.conn, KIND_REQUEST, request_id, body
-            )
+            yield self._enqueue(link.out, KIND_REQUEST, request_id, body)
         except (ConnectionError, OSError) as exc:
-            link.pending.pop(request_id, None)
+            entry = link.pending.pop(request_id, None)
+            if entry is not None:
+                entry[1].cancel()
             yield self._fail_link(link)
             raise MeshPeerDown(f"write to peer {peer} failed: {exc!r}")
         if not link.alive:
             # The link died between registration and here (the demux may
             # already have drained ``pending``, missing this entry).
-            link.pending.pop(request_id, None)
+            entry = link.pending.pop(request_id, None)
+            if entry is not None:
+                entry[1].cancel()
             raise MeshPeerDown(f"peer {peer} link failed during call")
-        if not link.sweeping:
-            link.sweeping = True
-            yield sys_fork(self._sweeper(link), name="mesh-sweeper")
         outcome = yield box.take()
-        link.pending.pop(request_id, None)
+        entry = link.pending.pop(request_id, None)
+        if entry is not None:
+            entry[1].cancel()
         if outcome is _TIMED_OUT:
             self.stats.timeouts += 1
             raise MeshTimeout(
@@ -489,47 +699,6 @@ class MeshNode:
         if isinstance(outcome, BaseException):
             raise outcome
         return outcome
-
-    #: Timeout sweep granularity (seconds): deadlines fire within one
-    #: tick of expiring.  Mesh RPC timeouts are hundreds of ms and up,
-    #: so coarse ticks are fine — and one sweeper per link replaces a
-    #: timer thread per call, whose live count would otherwise grow as
-    #: call-rate x timeout on the proxied hot path.
-    SWEEP_INTERVAL = 0.05
-
-    @do
-    def _sweeper(self, link):
-        # Runs only while the link has in-flight calls (the next call
-        # respawns it), so an idle mesh schedules no timers at all.
-        try:
-            while link.alive and link.pending:
-                yield sys_sleep(self.SWEEP_INTERVAL)
-                now = yield sys_now()
-                expired = [
-                    request_id
-                    for request_id, (_box, deadline) in link.pending.items()
-                    if deadline <= now
-                ]
-                for request_id in expired:
-                    # The demux (or a link failure) may have popped this
-                    # entry while the sweep yielded on an earlier one.
-                    entry = link.pending.pop(request_id, None)
-                    if entry is None:
-                        continue
-                    box, _deadline = entry
-                    # Lost the race if the box already holds its reply.
-                    yield box.try_put(_TIMED_OUT)
-            # A caller that registered on this link *after* the demux
-            # drained it (link downed mid-call) would otherwise wait on a
-            # box nothing fills: fail whatever is still pending on a dead
-            # link before exiting.
-            if not link.alive and link.pending:
-                failure = MeshPeerDown(f"peer {link.peer} link failed")
-                pending, link.pending = dict(link.pending), {}
-                for box, _deadline in pending.values():
-                    yield box.try_put(failure)
-        finally:
-            link.sweeping = False
 
     def cast(self, peer: int, body: bytes) -> M:
         """One-way message to ``peer``: the remote handler runs, but no
@@ -555,9 +724,7 @@ class MeshNode:
             raise MeshError(f"unknown peer {peer}")
         link = yield self._link(peer)
         try:
-            yield self._locked_send(
-                link.write_mutex, link.conn, KIND_CAST, 0, body
-            )
+            yield self._enqueue(link.out, KIND_CAST, 0, body)
         except (ConnectionError, OSError) as exc:
             yield self._fail_link(link)
             raise MeshPeerDown(f"cast to peer {peer} failed: {exc!r}")
@@ -634,6 +801,8 @@ class MeshNode:
                     return
                 self.stats.frames_received += 1
                 kind, request_id, body = frame
+                if kind == KIND_PING:
+                    continue  # keepalive probe: discard
                 if kind not in (KIND_REPLY, KIND_ERROR):
                     # Validate BEFORE popping: raising with the entry
                     # already popped would orphan the caller's box (the
@@ -645,7 +814,8 @@ class MeshNode:
                 entry = link.pending.pop(request_id, None)
                 if entry is None:
                     continue  # reply raced a timeout: drop it
-                box, _deadline = entry
+                box, deadline = entry
+                deadline.cancel()
                 if kind == KIND_REPLY:
                     yield box.try_put(body)
                 else:
@@ -678,6 +848,8 @@ class MeshNode:
         if self._links.get(link.peer) is link:
             del self._links[link.peer]
         pending, link.pending = dict(link.pending), {}
+        for _box, deadline in pending.values():
+            deadline.cancel()
         return tuple(box for box, _deadline in pending.values())
 
     @do

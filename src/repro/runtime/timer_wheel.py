@@ -1,0 +1,185 @@
+"""A shared timer wheel: one deadline heap, one sleeper thread.
+
+Before this module, every timed edge in the stack paid for its own
+timekeeping thread: each mesh link ran a timeout sweeper while calls were
+in flight, frame writes armed a watchdog thread, and the KV hint pump was
+one more ``sys_sleep`` loop.  Under load that is thread churn proportional
+to call rate; at idle it is still one sleeper per concern.  The wheel
+collapses all of them into *one* heap of ``(deadline, handle)`` entries
+serviced by *one* monadic sleeper thread — scheduling a timeout is a heap
+push (no fork), cancelling one is a flag write (no heap surgery), and the
+sleeper exists only while at least one timer is armed.
+
+Semantics:
+
+* ``schedule(delay, action)`` is monadic; it resumes with a
+  :class:`TimerHandle`.  ``action`` is a zero-argument callable evaluated
+  when the deadline passes; if it returns an :class:`~repro.core.monad.M`
+  computation the sleeper runs it inline, so actions must be *brief*
+  (fill an MVar, close a wedged descriptor, fork the real work).  A slow
+  action delays every later timer — fork anything that can block.
+* Deadlines fire within one ``tick`` of expiring (default 50 ms, the
+  same granularity the mesh's per-link sweepers had).  The sleeper
+  sleeps ``min(tick, next_deadline - now)``: a timer scheduled while the
+  sleeper is mid-sleep is noticed at the next tick, never missed.  The
+  cost is ~``1/tick`` wakeups per second **while any timer is armed**
+  (a perpetual timer — e.g. mesh keepalive — keeps the sleeper ticking
+  at idle; the live loop already wakes at a comparable idle cadence,
+  and disabling keepalive restores a fully quiescent idle).  An
+  earliest-deadline wake channel that lets the sleeper sleep exactly to
+  the next deadline is the noted follow-on in ROADMAP.md.
+* :meth:`TimerHandle.cancel` is plain (non-monadic) code callable from
+  anywhere; cancelled entries are dropped lazily when popped.  A handle
+  whose action already ran has ``fired`` set — cancel after fire is a
+  no-op, which callers use to detect watchdog races (the mesh checks
+  ``handle.fired`` after a frame write to learn the watchdog won).
+* Exceptions from actions are contained (counted in ``action_errors``),
+  never kill the sleeper.
+
+The wheel is runtime-agnostic: it uses only ``sys_now``/``sys_sleep``/
+``sys_fork``, so the same object serves the live runtime (monotonic
+clock) and the simulated one (virtual clock).  Both runtimes hang one on
+themselves as ``rt.timers``; the cluster passes it to each shard's mesh
+node and KV hint pump so a whole shard shares a single sleeper.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable
+
+from ..core.do_notation import do
+from ..core.monad import M
+from ..core.syscalls import sys_fork, sys_now, sys_sleep
+
+__all__ = ["TimerWheel", "TimerHandle"]
+
+
+class TimerHandle:
+    """One scheduled timer: cancellable, observable."""
+
+    __slots__ = ("deadline", "action", "cancelled", "fired")
+
+    def __init__(self, deadline: float, action: Callable[[], Any]) -> None:
+        self.deadline = deadline
+        self.action = action
+        self.cancelled = False
+        #: Set just before the action runs; ``cancel`` after that is a
+        #: no-op (callers race-check this flag, e.g. write watchdogs).
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Disarm the timer (plain code, callable from anywhere).
+
+        Lazy: the entry stays in the heap until the sleeper pops it.
+        Cancelling an already-fired timer does nothing.
+        """
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = ("fired" if self.fired
+                 else "cancelled" if self.cancelled else "armed")
+        return f"<TimerHandle {state} deadline={self.deadline:.3f}>"
+
+
+class TimerWheel:
+    """One deadline heap + one on-demand sleeper thread."""
+
+    #: Fire granularity (seconds): deadlines fire within one tick of
+    #: expiring.  Also bounds how late the sleeper notices a timer
+    #: scheduled earlier than its current sleep target.
+    TICK = 0.05
+
+    def __init__(self, name: str = "timers", tick: float = TICK) -> None:
+        self.name = name
+        self.tick = tick
+        self._heap: list[tuple[float, int, TimerHandle]] = []
+        self._seq = itertools.count()
+        self._running = False
+        #: Counters: the bench gate asserts sleeper_spawns stays O(1)
+        #: while scheduled grows with call rate (no thread per timer).
+        self.scheduled = 0
+        self.fired = 0
+        self.cancelled = 0
+        self.sleeper_spawns = 0
+        self.action_errors = 0
+
+    @property
+    def armed(self) -> int:
+        """Entries still in the heap (including lazily-cancelled ones)."""
+        return len(self._heap)
+
+    @property
+    def running(self) -> bool:
+        """Whether the sleeper thread is currently alive."""
+        return self._running
+
+    def stats(self) -> dict:
+        return {
+            "scheduled": self.scheduled,
+            "fired": self.fired,
+            "cancelled": self.cancelled,
+            "sleeper_spawns": self.sleeper_spawns,
+            "action_errors": self.action_errors,
+            "armed": self.armed,
+        }
+
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, action: Callable[[], Any]) -> M:
+        """Arm ``action`` to run ``delay`` seconds from now; resumes with
+        a :class:`TimerHandle`.
+
+        ``action()`` may return an ``M`` (run by the sleeper) or any
+        plain value (ignored).  Keep actions brief — fork slow work.
+        """
+        return self._schedule(delay, action)
+
+    @do
+    def _schedule(self, delay, action):
+        now = yield sys_now()
+        handle = TimerHandle(now + delay, action)
+        heapq.heappush(self._heap, (handle.deadline, next(self._seq), handle))
+        self.scheduled += 1
+        if not self._running:
+            self._running = True
+            self.sleeper_spawns += 1
+            yield sys_fork(self._sleeper(), name=f"{self.name}-sleeper")
+        return handle
+
+    @do
+    def _sleeper(self):
+        # Exists only while the heap is non-empty: an idle wheel costs
+        # nothing, a busy one costs one thread ticking at ``tick``
+        # regardless of how many timers are armed.
+        try:
+            while self._heap:
+                now = yield sys_now()
+                due: list[TimerHandle] = []
+                while self._heap and self._heap[0][0] <= now:
+                    _deadline, _seq, handle = heapq.heappop(self._heap)
+                    if handle.cancelled:
+                        self.cancelled += 1
+                        continue
+                    due.append(handle)
+                for handle in due:
+                    handle.fired = True
+                    self.fired += 1
+                    try:
+                        result = handle.action()
+                        if isinstance(result, M):
+                            yield result
+                    except (KeyboardInterrupt, SystemExit, GeneratorExit):
+                        raise
+                    except BaseException:
+                        # A broken action must not take down every other
+                        # timer on the shard.
+                        self.action_errors += 1
+                if not self._heap:
+                    return
+                wait = min(self.tick, max(0.0, self._heap[0][0] - now))
+                yield sys_sleep(wait)
+        finally:
+            # Plain code: safe under GeneratorExit (abandonment).  The
+            # next schedule() respawns the sleeper.
+            self._running = False

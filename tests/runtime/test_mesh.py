@@ -403,3 +403,210 @@ class TestFailureModes:
         # The dead peer is an exception *value*, not a lost fan-out.
         assert isinstance(merged[2], MeshPeerDown | MeshTimeout)
         assert time.monotonic() - started < 5.0
+
+
+class TestBatchedEgress:
+    def test_concurrent_casts_coalesce_into_one_flush(self, rt):
+        # Eight casts fired in one scheduler turn must leave as (nearly)
+        # one gathered write, not eight syscalls — the per-link outbound
+        # queue is the point of the egress path.
+        seen = []
+
+        def recording(body):
+            seen.append(body)
+            return pure(b"")
+
+        node_a, node_b = make_pair(rt, handler_b=recording)
+        done = []
+
+        @do
+        def warm():
+            # Dial the link first so the casts race only the flusher.
+            yield node_a.call(1, b"warm")
+
+        @do
+        def one_cast(index):
+            yield node_a.cast(1, b"cast-%d" % index)
+            done.append(index)
+
+        warmed = []
+
+        @do
+        def driver():
+            yield warm()
+            warmed.append(True)
+
+        rt.spawn(driver())
+        rt.run(until=lambda: bool(warmed), idle_timeout=5.0)
+        for index in range(8):
+            rt.spawn(one_cast(index), name=f"cast-{index}")
+        # A cast resumes once *flushed*; wait for the receiver too.
+        rt.run(until=lambda: len(done) == 8 and len(seen) == 9,
+               idle_timeout=5.0)
+        assert len(done) == 8
+        assert sorted(seen[1:]) == sorted(
+            b"cast-%d" % index for index in range(8)
+        )
+        stats = node_a.stats
+        # 1 warm call + 8 casts = 9 frames, but far fewer flushes.
+        assert stats.frames_sent == 9
+        assert stats.flushes < 9
+        assert stats.batched_flushes >= 1
+        assert stats.max_frames_per_flush > 1
+        assert stats.frames_per_flush > 1.0
+
+    def test_concurrent_replies_coalesce_on_the_server_link(self, rt):
+        # Many concurrent calls multiplexed on one link: the server's
+        # replies ride the same outbound queue, so its flush counters
+        # show batching too.
+        node_a, node_b = make_pair(rt)
+        replies = []
+
+        @do
+        def one_call(index):
+            reply = yield node_a.call(1, b"req-%d" % index)
+            replies.append(reply)
+
+        for index in range(8):
+            rt.spawn(one_call(index), name=f"call-{index}")
+        rt.run(until=lambda: len(replies) == 8, idle_timeout=5.0)
+        assert sorted(replies) == sorted(
+            b"echo:req-%d" % index for index in range(8)
+        )
+        # Server-side replies batched (the handler is synchronous, so
+        # all eight workers finish within one loop turn).
+        assert node_b.stats.frames_sent == 8
+        assert node_b.stats.flushes < 8
+        assert node_b.stats.batched_flushes >= 1
+
+    def test_no_timer_thread_per_call(self, rt):
+        # The shared wheel replaces per-call/per-link timer threads:
+        # N calls must fork zero sweeper/watchdog threads and at most a
+        # couple of wheel sleepers (one per idle->busy transition).
+        names: list = []
+        original = rt.sched._new_tcb
+
+        def recording(name):
+            names.append(name)
+            return original(name)
+
+        rt.sched._new_tcb = recording
+        node_a, _node_b = make_pair(rt)
+        done = []
+
+        @do
+        def caller():
+            for index in range(20):
+                yield node_a.call(1, b"seq-%d" % index)
+            done.append(True)
+
+        rt.spawn(caller())
+        rt.run(until=lambda: bool(done), idle_timeout=10.0)
+        assert done
+        spawned = [name for name in names if name]
+        assert not any("sweeper" in name for name in spawned)
+        assert not any("watchdog" in name for name in spawned)
+        sleepers = [name for name in spawned if "sleeper" in name]
+        # 20 calls, O(1) wheel sleepers (each timeout is a heap entry).
+        assert len(sleepers) <= 3
+        assert node_a.timers.scheduled >= 20
+
+    def test_flush_caps_split_oversized_batches(self, rt):
+        # A burst larger than flush_max_iov still delivers everything,
+        # split across capped gathered writes.
+        seen = []
+
+        def recording(body):
+            seen.append(body)
+            return pure(b"")
+
+        node_a, _node_b = make_pair(rt, handler_b=recording,
+                                    flush_max_iov=4)
+        done = []
+
+        @do
+        def one_cast(index):
+            yield node_a.cast(1, b"x%02d" % index)
+            done.append(index)
+
+        for index in range(10):
+            rt.spawn(one_cast(index), name=f"cast-{index}")
+        rt.run(until=lambda: len(done) == 10 and len(seen) == 10,
+               idle_timeout=5.0)
+        assert sorted(seen) == sorted(b"x%02d" % index for index in range(10))
+        assert node_a.stats.max_frames_per_flush <= 4
+        assert node_a.stats.flushes >= 3  # ceil(10 / 4)
+
+
+class TestKeepalive:
+    def test_idle_link_gets_pinged_and_stays_usable(self, rt):
+        node_a, node_b = make_pair(rt, keepalive_interval=0.05)
+        first = []
+
+        @do
+        def opener():
+            reply = yield node_a.call(1, b"open")
+            first.append(reply)
+
+        rt.spawn(opener())
+        rt.run(until=lambda: bool(first), idle_timeout=5.0)
+        # Let the link sit idle across several keepalive intervals.
+        rt.run(until=lambda: node_a.stats.pings_sent >= 2,
+               idle_timeout=5.0)
+        assert node_a.stats.pings_sent >= 2
+        assert node_a.connected_peers() == 1
+        # Pings were read and discarded server-side: no served bump...
+        assert node_b.stats.served == 1
+        # ...and the link still carries real traffic afterwards.
+        second = []
+
+        @do
+        def reuser():
+            reply = yield node_a.call(1, b"again")
+            second.append(reply)
+
+        rt.spawn(reuser())
+        rt.run(until=lambda: bool(second), idle_timeout=5.0)
+        assert second == [b"echo:again"]
+
+    def test_busy_link_is_not_pinged(self, rt):
+        node_a, _node_b = make_pair(rt, keepalive_interval=0.05)
+        stop = []
+
+        @do
+        def chatter():
+            # Constant traffic: every keepalive tick sees fresh frames.
+            while not stop:
+                yield node_a.call(1, b"busy")
+
+        rt.spawn(chatter())
+        deadline = time.monotonic() + 0.4
+        rt.run(until=lambda: time.monotonic() >= deadline,
+               idle_timeout=5.0)
+        stop.append(True)
+        rt.run(until=lambda: True)
+        assert node_a.stats.calls > 2
+        assert node_a.stats.pings_sent == 0
+
+    def test_enqueue_after_flush_failure_fails_fast(self, rt):
+        # A connection whose flusher died latches the failure: a sender
+        # racing the failure drain must get MeshPeerDown immediately,
+        # not park forever behind a drain that already passed.
+        node_a, _node_b = make_pair(rt)
+        outcome = []
+
+        @do
+        def driver():
+            yield node_a.call(1, b"open")
+            link = node_a._links[1]
+            link.out.failed = MeshPeerDown("flusher died mid-drain")
+            try:
+                yield node_a.cast(1, b"late frame")
+            except MeshPeerDown as exc:
+                outcome.append(exc)
+
+        started = time.monotonic()
+        rt.spawn(driver())
+        rt.run(until=lambda: bool(outcome), idle_timeout=5.0)
+        assert outcome and isinstance(outcome[0], MeshPeerDown)
+        assert time.monotonic() - started < 2.0  # fast-fail, no hang

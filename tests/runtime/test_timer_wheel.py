@@ -1,0 +1,218 @@
+"""The shared timer wheel: one heap, one sleeper, lazy cancellation.
+
+Most tests run on :class:`~repro.runtime.sim_runtime.SimRuntime` — the
+wheel only uses ``sys_now``/``sys_sleep``/``sys_fork``, so virtual time
+makes firing order and sleeper lifecycle deterministic.  One smoke test
+runs on the live runtime to pin the wall-clock path.
+"""
+
+from __future__ import annotations
+
+from repro.core.do_notation import do
+from repro.core.monad import pure
+from repro.runtime.live_runtime import LiveRuntime
+from repro.runtime.sim_runtime import SimRuntime
+from repro.runtime.timer_wheel import TimerWheel
+
+
+def run_sim(comp) -> SimRuntime:
+    rt = SimRuntime()
+    rt.spawn(comp, name="driver")
+    rt.run_all()
+    return rt
+
+
+class TestFiring:
+    def test_fires_in_deadline_order_not_insertion_order(self):
+        wheel = TimerWheel()
+        fired: list[str] = []
+
+        @do
+        def driver():
+            # Inserted late-first: deadline order must win.
+            yield wheel.schedule(0.30, lambda: fired.append("late"))
+            yield wheel.schedule(0.10, lambda: fired.append("early"))
+            yield wheel.schedule(0.20, lambda: fired.append("middle"))
+
+        run_sim(driver())
+        assert fired == ["early", "middle", "late"]
+
+    def test_monadic_actions_run_on_the_sleeper(self):
+        wheel = TimerWheel()
+        results: list[bytes] = []
+
+        @do
+        def monadic_action():
+            value = yield pure(b"ran")
+            results.append(value)
+
+        @do
+        def driver():
+            yield wheel.schedule(0.05, monadic_action)
+
+        run_sim(driver())
+        assert results == [b"ran"]
+        assert wheel.fired == 1
+
+    def test_plain_callable_actions_are_fine_too(self):
+        wheel = TimerWheel()
+        fired = []
+
+        @do
+        def driver():
+            yield wheel.schedule(0.05, lambda: fired.append(True))
+
+        run_sim(driver())
+        assert fired == [True]
+
+    def test_action_error_is_contained(self):
+        # A broken action must not kill the sleeper: later timers fire.
+        wheel = TimerWheel()
+        fired = []
+
+        def boom():
+            raise RuntimeError("broken timer action")
+
+        @do
+        def driver():
+            yield wheel.schedule(0.05, boom)
+            yield wheel.schedule(0.10, lambda: fired.append(True))
+
+        run_sim(driver())
+        assert fired == [True]
+        assert wheel.action_errors == 1
+
+
+class TestCancellation:
+    def test_cancel_before_fire_suppresses_the_action(self):
+        wheel = TimerWheel()
+        fired = []
+
+        @do
+        def driver():
+            keep = yield wheel.schedule(0.10, lambda: fired.append("keep"))
+            drop = yield wheel.schedule(0.05, lambda: fired.append("drop"))
+            drop.cancel()
+            assert keep is not drop
+
+        run_sim(driver())
+        assert fired == ["keep"]
+        assert wheel.cancelled == 1
+        assert wheel.fired == 1
+
+    def test_cancel_after_fire_is_a_noop(self):
+        wheel = TimerWheel()
+        handles = []
+
+        @do
+        def driver():
+            handle = yield wheel.schedule(0.01, lambda: None)
+            handles.append(handle)
+
+        run_sim(driver())
+        (handle,) = handles
+        assert handle.fired
+        handle.cancel()  # must not raise or un-fire
+        assert wheel.fired == 1
+        assert wheel.cancelled == 0
+
+    def test_cancellation_ordering_interleaved(self):
+        # Cancel every other timer of a batch: exactly the survivors
+        # fire, still in deadline order.
+        wheel = TimerWheel()
+        fired: list[int] = []
+
+        @do
+        def driver():
+            handles = []
+            for index in range(6):
+                handle = yield wheel.schedule(
+                    0.05 + index * 0.05,
+                    (lambda i: lambda: fired.append(i))(index),
+                )
+                handles.append(handle)
+            for index in (1, 3, 5):
+                handles[index].cancel()
+
+        run_sim(driver())
+        assert fired == [0, 2, 4]
+        assert wheel.cancelled == 3
+
+
+class TestSleeperLifecycle:
+    def test_one_sleeper_serves_many_timers(self):
+        wheel = TimerWheel()
+        count = 50
+
+        @do
+        def driver():
+            for index in range(count):
+                yield wheel.schedule(0.05 + index * 0.001, lambda: None)
+
+        run_sim(driver())
+        assert wheel.scheduled == count
+        assert wheel.fired == count
+        # The whole batch shared one sleeper thread: no thread per timer.
+        assert wheel.sleeper_spawns == 1
+        assert not wheel.running
+        assert wheel.armed == 0
+
+    def test_sleeper_exits_when_idle_and_respawns_on_demand(self):
+        wheel = TimerWheel()
+        stages = []
+
+        @do
+        def first():
+            yield wheel.schedule(0.02, lambda: stages.append("a"))
+
+        @do
+        def second():
+            yield wheel.schedule(0.02, lambda: stages.append("b"))
+
+        rt = SimRuntime()
+        rt.spawn(first(), name="first")
+        rt.run_all()  # wheel drains, sleeper exits
+        assert not wheel.running
+        rt.spawn(second(), name="second")
+        rt.run_all()
+        assert stages == ["a", "b"]
+        assert wheel.sleeper_spawns == 2
+
+    def test_recurring_action_reschedules_on_the_same_sleeper(self):
+        wheel = TimerWheel()
+        ticks = []
+
+        @do
+        def tick():
+            ticks.append(len(ticks))
+            if len(ticks) < 5:
+                yield wheel.schedule(0.05, tick)
+            else:
+                yield pure(None)
+
+        @do
+        def driver():
+            yield wheel.schedule(0.05, tick)
+
+        run_sim(driver())
+        assert ticks == [0, 1, 2, 3, 4]
+        assert wheel.sleeper_spawns == 1
+
+
+class TestLiveSmoke:
+    def test_fires_on_the_wall_clock(self):
+        rt = LiveRuntime(uncaught="store")
+        try:
+            wheel = rt.timers
+            assert isinstance(wheel, TimerWheel)
+            fired = []
+
+            @do
+            def driver():
+                yield wheel.schedule(0.02, lambda: fired.append(True))
+
+            rt.spawn(driver(), name="driver")
+            rt.run(until=lambda: bool(fired), idle_timeout=5.0)
+            assert fired == [True]
+        finally:
+            rt.shutdown()
