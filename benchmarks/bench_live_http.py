@@ -5,7 +5,7 @@ processes with ``SO_REUSEPORT`` sharding.  This harness measures it from
 the outside: several load-generator *processes*, each driving keep-alive
 connections over real sockets with back-to-back GETs for a fixed window.
 
-Three modes:
+Four modes:
 
 * **scale** — clusters of 1, 2 and 4 shards under a fixed load fleet.
   Reported per point: aggregate requests/sec (client-side, completed
@@ -29,6 +29,12 @@ Three modes:
   must stay readable and outage-window writes must succeed, and after
   the respawn the hinted-handoff queue must drain to zero (cross-checked
   against the ``/kv-stats`` replica/handoff counters).
+* **cache** — the same replicated cluster spoken to over the memcache
+  wire protocol (``repro.cache``): a fleet of blocking memcache clients
+  sends pipelined bursts of multi-key ``get`` commands (one write per
+  burst) and the harness reports per-command rps, per-burst p50/p99, and
+  the server-side batching ratio — response frames per gathered egress
+  write — which must stay above 1 on pipelined load.
 
 Run under pytest (the CI smoke path) or directly as a script::
 
@@ -56,6 +62,7 @@ from conftest import scale
 
 from repro.app.kv import kv_app_factory
 from repro.bench.harness import Series, format_table
+from repro.cache.client import BlockingMemcacheClient
 from repro.http.blocking_client import (
     BlockingHttpClient,
     read_full_response,
@@ -86,6 +93,17 @@ KV_REPL_CONNECTIONS = 2
 KV_REPL_KEYS = 32
 #: How long to wait for hinted handoff to drain after the respawn.
 KV_REPL_DRAIN_DEADLINE = 20.0
+
+# Cache mode: the memcache front-end under pipelined multi-key gets.
+CACHE_SHARDS = 4
+CACHE_PROCESSES = 4
+CACHE_CONNECTIONS = 2
+CACHE_KEYS = 48
+CACHE_VALUE = b"v" * 256
+#: ``get`` commands per pipelined burst (one write, N replies).
+CACHE_PIPELINE_DEPTH = 8
+#: Keys per multi-key ``get``.
+CACHE_KEYS_PER_GET = 4
 
 # Overload mode: per-shard admission caps well below the offered load.
 OVERLOAD_SHARDS = 2
@@ -604,6 +622,125 @@ def run_kv_replicated(duration: float, poller: str = "auto") -> dict:
 
 
 # ----------------------------------------------------------------------
+# Cache mode: the memcache front-end under pipelined multi-key gets.
+# ----------------------------------------------------------------------
+def _cache_load_process(port, connections, duration, barrier, result_pipe):
+    """Pipelined multi-key ``get`` load over the memcache front-end.
+
+    Each burst is ``CACHE_PIPELINE_DEPTH`` get commands of
+    ``CACHE_KEYS_PER_GET`` keys, sent in ONE write; latency is measured
+    per burst (write to last END), which is the shape the gathered-write
+    egress is supposed to win on.
+    """
+    try:
+        clients = [
+            BlockingMemcacheClient(port, timeout=10)
+            for _ in range(connections)
+        ]
+    except OSError:
+        barrier.abort()
+        result_pipe.send({"latencies": [], "requests": 0,
+                          "hits": 0, "misses": 0, "errors": 1})
+        return
+    try:
+        barrier.wait(timeout=30)
+    except Exception:
+        result_pipe.send({"latencies": [], "requests": 0,
+                          "hits": 0, "misses": 0, "errors": 1})
+        return
+    latencies: list[float] = []
+    requests = hits = misses = errors = 0
+    key_index = 0
+    deadline = time.monotonic() + duration
+    try:
+        while time.monotonic() < deadline:
+            for client in clients:
+                batches = []
+                for _ in range(CACHE_PIPELINE_DEPTH):
+                    batches.append([
+                        f"cache:{(key_index + offset) % CACHE_KEYS}"
+                        for offset in range(CACHE_KEYS_PER_GET)
+                    ])
+                    key_index += CACHE_KEYS_PER_GET
+                begin = time.perf_counter()
+                replies = client.pipeline_get(batches)
+                latencies.append(time.perf_counter() - begin)
+                requests += len(batches)
+                for keys, values in zip(batches, replies):
+                    hits += len(values)
+                    misses += len(keys) - len(values)
+    except OSError:
+        errors += 1
+    for client in clients:
+        client.close()
+    result_pipe.send({"latencies": latencies, "requests": requests,
+                      "hits": hits, "misses": misses, "errors": errors})
+    result_pipe.close()
+
+
+def run_cache(duration: float, poller: str = "auto") -> dict:
+    """The replicated cluster spoken to over the memcache wire protocol:
+    populate with pipelined sets, then a pipelined multi-get fleet."""
+    cluster = ClusterServer(
+        kv_app_factory, shards=CACHE_SHARDS, mesh=True,
+        replication=2, write_quorum=1,
+        cache_port=0, cache_protocol="memcache", poller=poller,
+    )
+    cluster.start()
+    try:
+        with BlockingMemcacheClient(cluster.cache_port) as writer:
+            stored = writer.pipeline_set(
+                [(f"cache:{index}", CACHE_VALUE)
+                 for index in range(CACHE_KEYS)]
+            )
+            assert stored == CACHE_KEYS, f"populate stored {stored}"
+        payloads = _fan_out(
+            _cache_load_process, CACHE_PROCESSES,
+            (cluster.cache_port, CACHE_CONNECTIONS, duration), duration,
+        )
+        aggregate = cluster.stats()["aggregate"]
+    finally:
+        cluster.stop()
+    latencies: list[float] = []
+    requests = hits = misses = errors = 0
+    for payload in payloads:
+        latencies.extend(payload["latencies"])
+        requests += payload["requests"]
+        hits += payload["hits"]
+        misses += payload["misses"]
+        errors += payload["errors"]
+    app = aggregate.get("app", {})
+    send_batches = app.get("cache_send_batches", 0)
+    responses = app.get("cache_responses", 0)
+    return {
+        "shards": CACHE_SHARDS,
+        "keys": CACHE_KEYS,
+        "pipeline_depth": CACHE_PIPELINE_DEPTH,
+        "keys_per_get": CACHE_KEYS_PER_GET,
+        # Burst latency, plus per-command rps (requests counts every
+        # pipelined get command, not bursts).
+        "burst": _percentiles(latencies, duration),
+        "rps": requests / duration,
+        "requests": requests,
+        "hits": hits,
+        "misses": misses,
+        "client_errors": errors,
+        "server_cache_commands": app.get("cache_commands", 0),
+        "server_cache_responses": responses,
+        "server_cache_send_batches": send_batches,
+        "server_cache_pipelined_batches": app.get(
+            "cache_pipelined_batches", 0
+        ),
+        # The hotpath gate: >1 response frame per gathered egress write.
+        "responses_per_batch": (
+            responses / send_batches if send_batches else 0.0
+        ),
+        "server_cache_errors": app.get("cache_errors", 0),
+        "workers_reporting": aggregate["workers_reporting"],
+    }
+
+
+# ----------------------------------------------------------------------
 # Pytest entry points (the CI smoke path).
 # ----------------------------------------------------------------------
 def test_live_http_shard_scaling(report):
@@ -747,6 +884,34 @@ def test_live_kv_replicated(report):
     assert point["mesh_frames_sent"] >= point["mesh_flushes"]
 
 
+def test_live_cache_pipeline(report):
+    duration = 0.8 * scale()
+    point = run_cache(duration)
+    report(
+        f"Memcache front-end over a {point['shards']}-shard replicated "
+        f"cluster — {CACHE_PROCESSES} load processes x "
+        f"{CACHE_CONNECTIONS} connections, bursts of "
+        f"{point['pipeline_depth']} gets x {point['keys_per_get']} keys, "
+        f"{duration:.1f}s window: {point['rps']:.0f} get/s, "
+        f"burst p50 {point['burst']['p50_ms']:.2f} ms, "
+        f"p99 {point['burst']['p99_ms']:.2f} ms, "
+        f"{point['responses_per_batch']:.2f} responses per egress write"
+    )
+    # Real load flowed through every shard, and every key was a hit.
+    assert point["requests"] > 0, "no pipelined gets completed"
+    assert point["client_errors"] == 0
+    assert point["misses"] == 0, f"{point['misses']} unexpected misses"
+    assert point["server_cache_errors"] == 0
+    assert point["workers_reporting"] == CACHE_SHARDS
+    # The acceptance bar: pipelined batches coalesce, so the cluster
+    # sends MORE than one response frame per egress syscall.
+    assert point["server_cache_pipelined_batches"] > 0
+    assert point["responses_per_batch"] > 1, (
+        f"{point['responses_per_batch']:.2f} responses per gathered "
+        f"write: pipelined replies are not batching"
+    )
+
+
 # ----------------------------------------------------------------------
 # Script mode: self-terminating runs that emit BENCH_live_http.json.
 # ----------------------------------------------------------------------
@@ -755,10 +920,12 @@ def main(argv: list[str] | None = None) -> int:
         description="Live-HTTP cluster benchmark (scale + overload modes)."
     )
     parser.add_argument("--mode",
-                        choices=("scale", "overload", "kv", "both", "all"),
+                        choices=("scale", "overload", "kv", "cache",
+                                 "both", "all"),
                         default="both",
                         help="'both' = scale + overload (historical name); "
-                             "'all' adds the sharded-state kv mode")
+                             "'all' adds the sharded-state kv mode and "
+                             "the memcache cache mode")
     parser.add_argument("--duration", type=float, default=None,
                         help="seconds per measurement point "
                              "(default: 0.8 x scale)")
@@ -854,6 +1021,19 @@ def main(argv: list[str] | None = None) -> int:
                   f"queued/replayed/pending")
         else:
             skipped.append("kv_replicated")
+
+    if args.mode in ("cache", "all"):
+        if budget_left(point_cost):
+            point = run_cache(duration, poller=args.poller)
+            results["cache"] = point
+            print(f"cache ({point['shards']} shards, memcache wire): "
+                  f"{point['rps']:.0f} get/s, "
+                  f"burst p50 {point['burst']['p50_ms']:.2f} ms "
+                  f"p99 {point['burst']['p99_ms']:.2f} ms | "
+                  f"{point['responses_per_batch']:.2f} responses "
+                  f"per egress write | misses {point['misses']}")
+        else:
+            skipped.append("cache")
 
     results["meta"]["skipped_points"] = skipped
     results["meta"]["elapsed_s"] = round(time.monotonic() - started, 3)

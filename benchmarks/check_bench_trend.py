@@ -16,6 +16,10 @@ Compares a fresh bench run against the committed baseline floor
   key was unavailable (or a write refused) during the kill-one-shard
   drill, hinted handoff failed to engage and drain after the respawn,
   or the mesh never batched an outbound flush under the drill's load;
+* the cache point's pipelined-get rps falls below the baseline floor,
+  pipelined replies never coalesced into gathered writes (responses per
+  egress write must exceed 1), or a fully populated key set produced
+  misses or client errors;
 * the hotpath point (``bench_hotpath.py``) shows more than the bounded
   write syscalls per HTTP response (the gathered-write claim), no mesh
   flush coalescing, or timer-thread forks growing with call count.
@@ -159,6 +163,45 @@ def check(results: dict, baseline: dict, tolerance: float) -> list[str]:
                 failures.append(
                     "kv_replicated run never batched an outbound mesh "
                     "flush: per-link egress coalescing did not engage"
+                )
+
+    cache_baseline = baseline.get("cache")
+    if cache_baseline:
+        cache = results.get("cache")
+        if cache is None:
+            failures.append("cache point missing from results")
+        else:
+            floor = cache_baseline.get("total_rps_min")
+            if floor is not None:
+                rps = cache.get("rps", 0.0)
+                minimum = floor * (1.0 - tolerance)
+                status = "ok" if rps >= minimum else "REGRESSION"
+                print(f"  cache gets: {rps:8.0f} rps "
+                      f"(floor {floor}, gate {minimum:.0f}) {status}")
+                if rps < minimum:
+                    failures.append(
+                        f"cache: {rps:.0f} rps is below {minimum:.0f} "
+                        f"(floor {floor} - {tolerance:.0%})"
+                    )
+            if cache_baseline.get("require_pipeline_batching"):
+                ratio = cache.get("responses_per_batch", 0.0)
+                batched = cache.get("server_cache_pipelined_batches", 0)
+                if ratio <= 1.0 or batched <= 0:
+                    failures.append(
+                        f"cache run never batched pipelined responses "
+                        f"(responses_per_batch={ratio:.2f}, "
+                        f"pipelined_batches={batched}): the gathered-"
+                        f"write egress did not engage"
+                    )
+                else:
+                    print(f"  cache responses_per_batch: {ratio:6.2f} ok")
+            if cache.get("misses", 0) > 0 or cache.get(
+                "client_errors", 0
+            ) > 0:
+                failures.append(
+                    f"cache run had {cache.get('misses', 0)} misses / "
+                    f"{cache.get('client_errors', 0)} client errors on a "
+                    f"fully populated key set"
                 )
 
     hot_baseline = baseline.get("hotpath")

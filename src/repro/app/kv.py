@@ -956,6 +956,9 @@ def build_kv_app(
     replication: int = 1,
     write_quorum: int = 1,
     timers: Any = None,
+    cache_listener: Any = None,
+    cache_protocol: str = "memcache",
+    cache_max_connections: int | None = None,
     **server_kwargs: Any,
 ) -> WebServer:
     """One shard's KV application on the layered stack.
@@ -971,6 +974,11 @@ def build_kv_app(
     accept loop — an ``on_peer_up`` hook for the cluster control
     protocol, and a graceful-stop ``drain``.  Extra keyword arguments
     reach :class:`WebServer` (admission caps, parser limits...).
+
+    ``cache_listener`` mounts a second wire protocol over the same node:
+    a :mod:`repro.cache` front-end (``cache_protocol`` picks the dialect,
+    ``"memcache"`` or ``"resp"``) whose accept loop forks next to the
+    HTTP one — one store, two dialects, same owner routing.
     """
     if mesh is not None:
         index = mesh.index if index is None else index
@@ -1015,6 +1023,39 @@ def build_kv_app(
         server.stop = stop
         server.on_peer_up = node.replay_hints
         server.drain = node.drain_to_replicas
+    if cache_listener is not None:
+        # Imported here: repro.cache is the protocol layer over *any*
+        # store; only this app-level wiring couples it to the KV node.
+        from ..cache.frontend import build_cache_frontend
+
+        frontend = build_cache_frontend(
+            rt, cache_listener, node, protocol=cache_protocol,
+            max_connections=cache_max_connections,
+        )
+        app_main = server.main
+
+        @do
+        def main_with_cache():
+            yield sys_fork(frontend.main(),
+                           name=f"kv-cache-{frontend.kind}")
+            yield app_main()
+
+        app_stop = server.stop
+        app_extra = server.extra_stats
+
+        def stop_with_cache() -> None:
+            frontend.stop()
+            app_stop()
+
+        def extra_stats() -> dict:
+            merged = dict(app_extra())
+            merged.update(frontend.extra_stats())
+            return merged
+
+        server.main = main_with_cache
+        server.stop = stop_with_cache
+        server.extra_stats = extra_stats
+        server.cache_frontend = frontend
     return server
 
 
@@ -1024,13 +1065,18 @@ def kv_app_factory(
     mesh: MeshNode,
     replication: int = 1,
     write_quorum: int = 1,
+    cache_listener: Any = None,
+    cache_protocol: str = "memcache",
 ) -> WebServer:
     """The cluster ``app_factory`` for a mesh-enabled KV cluster.
 
-    ``replication`` arrives from :class:`~repro.runtime.cluster
-    .ClusterConfig` (the cluster passes it to any factory whose
-    signature names it).  The runtime's shared timer wheel drives the
-    hint pump, so a replicated shard spawns no pump thread."""
+    ``replication``, ``cache_listener``, and ``cache_protocol`` arrive
+    from :class:`~repro.runtime.cluster.ClusterConfig` (the cluster
+    passes each to any factory whose signature names it).  The runtime's
+    shared timer wheel drives the hint pump, so a replicated shard
+    spawns no pump thread."""
     return build_kv_app(rt, listener, mesh, replication=replication,
                         write_quorum=write_quorum,
-                        timers=getattr(rt, "timers", None))
+                        timers=getattr(rt, "timers", None),
+                        cache_listener=cache_listener,
+                        cache_protocol=cache_protocol)

@@ -1,0 +1,90 @@
+"""Wiring: a cache wire protocol on a connection driver over a store.
+
+The cache front-end is a sibling of the HTTP facade: same
+:class:`~repro.runtime.driver.ConnectionDriver`, same
+:class:`~repro.runtime.driver.IoSocketLayer`, different protocol object
+— the "protocols among threads" composition the driver was factored out
+for.  :func:`build_cache_frontend` assembles one; :class:`~repro.app.kv
+.build_kv_app` mounts it next to the HTTP listener so one shard serves
+both dialects over one store.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.monad import M
+from ..runtime.driver import ConnectionDriver, IoSocketLayer
+from .base import CacheStats
+from .memcache import MemcacheProtocol
+from .resp import RespProtocol
+
+__all__ = ["PROTOCOLS", "CacheFrontend", "build_cache_frontend"]
+
+PROTOCOLS = {
+    "memcache": MemcacheProtocol,
+    "resp": RespProtocol,
+}
+
+
+class CacheFrontend:
+    """One cache listener: driver + protocol + shared stats."""
+
+    def __init__(self, driver: ConnectionDriver, protocol: Any,
+                 stats: CacheStats, kind: str) -> None:
+        self.driver = driver
+        self.protocol = protocol
+        self.stats = stats
+        self.kind = kind
+
+    def main(self) -> M:
+        return self.driver.main()
+
+    def stop(self) -> None:
+        self.driver.stop()
+
+    def extra_stats(self) -> dict[str, int]:
+        """Protocol counters under a ``cache_`` prefix, for the cluster
+        control protocol's numeric-counter aggregation."""
+        return {
+            f"cache_{name}": value
+            for name, value in self.stats.as_dict().items()
+        }
+
+
+def build_cache_frontend(
+    rt: Any,
+    listener: Any,
+    store: Any,
+    protocol: str = "memcache",
+    accept_batch: int = 64,
+    max_connections: int | None = None,
+    name: str | None = None,
+    **protocol_kwargs: Any,
+) -> CacheFrontend:
+    """A cache front-end over ``store`` on an existing listener.
+
+    ``store`` is any monadic KV (``get``/``put``/``delete``/``mget``
+    returning ``M``) — in the cluster it is the shard's
+    :class:`~repro.app.kv.KvNode`, so owner routing and replication come
+    for free and any shard answers any key.  ``protocol`` selects the
+    dialect from :data:`PROTOCOLS`.
+    """
+    try:
+        protocol_cls = PROTOCOLS[protocol]
+    except KeyError:
+        raise ValueError(
+            f"unknown cache protocol {protocol!r} "
+            f"(have {sorted(PROTOCOLS)})"
+        )
+    stats = CacheStats()
+    proto = protocol_cls(store, stats=stats, **protocol_kwargs)
+    driver = ConnectionDriver(
+        IoSocketLayer(rt.io, listener),
+        proto,
+        accept_batch=accept_batch,
+        max_connections=max_connections,
+        stats=stats,
+        name=name or f"cache-{protocol}",
+    )
+    return CacheFrontend(driver, proto, stats, protocol)

@@ -88,21 +88,31 @@ def read_full_response(
             buffer.extend(chunk)
 
     if headers.get("transfer-encoding", "").lower() == "chunked":
-        body = bytearray()
-        while True:
+
+        def read_line() -> bytes:
             while True:
                 line_end = buffer.find(b"\r\n")
                 if line_end >= 0:
                     break
                 chunk = sock.recv(65536)
                 if not chunk:
-                    raise ConnectionError("EOF mid chunk size line")
+                    raise ConnectionError("EOF mid chunked body")
                 buffer.extend(chunk)
-            size = int(bytes(buffer[:line_end]), 16)
+            line = bytes(buffer[:line_end])
             del buffer[:line_end + 2]
+            return line
+
+        body = bytearray()
+        while True:
+            # Size lines may carry extensions ("1a;name=value"): ignore
+            # everything after the first ";".
+            size = int(read_line().split(b";", 1)[0].strip(), 16)
             if size == 0:
-                need(2)  # the final CRLF after the terminal chunk
-                del buffer[:2]
+                # Trailer section: zero or more header lines, then a
+                # blank line.  Assuming a bare CRLF here desyncs the
+                # keep-alive buffer whenever a server sends trailers.
+                while read_line():
+                    pass
                 return status_line, headers, bytes(body)
             need(size + 2)
             body.extend(buffer[:size])

@@ -4,6 +4,14 @@ The parser is push-based: feed it arbitrary byte chunks (as they arrive
 from a socket) and pop complete requests.  Splitting the input at any byte
 boundary yields identical parses — a property test pins this down, since
 network reads chunk unpredictably.
+
+Body framing follows RFC 9112: a request carries either a validated
+Content-Length body or a ``Transfer-Encoding: chunked`` body (size lines
+may carry extensions; an optional trailer section follows the terminal
+chunk).  A request that claims both framings is rejected with 400 — the
+classic request-smuggling ambiguity — as are duplicate Content-Length
+headers and length values that ``int()`` would quietly accept
+(``"+5"``, ``"1_0"``, non-ASCII digits).
 """
 
 from __future__ import annotations
@@ -14,7 +22,12 @@ __all__ = ["RequestParser", "HttpParseError"]
 
 _MAX_HEADER_BYTES = 16 * 1024
 _MAX_BODY_BYTES = 1 * 1024 * 1024
+_MAX_CHUNK_LINE_BYTES = 256
 _SUPPORTED_METHODS = ("GET", "HEAD", "POST", "PUT", "DELETE", "OPTIONS")
+
+# Headers where merging duplicates would change message framing or
+# routing semantics; everything else comma-joins per RFC 9110 §5.2.
+_NO_DUPLICATES = ("content-length", "host", "transfer-encoding")
 
 
 class HttpParseError(ValueError):
@@ -26,6 +39,20 @@ class HttpParseError(ValueError):
         self.detail = detail
 
 
+def _strict_content_length(value: str) -> int:
+    """Parse a Content-Length: ASCII digits only, no signs or separators.
+
+    Bare ``int()`` accepts ``"+5"``, ``" 7 "``, ``"1_0"``, and non-ASCII
+    digit runs like ``"١٢"`` — all of which an intermediary may read
+    differently than we would, which is exactly the desync that enables
+    request smuggling.  (``str.isdigit()`` alone is not enough: it is
+    True for non-ASCII digits, hence the explicit ASCII check.)
+    """
+    if not value or not value.isascii() or not value.isdigit():
+        raise HttpParseError(400, f"bad Content-Length {value!r}")
+    return int(value)
+
+
 class RequestParser:
     """A streaming parser for a single connection.
 
@@ -33,7 +60,9 @@ class RequestParser:
     without completing is rejected with 431 (Request Header Fields Too
     Large) *before* more bytes accumulate, and a declared body larger
     than ``max_body_bytes`` is rejected with 413 — a connection can never
-    make the parser buffer unboundedly.
+    make the parser buffer unboundedly.  Chunked bodies enforce the same
+    body bound cumulatively across chunks, and bound the trailer section
+    by ``max_header_bytes``.
     """
 
     def __init__(
@@ -51,6 +80,13 @@ class RequestParser:
         self._requests: list[HttpRequest] = []
         self._pending: HttpRequest | None = None
         self._body_needed = 0
+        # Chunked-transfer state: mode is None (not chunked) or one of
+        # "size" / "data" / "trailer".
+        self._chunk_mode: str | None = None
+        self._chunk_remaining = 0
+        self._chunk_parts: list[bytes] = []
+        self._chunk_total = 0
+        self._trailer_bytes = 0
 
     def feed(self, data: bytes) -> None:
         """Add received bytes; may complete any number of requests."""
@@ -72,6 +108,8 @@ class RequestParser:
     # ------------------------------------------------------------------
     def _advance(self) -> bool:
         if self._pending is not None:
+            if self._chunk_mode is not None:
+                return self._advance_chunked()
             return self._advance_body()
         return self._advance_headers()
 
@@ -88,14 +126,29 @@ class RequestParser:
         block = bytes(self._buffer[:end])
         del self._buffer[:end + 4]
         request = self._parse_header_block(block)
-        length = request.header("content-length")
-        if length:
-            try:
-                needed = int(length)
-            except ValueError:
-                raise HttpParseError(400, f"bad Content-Length {length!r}")
-            if needed < 0:
-                raise HttpParseError(400, "negative Content-Length")
+        encoding = request.headers.get("transfer-encoding")
+        length = request.headers.get("content-length")
+        if encoding is not None:
+            if length is not None:
+                # RFC 9112 §6.1: an ambiguous-framing request MUST be
+                # treated as an error, never resolved silently.
+                raise HttpParseError(
+                    400, "both Transfer-Encoding and Content-Length"
+                )
+            codings = [c.strip().lower()
+                       for c in encoding.split(",") if c.strip()]
+            if codings != ["chunked"]:
+                raise HttpParseError(
+                    501, f"unsupported Transfer-Encoding {encoding!r}"
+                )
+            self._pending = request
+            self._chunk_mode = "size"
+            self._chunk_parts = []
+            self._chunk_total = 0
+            self._trailer_bytes = 0
+            return True
+        if length is not None:
+            needed = _strict_content_length(length)
             if needed > self.max_body_bytes:
                 raise HttpParseError(413, "body too large")
             self._pending = request
@@ -115,6 +168,79 @@ class RequestParser:
         self._body_needed = 0
         self._requests.append(request)
         return True
+
+    # -- chunked transfer coding ---------------------------------------
+    def _advance_chunked(self) -> bool:
+        """Run the chunked state machine as far as the buffer allows.
+
+        Returns True when the pending request completed (so the caller
+        loops and may start the next pipelined request), False when more
+        bytes are needed.
+        """
+        buffer = self._buffer
+        while True:
+            if self._chunk_mode == "size":
+                line_end = buffer.find(b"\r\n")
+                if line_end < 0:
+                    if len(buffer) > _MAX_CHUNK_LINE_BYTES:
+                        raise HttpParseError(400, "chunk size line too long")
+                    return False
+                line = bytes(buffer[:line_end])
+                del buffer[:line_end + 2]
+                # Chunk extensions (";name=value") are legal and ignored.
+                size_text = line.split(b";", 1)[0].strip()
+                size = self._parse_chunk_size(size_text)
+                if self._chunk_total + size > self.max_body_bytes:
+                    raise HttpParseError(413, "chunked body too large")
+                if size == 0:
+                    self._chunk_mode = "trailer"
+                else:
+                    self._chunk_remaining = size
+                    self._chunk_mode = "data"
+            elif self._chunk_mode == "data":
+                need = self._chunk_remaining + 2
+                if len(buffer) < need:
+                    return False
+                if bytes(buffer[self._chunk_remaining:need]) != b"\r\n":
+                    raise HttpParseError(400, "chunk not CRLF-terminated")
+                self._chunk_parts.append(bytes(buffer[:self._chunk_remaining]))
+                self._chunk_total += self._chunk_remaining
+                del buffer[:need]
+                self._chunk_remaining = 0
+                self._chunk_mode = "size"
+            else:  # trailer section: zero or more fields, then CRLF
+                line_end = buffer.find(b"\r\n")
+                if line_end < 0:
+                    if len(buffer) > self.max_header_bytes:
+                        raise HttpParseError(431, "trailer section too large")
+                    return False
+                line = bytes(buffer[:line_end])
+                del buffer[:line_end + 2]
+                if not line:
+                    request = self._pending
+                    assert request is not None
+                    request.body = b"".join(self._chunk_parts)
+                    self._pending = None
+                    self._chunk_mode = None
+                    self._chunk_parts = []
+                    self._chunk_total = 0
+                    self._requests.append(request)
+                    return True
+                if line.find(b":") <= 0:
+                    raise HttpParseError(400, f"bad trailer line {line!r}")
+                self._trailer_bytes += line_end + 2
+                if self._trailer_bytes > self.max_header_bytes:
+                    raise HttpParseError(431, "trailer section too large")
+                # Trailer fields are validated for shape and discarded.
+
+    @staticmethod
+    def _parse_chunk_size(size_text: bytes) -> int:
+        # int(x, 16) accepts "0x5", "+5", and "1_0"; require bare hex.
+        if not size_text or any(
+            c not in b"0123456789abcdefABCDEF" for c in size_text
+        ):
+            raise HttpParseError(400, f"bad chunk size {size_text!r}")
+        return int(size_text, 16)
 
     def _parse_header_block(self, block: bytes) -> HttpRequest:
         try:
@@ -142,5 +268,10 @@ class RequestParser:
                 raise HttpParseError(400, f"bad header line {line!r}")
             name = line[:colon].strip().lower()
             value = line[colon + 1:].strip()
-            headers[name] = value
+            if name in headers:
+                if name in _NO_DUPLICATES:
+                    raise HttpParseError(400, f"duplicate {name} header")
+                headers[name] = f"{headers[name]}, {value}"
+            else:
+                headers[name] = value
         return HttpRequest(method, target, version, headers)

@@ -101,6 +101,17 @@ class ClusterConfig:
     #: Write quorum for replicated applications, forwarded the same way
     #: (minimum replica acks before a write reports success).
     write_quorum: int = 1
+    #: Cache front-end port (``None`` disables, ``0`` lets the master
+    #: resolve an ephemeral one).  Like the serving port it is a single
+    #: ``SO_REUSEPORT`` group every shard joins — any shard answers any
+    #: key, the kernel spreads connections.  The resulting listener is
+    #: passed to any ``app_factory`` naming a ``cache_listener``
+    #: parameter (e.g. the KV app, which mounts a :mod:`repro.cache`
+    #: protocol on it).
+    cache_port: int | None = None
+    #: Cache dialect: ``"memcache"`` or ``"resp"``, forwarded to any
+    #: factory naming ``cache_protocol``.
+    cache_protocol: str = "memcache"
 
 
 def build_runtime(config: ClusterConfig) -> LiveRuntime:
@@ -255,10 +266,27 @@ def _worker_main(
             timers=rt.timers,
             keepalive_interval=config.mesh_keepalive,
         )
+    cache_listener: socket.socket | None = None
+    if config.cache_port is not None:
+        cache_listener = make_listener(
+            config.host, config.cache_port,
+            backlog=config.backlog, reuse_port=True,
+        )
     factory_kwargs: dict[str, Any] = {}
-    for knob in ("replication", "write_quorum"):
+    for knob in ("replication", "write_quorum", "cache_protocol"):
         if _accepts_keyword(app_factory, knob):
             factory_kwargs[knob] = getattr(config, knob)
+    if cache_listener is not None:
+        if _accepts_keyword(app_factory, "cache_listener"):
+            factory_kwargs["cache_listener"] = cache_listener
+        else:
+            # The caller asked for a cache port but the factory cannot
+            # mount it — surface the misconfiguration at spawn, not as
+            # a silently dead port.
+            raise TypeError(
+                f"cache_port is set but {app_factory!r} does not accept "
+                f"a cache_listener parameter"
+            )
     passing = _mesh_passing(app_factory) if mesh is not None else None
     if passing == "kw":
         app = app_factory(rt, listener, mesh=mesh, **factory_kwargs)
@@ -396,6 +424,11 @@ def _worker_main(
         listener.close()
     except OSError:
         pass
+    if cache_listener is not None:
+        try:
+            cache_listener.close()
+        except OSError:
+            pass
     if mesh is not None:
         try:
             mesh.listener.close()
@@ -484,6 +517,7 @@ class ClusterServer:
         self._ctx = multiprocessing.get_context("fork")
         self._reservation: socket.socket | None = None
         self._mesh_reservations: list[socket.socket] = []
+        self._cache_reservation: socket.socket | None = None
         self._workers: list[_WorkerHandle] = []
         self._lock = threading.RLock()
         self._stats_lock = threading.Lock()  # serializes stats() readers
@@ -492,6 +526,8 @@ class ClusterServer:
         #: Number of crashed shards replaced by the monitor.
         self.respawns = 0
         self.port: int | None = None
+        #: Resolved cache front-end port (None when no cache_port set).
+        self.cache_port: int | None = None
 
     # -- lifecycle -----------------------------------------------------
     @staticmethod
@@ -521,6 +557,20 @@ class ClusterServer:
         self._reservation = reservation
         self.port = reservation.getsockname()[1]
         self.config = dataclasses.replace(self.config, port=self.port)
+        if self.config.cache_port is not None:
+            # The cache front-end port is reserved exactly like the
+            # serving port: one SO_REUSEPORT group shared by all shards.
+            try:
+                self._cache_reservation = self._reserve(
+                    self.config.host, self.config.cache_port
+                )
+            except BaseException:
+                self.stop(timeout=1.0)
+                raise
+            self.cache_port = self._cache_reservation.getsockname()[1]
+            self.config = dataclasses.replace(
+                self.config, cache_port=self.cache_port
+            )
         if self.config.mesh:
             # One data-plane port per shard, reserved the same way so
             # respawned/reloaded shards rebind their mesh listeners.  A
@@ -571,6 +621,8 @@ class ClusterServer:
                 pass
         if self._reservation is not None:
             inherited.append(self._reservation.fileno())
+        if self._cache_reservation is not None:
+            inherited.append(self._cache_reservation.fileno())
         for reservation in self._mesh_reservations:
             try:
                 inherited.append(reservation.fileno())
@@ -625,6 +677,12 @@ class ClusterServer:
         if self._reservation is not None:
             self._reservation.close()
             self._reservation = None
+        if self._cache_reservation is not None:
+            try:
+                self._cache_reservation.close()
+            except OSError:
+                pass
+            self._cache_reservation = None
         for reservation in self._mesh_reservations:
             try:
                 reservation.close()
@@ -746,8 +804,9 @@ class ClusterServer:
         aggregate["saturation_max"] = max(saturations, default=None)
         aggregate["workers_reporting"] = len(answered)
         # Summing these cross-shard is nonsense: connectivity is a
-        # gauge, max_frames_per_flush a high-water mark (merged as max).
-        gauges = ("peers", "connected_peers", "max_frames_per_flush")
+        # gauge, the max_* fields high-water marks (merged as max).
+        gauges = ("peers", "connected_peers", "max_frames_per_flush",
+                  "cache_max_responses_per_batch")
         for section in ("mesh", "app"):
             # Cross-shard sums of the data-plane and application
             # counters (each shard reports its own dict of numbers).
@@ -771,6 +830,14 @@ class ClusterServer:
                         (counters.get("max_frames_per_flush", 0)
                          for counters in sections),
                         default=0,
+                    )
+                if section == "app" and any(
+                    "cache_max_responses_per_batch" in counters
+                    for counters in sections
+                ):
+                    merged["cache_max_responses_per_batch"] = max(
+                        counters.get("cache_max_responses_per_batch", 0)
+                        for counters in sections
                     )
                 aggregate[section] = merged
         return {"workers": per_worker, "aggregate": aggregate}

@@ -1,0 +1,173 @@
+"""Acceptance: off-the-shelf-compatible clients against a replicated
+4-shard cluster through the cache front-ends.
+
+The blocking clients speak the real wire protocols (they would work
+against memcached / Redis), every shard joins one SO_REUSEPORT cache
+port, and owner routing means a single connection — pinned to whichever
+shard the kernel picked — answers keys owned by *every* shard.  The
+egress-batching acceptance (>1 response frame per gathered write on
+pipelined batches) is read back through the control-plane counters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.app.kv import HashRing, kv_app_factory
+from repro.cache.client import (
+    BlockingMemcacheClient,
+    BlockingRespClient,
+    RespError,
+)
+from repro.http.blocking_client import BlockingHttpClient
+
+SHARDS = 4
+
+
+def keys_owned_by_every_shard(count_per_shard: int = 4) -> dict[int, list[str]]:
+    """Deterministic keys per owning shard, via the same ring the nodes
+    build (same shard count, same vnode default)."""
+    ring = HashRing(SHARDS)
+    owned: dict[int, list[str]] = {index: [] for index in range(SHARDS)}
+    index = 0
+    while any(len(keys) < count_per_shard for keys in owned.values()):
+        key = f"spread:{index}"
+        owner = ring.owner(key)
+        if len(owned[owner]) < count_per_shard:
+            owned[owner].append(key)
+        index += 1
+    return owned
+
+
+class TestMemcacheCluster:
+    @pytest.fixture(scope="class")
+    def cluster(self):
+        from repro.runtime.cluster import ClusterServer
+
+        server = ClusterServer(
+            kv_app_factory, shards=SHARDS, mesh=True,
+            replication=2, write_quorum=1,
+            cache_port=0, cache_protocol="memcache", grace=0.1,
+        )
+        server.start()
+        yield server
+        server.stop()
+
+    def test_every_shard_answers_any_key(self, cluster):
+        owned = keys_owned_by_every_shard()
+        all_keys = [key for keys in owned.values() for key in keys]
+        with BlockingMemcacheClient(cluster.cache_port) as client:
+            # One connection lands on ONE shard; storing and reading
+            # keys owned by all four proves owner routing under the
+            # memcache dialect.
+            for key in all_keys:
+                assert client.set(key, f"value-{key}".encode())
+            for key in all_keys:
+                assert client.get(key) == f"value-{key}".encode()
+            values = client.get_many(all_keys)
+            assert set(values) == set(all_keys)
+        # Fresh connections (any shard) see the same data.
+        for _ in range(3):
+            with BlockingMemcacheClient(cluster.cache_port) as client:
+                values = client.get_many(all_keys)
+                assert values == {
+                    key: f"value-{key}".encode() for key in all_keys
+                }
+
+    def test_pipelined_set_get_delete_and_cas(self, cluster):
+        with BlockingMemcacheClient(cluster.cache_port) as client:
+            assert client.pipeline_set(
+                [(f"pipe:{i}", b"v%d" % i) for i in range(16)]
+            ) == 16
+            batches = [[f"pipe:{i}" for i in range(j, j + 4)]
+                       for j in range(0, 16, 4)]
+            replies = client.pipeline_get(batches)
+            assert len(replies) == 4
+            for j, values in zip(range(0, 16, 4), replies):
+                assert values == {
+                    f"pipe:{i}": b"v%d" % i for i in range(j, j + 4)
+                }
+            value, cas = client.gets("pipe:0")
+            assert value == b"v0" and isinstance(cas, int)
+            assert client.delete("pipe:0")
+            assert client.get("pipe:0") is None
+            assert not client.delete("pipe:0")
+
+    def test_interop_with_http_facade(self, cluster):
+        # One store, two dialects: memcache writes, HTTP reads (and the
+        # other way around).
+        with BlockingMemcacheClient(cluster.cache_port) as cache:
+            assert cache.set("interop:mc", b"from-memcache")
+            with BlockingHttpClient(cluster.port) as http:
+                status, _, body = http.request("GET", "/kv/interop:mc")
+                assert status.endswith("200 OK")
+                assert body == b"from-memcache"
+                status, _, _ = http.request("PUT", "/kv/interop:http",
+                                            b"from-http")
+                assert status.split()[1] in ("201", "204")
+            assert cache.get("interop:http") == b"from-http"
+
+    def test_batching_counters_visible_in_cluster_stats(self, cluster):
+        with BlockingMemcacheClient(cluster.cache_port) as client:
+            client.pipeline_set([(f"ctr:{i}", b"x") for i in range(8)])
+            client.pipeline_get([[f"ctr:{i}"] for i in range(8)])
+        stats = cluster.stats()
+        aggregate = stats["aggregate"]["app"]
+        assert aggregate["cache_commands"] > 0
+        assert aggregate["cache_send_batches"] > 0
+        # The acceptance criterion: pipelined batches mean more than one
+        # response frame per gathered egress write.
+        assert (aggregate["cache_responses"]
+                / aggregate["cache_send_batches"]) > 1
+        assert aggregate["cache_pipelined_batches"] > 0
+        assert aggregate["cache_max_responses_per_batch"] > 1
+        assert stats["aggregate"]["workers_reporting"] == SHARDS
+
+
+class TestRespCluster:
+    @pytest.fixture(scope="class")
+    def cluster(self):
+        from repro.runtime.cluster import ClusterServer
+
+        server = ClusterServer(
+            kv_app_factory, shards=SHARDS, mesh=True,
+            replication=2, write_quorum=1,
+            cache_port=0, cache_protocol="resp", grace=0.1,
+        )
+        server.start()
+        yield server
+        server.stop()
+
+    def test_every_shard_answers_any_key(self, cluster):
+        owned = keys_owned_by_every_shard()
+        all_keys = [key for keys in owned.values() for key in keys]
+        with BlockingRespClient(cluster.cache_port) as client:
+            assert client.execute("PING") == "PONG"
+            for key in all_keys:
+                assert client.execute("SET", key, f"v-{key}") == "OK"
+            values = client.execute("MGET", *all_keys)
+            assert values == [f"v-{key}".encode() for key in all_keys]
+            assert client.execute("DEL", all_keys[0]) == 1
+            assert client.execute("GET", all_keys[0]) is None
+
+    def test_pipelined_mixed_commands(self, cluster):
+        with BlockingRespClient(cluster.cache_port) as client:
+            replies = client.pipeline(
+                [("SET", "p:a", "1"), ("SET", "p:b", "2"),
+                 ("MGET", "p:a", "p:b", "p:ghost"),
+                 ("EXISTS", "p:a", "p:ghost"),
+                 ("UNKNOWNCMD",), ("PING",)]
+            )
+            assert replies[0] == "OK" and replies[1] == "OK"
+            assert replies[2] == [b"1", b"2", None]
+            assert replies[3] == 1
+            assert isinstance(replies[4], RespError)
+            assert replies[5] == "PONG"
+
+    def test_interop_with_http_facade(self, cluster):
+        with BlockingRespClient(cluster.cache_port) as cache:
+            assert cache.execute("SET", "interop:resp", b"from-resp") == "OK"
+            with BlockingHttpClient(cluster.port) as http:
+                status, _, body = http.request("GET", "/kv/interop:resp")
+                assert status.endswith("200 OK")
+                assert body == b"from-resp"

@@ -1,0 +1,115 @@
+"""The RESP2 parser: array framing, inline commands, byte splits."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cache.base import CacheParseError
+from repro.cache.resp import RespParser
+
+
+def encode(*args: bytes) -> bytes:
+    return b"*%d\r\n" % len(args) + b"".join(
+        b"$%d\r\n%s\r\n" % (len(arg), arg) for arg in args
+    )
+
+
+def parse_all(raw: bytes) -> list[list[bytes]]:
+    parser = RespParser()
+    parser.feed(raw)
+    commands = []
+    while (command := parser.next_command()) is not None:
+        commands.append(command)
+    return commands
+
+
+class TestArrayCommands:
+    def test_simple_command(self):
+        assert parse_all(encode(b"GET", b"key")) == [[b"GET", b"key"]]
+
+    def test_binary_safe_values(self):
+        value = b"\x00\r\n\xff binary"
+        assert parse_all(encode(b"SET", b"k", value)) == [[b"SET", b"k", value]]
+
+    def test_empty_bulk(self):
+        assert parse_all(encode(b"SET", b"k", b"")) == [[b"SET", b"k", b""]]
+
+    def test_pipelined_commands(self):
+        raw = encode(b"SET", b"a", b"1") + encode(b"GET", b"a") + encode(b"PING")
+        assert parse_all(raw) == [
+            [b"SET", b"a", b"1"], [b"GET", b"a"], [b"PING"]
+        ]
+
+    def test_empty_arrays_ignored(self):
+        assert parse_all(b"*0\r\n*-1\r\n" + encode(b"PING")) == [[b"PING"]]
+
+
+class TestInlineCommands:
+    def test_inline_split(self):
+        assert parse_all(b"PING\r\nGET  key\r\n") == [[b"PING"], [b"GET", b"key"]]
+
+    def test_blank_inline_ignored(self):
+        assert parse_all(b"\r\n  \r\nPING\r\n") == [[b"PING"]]
+
+
+class TestFatalErrors:
+    def test_bad_multibulk_length(self):
+        parser = RespParser()
+        with pytest.raises(CacheParseError):
+            parser.feed(b"*pony\r\n")
+
+    def test_reply_prefix_in_command_position(self):
+        parser = RespParser()
+        with pytest.raises(CacheParseError):
+            parser.feed(b"+OK\r\n")
+
+    def test_non_bulk_element(self):
+        parser = RespParser()
+        with pytest.raises(CacheParseError):
+            parser.feed(b"*1\r\n:5\r\n")
+
+    def test_bad_bulk_length(self):
+        parser = RespParser()
+        with pytest.raises(CacheParseError):
+            parser.feed(b"*1\r\n$x\r\n")
+
+    def test_oversized_bulk(self):
+        parser = RespParser(max_bulk_bytes=64)
+        with pytest.raises(CacheParseError):
+            parser.feed(b"*2\r\n$3\r\nSET\r\n$100\r\n")
+
+    def test_bulk_not_crlf_terminated(self):
+        parser = RespParser()
+        with pytest.raises(CacheParseError):
+            parser.feed(b"*1\r\n$4\r\nPINGXX")
+
+    def test_unbounded_line(self):
+        parser = RespParser()
+        with pytest.raises(CacheParseError):
+            parser.feed(b"x" * 10000)
+
+
+class TestByteSplitInvariance:
+    RAW = (
+        encode(b"SET", b"alpha", b"hello world")
+        + encode(b"MGET", b"alpha", b"beta", b"gamma")
+        + b"PING\r\n"
+        + encode(b"DEL", b"alpha")
+        + encode(b"SET", b"bin", b"\x00\r\n\xff")
+    )
+
+    @given(st.lists(st.integers(1, 19), max_size=40))
+    def test_any_split_parses_identically(self, cut_sizes):
+        expected = parse_all(self.RAW)
+        parser = RespParser()
+        position = 0
+        for size in cut_sizes:
+            parser.feed(self.RAW[position:position + size])
+            position += size
+        parser.feed(self.RAW[position:])
+        got = []
+        while (command := parser.next_command()) is not None:
+            got.append(command)
+        assert got == expected
+        assert parser.buffered == 0

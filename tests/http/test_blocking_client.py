@@ -1,0 +1,84 @@
+"""Regression tests for the blocking client's chunked-response decoding.
+
+``read_full_response`` previously assumed chunk-size lines carried no
+extensions and that the terminal chunk was followed by a bare CRLF; a
+server sending ``;ext`` size lines or a trailer section desynced the
+keep-alive buffer, corrupting every later response on the connection.
+The tests drive the parser over a socketpair so no runtime is involved.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.http.blocking_client import read_full_response
+
+
+def serve_bytes(payload: bytes):
+    """Return a client socket whose peer sends ``payload`` then EOF."""
+    client, server = socket.socketpair()
+    client.settimeout(5.0)
+
+    def feed():
+        server.sendall(payload)
+        server.close()
+
+    threading.Thread(target=feed, daemon=True).start()
+    return client
+
+
+HEAD = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"
+
+
+class TestChunkedResponses:
+    def test_plain_chunked(self):
+        sock = serve_bytes(HEAD + b"5\r\nhello\r\n0\r\n\r\n")
+        buffer = bytearray()
+        status, headers, body = read_full_response(sock, buffer)
+        assert status.startswith("HTTP/1.1 200")
+        assert body == b"hello"
+        assert buffer == b""
+        sock.close()
+
+    def test_chunk_size_extensions_tolerated(self):
+        sock = serve_bytes(
+            HEAD + b"5;name=value\r\nhello\r\n6 ; x\r\n world\r\n0;last\r\n\r\n"
+        )
+        _, _, body = read_full_response(sock, bytearray())
+        assert body == b"hello world"
+        sock.close()
+
+    def test_trailer_section_tolerated(self):
+        sock = serve_bytes(
+            HEAD + b"3\r\nabc\r\n0\r\nX-Checksum: abc123\r\nX-Two: 2\r\n\r\n"
+        )
+        _, _, body = read_full_response(sock, bytearray())
+        assert body == b"abc"
+        sock.close()
+
+    def test_keepalive_buffer_stays_in_sync(self):
+        # Two pipelined responses, the first with extensions and
+        # trailers: the second must still parse from the same buffer.
+        second = (
+            b"HTTP/1.1 200 OK\r\nContent-Length: 4\r\n\r\nnext"
+        )
+        sock = serve_bytes(
+            HEAD + b"4;ext\r\nbody\r\n0\r\nX-T: 1\r\n\r\n" + second
+        )
+        buffer = bytearray()
+        _, _, first_body = read_full_response(sock, buffer)
+        assert first_body == b"body"
+        status, headers, body = read_full_response(sock, buffer)
+        assert status.startswith("HTTP/1.1 200")
+        assert body == b"next"
+        assert buffer == b""
+        sock.close()
+
+    def test_eof_mid_trailers_raises(self):
+        sock = serve_bytes(HEAD + b"3\r\nabc\r\n0\r\nX-T: 1\r\n")
+        with pytest.raises(ConnectionError):
+            read_full_response(sock, bytearray())
+        sock.close()

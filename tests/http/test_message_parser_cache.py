@@ -124,6 +124,192 @@ class TestRequestParsing:
         assert second.keep_alive
 
 
+class TestContentLengthValidation:
+    """Regression: bare int() accepted "+5", "1_0", " 7 ", "١٢"."""
+
+    @pytest.mark.parametrize("value", [
+        b"+5", b"-0", b"1_0", b"1 0", b"0x10", b"5.", b"", b"\xd9\xa5",
+    ])
+    def test_non_digit_lengths_rejected(self, value):
+        parser = RequestParser()
+        with pytest.raises(HttpParseError) as info:
+            parser.feed(
+                b"POST / HTTP/1.1\r\nContent-Length: " + value + b"\r\n\r\n"
+            )
+        assert info.value.status == 400
+
+    def test_plain_digits_still_fine(self):
+        request = parse_one(
+            b"POST / HTTP/1.1\r\nContent-Length: 007\r\n\r\n1234567"
+        )
+        assert request.body == b"1234567"
+
+    def test_duplicate_content_length_rejected(self):
+        parser = RequestParser()
+        with pytest.raises(HttpParseError) as info:
+            parser.feed(
+                b"POST / HTTP/1.1\r\nContent-Length: 5\r\n"
+                b"Content-Length: 5\r\n\r\n"
+            )
+        assert info.value.status == 400
+
+    def test_conflicting_content_length_rejected(self):
+        parser = RequestParser()
+        with pytest.raises(HttpParseError) as info:
+            parser.feed(
+                b"POST / HTTP/1.1\r\nContent-Length: 5\r\n"
+                b"Content-Length: 50\r\n\r\n"
+            )
+        assert info.value.status == 400
+
+    def test_comma_joined_length_rejected(self):
+        # A single field with a folded list value is the same ambiguity.
+        parser = RequestParser()
+        with pytest.raises(HttpParseError) as info:
+            parser.feed(b"POST / HTTP/1.1\r\nContent-Length: 5, 5\r\n\r\n")
+        assert info.value.status == 400
+
+
+class TestRepeatedHeaders:
+    def test_non_framing_headers_comma_join(self):
+        # RFC 9110 §5.2: repeated fields are equivalent to one field with
+        # a comma-joined value — last-one-wins dropped cookie/accept data.
+        request = parse_one(
+            b"GET / HTTP/1.1\r\nAccept: text/html\r\nAccept: text/plain\r\n"
+            b"X-Tag: a\r\nX-Tag: b\r\nX-Tag: c\r\n\r\n"
+        )
+        assert request.header("accept") == "text/html, text/plain"
+        assert request.header("x-tag") == "a, b, c"
+
+    def test_duplicate_host_rejected(self):
+        parser = RequestParser()
+        with pytest.raises(HttpParseError) as info:
+            parser.feed(b"GET / HTTP/1.1\r\nHost: a\r\nHost: b\r\n\r\n")
+        assert info.value.status == 400
+
+
+class TestChunkedRequestBodies:
+    """Regression: chunked bodies were silently ignored, so the body
+    bytes were re-parsed as the next request — a smuggling shape."""
+
+    CHUNKED = (
+        b"POST /upload HTTP/1.1\r\nHost: h\r\n"
+        b"Transfer-Encoding: chunked\r\n\r\n"
+        b"5\r\nhello\r\n"
+        b"6\r\n world\r\n"
+        b"0\r\n\r\n"
+    )
+
+    def test_simple_chunked_body(self):
+        request = parse_one(self.CHUNKED)
+        assert request.body == b"hello world"
+
+    def test_smuggling_shape_stays_in_body(self):
+        # The embedded GET must land in the body, never be parsed as a
+        # second request.
+        smuggled = b"GET /admin HTTP/1.1\r\n\r\n"
+        raw = (
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+            + b"%x\r\n" % len(smuggled) + smuggled + b"\r\n0\r\n\r\n"
+        )
+        parser = RequestParser()
+        parser.feed(raw)
+        first = parser.next_request()
+        assert first.body == smuggled
+        assert parser.next_request() is None
+        assert parser.buffered == 0
+
+    def test_te_and_content_length_is_400(self):
+        parser = RequestParser()
+        with pytest.raises(HttpParseError) as info:
+            parser.feed(
+                b"POST / HTTP/1.1\r\nContent-Length: 4\r\n"
+                b"Transfer-Encoding: chunked\r\n\r\n0\r\n\r\n"
+            )
+        assert info.value.status == 400
+
+    def test_unsupported_coding_is_501(self):
+        parser = RequestParser()
+        with pytest.raises(HttpParseError) as info:
+            parser.feed(
+                b"POST / HTTP/1.1\r\nTransfer-Encoding: gzip, chunked\r\n\r\n"
+            )
+        assert info.value.status == 501
+
+    def test_chunk_extensions_ignored(self):
+        request = parse_one(
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+            b"5;name=value;flag\r\nhello\r\n0;last\r\n\r\n"
+        )
+        assert request.body == b"hello"
+
+    def test_trailer_section_consumed(self):
+        parser = RequestParser()
+        parser.feed(
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+            b"3\r\nabc\r\n0\r\nX-Checksum: 900150983cd2\r\nX-Two: 2\r\n\r\n"
+            b"GET /next HTTP/1.1\r\n\r\n"
+        )
+        first = parser.next_request()
+        assert first.body == b"abc"
+        # Trailer fields are consumed, not promoted to headers.
+        assert first.header("x-checksum") == ""
+        assert parser.next_request().target == "/next"
+
+    def test_bad_chunk_size_rejected(self):
+        for bad in (b"0x5", b"+5", b"5 5", b"", b"g1"):
+            parser = RequestParser()
+            with pytest.raises(HttpParseError) as info:
+                parser.feed(
+                    b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+                    + bad + b"\r\n"
+                )
+            assert info.value.status == 400
+
+    def test_chunk_missing_crlf_rejected(self):
+        parser = RequestParser()
+        with pytest.raises(HttpParseError) as info:
+            parser.feed(
+                b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+                b"3\r\nabcXX"
+            )
+        assert info.value.status == 400
+
+    def test_body_bound_enforced_across_chunks(self):
+        parser = RequestParser(max_body_bytes=100)
+        with pytest.raises(HttpParseError) as info:
+            parser.feed(
+                b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+                + b"28\r\n" + b"x" * 0x28 + b"\r\n"  # 40 bytes: fine
+                + b"28\r\n" + b"x" * 0x28 + b"\r\n"  # 80 bytes: fine
+                + b"28\r\n"                          # would cross 100
+            )
+        assert info.value.status == 413
+
+    def test_trailer_bound_enforced(self):
+        parser = RequestParser(max_header_bytes=128)
+        with pytest.raises(HttpParseError) as info:
+            parser.feed(
+                b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+                b"0\r\n" + b"X-Pad: " + b"y" * 200 + b"\r\n"
+            )
+        assert info.value.status == 431
+
+    @given(st.lists(st.integers(1, 17), max_size=40))
+    def test_chunked_byte_split_invariance(self, cut_sizes):
+        raw = self.CHUNKED + b"GET /after HTTP/1.1\r\n\r\n"
+        parser = RequestParser()
+        position = 0
+        for size in cut_sizes:
+            parser.feed(raw[position:position + size])
+            position += size
+        parser.feed(raw[position:])
+        first = parser.next_request()
+        second = parser.next_request()
+        assert first.body == b"hello world"
+        assert second.target == "/after"
+
+
 class TestMessage:
     def test_keep_alive_defaults(self):
         http11 = parse_one(b"GET / HTTP/1.1\r\n\r\n")
