@@ -14,6 +14,12 @@ Three properties are measured (and gated by ``check_bench_trend.py``):
   coalesce into few gathered writes (``frames_sent / flushes > 1``).
 * **timer threads per call** — mesh call timeouts are heap entries on
   the shared wheel: R calls must spawn O(1) sleeper threads, not O(R).
+* **timer threads per pool lease** — the outbound stack's lease and
+  request deadlines (``ConnectionPool``/``HttpClient``) are wheel
+  entries too: R pooled requests must spawn O(1) sleepers, and the
+  wheel must wake only for deadlines that actually come due (the
+  earliest-deadline sleeper has no periodic tick, so a run whose
+  timers are all schedule-then-cancel costs ~zero wakeups).
 
 Run stand-alone (merges a ``hotpath`` section into an existing
 ``BENCH_live_http.json`` when present)::
@@ -39,6 +45,7 @@ sys.path.insert(
 
 from repro.core.do_notation import do          # noqa: E402
 from repro.core.monad import pure              # noqa: E402
+from repro.http.client import HttpClient       # noqa: E402
 from repro.http.message import HttpResponse    # noqa: E402
 from repro.http.server import build_live_server  # noqa: E402
 from repro.runtime.live_runtime import LiveRuntime  # noqa: E402
@@ -51,6 +58,8 @@ MESH_CASTS_PER_ROUND = 16
 MESH_ROUNDS = 25
 #: Sequential mesh calls for the timer-wheel point.
 TIMER_CALLS = 200
+#: Pooled HttpClient requests for the pool-lease point.
+POOL_REQUESTS = 200
 
 
 class _ChunkedHandler:
@@ -279,6 +288,64 @@ def run_timer_wheel(calls: int = TIMER_CALLS) -> dict:
         rt.shutdown()
 
 
+def run_pool_leases(requests: int = POOL_REQUESTS) -> dict:
+    """Timer threads per pooled request: every lease and request
+    deadline must be a wheel entry (schedule-then-cancel), never a
+    fork — and the earliest-deadline sleeper must not tick while those
+    never-due deadlines sit in the heap."""
+    rt = LiveRuntime(uncaught="store")
+    try:
+        names: list = []
+        original = rt.sched._new_tcb
+
+        def recording(name):
+            names.append(name or "")
+            return original(name)
+
+        rt.sched._new_tcb = recording
+        listener = rt.make_listener()
+        server = build_live_server(rt, listener,
+                                   site={"/lease.txt": b"y" * 256})
+        rt.spawn(server.main(), name="server")
+        port = listener.getsockname()[1]
+        client = HttpClient(rt.io, rt.timers, ("127.0.0.1", port),
+                            pool_size=2, name="bench-http")
+        done = []
+
+        @do
+        def driver():
+            for _ in range(requests):
+                response = yield client.get("/lease.txt")
+                assert response.status == 200
+            yield client.close()
+            done.append(True)
+
+        rt.spawn(driver(), name="bench-driver")
+        rt.run(until=lambda: bool(done), idle_timeout=60.0)
+        assert done, "pooled requests never completed"
+        sleeper_forks = sum(1 for name in names if "sleeper" in name)
+        legacy_timer_forks = sum(
+            1 for name in names
+            if "sweeper" in name or "watchdog" in name
+        )
+        wheel = rt.timers.stats()
+        server.stop()
+        return {
+            "requests": requests,
+            "pool_dials": client.pool.dials,
+            "pool_reuses": client.pool.reuses,
+            "reuse_ratio": round(client.pool.reuse_ratio, 4),
+            "timers_scheduled": wheel["scheduled"],
+            "wheel_fired": wheel["fired"],
+            "wheel_wakeups": wheel["wakeups"],
+            "sleeper_forks_observed": sleeper_forks,
+            "legacy_timer_forks": legacy_timer_forks,
+            "timer_threads_per_lease": round(sleeper_forks / requests, 4),
+        }
+    finally:
+        rt.shutdown()
+
+
 # ----------------------------------------------------------------------
 # Pytest entry points (the CI smoke path).
 # ----------------------------------------------------------------------
@@ -328,6 +395,35 @@ def test_hotpath_timer_wheel_no_thread_per_call(report):
     assert point["timer_threads_per_call"] <= 0.05
 
 
+def test_hotpath_pool_lease_no_timer_thread(report):
+    point = run_pool_leases()
+    report(
+        f"Pool leases ({point['requests']} pooled requests, "
+        f"{point['pool_dials']} dials, reuse {point['reuse_ratio']:.3f}): "
+        f"{point['timers_scheduled']} timers as heap entries, "
+        f"{point['sleeper_forks_observed']} sleeper fork(s), "
+        f"{point['wheel_wakeups']} wheel wakeup(s) for "
+        f"{point['wheel_fired']} fired deadline(s)"
+    )
+    # Every request armed at least its deadline on the wheel…
+    assert point["timers_scheduled"] >= point["requests"]
+    # …the connections were actually reused (so leases, not dials,
+    # dominate)…
+    assert point["pool_reuses"] >= point["requests"] - point["pool_dials"]
+    # …with O(1) sleeper threads and no legacy per-timer forks…
+    assert point["legacy_timer_forks"] == 0
+    assert point["sleeper_forks_observed"] <= 5
+    assert point["timer_threads_per_lease"] <= 0.05
+    # …and the wheel woke only for deadlines that came due: the run's
+    # timers are all schedule-then-cancel, so wakeups track fired
+    # deadlines (plus a couple of re-target turns), not request count.
+    assert point["wheel_wakeups"] <= point["wheel_fired"] + 5, (
+        f"{point['wheel_wakeups']} wheel wakeups for "
+        f"{point['wheel_fired']} fired deadlines: the sleeper is "
+        f"ticking instead of sleeping to the earliest deadline"
+    )
+
+
 # ----------------------------------------------------------------------
 # Script mode: merge a "hotpath" section into BENCH_live_http.json.
 # ----------------------------------------------------------------------
@@ -351,11 +447,17 @@ def main(argv: list[str] | None = None) -> int:
     timer_point = run_timer_wheel()
     print(f"timers: {timer_point['sleeper_forks_observed']} sleeper "
           f"fork(s) for {timer_point['calls']} calls")
+    pool_point = run_pool_leases()
+    print(f"pool: {pool_point['sleeper_forks_observed']} sleeper fork(s) "
+          f"and {pool_point['wheel_wakeups']} wheel wakeup(s) for "
+          f"{pool_point['requests']} pooled requests "
+          f"(reuse {pool_point['reuse_ratio']:.3f})")
 
     section = {
         "http": http_point,
         "mesh": mesh_point,
         "timers": timer_point,
+        "pool": pool_point,
     }
     if args.json_path:
         results: dict = {"bench": "live_http"}

@@ -35,6 +35,14 @@ Four modes:
   burst) and the harness reports per-command rps, per-burst p50/p99, and
   the server-side batching ratio — response frames per gathered egress
   write — which must stay above 1 on pipelined load.
+* **gateway** — the outbound stack end to end: a static upstream
+  cluster behind a gateway cluster (``repro.app.gateway`` — connection
+  pools, keep-alive ``HttpClient``, in-flight GET coalescing), driven
+  by a keep-alive GET fleet concentrated on a shared hot path.
+  Reported: client rps/p50/p99, the connection-reuse ratio of the
+  gateway→upstream pools (must stay ≥ 0.9 — keep-alive is the point),
+  and coalescing effectiveness (client requests per upstream fetch,
+  which must exceed 1: duplicate concurrent GETs collapse).
 
 Run under pytest (the CI smoke path) or directly as a script::
 
@@ -60,6 +68,7 @@ import time
 
 from conftest import scale
 
+from repro.api import build_gateway
 from repro.app.kv import kv_app_factory
 from repro.bench.harness import Series, format_table
 from repro.cache.client import BlockingMemcacheClient
@@ -104,6 +113,16 @@ CACHE_VALUE = b"v" * 256
 CACHE_PIPELINE_DEPTH = 8
 #: Keys per multi-key ``get``.
 CACHE_KEYS_PER_GET = 4
+
+# Gateway mode: a reverse-proxy cluster in front of a static cluster.
+GATEWAY_UPSTREAM_SHARDS = 2
+GATEWAY_SHARDS = 2
+GATEWAY_PROCESSES = 4
+GATEWAY_CONNECTIONS = 3
+GATEWAY_POOL_SIZE = 4
+#: Every fourth GET takes the cold path; the rest share the hot path,
+#: so concurrent misses pile onto one upstream fetch (coalescing).
+GATEWAY_SITE = {"hot.html": b"H" * 2048, "cold.html": b"c" * 512}
 
 # Overload mode: per-shard admission caps well below the offered load.
 OVERLOAD_SHARDS = 2
@@ -741,6 +760,139 @@ def run_cache(duration: float, poller: str = "auto") -> dict:
 
 
 # ----------------------------------------------------------------------
+# Gateway mode: the outbound stack (pools + HttpClient + coalescing).
+# ----------------------------------------------------------------------
+def gateway_upstream_factory(rt, listener):
+    return build_live_server(rt, listener, site=GATEWAY_SITE)
+
+
+def make_gateway_factory(upstream_port: int):
+    """A context-style shard factory closing over the upstream port.
+
+    The response cache is disabled (``cache_ttl=0``) so every client GET
+    exercises the flight-coalescing and pool machinery the mode exists
+    to measure, rather than terminating at the cache.
+    """
+
+    def gateway_app_factory(ctx):
+        return build_gateway(
+            ctx=ctx,
+            routes=[{
+                "prefix": "/",
+                "upstreams": [("127.0.0.1", upstream_port)],
+            }],
+            pool_size=GATEWAY_POOL_SIZE,
+            cache_ttl=0.0,
+        )
+
+    return gateway_app_factory
+
+
+def _gateway_load_process(port, connections, duration, barrier,
+                          result_pipe):
+    """Keep-alive GET load through the gateway: 3 hot for every cold."""
+    try:
+        socks = [
+            socket.create_connection(("127.0.0.1", port), timeout=10)
+            for _ in range(connections)
+        ]
+    except OSError:
+        barrier.abort()
+        result_pipe.send({"latencies": [], "errors": 1})
+        return
+    for sock in socks:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    buffers = [bytearray() for _ in socks]
+    try:
+        barrier.wait(timeout=30)
+    except Exception:
+        result_pipe.send({"latencies": [], "errors": 1})
+        return
+    latencies: list[float] = []
+    errors = 0
+    index = 0
+    deadline = time.monotonic() + duration
+    try:
+        while time.monotonic() < deadline:
+            for sock, buffer in zip(socks, buffers):
+                path = "cold.html" if index % 4 == 3 else "hot.html"
+                index += 1
+                begin = time.perf_counter()
+                sock.sendall(
+                    f"GET /{path} HTTP/1.1\r\nHost: bench\r\n\r\n".encode()
+                )
+                status, _body = read_response(sock, buffer)
+                if status.endswith("200 OK"):
+                    latencies.append(time.perf_counter() - begin)
+                else:
+                    errors += 1
+    except OSError:
+        pass  # a shard vanished mid-run: report what completed
+    for sock in socks:
+        sock.close()
+    result_pipe.send({"latencies": latencies, "errors": errors})
+    result_pipe.close()
+
+
+def run_gateway(duration: float, poller: str = "auto") -> dict:
+    """The gateway cluster proxying a static cluster under a GET fleet."""
+    upstream = ClusterServer(
+        gateway_upstream_factory, shards=GATEWAY_UPSTREAM_SHARDS,
+        poller=poller,
+    )
+    upstream.start()
+    gateway = ClusterServer(
+        make_gateway_factory(upstream.port), shards=GATEWAY_SHARDS,
+        poller=poller,
+    )
+    try:
+        gateway.start()
+        payloads = _fan_out(
+            _gateway_load_process, GATEWAY_PROCESSES,
+            (gateway.port, GATEWAY_CONNECTIONS, duration), duration,
+        )
+        gw_aggregate = gateway.stats()["aggregate"]
+        up_aggregate = upstream.stats()["aggregate"]
+    finally:
+        gateway.stop()
+        upstream.stop()
+    latencies: list[float] = []
+    errors = 0
+    for payload in payloads:
+        latencies.extend(payload["latencies"])
+        errors += payload["errors"]
+    app = gw_aggregate.get("app", {})
+    leases = app.get("gw_pool_leases", 0)
+    reuses = app.get("gw_pool_reuses", 0)
+    gw_requests = app.get("gw_requests", 0)
+    upstream_requests = app.get("gw_upstream_requests", 0)
+    result = _percentiles(latencies, duration)
+    result.update({
+        "gateway_shards": GATEWAY_SHARDS,
+        "upstream_shards": GATEWAY_UPSTREAM_SHARDS,
+        "pool_size": GATEWAY_POOL_SIZE,
+        "client_errors": errors,
+        "gw_requests": gw_requests,
+        "upstream_requests": upstream_requests,
+        "coalesced": app.get("gw_coalesced", 0),
+        "pool_dials": app.get("gw_pool_dials", 0),
+        "pool_leases": leases,
+        "pool_reuses": reuses,
+        # The keep-alive claim: leases served off a warm connection.
+        "reuse_ratio": round(reuses / leases, 4) if leases else 0.0,
+        # Coalescing effectiveness: client requests per upstream fetch.
+        "requests_per_upstream_fetch": (
+            round(gw_requests / upstream_requests, 2)
+            if upstream_requests else 0.0
+        ),
+        "bad_gateway": app.get("gw_bad_gateway", 0),
+        "upstream_server_requests": up_aggregate["requests"],
+        "workers_reporting": gw_aggregate["workers_reporting"],
+    })
+    return result
+
+
+# ----------------------------------------------------------------------
 # Pytest entry points (the CI smoke path).
 # ----------------------------------------------------------------------
 def test_live_http_shard_scaling(report):
@@ -912,6 +1064,44 @@ def test_live_cache_pipeline(report):
     )
 
 
+def test_live_gateway(report):
+    duration = 0.8 * scale()
+    point = run_gateway(duration)
+    report(
+        f"Gateway ({point['gateway_shards']} gateway shards over "
+        f"{point['upstream_shards']} upstream shards, pool size "
+        f"{point['pool_size']}) — {GATEWAY_PROCESSES} load processes x "
+        f"{GATEWAY_CONNECTIONS} connections, {duration:.1f}s window: "
+        f"{point['rps']:.0f} rps, p50 {point['p50_ms']:.2f} ms, "
+        f"p99 {point['p99_ms']:.2f} ms, reuse ratio "
+        f"{point['reuse_ratio']:.3f} ({point['pool_dials']} dials / "
+        f"{point['pool_leases']} leases), "
+        f"{point['requests_per_upstream_fetch']:.1f} requests per "
+        f"upstream fetch ({point['coalesced']} coalesced)"
+    )
+    # Real proxying happened, cleanly, on every shard.
+    assert point["requests"] > 0, "no gateway requests completed"
+    assert point["client_errors"] == 0
+    assert point["bad_gateway"] == 0
+    assert point["workers_reporting"] == GATEWAY_SHARDS
+    # Accounting: the gateway saw the fleet's completed requests, and
+    # the upstream cluster saw the gateway's fetches.
+    assert point["gw_requests"] >= point["requests"]
+    assert point["upstream_server_requests"] >= point["upstream_requests"]
+    # The keep-alive claim: upstream fetches ride pooled connections.
+    assert point["reuse_ratio"] >= 0.9, (
+        f"reuse ratio {point['reuse_ratio']:.3f}: gateway is not "
+        f"keeping upstream connections alive"
+    )
+    # The coalescing claim: duplicate concurrent GETs collapsed, so the
+    # upstream saw strictly fewer fetches than the fleet sent requests.
+    assert point["coalesced"] > 0, "no in-flight GET ever coalesced"
+    assert point["upstream_requests"] < point["gw_requests"], (
+        f"{point['upstream_requests']} upstream fetches for "
+        f"{point['gw_requests']} requests: coalescing never engaged"
+    )
+
+
 # ----------------------------------------------------------------------
 # Script mode: self-terminating runs that emit BENCH_live_http.json.
 # ----------------------------------------------------------------------
@@ -921,11 +1111,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--mode",
                         choices=("scale", "overload", "kv", "cache",
-                                 "both", "all"),
+                                 "gateway", "both", "all"),
                         default="both",
                         help="'both' = scale + overload (historical name); "
-                             "'all' adds the sharded-state kv mode and "
-                             "the memcache cache mode")
+                             "'all' adds the sharded-state kv mode, the "
+                             "memcache cache mode and the gateway mode")
     parser.add_argument("--duration", type=float, default=None,
                         help="seconds per measurement point "
                              "(default: 0.8 x scale)")
@@ -1034,6 +1224,21 @@ def main(argv: list[str] | None = None) -> int:
                   f"per egress write | misses {point['misses']}")
         else:
             skipped.append("cache")
+
+    if args.mode in ("gateway", "all"):
+        if budget_left(point_cost):
+            point = run_gateway(duration, poller=args.poller)
+            results["gateway"] = point
+            print(f"gateway ({point['gateway_shards']}x gateway over "
+                  f"{point['upstream_shards']}x upstream): "
+                  f"{point['rps']:.0f} rps, "
+                  f"p99 {point['p99_ms']:.2f} ms | "
+                  f"reuse ratio {point['reuse_ratio']:.3f} | "
+                  f"{point['requests_per_upstream_fetch']:.1f} requests "
+                  f"per upstream fetch "
+                  f"({point['coalesced']} coalesced)")
+        else:
+            skipped.append("gateway")
 
     results["meta"]["skipped_points"] = skipped
     results["meta"]["elapsed_s"] = round(time.monotonic() - started, 3)

@@ -20,9 +20,16 @@ Compares a fresh bench run against the committed baseline floor
   pipelined replies never coalesced into gathered writes (responses per
   egress write must exceed 1), or a fully populated key set produced
   misses or client errors;
+* the gateway point's rps falls below the baseline floor, the
+  gateway→upstream connection-reuse ratio drops below its **hard**
+  minimum (no tolerance: keep-alive either works or it does not), the
+  run never coalesced a duplicate in-flight GET, or the fleet saw
+  client errors / 502s;
 * the hotpath point (``bench_hotpath.py``) shows more than the bounded
   write syscalls per HTTP response (the gathered-write claim), no mesh
-  flush coalescing, or timer-thread forks growing with call count.
+  flush coalescing, timer-thread forks growing with call count or with
+  pooled-request count, or wheel wakeups outrunning fired deadlines
+  (the earliest-deadline sleeper must not tick).
 
 Usage::
 
@@ -204,6 +211,62 @@ def check(results: dict, baseline: dict, tolerance: float) -> list[str]:
                     f"fully populated key set"
                 )
 
+    gw_baseline = baseline.get("gateway")
+    if gw_baseline:
+        gw = results.get("gateway")
+        if gw is None:
+            failures.append("gateway point missing from results")
+        else:
+            floor = gw_baseline.get("total_rps_min")
+            if floor is not None:
+                rps = gw.get("rps", 0.0)
+                minimum = floor * (1.0 - tolerance)
+                status = "ok" if rps >= minimum else "REGRESSION"
+                print(f"  gateway: {rps:8.0f} rps "
+                      f"(floor {floor}, gate {minimum:.0f}) {status}")
+                if rps < minimum:
+                    failures.append(
+                        f"gateway: {rps:.0f} rps is below {minimum:.0f} "
+                        f"(floor {floor} - {tolerance:.0%})"
+                    )
+            ratio_min = gw_baseline.get("reuse_ratio_min")
+            if ratio_min is not None:
+                # Hard gate, deliberately NOT tolerance-scaled: pooled
+                # keep-alive either holds connections open or it does
+                # not — a 30% haircut on a ratio would mask total loss.
+                ratio = gw.get("reuse_ratio", 0.0)
+                status = "ok" if ratio >= ratio_min else "REGRESSION"
+                print(f"  gateway reuse_ratio: {ratio:6.3f} "
+                      f"(hard floor {ratio_min}) {status}")
+                if ratio < ratio_min:
+                    failures.append(
+                        f"gateway connection-reuse ratio {ratio:.3f} is "
+                        f"below the hard floor {ratio_min}: upstream "
+                        f"keep-alive is not engaging"
+                    )
+            if gw_baseline.get("require_coalescing"):
+                coalesced = gw.get("coalesced", 0)
+                fetches = gw.get("upstream_requests", 0)
+                requests = gw.get("gw_requests", 0)
+                if coalesced <= 0 or not (0 < fetches < requests):
+                    failures.append(
+                        f"gateway coalescing did not engage "
+                        f"(coalesced={coalesced}, upstream fetches="
+                        f"{fetches}, requests={requests}): duplicate "
+                        f"in-flight GETs are not collapsing"
+                    )
+                else:
+                    print(f"  gateway coalesced: {coalesced:6d} "
+                          f"({requests} requests -> {fetches} fetches) ok")
+            if gw.get("client_errors", 0) > 0 or gw.get(
+                "bad_gateway", 0
+            ) > 0:
+                failures.append(
+                    f"gateway run had {gw.get('client_errors', 0)} client "
+                    f"errors / {gw.get('bad_gateway', 0)} 502s against a "
+                    f"healthy upstream"
+                )
+
     hot_baseline = baseline.get("hotpath")
     if hot_baseline:
         hot = results.get("hotpath")
@@ -252,6 +315,34 @@ def check(results: dict, baseline: dict, tolerance: float) -> list[str]:
                         f"{ratio} per call (bound {bound}), "
                         f"{legacy} legacy timer fork(s)"
                     )
+            bound = hot_baseline.get("max_timer_threads_per_lease")
+            if bound is not None:
+                pool = hot.get("pool", {})
+                ratio = pool.get("timer_threads_per_lease", float("inf"))
+                legacy = pool.get("legacy_timer_forks", 0)
+                status = ("ok" if ratio <= bound and legacy == 0
+                          else "REGRESSION")
+                print(f"  hotpath timer_threads_per_lease: {ratio:7.4f} "
+                      f"(bound {bound}, legacy forks {legacy}) {status}")
+                if ratio > bound or legacy > 0:
+                    failures.append(
+                        f"hotpath pool-lease timer threads regressed: "
+                        f"{ratio} per lease (bound {bound}), "
+                        f"{legacy} legacy timer fork(s)"
+                    )
+            if hot_baseline.get("require_wakeup_economy"):
+                pool = hot.get("pool", {})
+                wakeups = pool.get("wheel_wakeups", float("inf"))
+                fired = pool.get("wheel_fired", 0)
+                if wakeups > fired + 5:
+                    failures.append(
+                        f"hotpath wheel wakeups ({wakeups}) outran fired "
+                        f"deadlines ({fired}): the earliest-deadline "
+                        f"sleeper is ticking again"
+                    )
+                else:
+                    print(f"  hotpath wheel wakeups: {wakeups:6} for "
+                          f"{fired} fired deadline(s) ok")
     return failures
 
 

@@ -1,0 +1,179 @@
+"""repro.api — the one construction surface for applications.
+
+Every application the stack can serve is built here, through four
+keyword-only builders with a uniform shape::
+
+    from repro.api import AppContext, build_server, build_kv, \
+        build_cache, build_gateway
+
+    # standalone: name the runtime and listener explicitly
+    server = build_server(rt=rt, listener=listener, site={...})
+
+    # in a cluster: the shard's AppContext carries everything
+    def app_factory(ctx):
+        return build_kv(ctx=ctx)
+
+Each builder accepts *either* ``ctx=`` (an
+:class:`~repro.runtime.cluster.AppContext`, as handed to new-style
+cluster factories) *or* explicit ``rt=``/``listener=`` keywords; when a
+context is given, its mesh/timers/cache listener/replication knobs flow
+through automatically and any explicit keyword overrides it.  All
+parameters are keyword-only — there is no positional contract to sniff.
+
+The historical entry points (:func:`repro.http.server.build_live_server`,
+:func:`repro.app.kv.build_kv_app`,
+:func:`repro.cache.frontend.build_cache_frontend`,
+:func:`repro.app.gateway.build_gateway`) remain importable from their
+home modules and are what these builders delegate to.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .app.gateway import GatewayHandler, Route
+from .app.gateway import build_gateway as _build_gateway
+from .app.kv import build_kv_app as _build_kv_app
+from .cache.frontend import build_cache_frontend as _build_cache_frontend
+from .http.client import HttpClient
+from .http.server import WebServer
+from .http.server import build_live_server as _build_live_server
+from .runtime.cluster import AppContext, ClusterConfig, ClusterServer
+from .runtime.live_runtime import LiveRuntime, make_listener
+from .runtime.pool import ConnectionPool
+from .runtime.timer_wheel import TimerWheel
+
+__all__ = [
+    "AppContext",
+    "ClusterConfig",
+    "ClusterServer",
+    "ConnectionPool",
+    "GatewayHandler",
+    "HttpClient",
+    "LiveRuntime",
+    "Route",
+    "TimerWheel",
+    "WebServer",
+    "build_cache",
+    "build_gateway",
+    "build_kv",
+    "build_server",
+    "make_listener",
+]
+
+_UNSET = object()
+
+
+def _resolve(ctx: AppContext | None, rt: Any, listener: Any):
+    """The shared ctx-or-explicit contract of every builder."""
+    if ctx is not None:
+        return (ctx.rt if rt is None else rt,
+                ctx.listener if listener is None else listener)
+    if rt is None or listener is None:
+        raise TypeError(
+            "pass ctx=AppContext, or both rt= and listener= explicitly"
+        )
+    return rt, listener
+
+
+def _from_ctx(value: Any, ctx: AppContext | None, attr: str,
+              default: Any) -> Any:
+    if value is not _UNSET:
+        return value
+    if ctx is not None:
+        return getattr(ctx, attr)
+    return default
+
+
+def build_server(
+    *,
+    ctx: AppContext | None = None,
+    rt: Any = None,
+    listener: Any = None,
+    **kwargs: Any,
+) -> WebServer:
+    """The static-file web server (the paper's case-study application).
+
+    Keyword arguments beyond ``ctx``/``rt``/``listener`` are those of
+    :func:`repro.http.server.build_live_server` (``site``, ``docroot``,
+    admission caps, parser limits, ...).
+    """
+    rt, listener = _resolve(ctx, rt, listener)
+    return _build_live_server(rt, listener, **kwargs)
+
+
+def build_kv(
+    *,
+    ctx: AppContext | None = None,
+    rt: Any = None,
+    listener: Any = None,
+    mesh: Any = _UNSET,
+    timers: Any = _UNSET,
+    cache_listener: Any = _UNSET,
+    replication: Any = _UNSET,
+    write_quorum: Any = _UNSET,
+    cache_protocol: Any = _UNSET,
+    **kwargs: Any,
+) -> WebServer:
+    """The sharded/replicated KV application.
+
+    With ``ctx=``, the shard's mesh node, shared timer wheel, cache
+    listener, and replication knobs flow through from the cluster
+    configuration; each can still be overridden by naming it.  Remaining
+    keywords are those of :func:`repro.app.kv.build_kv_app`.
+    """
+    rt, listener = _resolve(ctx, rt, listener)
+    return _build_kv_app(
+        rt, listener,
+        mesh=_from_ctx(mesh, ctx, "mesh", None),
+        timers=_from_ctx(timers, ctx, "timers", None),
+        cache_listener=_from_ctx(cache_listener, ctx, "cache_listener",
+                                 None),
+        replication=_from_ctx(replication, ctx, "replication", 1),
+        write_quorum=_from_ctx(write_quorum, ctx, "write_quorum", 1),
+        cache_protocol=_from_ctx(cache_protocol, ctx, "cache_protocol",
+                                 "memcache"),
+        **kwargs,
+    )
+
+
+def build_cache(
+    *,
+    store: Any,
+    ctx: AppContext | None = None,
+    rt: Any = None,
+    listener: Any = None,
+    protocol: Any = _UNSET,
+    **kwargs: Any,
+) -> Any:
+    """A cache wire-protocol front-end (memcache/RESP) over ``store``.
+
+    ``store`` is any monadic KV surface; ``protocol`` defaults to the
+    context's ``cache_protocol`` when a context is given.  Remaining
+    keywords are those of
+    :func:`repro.cache.frontend.build_cache_frontend`.
+    """
+    rt, listener = _resolve(ctx, rt, listener)
+    return _build_cache_frontend(
+        rt, listener, store,
+        protocol=_from_ctx(protocol, ctx, "cache_protocol", "memcache"),
+        **kwargs,
+    )
+
+
+def build_gateway(
+    *,
+    routes: list,
+    ctx: AppContext | None = None,
+    rt: Any = None,
+    listener: Any = None,
+    **kwargs: Any,
+) -> WebServer:
+    """The API gateway (reverse proxy with pools, coalescing, cache).
+
+    ``routes`` is the declarative table of
+    :func:`repro.app.gateway.build_gateway`; remaining keywords are that
+    function's (pool sizing, timeouts, cache, ...).
+    """
+    rt, listener = _resolve(ctx, rt, listener)
+    return _build_gateway(rt, listener, routes, **kwargs)

@@ -8,11 +8,24 @@
   per client, AIO for disk, exceptions for error paths, and a pluggable
   socket layer (kernel-style sim sockets *or* the application-level TCP
   stack — "by editing one line of code");
+* :mod:`repro.http.client` — the monadic outbound side: the shared
+  :class:`~repro.http.client.ResponseParser` (the one client-side
+  response parser) and the pooled keep-alive
+  :class:`~repro.http.client.HttpClient`, the public client API;
 * :mod:`repro.http.baseline` — the Apache-like comparison server running
   on simulated kernel threads with the kernel page cache.
 """
 
 from .cache import FileCache
+from .client import (
+    ClientResponse,
+    HttpClient,
+    HttpClientError,
+    RequestTimeout,
+    ResponseParseError,
+    ResponseParser,
+    UpstreamProtocolError,
+)
 from .message import HttpError, HttpRequest, HttpResponse
 from .parser import HttpParseError, RequestParser
 from .server import KernelSocketLayer, AppTcpSocketLayer, WebServer
@@ -22,6 +35,8 @@ __all__ = [
     "HttpRequest", "HttpResponse", "HttpError",
     "RequestParser", "HttpParseError",
     "FileCache",
+    "HttpClient", "ClientResponse", "ResponseParser", "ResponseParseError",
+    "HttpClientError", "RequestTimeout", "UpstreamProtocolError",
     "WebServer", "KernelSocketLayer", "AppTcpSocketLayer",
     "ApacheLikeServer",
 ]

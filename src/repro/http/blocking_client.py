@@ -3,15 +3,53 @@
 Load generators, cluster tests, and demos measure the serving stack from
 the *outside*, so they deliberately use plain blocking sockets rather than
 monadic threads — a separate process/thread model from the system under
-test.  This module is the one copy of the keep-alive response parsing they
-all need (header scan, Content-Length, body drain, strict EOF handling).
+test.  Response parsing is NOT duplicated here: both entry points are
+thin blocking wrappers over :class:`repro.http.client.ResponseParser`,
+the one client-side response parser in the tree (the monadic
+:class:`~repro.http.client.HttpClient` is the public client API; this
+module exists for code that must not run inside the runtime under test).
 """
 
 from __future__ import annotations
 
 import socket
 
+from .client import ResponseParseError, ResponseParser
+
 __all__ = ["BlockingHttpClient", "read_response", "read_full_response"]
+
+
+def _read_one(sock: socket.socket, buffer: bytearray, method: str):
+    """Pump ``sock`` through a :class:`ResponseParser` until one complete
+    response is out.  ``buffer`` carries keep-alive leftovers between
+    calls; parse failures surface as :class:`ConnectionError` to keep
+    this module's historical contract."""
+    parser = ResponseParser()
+    parser.expect(method)
+    if buffer:
+        parser.feed(bytes(buffer))
+        del buffer[:]
+    try:
+        while True:
+            response = parser.next_response()
+            if response is not None:
+                if response.status // 100 == 1:
+                    continue  # interim response: keep reading
+                break
+            chunk = sock.recv(65536)
+            if not chunk:
+                parser.eof()
+                response = parser.next_response()
+                if response is None:
+                    raise ConnectionError(
+                        "EOF before end of response header"
+                    )
+                break
+            parser.feed(chunk)
+    except ResponseParseError as exc:
+        raise ConnectionError(str(exc)) from exc
+    buffer.extend(parser.drain())
+    return response
 
 
 def read_response(sock: socket.socket, buffer: bytearray) -> tuple[str, bytes]:
@@ -22,29 +60,8 @@ def read_response(sock: socket.socket, buffer: bytearray) -> tuple[str, bytes]:
     ``(status_line, body)``; raises :class:`ConnectionError` if the peer
     closes mid-response.
     """
-    while True:
-        end = buffer.find(b"\r\n\r\n")
-        if end >= 0:
-            break
-        chunk = sock.recv(65536)
-        if not chunk:
-            raise ConnectionError("EOF before end of response header")
-        buffer.extend(chunk)
-    head = bytes(buffer[:end])
-    length = 0
-    for line in head.split(b"\r\n"):
-        if line.lower().startswith(b"content-length:"):
-            length = int(line.split(b":", 1)[1])
-    total = end + 4 + length
-    while len(buffer) < total:
-        chunk = sock.recv(65536)
-        if not chunk:
-            raise ConnectionError("EOF mid response body")
-        buffer.extend(chunk)
-    body = bytes(buffer[end + 4:total])
-    del buffer[:total]
-    status_line = head.split(b"\r\n", 1)[0].decode("latin-1")
-    return status_line, body
+    response = _read_one(sock, buffer, "GET")
+    return response.status_line, response.body
 
 
 def read_full_response(
@@ -54,77 +71,10 @@ def read_full_response(
 
     Returns ``(status_line, headers, body)`` — headers lower-cased.
     ``head_only`` is for HEAD requests, whose responses advertise a
-    Content-Length but carry no body bytes.  Slightly heavier than
-    :func:`read_response` (header dict, chunk decoding); the plain-GET
-    load generators keep the lean path.
+    Content-Length but carry no body bytes.
     """
-    while True:
-        end = buffer.find(b"\r\n\r\n")
-        if end >= 0:
-            break
-        chunk = sock.recv(65536)
-        if not chunk:
-            raise ConnectionError("EOF before end of response header")
-        buffer.extend(chunk)
-    head = bytes(buffer[:end])
-    del buffer[:end + 4]
-    lines = head.split(b"\r\n")
-    status_line = lines[0].decode("latin-1")
-    headers: dict[str, str] = {}
-    for line in lines[1:]:
-        name, _, value = line.partition(b":")
-        headers[name.strip().lower().decode("latin-1")] = (
-            value.strip().decode("latin-1")
-        )
-
-    if head_only:
-        return status_line, headers, b""
-
-    def need(total: int) -> None:
-        while len(buffer) < total:
-            chunk = sock.recv(65536)
-            if not chunk:
-                raise ConnectionError("EOF mid response body")
-            buffer.extend(chunk)
-
-    if headers.get("transfer-encoding", "").lower() == "chunked":
-
-        def read_line() -> bytes:
-            while True:
-                line_end = buffer.find(b"\r\n")
-                if line_end >= 0:
-                    break
-                chunk = sock.recv(65536)
-                if not chunk:
-                    raise ConnectionError("EOF mid chunked body")
-                buffer.extend(chunk)
-            line = bytes(buffer[:line_end])
-            del buffer[:line_end + 2]
-            return line
-
-        body = bytearray()
-        while True:
-            # Size lines may carry extensions ("1a;name=value"): ignore
-            # everything after the first ";".
-            size = int(read_line().split(b";", 1)[0].strip(), 16)
-            if size == 0:
-                # Trailer section: zero or more header lines, then a
-                # blank line.  Assuming a bare CRLF here desyncs the
-                # keep-alive buffer whenever a server sends trailers.
-                while read_line():
-                    pass
-                return status_line, headers, bytes(body)
-            need(size + 2)
-            body.extend(buffer[:size])
-            if bytes(buffer[size:size + 2]) != b"\r\n":
-                raise ConnectionError("chunk not terminated by CRLF")
-            del buffer[:size + 2]
-
-    length = int(headers.get("content-length", "0"))
-    need(length)
-    body_bytes = bytes(buffer[:length])
-    del buffer[:length]
-    return status_line, headers, body_bytes
+    response = _read_one(sock, buffer, "HEAD" if head_only else "GET")
+    return response.status_line, dict(response.headers), response.body
 
 
 class BlockingHttpClient:
@@ -156,8 +106,8 @@ class BlockingHttpClient:
     ) -> tuple[str, dict[str, str], bytes]:
         """Any-method request; returns ``(status_line, headers, body)``.
 
-        Handles chunked responses (via :func:`read_full_response`), so it
-        drives the KV facade (PUT/DELETE/MGET/kv-stats) end to end.
+        Handles chunked responses, so it drives the KV facade
+        (PUT/DELETE/MGET/kv-stats) end to end.
         """
         lines = [f"{method} /{path.lstrip('/')} HTTP/1.1",
                  f"Host: {self.host}",

@@ -37,7 +37,15 @@ crashes.  See ``examples/cluster_server.py`` and
 from .io_api import NetIO
 from .sim_runtime import SimRuntime
 from .live_runtime import LiveRuntime, make_listener
-from .cluster import ClusterConfig, ClusterServer
+from .cluster import AppContext, ClusterConfig, ClusterServer
+from .pool import (
+    ConnectionPool,
+    PoolClosed,
+    PooledConn,
+    PoolError,
+    PoolTimeout,
+    UpstreamDown,
+)
 from .timer_wheel import TimerHandle, TimerWheel
 
 __all__ = [
@@ -45,8 +53,15 @@ __all__ = [
     "LiveRuntime",
     "NetIO",
     "make_listener",
+    "AppContext",
     "ClusterConfig",
     "ClusterServer",
+    "ConnectionPool",
+    "PooledConn",
+    "PoolError",
+    "PoolTimeout",
+    "PoolClosed",
+    "UpstreamDown",
     "TimerWheel",
     "TimerHandle",
 ]

@@ -51,13 +51,46 @@ from ..core.syscalls import sys_sleep
 from .live_runtime import LiveRuntime, make_listener
 from .mesh import MeshNode
 
-__all__ = ["ClusterConfig", "ClusterServer", "build_runtime"]
+__all__ = ["AppContext", "ClusterConfig", "ClusterServer", "build_runtime"]
 
-#: ``app_factory(rt, listener) -> app`` — builds one shard's application.
-#: Mesh-enabled clusters may instead take ``(rt, listener, mesh)``: when
-#: ``ClusterConfig.mesh`` is on and the factory accepts a third
-#: parameter, the shard's :class:`~repro.runtime.mesh.MeshNode` is passed.
+#: ``app_factory(ctx: AppContext) -> app`` — builds one shard's
+#: application.  A factory with exactly one required positional parameter
+#: receives the shard's :class:`AppContext`; legacy factories taking
+#: ``(rt, listener)`` or ``(rt, listener, mesh)`` (plus sniffed keyword
+#: knobs) are still dispatched by the deprecation shim in
+#: :func:`_worker_main`.
 AppFactory = Callable[..., Any]
+
+
+@dataclasses.dataclass
+class AppContext:
+    """Everything a shard hands its application factory — explicitly.
+
+    This replaces the arity-sniffing factory contract: instead of the
+    cluster inspecting signatures to decide whether to pass a mesh node
+    or forward a ``replication`` keyword, a new-style factory declares
+    one parameter and reads what it needs::
+
+        def app_factory(ctx: AppContext):
+            return build_kv(ctx=ctx)
+
+    ``timers`` is the shard runtime's shared
+    :class:`~repro.runtime.timer_wheel.TimerWheel` (also ``rt.timers``);
+    ``mesh``/``cache_listener`` are ``None`` unless the cluster was
+    configured with them.  The replication/cache knobs mirror
+    :class:`ClusterConfig` so one factory serves any cluster shape.
+    """
+
+    rt: Any
+    listener: Any
+    mesh: Any = None
+    timers: Any = None
+    cache_listener: Any = None
+    shard_index: int = 0
+    shards: int = 1
+    replication: int = 1
+    write_quorum: int = 1
+    cache_protocol: str = "memcache"
 
 _CRASH_EXIT_CODE = 86  # distinguishes a commanded crash from a real one
 
@@ -172,8 +205,29 @@ def _queue_depth(sched: Any) -> int:
     return ready if isinstance(ready, int) else len(ready)
 
 
+def _takes_context(app_factory: AppFactory) -> bool:
+    """New-style factory detection: exactly one required positional
+    parameter (the :class:`AppContext`), no ``*args``.  Legacy factories
+    take at least ``(rt, listener)`` and fall through to the shim."""
+    try:
+        parameters = inspect.signature(app_factory).parameters
+    except (TypeError, ValueError):
+        return False
+    if any(p.kind == inspect.Parameter.VAR_POSITIONAL
+           for p in parameters.values()):
+        return False
+    required = [
+        p for p in parameters.values()
+        if p.kind in (inspect.Parameter.POSITIONAL_ONLY,
+                      inspect.Parameter.POSITIONAL_OR_KEYWORD)
+        and p.default is inspect.Parameter.empty
+    ]
+    return len(required) == 1
+
+
 def _mesh_passing(app_factory: AppFactory) -> str | None:
-    """How to hand the factory its :class:`MeshNode`: ``"kw"`` (it has a
+    """Deprecation shim (legacy factories only): how to hand the factory
+    its :class:`MeshNode`: ``"kw"`` (it has a
     parameter literally named ``mesh``), ``"pos"`` (a third required
     positional, or ``*args``), or ``None`` (two-argument contract).
 
@@ -272,28 +326,46 @@ def _worker_main(
             config.host, config.cache_port,
             backlog=config.backlog, reuse_port=True,
         )
-    factory_kwargs: dict[str, Any] = {}
-    for knob in ("replication", "write_quorum", "cache_protocol"):
-        if _accepts_keyword(app_factory, knob):
-            factory_kwargs[knob] = getattr(config, knob)
-    if cache_listener is not None:
-        if _accepts_keyword(app_factory, "cache_listener"):
-            factory_kwargs["cache_listener"] = cache_listener
-        else:
-            # The caller asked for a cache port but the factory cannot
-            # mount it — surface the misconfiguration at spawn, not as
-            # a silently dead port.
-            raise TypeError(
-                f"cache_port is set but {app_factory!r} does not accept "
-                f"a cache_listener parameter"
-            )
-    passing = _mesh_passing(app_factory) if mesh is not None else None
-    if passing == "kw":
-        app = app_factory(rt, listener, mesh=mesh, **factory_kwargs)
-    elif passing == "pos":
-        app = app_factory(rt, listener, mesh, **factory_kwargs)
+    if _takes_context(app_factory):
+        # New-style contract: the factory declares one parameter and
+        # receives everything explicitly.
+        app = app_factory(AppContext(
+            rt=rt,
+            listener=listener,
+            mesh=mesh,
+            timers=rt.timers,
+            cache_listener=cache_listener,
+            shard_index=index,
+            shards=config.shards,
+            replication=config.replication,
+            write_quorum=config.write_quorum,
+            cache_protocol=config.cache_protocol,
+        ))
     else:
-        app = app_factory(rt, listener, **factory_kwargs)
+        # Deprecation shim: legacy (rt, listener[, mesh]) factories with
+        # signature-sniffed keyword knobs.
+        factory_kwargs: dict[str, Any] = {}
+        for knob in ("replication", "write_quorum", "cache_protocol"):
+            if _accepts_keyword(app_factory, knob):
+                factory_kwargs[knob] = getattr(config, knob)
+        if cache_listener is not None:
+            if _accepts_keyword(app_factory, "cache_listener"):
+                factory_kwargs["cache_listener"] = cache_listener
+            else:
+                # The caller asked for a cache port but the factory
+                # cannot mount it — surface the misconfiguration at
+                # spawn, not as a silently dead port.
+                raise TypeError(
+                    f"cache_port is set but {app_factory!r} does not "
+                    f"accept a cache_listener parameter"
+                )
+        passing = _mesh_passing(app_factory) if mesh is not None else None
+        if passing == "kw":
+            app = app_factory(rt, listener, mesh=mesh, **factory_kwargs)
+        elif passing == "pos":
+            app = app_factory(rt, listener, mesh, **factory_kwargs)
+        else:
+            app = app_factory(rt, listener, **factory_kwargs)
     state = {"stop": False}
     ctrl.setblocking(False)
 

@@ -18,29 +18,34 @@ Semantics:
   computation the sleeper runs it inline, so actions must be *brief*
   (fill an MVar, close a wedged descriptor, fork the real work).  A slow
   action delays every later timer — fork anything that can block.
-* Deadlines fire within one ``tick`` of expiring (default 50 ms, the
-  same granularity the mesh's per-link sweepers had).  The sleeper
-  sleeps ``min(tick, next_deadline - now)``: a timer scheduled while the
-  sleeper is mid-sleep is noticed at the next tick, never missed.  The
-  cost is ~``1/tick`` wakeups per second **while any timer is armed**
-  (a perpetual timer — e.g. mesh keepalive — keeps the sleeper ticking
-  at idle; the live loop already wakes at a comparable idle cadence,
-  and disabling keepalive restores a fully quiescent idle).  An
-  earliest-deadline wake channel that lets the sleeper sleep exactly to
-  the next deadline is the noted follow-on in ROADMAP.md.
+* The sleeper sleeps **exactly to the earliest live deadline** — there is
+  no periodic tick.  A *near* deadline (within ``tick``, default 50 ms)
+  is a plain ``sys_sleep`` straight to it.  A *far* deadline parks the
+  sleeper on a wake channel (an MVar) with a one-shot alarm thread armed
+  at the deadline; ``schedule()`` of an earlier deadline fills the
+  channel so the sleeper re-targets immediately.  Net: an idle-but-armed
+  wheel (a 5 s keepalive, a parked lease timeout) costs **zero**
+  wakeups until the deadline, where the old design ticked at ``1/tick``
+  per second.  A timer scheduled while the sleeper is in a near sleep is
+  still noticed within one ``tick`` — the same bound as before.
 * :meth:`TimerHandle.cancel` is plain (non-monadic) code callable from
-  anywhere; cancelled entries are dropped lazily when popped.  A handle
-  whose action already ran has ``fired`` set — cancel after fire is a
-  no-op, which callers use to detect watchdog races (the mesh checks
-  ``handle.fired`` after a frame write to learn the watchdog won).
+  anywhere; cancelled entries are dropped lazily when they come due (no
+  heap surgery) — the sleeper still wakes at a cancelled deadline to
+  discard the entry, which also keeps it alive across the dominant
+  schedule-then-cancel pattern (call/lease timeouts) instead of exiting
+  and respawning per timer.  A handle whose action already ran has
+  ``fired`` set — cancel after fire is a no-op, which callers use to
+  detect watchdog races (the mesh checks ``handle.fired`` after a frame
+  write to learn the watchdog won).
 * Exceptions from actions are contained (counted in ``action_errors``),
   never kill the sleeper.
 
 The wheel is runtime-agnostic: it uses only ``sys_now``/``sys_sleep``/
-``sys_fork``, so the same object serves the live runtime (monotonic
-clock) and the simulated one (virtual clock).  Both runtimes hang one on
-themselves as ``rt.timers``; the cluster passes it to each shard's mesh
-node and KV hint pump so a whole shard shares a single sleeper.
+``sys_fork`` and an MVar, so the same object serves the live runtime
+(monotonic clock) and the simulated one (virtual clock).  Both runtimes
+hang one on themselves as ``rt.timers``; the cluster passes it to each
+shard's mesh node and KV hint pump so a whole shard shares a single
+sleeper.
 """
 
 from __future__ import annotations
@@ -51,6 +56,7 @@ from typing import Any, Callable
 
 from ..core.do_notation import do
 from ..core.monad import M
+from ..core.sync import MVar
 from ..core.syscalls import sys_fork, sys_now, sys_sleep
 
 __all__ = ["TimerWheel", "TimerHandle"]
@@ -72,8 +78,8 @@ class TimerHandle:
     def cancel(self) -> None:
         """Disarm the timer (plain code, callable from anywhere).
 
-        Lazy: the entry stays in the heap until the sleeper pops it.
-        Cancelling an already-fired timer does nothing.
+        Lazy: the entry stays in the heap until the sleeper prunes or
+        pops it.  Cancelling an already-fired timer does nothing.
         """
         self.cancelled = True
 
@@ -86,9 +92,11 @@ class TimerHandle:
 class TimerWheel:
     """One deadline heap + one on-demand sleeper thread."""
 
-    #: Fire granularity (seconds): deadlines fire within one tick of
-    #: expiring.  Also bounds how late the sleeper notices a timer
-    #: scheduled earlier than its current sleep target.
+    #: The near/far horizon (seconds): a deadline within one tick is a
+    #: direct ``sys_sleep`` (uninterruptible, but short); a farther one
+    #: parks on the wake channel with an alarm armed at the deadline.
+    #: Also bounds how late the sleeper notices a timer scheduled
+    #: earlier than a near sleep already in progress.
     TICK = 0.05
 
     def __init__(self, name: str = "timers", tick: float = TICK) -> None:
@@ -97,12 +105,24 @@ class TimerWheel:
         self._heap: list[tuple[float, int, TimerHandle]] = []
         self._seq = itertools.count()
         self._running = False
+        #: The earliest-deadline wake channel: ``schedule()`` fills it to
+        #: re-target a far-parked sleeper; alarms fill it at deadline.
+        self._wake = MVar(name=f"{name}-wake")
+        #: Deadline the sleeper is currently parked toward (None while it
+        #: is firing actions or not running) — the early-wake predicate.
+        self._sleep_target: float | None = None
+        #: Deadline covered by the earliest in-flight alarm thread, so
+        #: re-parking on an unchanged target does not fork a duplicate.
+        self._alarm_target: float | None = None
         #: Counters: the bench gate asserts sleeper_spawns stays O(1)
-        #: while scheduled grows with call rate (no thread per timer).
+        #: while scheduled grows with call rate (no thread per timer),
+        #: and wakeups tracks deadlines (no idle ticking).
         self.scheduled = 0
         self.fired = 0
         self.cancelled = 0
         self.sleeper_spawns = 0
+        self.alarm_spawns = 0
+        self.wakeups = 0
         self.action_errors = 0
 
     @property
@@ -121,6 +141,8 @@ class TimerWheel:
             "fired": self.fired,
             "cancelled": self.cancelled,
             "sleeper_spawns": self.sleeper_spawns,
+            "alarm_spawns": self.alarm_spawns,
+            "wakeups": self.wakeups,
             "action_errors": self.action_errors,
             "armed": self.armed,
         }
@@ -145,13 +167,33 @@ class TimerWheel:
             self._running = True
             self.sleeper_spawns += 1
             yield sys_fork(self._sleeper(), name=f"{self.name}-sleeper")
+        elif (self._sleep_target is not None
+              and handle.deadline < self._sleep_target):
+            # The sleeper is far-parked past this new deadline: wake it
+            # so it re-targets.  (A near sleep cannot be interrupted, but
+            # it is at most one tick long — the old notice bound.)
+            yield self._wake.try_put(True)
         return handle
 
     @do
+    def _alarm(self, target):
+        # One-shot: sleep to ``target``, then fill the wake channel.  A
+        # stale alarm (the sleeper has since re-targeted or exited) fills
+        # the channel anyway; the sleeper drains stale tokens before
+        # parking and treats spurious wakes as a re-scan, so the worst
+        # case is one extra loop turn.
+        now = yield sys_now()
+        if target > now:
+            yield sys_sleep(target - now)
+        if self._alarm_target == target:
+            self._alarm_target = None
+        yield self._wake.try_put(True)
+
+    @do
     def _sleeper(self):
-        # Exists only while the heap is non-empty: an idle wheel costs
-        # nothing, a busy one costs one thread ticking at ``tick``
-        # regardless of how many timers are armed.
+        # Exists only while the heap holds a live entry: an idle wheel
+        # costs nothing, an armed one sleeps exactly to the next
+        # deadline — zero wakeups in between.
         try:
             while self._heap:
                 now = yield sys_now()
@@ -175,11 +217,30 @@ class TimerWheel:
                         # A broken action must not take down every other
                         # timer on the shard.
                         self.action_errors += 1
+                if due:
+                    continue  # actions took time: re-scan before sleeping
                 if not self._heap:
                     return
-                wait = min(self.tick, max(0.0, self._heap[0][0] - now))
-                yield sys_sleep(wait)
+                target = self._heap[0][0]
+                if target - now <= self.tick:
+                    # Near: a direct sleep straight to the deadline.
+                    yield sys_sleep(max(0.0, target - now))
+                else:
+                    # Far: park on the wake channel with an alarm at the
+                    # deadline.  schedule() of an earlier deadline fills
+                    # the channel and the loop re-targets.
+                    self._sleep_target = target
+                    yield self._wake.try_take()  # drain any stale token
+                    if self._alarm_target is None or target < self._alarm_target:
+                        self._alarm_target = target
+                        self.alarm_spawns += 1
+                        yield sys_fork(self._alarm(target),
+                                       name=f"{self.name}-alarm")
+                    yield self._wake.take()
+                    self._sleep_target = None
+                self.wakeups += 1
         finally:
             # Plain code: safe under GeneratorExit (abandonment).  The
             # next schedule() respawns the sleeper.
             self._running = False
+            self._sleep_target = None

@@ -1,0 +1,117 @@
+"""The public construction facade (repro.api) and the AppContext
+factory contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    AppContext,
+    build_cache,
+    build_gateway,
+    build_kv,
+    build_server,
+)
+from repro.http.blocking_client import BlockingHttpClient
+from repro.runtime.cluster import ClusterServer, _takes_context
+from repro.runtime.live_runtime import LiveRuntime, make_listener
+
+
+@pytest.fixture
+def rt():
+    runtime = LiveRuntime(uncaught="store")
+    yield runtime
+    runtime.shutdown()
+
+
+class TestContextDetection:
+    def test_single_required_parameter_is_context_style(self):
+        assert _takes_context(lambda ctx: None)
+
+        def factory(ctx, extra=1):
+            return None
+
+        assert _takes_context(factory)
+
+    def test_legacy_shapes_are_not(self):
+        assert not _takes_context(lambda rt, listener: None)
+        assert not _takes_context(lambda rt, listener, mesh: None)
+        assert not _takes_context(lambda *args: None)
+        assert not _takes_context(lambda: None)
+
+
+class TestBuilders:
+    def test_build_server_with_explicit_keywords(self, rt):
+        listener = make_listener()
+        server = build_server(rt=rt, listener=listener,
+                              site={"x": b"content"})
+        assert server.cache.get("x") == b"content"
+        listener.close()
+
+    def test_builders_require_a_context_or_both_keywords(self, rt):
+        with pytest.raises(TypeError):
+            build_server(rt=rt)  # no listener, no ctx
+        with pytest.raises(TypeError):
+            build_server()
+
+    def test_build_kv_reads_knobs_from_the_context(self, rt):
+        listener = make_listener()
+        ctx = AppContext(rt=rt, listener=listener, timers=rt.timers,
+                         replication=1, write_quorum=1)
+        app = build_kv(ctx=ctx)
+        assert app.kv is not None
+        assert app.kv.replication == 1
+        listener.close()
+
+    def test_explicit_keyword_overrides_the_context(self, rt):
+        listener = make_listener()
+        other = make_listener()
+        ctx = AppContext(rt=rt, listener=listener)
+        server = build_server(ctx=ctx, listener=other, site={})
+        assert server.layer.listener is other
+        listener.close()
+        other.close()
+
+    def test_build_gateway_facade(self, rt):
+        listener = make_listener()
+        upstream = make_listener()
+        server = build_gateway(
+            rt=rt, listener=listener,
+            routes=[{"prefix": "/", "upstreams": [upstream.getsockname()]}],
+        )
+        assert server.gateway.routes[0].prefix == "/"
+        assert callable(server.extra_stats)
+        listener.close()
+        upstream.close()
+
+    def test_build_cache_facade(self, rt):
+        class NullStore:
+            pass
+
+        listener = make_listener()
+        frontend = build_cache(rt=rt, listener=listener, store=NullStore())
+        assert frontend is not None
+        listener.close()
+
+
+class TestClusterContextFactory:
+    def test_cluster_passes_an_app_context(self):
+        # A one-parameter factory gets the shard's AppContext; the site
+        # content proves shard identity and shape arrived through it.
+        def app_factory(ctx):
+            body = f"shard {ctx.shard_index} of {ctx.shards}".encode()
+            assert ctx.rt is not None
+            assert ctx.timers is ctx.rt.timers
+            assert ctx.mesh is None  # mesh not configured
+            assert ctx.cache_listener is None
+            return build_server(ctx=ctx, site={"whoami": body})
+
+        cluster = ClusterServer(app_factory, shards=1, grace=0.1)
+        cluster.start()
+        try:
+            with BlockingHttpClient(cluster.port) as client:
+                status, body = client.get("whoami")
+            assert status.endswith("200 OK")
+            assert body == b"shard 0 of 1"
+        finally:
+            cluster.stop()

@@ -199,6 +199,66 @@ class TestSleeperLifecycle:
         assert wheel.sleeper_spawns == 1
 
 
+class TestEarliestDeadlineWake:
+    def test_far_deadline_costs_one_wakeup_not_ticks(self):
+        # A single far deadline used to cost ~deadline/tick sleeper
+        # wakeups; the wake channel sleeps exactly to it.
+        wheel = TimerWheel()
+        fired = []
+
+        @do
+        def driver():
+            yield wheel.schedule(10.0, lambda: fired.append(True))
+
+        run_sim(driver())
+        assert fired == [True]
+        assert wheel.wakeups == 1
+        assert wheel.alarm_spawns == 1
+
+    def test_earlier_schedule_retargets_a_parked_sleeper(self):
+        from repro.core.syscalls import sys_sleep
+
+        wheel = TimerWheel()
+        fired: list[str] = []
+
+        @do
+        def driver():
+            yield wheel.schedule(10.0, lambda: fired.append("far"))
+            # Let the sleeper park toward the far deadline, then arm an
+            # earlier one: the wake channel must re-target it.
+            yield sys_sleep(0.01)
+            yield wheel.schedule(0.05, lambda: fired.append("near"))
+
+        run_sim(driver())
+        assert fired == ["near", "far"]
+        # One wake per deadline plus the early re-target wake.
+        assert wheel.wakeups <= 3
+
+    def test_cancelled_far_entry_is_dropped_without_firing(self):
+        # A far entry cancelled while armed is discarded at its deadline
+        # (lazy cancellation) without ever running the action.
+        wheel = TimerWheel()
+        fired: list[str] = []
+        handles: list = []
+
+        @do
+        def cancel_far():
+            fired.append("early")
+            handles[0].cancel()
+
+        @do
+        def driver():
+            far = yield wheel.schedule(10.0, lambda: fired.append("far"))
+            handles.append(far)
+            yield wheel.schedule(0.05, cancel_far)
+
+        run_sim(driver())
+        assert fired == ["early"]
+        assert wheel.cancelled == 1
+        assert not wheel.running
+        assert wheel.armed == 0
+
+
 class TestLiveSmoke:
     def test_fires_on_the_wall_clock(self):
         rt = LiveRuntime(uncaught="store")
@@ -214,5 +274,31 @@ class TestLiveSmoke:
             rt.spawn(driver(), name="driver")
             rt.run(until=lambda: bool(fired), idle_timeout=5.0)
             assert fired == [True]
+        finally:
+            rt.shutdown()
+
+    def test_early_wake_beats_a_far_park_on_the_wall_clock(self):
+        import time
+
+        rt = LiveRuntime(uncaught="store")
+        try:
+            wheel = rt.timers
+            fired = []
+            far_handles = []
+
+            @do
+            def driver():
+                far = yield wheel.schedule(30.0, lambda: None)
+                far_handles.append(far)
+                yield wheel.schedule(0.02, lambda: fired.append(True))
+
+            started = time.monotonic()
+            rt.spawn(driver(), name="driver")
+            rt.run(until=lambda: bool(fired), idle_timeout=5.0)
+            # The near timer fires promptly even though the sleeper was
+            # (or was about to be) parked toward a 30 s deadline.
+            assert fired == [True]
+            assert time.monotonic() - started < 2.0
+            far_handles[0].cancel()
         finally:
             rt.shutdown()
