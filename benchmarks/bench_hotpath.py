@@ -20,6 +20,15 @@ Three properties are measured (and gated by ``check_bench_trend.py``):
   wheel must wake only for deadlines that actually come due (the
   earliest-deadline sleeper has no periodic tick, so a run whose
   timers are all schedule-then-cancel costs ~zero wakeups).
+* **buffer allocations per request** — keep-alive ingress recvs into
+  pooled reusable buffers (``rt.buffers``): R requests on one
+  connection must cost O(1) pool allocations total, with every recv a
+  ``recv_into`` into a leased buffer (no fresh bytes object per read).
+  ``--tracemalloc`` adds a slower spot-check run that reports traced
+  heap growth per request.
+* **sendfile static egress** (``--mode static``) — static files leave
+  via ``sendfile(2)``: zero AIO reads, zero cache fills, and the byte
+  stream identical to the in-memory fallback path.
 
 Run stand-alone (merges a ``hotpath`` section into an existing
 ``BENCH_live_http.json`` when present)::
@@ -38,6 +47,8 @@ import argparse
 import json
 import os
 import sys
+import tempfile
+import tracemalloc
 
 sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
@@ -60,6 +71,12 @@ MESH_ROUNDS = 25
 TIMER_CALLS = 200
 #: Pooled HttpClient requests for the pool-lease point.
 POOL_REQUESTS = 200
+#: Keep-alive requests for the ingress buffer-reuse point.
+INGRESS_REQUESTS = 200
+#: Keep-alive static GETs for the sendfile point.
+STATIC_REQUESTS = 50
+#: Static file size for the sendfile point.
+STATIC_BYTES = 64 * 1024
 
 
 class _ChunkedHandler:
@@ -346,6 +363,109 @@ def run_pool_leases(requests: int = POOL_REQUESTS) -> dict:
         rt.shutdown()
 
 
+def run_ingress_buffers(requests: int = INGRESS_REQUESTS,
+                        spot_check: bool = False) -> dict:
+    """Pool allocations per keep-alive request on the fixed-response
+    path: the pooled recv must reuse one buffer across the whole
+    connection, not allocate per read."""
+    rt = LiveRuntime(uncaught="store")
+    try:
+        body = b"x" * 512
+        listener = rt.make_listener()
+        server = build_live_server(rt, listener,
+                                   site={"/bench.txt": body})
+        rt.spawn(server.main(), name="server")
+        port = listener.getsockname()[1]
+        raw = b"GET /bench.txt HTTP/1.1\r\nHost: bench\r\n\r\n"
+
+        pool_before = rt.buffers.stats()
+        recv_into_before = rt.backend.recv_into_calls
+        if spot_check:
+            tracemalloc.start()
+            _cur, traced_before = tracemalloc.get_traced_memory()
+        _drive_http(rt, port, raw, requests, body)
+        if spot_check:
+            _cur, traced_after = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+        pool_after = rt.buffers.stats()
+        server.stop()
+
+        allocations = pool_after["allocations"] - pool_before["allocations"]
+        leases = pool_after["leases"] - pool_before["leases"]
+        reuses = pool_after["reuses"] - pool_before["reuses"]
+        recv_intos = rt.backend.recv_into_calls - recv_into_before
+        point = {
+            "requests": requests,
+            "pool_allocations": allocations,
+            "pool_leases": leases,
+            "pool_reuses": reuses,
+            "pool_in_use_at_end": pool_after["in_use"],
+            "pool_high_water": pool_after["high_water"],
+            "recv_into_calls": recv_intos,
+            "recv_into_per_response": round(recv_intos / requests, 4),
+            "allocs_per_request": round(allocations / requests, 4),
+        }
+        if spot_check:
+            # Includes the in-process client's own traffic: a spot
+            # check on heap churn, not a tight bound.
+            point["tracemalloc_kib_per_request"] = round(
+                (traced_after - traced_before) / 1024 / requests, 2
+            )
+        return point
+    finally:
+        rt.shutdown()
+
+
+def run_static_sendfile(requests: int = STATIC_REQUESTS,
+                        size: int = STATIC_BYTES) -> dict:
+    """Static egress via ``sendfile(2)``: no AIO reads, no cache fill,
+    and byte parity with the in-memory fallback path."""
+    with tempfile.TemporaryDirectory(prefix="bench-static-") as docroot:
+        marker = b"--response-tail--"
+        body = (b"S" * (size - len(marker))) + marker
+        with open(os.path.join(docroot, "static.bin"), "wb") as handle:
+            handle.write(body)
+        raw = b"GET /static.bin HTTP/1.1\r\nHost: bench\r\n\r\n"
+
+        def serve(sendfile: bool) -> tuple[bytes, dict]:
+            rt = LiveRuntime(uncaught="store")
+            try:
+                listener = rt.make_listener()
+                server = build_live_server(rt, listener, docroot=docroot,
+                                           sendfile=sendfile)
+                rt.spawn(server.main(), name="server")
+                port = listener.getsockname()[1]
+                _writes, collected = _drive_http(
+                    rt, port, raw, requests, marker
+                )
+                server.stop()
+                return collected, {
+                    "sendfile_calls": rt.backend.sendfile_calls,
+                    "sendfile_bytes": rt.backend.sendfile_bytes,
+                    "aio_reads": server.stats.aio_reads,
+                    "cache_entries": 1 if server.cache.get(
+                        "static.bin") is not None else 0,
+                }
+            finally:
+                rt.shutdown()
+
+        via_sendfile, stats = serve(sendfile=True)
+        via_fallback, fallback_stats = serve(sendfile=False)
+        return {
+            "requests": requests,
+            "file_bytes": size,
+            "sendfile_calls": stats["sendfile_calls"],
+            "sendfile_bytes": stats["sendfile_bytes"],
+            "sendfile_per_response": round(
+                stats["sendfile_calls"] / requests, 4),
+            "aio_reads": stats["aio_reads"],
+            "cache_entries": stats["cache_entries"],
+            "fallback_sendfile_calls": fallback_stats["sendfile_calls"],
+            "fallback_aio_reads": fallback_stats["aio_reads"],
+            "byte_identical_to_fallback": via_sendfile == via_fallback,
+        }
+
+
 # ----------------------------------------------------------------------
 # Pytest entry points (the CI smoke path).
 # ----------------------------------------------------------------------
@@ -424,6 +544,43 @@ def test_hotpath_pool_lease_no_timer_thread(report):
     )
 
 
+def test_hotpath_ingress_buffer_reuse(report):
+    point = run_ingress_buffers()
+    report(
+        f"Ingress buffers ({point['requests']} keep-alive requests): "
+        f"{point['pool_allocations']} pool allocation(s), "
+        f"{point['pool_reuses']} reuse(s), "
+        f"{point['recv_into_per_response']:.2f} recv_into/response, "
+        f"high water {point['pool_high_water']}"
+    )
+    # The headline claim: a keep-alive connection reuses ONE pooled
+    # buffer — allocations stay O(1), not O(requests).
+    assert point["allocs_per_request"] <= 1.0
+    assert point["pool_allocations"] <= 4
+    assert point["recv_into_calls"] > 0, "pooled recv path never engaged"
+    assert point["pool_reuses"] > 0, "pool never reused a buffer"
+    assert point["pool_in_use_at_end"] == 0, "leaked buffer lease(s)"
+
+
+def test_hotpath_static_sendfile(report):
+    point = run_static_sendfile()
+    report(
+        f"Static egress ({point['requests']} GETs of "
+        f"{point['file_bytes']} B): {point['sendfile_calls']} sendfile "
+        f"call(s) / {point['sendfile_bytes']} B, {point['aio_reads']} "
+        f"AIO read(s), parity={point['byte_identical_to_fallback']}"
+    )
+    assert point["sendfile_calls"] >= 1, "sendfile path never engaged"
+    assert point["sendfile_bytes"] == (
+        point["requests"] * point["file_bytes"]
+    )
+    assert point["aio_reads"] == 0, "sendfile path still read via AIO"
+    assert point["cache_entries"] == 0, "sendfile path filled the cache"
+    assert point["byte_identical_to_fallback"], (
+        "sendfile and in-memory paths diverged"
+    )
+
+
 # ----------------------------------------------------------------------
 # Script mode: merge a "hotpath" section into BENCH_live_http.json.
 # ----------------------------------------------------------------------
@@ -435,36 +592,68 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--json", dest="json_path", default=None,
                         help="merge results into this JSON file as the "
                              "'hotpath' section (created if missing)")
+    parser.add_argument("--mode", choices=("all", "egress", "ingress",
+                                           "static"), default="all",
+                        help="which points to run: 'egress' = the "
+                             "write/mesh/timer/pool points, 'ingress' = "
+                             "pooled receive buffers, 'static' = the "
+                             "sendfile path (default: all)")
+    parser.add_argument("--tracemalloc", action="store_true",
+                        help="add a traced-heap spot check to the "
+                             "ingress point (slower)")
     args = parser.parse_args(argv)
 
-    http_point = run_http_writes()
-    print(f"http: {http_point['writes_per_response']:.2f} writes/response "
-          f"(chunked {http_point['writes_per_chunked_response']:.2f}, "
-          f"error {http_point['writes_per_error_response']:.2f})")
-    mesh_point = run_mesh_flush()
-    print(f"mesh: {mesh_point['frames_per_flush']:.1f} frames/flush, "
-          f"max {mesh_point['max_frames_per_flush']}")
-    timer_point = run_timer_wheel()
-    print(f"timers: {timer_point['sleeper_forks_observed']} sleeper "
-          f"fork(s) for {timer_point['calls']} calls")
-    pool_point = run_pool_leases()
-    print(f"pool: {pool_point['sleeper_forks_observed']} sleeper fork(s) "
-          f"and {pool_point['wheel_wakeups']} wheel wakeup(s) for "
-          f"{pool_point['requests']} pooled requests "
-          f"(reuse {pool_point['reuse_ratio']:.3f})")
-
-    section = {
-        "http": http_point,
-        "mesh": mesh_point,
-        "timers": timer_point,
-        "pool": pool_point,
-    }
+    section: dict = {}
+    if args.mode in ("all", "egress"):
+        http_point = run_http_writes()
+        print(f"http: {http_point['writes_per_response']:.2f} "
+              f"writes/response "
+              f"(chunked {http_point['writes_per_chunked_response']:.2f}, "
+              f"error {http_point['writes_per_error_response']:.2f})")
+        mesh_point = run_mesh_flush()
+        print(f"mesh: {mesh_point['frames_per_flush']:.1f} frames/flush, "
+              f"max {mesh_point['max_frames_per_flush']}")
+        timer_point = run_timer_wheel()
+        print(f"timers: {timer_point['sleeper_forks_observed']} sleeper "
+              f"fork(s) for {timer_point['calls']} calls")
+        pool_point = run_pool_leases()
+        print(f"pool: {pool_point['sleeper_forks_observed']} sleeper "
+              f"fork(s) and {pool_point['wheel_wakeups']} wheel wakeup(s) "
+              f"for {pool_point['requests']} pooled requests "
+              f"(reuse {pool_point['reuse_ratio']:.3f})")
+        section.update({
+            "http": http_point,
+            "mesh": mesh_point,
+            "timers": timer_point,
+            "pool": pool_point,
+        })
+    if args.mode in ("all", "ingress"):
+        ingress_point = run_ingress_buffers(spot_check=args.tracemalloc)
+        line = (f"ingress: {ingress_point['pool_allocations']} pool "
+                f"allocation(s) / {ingress_point['requests']} requests "
+                f"({ingress_point['pool_reuses']} reuses, "
+                f"{ingress_point['recv_into_per_response']:.2f} "
+                f"recv_into/response)")
+        if "tracemalloc_kib_per_request" in ingress_point:
+            line += (f", {ingress_point['tracemalloc_kib_per_request']} "
+                     f"KiB traced/request")
+        print(line)
+        section["ingress"] = ingress_point
+    if args.mode in ("all", "static"):
+        static_point = run_static_sendfile()
+        print(f"static: {static_point['sendfile_calls']} sendfile call(s) "
+              f"/ {static_point['requests']} GETs, "
+              f"{static_point['aio_reads']} AIO read(s), "
+              f"parity={static_point['byte_identical_to_fallback']}")
+        section["static"] = static_point
     if args.json_path:
         results: dict = {"bench": "live_http"}
         if os.path.exists(args.json_path):
             with open(args.json_path) as handle:
                 results = json.load(handle)
-        results["hotpath"] = section
+        # Merge, don't replace: a partial --mode run must not drop the
+        # other points from an existing results file.
+        results.setdefault("hotpath", {}).update(section)
         with open(args.json_path, "w") as handle:
             json.dump(results, handle, indent=2, sort_keys=True)
             handle.write("\n")

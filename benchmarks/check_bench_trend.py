@@ -28,8 +28,12 @@ Compares a fresh bench run against the committed baseline floor
 * the hotpath point (``bench_hotpath.py``) shows more than the bounded
   write syscalls per HTTP response (the gathered-write claim), no mesh
   flush coalescing, timer-thread forks growing with call count or with
-  pooled-request count, or wheel wakeups outrunning fired deadlines
-  (the earliest-deadline sleeper must not tick).
+  pooled-request count, wheel wakeups outrunning fired deadlines
+  (the earliest-deadline sleeper must not tick), pool buffer
+  allocations exceeding the per-request ceiling (or a leaked lease),
+  the pooled ``recv_into`` ingress path not engaging, or the static
+  sendfile path off / still reading via AIO / diverging byte-wise
+  from the in-memory fallback.
 
 Usage::
 
@@ -343,6 +347,51 @@ def check(results: dict, baseline: dict, tolerance: float) -> list[str]:
                 else:
                     print(f"  hotpath wheel wakeups: {wakeups:6} for "
                           f"{fired} fired deadline(s) ok")
+            bound = hot_baseline.get("allocs_per_request_max")
+            if bound is not None:
+                ingress = hot.get("ingress", {})
+                value = ingress.get("allocs_per_request", float("inf"))
+                leaked = ingress.get("pool_in_use_at_end", 0)
+                status = ("ok" if value <= bound and leaked == 0
+                          else "REGRESSION")
+                print(f"  hotpath allocs_per_request: {value:7.4f} "
+                      f"(bound {bound}, leaked leases {leaked}) {status}")
+                if value > bound or leaked > 0:
+                    failures.append(
+                        f"hotpath ingress buffers regressed: "
+                        f"{value} pool allocations per request "
+                        f"(bound {bound}), {leaked} leaked lease(s)"
+                    )
+            if hot_baseline.get("require_recv_into"):
+                ingress = hot.get("ingress", {})
+                recv_intos = ingress.get("recv_into_calls", 0)
+                reuses = ingress.get("pool_reuses", 0)
+                if recv_intos <= 0 or reuses <= 0:
+                    failures.append(
+                        f"hotpath pooled ingress did not engage "
+                        f"(recv_into_calls={recv_intos}, "
+                        f"pool_reuses={reuses}): reads are allocating "
+                        f"again"
+                    )
+                else:
+                    print(f"  hotpath recv_into_calls: {recv_intos:6d} "
+                          f"({reuses} buffer reuses) ok")
+            if hot_baseline.get("require_sendfile"):
+                static = hot.get("static", {})
+                calls = static.get("sendfile_calls", 0)
+                aio = static.get("aio_reads", -1)
+                parity = static.get("byte_identical_to_fallback", False)
+                if calls <= 0 or aio != 0 or not parity:
+                    failures.append(
+                        f"hotpath static sendfile regressed "
+                        f"(sendfile_calls={calls}, aio_reads={aio}, "
+                        f"byte_identical_to_fallback={parity}): the "
+                        f"kernel-to-socket path is off, copying, or "
+                        f"diverging from the fallback"
+                    )
+                else:
+                    print(f"  hotpath sendfile_calls: {calls:6d} "
+                          f"(0 AIO reads, fallback parity) ok")
     return failures
 
 

@@ -102,9 +102,14 @@ class CacheProtocolBase:
     #: bigger than HTTP's 4 KiB to keep whole batches in one wakeup.
     recv_bytes = 64 * 1024
 
-    def __init__(self, store: Any, stats: CacheStats | None = None) -> None:
+    def __init__(self, store: Any, stats: CacheStats | None = None,
+                 buffers: Any = None) -> None:
         self.store = store
         self.stats = stats if stats is not None else CacheStats()
+        #: Optional :class:`~repro.runtime.buffers.BufferPool`: with a
+        #: pool and a layer exposing ``recv_pooled``, ingress reads land
+        #: in leased reusable buffers instead of fresh allocations.
+        self.buffers = buffers
 
     # -- subclass hooks ------------------------------------------------
     def make_parser(self) -> Any:
@@ -136,13 +141,29 @@ class CacheProtocolBase:
         # must not yield on that path (same contract as HttpProtocol).
         can_yield = True
         drained = False
+        recv_pooled = None
+        if self.buffers is not None:
+            recv_pooled = getattr(layer, "recv_pooled", None)
         try:
             while True:
-                data = yield layer.recv(conn, self.recv_bytes)
-                if not data:
-                    return  # client closed
                 try:
-                    parser.feed(data)
+                    if recv_pooled is not None:
+                        # Pooled ingress: recv into a leased reusable
+                        # buffer, feed it in place, release (plain code)
+                        # before anything can yield.
+                        lease, count = yield recv_pooled(conn, self.buffers)
+                        if not count:
+                            lease.release()
+                            return  # client closed
+                        try:
+                            parser.feed(lease.data, count)
+                        finally:
+                            lease.release()
+                    else:
+                        data = yield layer.recv(conn, self.recv_bytes)
+                        if not data:
+                            return  # client closed
+                        parser.feed(data)
                 except CacheParseError as bad:
                     stats.errors += 1
                     yield layer.send(conn, bad.reply)

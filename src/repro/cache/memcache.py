@@ -8,10 +8,19 @@ the store's owner routing.
 
 Fidelity notes (documented, deliberate):
 
-* ``flags`` are accepted but not persisted (the store holds raw bytes
-  shared with the HTTP and RESP facades); replies always say ``0``.
-  Clients that serialize via flags should send raw bytes (flags 0).
-* ``exptime`` is accepted and ignored — the store has no expiry.
+* ``flags`` are stored (shard-locally, beside the raw value bytes the
+  HTTP and RESP facades share) and echoed back on ``get`` — a client
+  that serializes via flags round-trips them through this front-end.
+  The metadata is per-protocol-instance, not replicated: a key written
+  through one shard's memcache listener and read through another's
+  echoes flags ``0``.
+* ``exptime`` is honored through the runtime's shared timer wheel
+  (``timers=``): the classic wire convention — values up to 30 days
+  are relative seconds, larger ones absolute unix timestamps, ``0``
+  never expires — arms one timer per expiring key, and a ``get``
+  racing the sweep checks the deadline lazily so an expired value is
+  never served.  Without a wheel, ``exptime`` degrades to the old
+  accepted-and-ignored behavior.
 * ``gets`` needs a cas token that changes with the value; it is derived
   as CRC32 of the value bytes (``cas`` itself is not implemented, so
   the token is informational).
@@ -23,9 +32,11 @@ Fidelity notes (documented, deliberate):
 
 from __future__ import annotations
 
+import time
 import zlib
 
 from ..core.do_notation import do
+from ..core.syscalls import sys_fork, sys_now
 from .base import CacheParseError, CacheProtocolBase, CacheStats
 
 __all__ = ["MemcacheParser", "MemcacheProtocol"]
@@ -80,8 +91,13 @@ class MemcacheParser:
         #: When mid data-block: (command-or-None, error-reply, size, noreply)
         self._pending: tuple | None = None
 
-    def feed(self, data: bytes) -> None:
-        self._buffer.extend(data)
+    def feed(self, data, length: int | None = None) -> None:
+        """Add received bytes; ``length`` bounds the valid prefix (pooled
+        receive buffers are larger than the bytes received)."""
+        if length is None:
+            self._buffer.extend(data)
+        else:
+            self._buffer.extend(memoryview(data)[:length])
         while self._advance():
             pass
 
@@ -211,13 +227,33 @@ class MemcacheParser:
         return True
 
 
+#: The memcached wire convention: an exptime beyond 30 days is an
+#: absolute unix timestamp, not a relative offset.
+_RELATIVE_EXPTIME_MAX = 60 * 60 * 24 * 30
+
+
 class MemcacheProtocol(CacheProtocolBase):
-    """Executor: memcache commands against the monadic store."""
+    """Executor: memcache commands against the monadic store.
+
+    ``timers`` (a :class:`~repro.runtime.timer_wheel.TimerWheel`)
+    enables ``exptime``: each expiring set arms one wheel entry whose
+    action forks a best-effort store delete; re-set and delete cancel
+    it.  Key metadata (flags, expiry deadline) lives in a shard-local
+    dict bounded to keys that *have* non-default metadata — a set with
+    flags 0 and no expiry stores nothing extra.
+    """
 
     def __init__(self, store, stats: CacheStats | None = None,
-                 max_value_bytes: int = _MAX_VALUE_BYTES) -> None:
-        super().__init__(store, stats)
+                 max_value_bytes: int = _MAX_VALUE_BYTES,
+                 buffers=None, timers=None) -> None:
+        super().__init__(store, stats, buffers=buffers)
         self.max_value_bytes = max_value_bytes
+        self.timers = timers
+        #: key -> (flags, deadline_or_None); deadline is on the
+        #: runtime clock (``sys_now``), checked lazily on get.
+        self._meta: dict[str, tuple[int, float | None]] = {}
+        #: key -> armed TimerHandle for the pending expiry sweep.
+        self._expiry: dict[str, object] = {}
 
     def make_parser(self) -> MemcacheParser:
         return MemcacheParser(max_value_bytes=self.max_value_bytes)
@@ -239,25 +275,40 @@ class MemcacheProtocol(CacheProtocolBase):
             except Exception as exc:
                 self._server_error(out, exc)
                 return False
+            now = None
             for key in keys:
                 value = values.get(key)
+                flags = 0
+                if value is not None:
+                    meta = self._meta.get(key)
+                    if meta is not None:
+                        flags, deadline = meta
+                        if deadline is not None:
+                            # Lazy expiry: a get racing the wheel's
+                            # sweep must not serve a dead value.
+                            if now is None:
+                                now = yield sys_now()
+                            if now >= deadline:
+                                value = None
                 if value is None:
                     stats.get_misses += 1
                     continue
                 stats.get_hits += 1
                 encoded = key.encode("ascii")
                 if with_cas:
-                    head = b"VALUE %s 0 %d %d\r\n" % (
-                        encoded, len(value), zlib.crc32(value)
+                    head = b"VALUE %s %d %d %d\r\n" % (
+                        encoded, flags, len(value), zlib.crc32(value)
                     )
                 else:
-                    head = b"VALUE %s 0 %d\r\n" % (encoded, len(value))
+                    head = b"VALUE %s %d %d\r\n" % (
+                        encoded, flags, len(value)
+                    )
                 out += [head, value, b"\r\n"]
             out.append(b"END\r\n")
             stats.responses += 1
             return False
         if kind == "set":
-            _, key, _flags, _exptime, noreply, value = command
+            _, key, flags, exptime, noreply, value = command
             try:
                 yield self.store.put(key, value)
             except Exception as exc:
@@ -265,12 +316,14 @@ class MemcacheProtocol(CacheProtocolBase):
                     self._server_error(out, exc)
                 return False
             stats.sets += 1
+            yield self._remember_meta(key, flags, exptime)
             if not noreply:
                 out.append(b"STORED\r\n")
                 stats.responses += 1
             return False
         if kind == "delete":
             _, key, noreply = command
+            self._forget_meta(key)
             try:
                 deleted, _value, _proxied = yield self.store.delete(key)
             except Exception as exc:
@@ -309,6 +362,62 @@ class MemcacheProtocol(CacheProtocolBase):
         stats.responses += 1
         stats.errors += 1
         return False
+
+    # -- key metadata (flags + expiry) ---------------------------------
+    def _forget_meta(self, key: str) -> None:
+        """Plain code: drop metadata and disarm any pending expiry."""
+        handle = self._expiry.pop(key, None)
+        if handle is not None:
+            handle.cancel()
+        self._meta.pop(key, None)
+
+    @do
+    def _remember_meta(self, key, flags, exptime):
+        """Record a set's flags and arm its expiry, superseding any
+        previous metadata for the key."""
+        self._forget_meta(key)
+        if exptime <= 0 or self.timers is None:
+            # No expiry (or no wheel: exptime degrades to "never", the
+            # documented fallback).  Keep the dict bounded to keys with
+            # non-default metadata.
+            if flags:
+                self._meta[key] = (flags, None)
+            return
+        delay = (float(exptime) if exptime <= _RELATIVE_EXPTIME_MAX
+                 else exptime - time.time())
+        if delay <= 0:
+            # An absolute exptime already in the past: memcached treats
+            # the value as immediately expired.
+            yield self._expire(key)
+            return
+        now = yield sys_now()
+        self._meta[key] = (flags, now + delay)
+        armed: list = []
+
+        def sweep():
+            # ``armed`` fills right after schedule() resumes; a sweep
+            # racing that window, or one superseded by a later
+            # set/delete, must stand down.
+            if not armed or self._expiry.get(key) is not armed[0]:
+                return None
+            self._forget_meta(key)
+            # The delete may route to the key's owner over the mesh:
+            # fork it rather than stall the wheel's sleeper.
+            return sys_fork(self._expire(key), name="memcache-expiry")
+
+        handle = yield self.timers.schedule(delay, sweep)
+        armed.append(handle)
+        self._expiry[key] = handle
+
+    @do
+    def _expire(self, key):
+        # Best-effort: the lazy deadline check on get already hides the
+        # value, so a failed sweep (owner down, mesh hiccup) only costs
+        # memory until the next successful write/delete.
+        try:
+            yield self.store.delete(key)
+        except Exception:
+            pass
 
     def _server_error(self, out, exc: BaseException) -> None:
         out.append(b"SERVER_ERROR " + self._describe(exc).encode("ascii",

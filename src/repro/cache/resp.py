@@ -62,8 +62,13 @@ class RespParser:
         self._items: list[bytes] = []
         self._bulk_len = -1         # payload length mid-bulk, else -1
 
-    def feed(self, data: bytes) -> None:
-        self._buffer.extend(data)
+    def feed(self, data, length: int | None = None) -> None:
+        """Add received bytes; ``length`` bounds the valid prefix (pooled
+        receive buffers are larger than the bytes received)."""
+        if length is None:
+            self._buffer.extend(data)
+        else:
+            self._buffer.extend(memoryview(data)[:length])
         while self._advance():
             pass
 
@@ -158,8 +163,9 @@ class RespProtocol(CacheProtocolBase):
     """Executor: RESP commands against the monadic store."""
 
     def __init__(self, store, stats: CacheStats | None = None,
-                 max_bulk_bytes: int = _MAX_BULK_BYTES) -> None:
-        super().__init__(store, stats)
+                 max_bulk_bytes: int = _MAX_BULK_BYTES,
+                 buffers=None) -> None:
+        super().__init__(store, stats, buffers=buffers)
         self.max_bulk_bytes = max_bulk_bytes
 
     def make_parser(self) -> RespParser:

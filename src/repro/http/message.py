@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from datetime import timezone
 from email.utils import formatdate, parsedate_to_datetime
-from typing import Iterable
+from typing import Any, Iterable
 
 __all__ = ["HttpRequest", "HttpResponse", "HttpError", "REASON_PHRASES",
            "guess_content_type", "http_date", "parse_http_date",
@@ -14,6 +14,7 @@ REASON_PHRASES = {
     200: "OK",
     201: "Created",
     204: "No Content",
+    206: "Partial Content",
     301: "Moved Permanently",
     304: "Not Modified",
     400: "Bad Request",
@@ -23,6 +24,7 @@ REASON_PHRASES = {
     408: "Request Timeout",
     413: "Payload Too Large",
     414: "URI Too Long",
+    416: "Range Not Satisfiable",
     431: "Request Header Fields Too Large",
     500: "Internal Server Error",
     501: "Not Implemented",
@@ -156,9 +158,16 @@ class HttpResponse:
     set it to an iterable of byte strings (the body of unknown total
     length) and the serving protocol streams each element as one chunk,
     ignoring ``body``/``Content-Length``.
+
+    ``file`` switches the response to sendfile egress: set it to a
+    :class:`~repro.runtime.io_api.FileBody` (an open file region) and the
+    serving protocol sends the header block from userspace but moves the
+    body kernel-to-socket — the bytes never transit the application.
+    ``body``/``chunks`` are ignored; the protocol closes the file on
+    every exit path.
     """
 
-    __slots__ = ("status", "headers", "body", "version", "chunks")
+    __slots__ = ("status", "headers", "body", "version", "chunks", "file")
 
     def __init__(
         self,
@@ -167,12 +176,14 @@ class HttpResponse:
         headers: dict[str, str] | None = None,
         version: str = "HTTP/1.1",
         chunks: Iterable[bytes] | None = None,
+        file: Any = None,
     ) -> None:
         self.status = status
         self.body = body
         self.headers = dict(headers) if headers else {}
         self.version = version
         self.chunks = chunks
+        self.file = file
 
     def header_block(self, extra_length: int | None = None) -> bytes:
         """Serialize the status line and headers (plus Content-Length).
@@ -189,8 +200,12 @@ class HttpResponse:
             headers.setdefault("Transfer-Encoding", "chunked")
             headers.pop("Content-Length", None)
         else:
-            length = (extra_length if extra_length is not None
-                      else len(self.body))
+            if extra_length is not None:
+                length = extra_length
+            elif self.file is not None:
+                length = self.file.count
+            else:
+                length = len(self.body)
             headers.setdefault("Content-Length", str(length))
         headers.setdefault("Server", "repro-monadic/1.0")
         for name, value in headers.items():
@@ -200,13 +215,17 @@ class HttpResponse:
     def encode(self) -> bytes:
         """Full response bytes (header block + body).
 
-        Chunked responses serialize every chunk plus the terminal frame —
-        usable by tests and non-streaming paths; the serving protocol
-        streams chunks incrementally instead.
+        Chunked responses serialize every chunk plus the terminal frame,
+        and file responses materialize the body with ``pread`` — usable
+        by tests and non-streaming paths; the serving protocol streams
+        chunks incrementally / sendfiles the region instead.
         """
         if self.chunks is not None:
             framed = b"".join(encode_chunk(chunk) for chunk in self.chunks)
             return self.header_block() + framed + LAST_CHUNK
+        if self.file is not None:
+            file = self.file
+            return self.header_block() + file.pread(file.offset, file.count)
         return self.header_block() + self.body
 
     @classmethod

@@ -76,6 +76,9 @@ class RequestParser:
             raise ValueError("max_body_bytes must be >= 0")
         self.max_header_bytes = max_header_bytes
         self.max_body_bytes = max_body_bytes
+        #: Bytes carried over *between* feeds (a request split across
+        #: recvs).  On the common one-recv-per-request path this stays
+        #: empty and the parser works directly over the caller's buffer.
         self._buffer = bytearray()
         self._requests: list[HttpRequest] = []
         self._pending: HttpRequest | None = None
@@ -87,12 +90,56 @@ class RequestParser:
         self._chunk_parts: list[bytes] = []
         self._chunk_total = 0
         self._trailer_bytes = 0
+        # The cursor, valid only inside feed(): parse source, read
+        # position, and end of valid data.
+        self._src: bytes | bytearray | None = None
+        self._pos = 0
+        self._end = 0
 
-    def feed(self, data: bytes) -> None:
-        """Add received bytes; may complete any number of requests."""
-        self._buffer.extend(data)
-        while self._advance():
-            pass
+    def feed(self, data, length: int | None = None) -> None:
+        """Add received bytes; may complete any number of requests.
+
+        ``data`` is ``bytes`` or ``bytearray``; ``length`` bounds the
+        valid prefix (pooled ``recv_into`` buffers are larger than the
+        bytes received — pass the backing buffer and the count, no
+        slicing copy needed).  A ``memoryview`` is accepted for
+        compatibility but materialized (views lack bounded ``find``).
+
+        Zero-copy discipline: when no bytes are carried over from a
+        previous feed (the common one-recv-per-request case), parsing
+        runs *directly over the caller's buffer* with a cursor — no
+        join, no intermediate buffer; only the request body (which must
+        outlive the reusable buffer) is copied out.  Any unconsumed
+        tail is copied into the carry-over buffer before returning, so
+        the caller may reuse ``data`` immediately after feed().
+        """
+        if isinstance(data, memoryview):
+            data = bytes(data if length is None else data[:length])
+            length = None
+        end = len(data) if length is None else length
+        if self._buffer:
+            # Carry-over path: join once, parse the joined bytes with
+            # the same cursor machinery, compact once at the end.
+            self._buffer.extend(memoryview(data)[:end])
+            src: bytes | bytearray = self._buffer
+            end = len(src)
+            owned = True
+        else:
+            src = data
+            owned = False
+        self._src = src
+        self._pos = 0
+        self._end = end
+        try:
+            while self._advance():
+                pass
+        finally:
+            pos = self._pos
+            self._src = None
+            if owned:
+                del src[:pos]
+            elif pos < end:
+                self._buffer.extend(memoryview(data)[pos:end])
 
     def next_request(self) -> HttpRequest | None:
         """Pop the oldest complete request, if any."""
@@ -102,10 +149,22 @@ class RequestParser:
 
     @property
     def buffered(self) -> int:
-        """Unconsumed bytes held (pipelined data)."""
+        """Unconsumed bytes carried over between feeds (split requests
+        and pipelined data)."""
         return len(self._buffer)
 
     # ------------------------------------------------------------------
+    def _extract(self, start: int, stop: int) -> bytes:
+        """Copy ``src[start:stop]`` out as bytes (one copy, no joins)."""
+        src = self._src
+        if type(src) is bytes:
+            return src[start:stop]
+        return bytes(memoryview(src)[start:stop])
+
+    @property
+    def _available(self) -> int:
+        return self._end - self._pos
+
     def _advance(self) -> bool:
         if self._pending is not None:
             if self._chunk_mode is not None:
@@ -114,17 +173,18 @@ class RequestParser:
         return self._advance_headers()
 
     def _advance_headers(self) -> bool:
-        end = self._buffer.find(b"\r\n\r\n")
+        src, pos = self._src, self._pos
+        end = src.find(b"\r\n\r\n", pos, self._end)
         if end < 0:
-            if len(self._buffer) > self.max_header_bytes:
+            if self._available > self.max_header_bytes:
                 raise HttpParseError(431, "header block too large")
             return False
-        if end > self.max_header_bytes:
+        if end - pos > self.max_header_bytes:
             # A complete block arriving in one feed() must obey the same
             # bound as one dribbled across many.
             raise HttpParseError(431, "header block too large")
-        block = bytes(self._buffer[:end])
-        del self._buffer[:end + 4]
+        block = self._extract(pos, end)
+        self._pos = end + 4
         request = self._parse_header_block(block)
         encoding = request.headers.get("transfer-encoding")
         length = request.headers.get("content-length")
@@ -159,11 +219,14 @@ class RequestParser:
 
     def _advance_body(self) -> bool:
         assert self._pending is not None
-        if len(self._buffer) < self._body_needed:
+        if self._available < self._body_needed:
             return False
+        pos = self._pos
         request = self._pending
-        request.body = bytes(self._buffer[:self._body_needed])
-        del self._buffer[:self._body_needed]
+        # The one necessary copy: the body must outlive the (reusable)
+        # receive buffer it arrived in.
+        request.body = self._extract(pos, pos + self._body_needed)
+        self._pos = pos + self._body_needed
         self._pending = None
         self._body_needed = 0
         self._requests.append(request)
@@ -177,16 +240,17 @@ class RequestParser:
         loops and may start the next pipelined request), False when more
         bytes are needed.
         """
-        buffer = self._buffer
+        src = self._src
         while True:
+            pos = self._pos
             if self._chunk_mode == "size":
-                line_end = buffer.find(b"\r\n")
+                line_end = src.find(b"\r\n", pos, self._end)
                 if line_end < 0:
-                    if len(buffer) > _MAX_CHUNK_LINE_BYTES:
+                    if self._available > _MAX_CHUNK_LINE_BYTES:
                         raise HttpParseError(400, "chunk size line too long")
                     return False
-                line = bytes(buffer[:line_end])
-                del buffer[:line_end + 2]
+                line = self._extract(pos, line_end)
+                self._pos = line_end + 2
                 # Chunk extensions (";name=value") are legal and ignored.
                 size_text = line.split(b";", 1)[0].strip()
                 size = self._parse_chunk_size(size_text)
@@ -198,24 +262,24 @@ class RequestParser:
                     self._chunk_remaining = size
                     self._chunk_mode = "data"
             elif self._chunk_mode == "data":
-                need = self._chunk_remaining + 2
-                if len(buffer) < need:
+                data_end = pos + self._chunk_remaining
+                if self._available < self._chunk_remaining + 2:
                     return False
-                if bytes(buffer[self._chunk_remaining:need]) != b"\r\n":
+                if self._extract(data_end, data_end + 2) != b"\r\n":
                     raise HttpParseError(400, "chunk not CRLF-terminated")
-                self._chunk_parts.append(bytes(buffer[:self._chunk_remaining]))
+                self._chunk_parts.append(self._extract(pos, data_end))
                 self._chunk_total += self._chunk_remaining
-                del buffer[:need]
+                self._pos = data_end + 2
                 self._chunk_remaining = 0
                 self._chunk_mode = "size"
             else:  # trailer section: zero or more fields, then CRLF
-                line_end = buffer.find(b"\r\n")
+                line_end = src.find(b"\r\n", pos, self._end)
                 if line_end < 0:
-                    if len(buffer) > self.max_header_bytes:
+                    if self._available > self.max_header_bytes:
                         raise HttpParseError(431, "trailer section too large")
                     return False
-                line = bytes(buffer[:line_end])
-                del buffer[:line_end + 2]
+                line = self._extract(pos, line_end)
+                self._pos = line_end + 2
                 if not line:
                     request = self._pending
                     assert request is not None
@@ -228,7 +292,7 @@ class RequestParser:
                     return True
                 if line.find(b":") <= 0:
                     raise HttpParseError(400, f"bad trailer line {line!r}")
-                self._trailer_bytes += line_end + 2
+                self._trailer_bytes += len(line) + 2
                 if self._trailer_bytes > self.max_header_bytes:
                     raise HttpParseError(431, "trailer section too large")
                 # Trailer fields are validated for shape and discarded.

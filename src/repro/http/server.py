@@ -15,7 +15,10 @@ HTTP is one protocol among several rather than the hard-wired only one:
 * :class:`StaticFileHandler` is the paper's application: file opens through
   the blocking pool (``sys_blio``), content read with AIO
   (``sys_aio_read``) into the application's own 100MB cache, conditional
-  GET (``If-Modified-Since``/304) against real filesystems; other
+  GET (``If-Modified-Since``/304) and single-range requests (206/416)
+  against real filesystems; on filesystems exposing ``open_sendfile``
+  (real docroots) the body instead moves kernel-to-socket via
+  ``sendfile`` — zero userspace copies, no cache residency; other
   applications (``repro.app.kv``) plug in the same way;
 * the socket layer is pluggable: :class:`KernelSocketLayer` (simulated
   kernel streams) or :class:`AppTcpSocketLayer` (the application-level TCP
@@ -39,7 +42,7 @@ from ..core.syscalls import (
     sys_now,
 )
 from ..runtime.driver import ConnectionDriver, IoSocketLayer
-from ..runtime.io_api import NetIO
+from ..runtime.io_api import FileBody, NetIO
 from ..simos.filesys import SimFileSystem
 from .cache import FileCache
 from .message import (
@@ -111,6 +114,11 @@ class AppTcpSocketLayer:
     def send(self, conn: Any, data: bytes) -> M:
         return self.tcp.send(conn, data)
 
+    def send_v(self, conn: Any, bufs: list) -> M:
+        # Gathered send down to the stack's iovec — the protocol's
+        # header+body writes stop joining on this layer too.
+        return self.tcp.send_v(conn, bufs)
+
     def shed(self, conn: Any, farewell: bytes = b"") -> M:
         # Best effort: a peer that vanished mid-shed must not kill the
         # accept loop, and the connection closes on every path.
@@ -152,6 +160,11 @@ class ServerStats:
         self.shed = 0
 
 
+#: :meth:`StaticFileHandler._parse_range` result for a syntactically valid
+#: Range that selects no bytes: answer 416 rather than serving anything.
+_UNSATISFIABLE = -1
+
+
 class StaticFileHandler:
     """The paper's application: static files through cache + AIO.
 
@@ -161,6 +174,17 @@ class StaticFileHandler:
     Conditional GET: when the filesystem exposes ``mtime(path)`` (real
     docroots do), responses carry ``Last-Modified`` and an
     ``If-Modified-Since`` at or after it answers 304 with no body.
+    Single-range requests answer 206 with a ``Content-Range``; a
+    syntactically valid but unsatisfiable range answers 416 with
+    ``bytes */size``; multi-range and malformed headers are ignored (the
+    full 200, as RFC 9110 permits).
+
+    When the filesystem exposes ``open_sendfile(path)`` (real docroots)
+    and ``sendfile`` is enabled (the default exactly then), uncached
+    files are served as open-file regions: the protocol moves the body
+    kernel-to-socket with ``sendfile`` — no AIO reads, no cache
+    residency, zero userspace body copies.  Preloaded site entries (and
+    anything already cached) still serve from memory.
 
     The mtime *probe* is real (possibly slow) filesystem I/O through the
     blocking pool — one pool hop per request.  ``mtime_ttl`` bounds that
@@ -178,12 +202,21 @@ class StaticFileHandler:
         read_chunk: int = 64 * 1024,
         stats: ServerStats | None = None,
         mtime_ttl: float = 0.25,
+        sendfile: bool | None = None,
     ) -> None:
         self.fs = fs
         self.cache = cache
         self.read_chunk = read_chunk
         self.stats = stats if stats is not None else ServerStats()
         self.mtime_ttl = mtime_ttl
+        # Sendfile egress: default on exactly when the filesystem can
+        # hand out open-file regions (real docroots); the in-memory
+        # site/cache path is unaffected either way.
+        if sendfile is None:
+            sendfile = getattr(fs, "open_sendfile", None) is not None
+        self.sendfile = bool(
+            sendfile and getattr(fs, "open_sendfile", None) is not None
+        )
         #: Short-TTL probe cache: ``path -> (mtime, fresh_until)``.
         self._mtime_probes: dict[str, tuple[float | None, float]] = {}
         #: mtime each cached entry was loaded at: a changed file on disk
@@ -210,11 +243,116 @@ class StaticFileHandler:
                 return HttpResponse(
                     304, headers={"Last-Modified": http_date(mtime)}
                 )
+        if self.sendfile and not self.cache.contains(path):
+            response = yield self._respond_sendfile(request, path, mtime)
+            if response is not None:
+                return response
         content = yield self._load(path, mtime)
         headers = {"Content-Type": guess_content_type(request.path)}
         if mtime is not None:
             headers["Last-Modified"] = http_date(mtime)
+        span = self._parse_range(request.header("range"), len(content))
+        if span == _UNSATISFIABLE:
+            headers["Content-Range"] = f"bytes */{len(content)}"
+            return HttpResponse(416, headers=headers)
+        if span is not None:
+            start, stop = span
+            headers["Content-Range"] = (
+                f"bytes {start}-{stop - 1}/{len(content)}"
+            )
+            return HttpResponse(206, body=content[start:stop],
+                                headers=headers)
         return HttpResponse(200, body=content, headers=headers)
+
+    @do
+    def _respond_sendfile(self, request, path, mtime):
+        """Serve ``path`` as an open-file region (kernel-to-socket).
+
+        Resumes with a response whose ``file`` is set (the protocol
+        sends it with ``sendfile`` and closes it on every exit path), or
+        ``None`` when the file does not exist — the caller falls through
+        to the cache/AIO path, which raises the 404.
+        """
+        # Re-probe the filesystem (not the construction-time decision):
+        # callers may swap ``fs`` for wrappers without ``open_sendfile``.
+        opener = getattr(self.fs, "open_sendfile", None)
+        if opener is None:
+            return None
+
+        def open_file():
+            try:
+                return opener(path)
+            except (FileNotFoundError, OSError):
+                return None
+
+        # The open + fstat are real filesystem I/O: blocking pool, like
+        # every other file operation (§4.6).
+        file = yield sys_blio(open_file)
+        if file is None:
+            return None
+        # Plain code from here to the return: no yield means no
+        # abandonment window in which the open fd could leak.
+        size = file.count
+        headers = {"Content-Type": guess_content_type(request.path)}
+        if mtime is not None:
+            headers["Last-Modified"] = http_date(mtime)
+        status = 200
+        span = self._parse_range(request.header("range"), size)
+        if span == _UNSATISFIABLE:
+            file.close()
+            headers["Content-Range"] = f"bytes */{size}"
+            return HttpResponse(416, headers=headers)
+        if span is not None:
+            start, stop = span
+            file.offset = start
+            file.count = stop - start
+            status = 206
+            headers["Content-Range"] = f"bytes {start}-{stop - 1}/{size}"
+        return HttpResponse(status, headers=headers, file=file)
+
+    @staticmethod
+    def _parse_range(value: str, size: int):
+        """Interpret a ``Range`` header against a ``size``-byte body.
+
+        Returns ``None`` to serve the whole body — absent, malformed, or
+        multi-range headers are all ignorable per RFC 9110 §14.2 (a 200
+        with the full representation is always a correct answer) —
+        ``(start, stop)`` half-open for a satisfiable single range, or
+        :data:`_UNSATISFIABLE` for a syntactically valid range that
+        selects nothing (the caller answers 416 with ``bytes */size``).
+        """
+        if not value or not value.startswith("bytes="):
+            return None
+        spec = value[len("bytes="):].strip()
+        if not spec or "," in spec:
+            return None
+        start_text, dash, end_text = spec.partition("-")
+        if not dash:
+            return None
+        start_text = start_text.strip()
+        end_text = end_text.strip()
+        if start_text:
+            if not (start_text.isascii() and start_text.isdigit()):
+                return None
+            start = int(start_text)
+            if end_text:
+                if not (end_text.isascii() and end_text.isdigit()):
+                    return None
+                if int(end_text) < start:
+                    return None
+                end = int(end_text)
+            else:
+                end = size - 1
+            if start >= size:
+                return _UNSATISFIABLE
+            return start, min(end, size - 1) + 1
+        # Suffix form ``bytes=-N``: the final N bytes.
+        if not (end_text.isascii() and end_text.isdigit()):
+            return None
+        suffix = int(end_text)
+        if suffix == 0:
+            return _UNSATISFIABLE
+        return max(0, size - suffix), size
 
     @do
     def _probe_mtime(self, path):
@@ -328,9 +466,15 @@ class HttpProtocol:
         max_header_bytes: int | None = None,
         max_body_bytes: int | None = None,
         chunk_watermark: int | None = None,
+        buffers: Any = None,
     ) -> None:
         self.handler = handler
         self.stats = stats if stats is not None else ServerStats()
+        #: Optional :class:`~repro.runtime.buffers.BufferPool` for
+        #: ingress: with a pool and a layer exposing ``recv_pooled``,
+        #: requests are received into leased reusable buffers and parsed
+        #: in place — zero allocations per read on the keep-alive path.
+        self.buffers = buffers
         self.chunk_watermark = (
             self.DEFAULT_CHUNK_WATERMARK if chunk_watermark is None
             else max(1, chunk_watermark)
@@ -430,10 +574,30 @@ class HttpProtocol:
 
     @do
     def _next_request(self, layer, conn, parser):
+        recv_pooled = None
+        if self.buffers is not None:
+            recv_pooled = getattr(layer, "recv_pooled", None)
         while True:
             request = parser.next_request()
             if request is not None:
                 return request
+            if recv_pooled is not None:
+                # Pooled ingress: recv into a leased reusable buffer and
+                # parse it in place; the parser copies out only what
+                # must outlive the buffer (bodies, split-request tails),
+                # so the lease can be released — plain code, safe on
+                # every path — before the next read.
+                lease, count = yield recv_pooled(conn, self.buffers)
+                if not count:
+                    lease.release()
+                    return None
+                try:
+                    parser.feed(lease.data, count)
+                except HttpParseError as bad:
+                    raise HttpError(bad.status, bad.detail)
+                finally:
+                    lease.release()
+                continue
             data = yield layer.recv(conn, 4096)
             if not data:
                 return None
@@ -448,6 +612,9 @@ class HttpProtocol:
         response.headers.setdefault(
             "Connection", "keep-alive" if request.keep_alive else "close"
         )
+        if getattr(response, "file", None) is not None:
+            yield self._send_file(layer, conn, request, response)
+            return
         if response.chunks is not None and request.version != "HTTP/1.1":
             # Chunked framing is an HTTP/1.1 construct; a 1.0 client
             # would read the chunk-size lines as body bytes.  Nothing is
@@ -471,6 +638,46 @@ class HttpProtocol:
             bufs = [header]
         yield self._send_bufs(layer, conn, bufs)
         self.stats.bytes_sent += len(header) + len(response.body)
+
+    @do
+    def _send_file(self, layer, conn, request, response):
+        """Send a file-region response: header from userspace, body
+        kernel-to-socket.
+
+        The header block rides the usual gathered write; the body moves
+        with the layer's ``sendfile`` (never transiting the
+        application), falling back to pread-and-send streaming on layers
+        without it (the app-level TCP stack).  The open file is closed
+        on every exit path — close is plain code, so the ``finally`` is
+        safe even under abandonment (GeneratorExit).
+        """
+        file = response.file
+        try:
+            header = response.header_block()
+            yield self._send_bufs(layer, conn, [header])
+            self.stats.bytes_sent += len(header)
+            if request.method == "HEAD" or file.count == 0:
+                return
+            sendfile = getattr(layer, "sendfile", None)
+            if sendfile is not None:
+                sent = yield sendfile(conn, file, file.offset, file.count)
+            else:
+                sent = 0
+                while sent < file.count:
+                    nbytes = min(file.count - sent, 64 * 1024)
+                    chunk = yield sys_blio(
+                        lambda off=file.offset + sent, n=nbytes:
+                            file.pread(off, n)
+                    )
+                    if not chunk:
+                        # The Content-Length is committed and short: an
+                        # error response here would corrupt framing.
+                        raise _ResponseAborted("file truncated mid-send")
+                    yield layer.send(conn, chunk)
+                    sent += len(chunk)
+            self.stats.bytes_sent += sent
+        finally:
+            file.close()
 
     @do
     def _send_chunked(self, layer, conn, request, response):
@@ -556,6 +763,8 @@ class WebServer:
         max_body_bytes: int | None = None,
         mtime_ttl: float = 0.25,
         chunk_watermark: int | None = None,
+        buffers: Any = None,
+        sendfile: bool | None = None,
     ) -> None:
         self.layer = socket_layer
         self.fs = fs
@@ -566,7 +775,7 @@ class WebServer:
         if handler is None:
             handler = StaticFileHandler(
                 fs, self.cache, read_chunk=read_chunk, stats=self.stats,
-                mtime_ttl=mtime_ttl,
+                mtime_ttl=mtime_ttl, sendfile=sendfile,
             )
         self.handler = handler
         self.protocol = HttpProtocol(
@@ -575,6 +784,7 @@ class WebServer:
             max_header_bytes=max_header_bytes,
             max_body_bytes=max_body_bytes,
             chunk_watermark=chunk_watermark,
+            buffers=buffers,
         )
         self.driver = ConnectionDriver(
             socket_layer,
@@ -669,6 +879,28 @@ class DocRootFilesystem:
             return None
         return os.path.getmtime(full)
 
+    def open_sendfile(self, path: str) -> FileBody:
+        """Open ``path`` as a real fd wrapped for kernel-to-socket egress.
+
+        The returned :class:`~repro.runtime.io_api.FileBody` spans the
+        whole file; callers narrow ``offset``/``count`` for ranges and
+        must ``close()`` it (idempotent plain code).
+        """
+        full = self._resolve(path)
+        if full is None or not os.path.isfile(full):
+            raise FileNotFoundError(path)
+        fd = os.open(full, os.O_RDONLY)
+        try:
+            size = os.fstat(fd).st_size
+        except OSError:
+            os.close(fd)
+            raise
+        return FileBody(
+            fd, size,
+            pread=lambda offset, nbytes: os.pread(fd, nbytes, offset),
+            close=lambda: os.close(fd),
+        )
+
 
 class EmptyFilesystem:
     """No files at all — for servers whose site lives in the cache (or
@@ -700,6 +932,8 @@ def build_live_server(
     max_body_bytes: int | None = None,
     mtime_ttl: float = 0.25,
     chunk_watermark: int | None = None,
+    buffers: Any = None,
+    sendfile: bool | None = None,
 ) -> WebServer:
     """Construct a :class:`WebServer` serving real sockets on ``rt``.
 
@@ -715,16 +949,25 @@ def build_live_server(
     memory (431/413 beyond them); ``mtime_ttl`` bounds the per-request
     conditional-GET stat cost (0 probes on every request);
     ``chunk_watermark`` sets how many framed-chunk bytes buffer before a
-    chunked response flushes one gathered write.
+    chunked response flushes one gathered write; ``buffers`` overrides
+    the ingress buffer pool (default: the runtime's shared ``rt.buffers``
+    — pass an explicit pool to isolate, or a false value to disable
+    pooled ingress); ``sendfile`` forces the static handler's
+    kernel-to-socket egress on or off (default: on exactly when a
+    ``docroot`` is given, which is when the filesystem can hand out real
+    fds).
     """
     fs: Any = DocRootFilesystem(docroot) if docroot else EmptyFilesystem()
+    if buffers is None:
+        buffers = getattr(rt, "buffers", None)
     server = WebServer(
         LiveSocketLayer(rt.io, listener), fs,
         cache_bytes=cache_bytes, read_chunk=read_chunk, name=name,
         accept_batch=accept_batch, max_connections=max_connections,
         handler=handler, max_header_bytes=max_header_bytes,
         max_body_bytes=max_body_bytes, mtime_ttl=mtime_ttl,
-        chunk_watermark=chunk_watermark,
+        chunk_watermark=chunk_watermark, buffers=buffers or None,
+        sendfile=sendfile,
     )
     for path, content in (site or {}).items():
         server.cache.put(path.lstrip("/"), content)

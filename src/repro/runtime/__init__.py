@@ -34,7 +34,8 @@ crashes.  See ``examples/cluster_server.py`` and
 ``benchmarks/bench_live_http.py`` for the demo and the load harness.
 """
 
-from .io_api import NetIO
+from .buffers import BufferLease, BufferPool
+from .io_api import FileBody, NetIO
 from .sim_runtime import SimRuntime
 from .live_runtime import LiveRuntime, make_listener
 from .cluster import AppContext, ClusterConfig, ClusterServer
@@ -52,6 +53,9 @@ __all__ = [
     "SimRuntime",
     "LiveRuntime",
     "NetIO",
+    "BufferPool",
+    "BufferLease",
+    "FileBody",
     "make_listener",
     "AppContext",
     "ClusterConfig",

@@ -27,7 +27,11 @@ The socket-layer contract is the one :class:`repro.http.server
 .IoSocketLayer` established: ``setup``/``accept_batch``/``recv``/``send``/
 ``shed``/``close``, all returning :class:`~repro.core.monad.M`; layers
 may additionally offer ``send_v(conn, bufs)`` (a gathered write —
-protocols fall back to joining when it is absent).
+protocols fall back to joining when it is absent),
+``recv_pooled(conn, pool)``/``recv_into(conn, buf)`` (zero-allocation
+ingress into pooled buffers — protocols fall back to plain ``recv``),
+and ``sendfile(conn, file, offset, count)`` (kernel-to-socket static
+egress).
 
 Invariants the layers above rely on:
 
@@ -90,8 +94,24 @@ class IoSocketLayer:
     def recv(self, conn: Any, nbytes: int) -> M:
         return self.io.read(conn, nbytes)
 
+    def recv_into(self, conn: Any, buf: Any) -> M:
+        """Fill ``buf`` in place (zero-allocation ingress); resumes with
+        the byte count, 0 at EOF."""
+        return self.io.read_into(conn, buf)
+
+    def recv_pooled(self, conn: Any, pool: Any) -> M:
+        """Lease a pooled buffer and recv into it; resumes with
+        ``(lease, count)`` — the caller releases the lease (plain code)
+        after consuming the bytes."""
+        return self.io.read_pooled(conn, pool)
+
     def send(self, conn: Any, data: bytes) -> M:
         return self.io.write_all(conn, data)
+
+    def sendfile(self, conn: Any, file: Any, offset: int, count: int) -> M:
+        """Kernel-to-socket send of an open file region (zero userspace
+        body copies); resumes with the byte count sent."""
+        return self.io.sendfile(conn, file, offset, count)
 
     def send_v(self, conn: Any, bufs: list) -> M:
         """Gathered send: every buffer in order, one syscall where the

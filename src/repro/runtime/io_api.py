@@ -22,10 +22,11 @@ from typing import Any
 from ..core.do_notation import do
 from ..core.events import EVENT_READ, EVENT_WRITE
 from ..core.monad import M
-from ..core.syscalls import sys_epoll_wait, sys_nbio
+from ..core.syscalls import sys_blio, sys_epoll_wait, sys_nbio
 from ..simos.errors import WOULD_BLOCK
 
-__all__ = ["NetIO", "ConnectionClosed", "WRITEV_IOV_LIMIT"]
+__all__ = ["NetIO", "ConnectionClosed", "FileBody", "WRITEV_IOV_LIMIT",
+           "SENDFILE_WINDOW"]
 
 
 class ConnectionClosed(OSError):
@@ -37,6 +38,63 @@ class ConnectionClosed(OSError):
 #: -write resume bookkeeping short.
 WRITEV_IOV_LIMIT = 128
 
+#: Bytes offered to one ``sendfile`` syscall.  The kernel may accept
+#: less (socket buffer space); the monadic wrapper resumes mid-region.
+#: Bounding the window keeps one slow peer from pinning the file region
+#: bookkeeping and matches the kernel's own internal pipe-sized splices.
+SENDFILE_WINDOW = 256 * 1024
+
+
+class FileBody:
+    """An open file region for zero-copy egress.
+
+    Carries what both sendfile paths need and nothing else:
+
+    * ``fileno()`` — whatever the backend's ``nb_sendfile`` consumes: an
+      OS descriptor (live backend) or a :class:`~repro.simos.filesys
+      .SimFile` (simulated backend).
+    * ``pread(offset, nbytes)`` — the *plain blocking* userspace reader
+      for the read+write fallback (called through ``sys_blio``) and for
+      ``HttpResponse.encode()``-style materialization.
+    * ``close()`` — plain code, idempotent, callable from a non-yielding
+      ``finally`` (the same GeneratorExit discipline as buffer leases).
+
+    ``offset``/``count`` delimit the region to send; Range handling
+    narrows them after open.
+    """
+
+    __slots__ = ("offset", "count", "_fileno", "_pread", "_close", "closed")
+
+    def __init__(self, fileno, count, offset=0, pread=None, close=None):
+        self._fileno = fileno
+        self.offset = offset
+        self.count = count
+        self._pread = pread
+        self._close = close
+        self.closed = False
+
+    def fileno(self):
+        """The backend-level file object/descriptor for ``nb_sendfile``."""
+        return self._fileno
+
+    def pread(self, offset: int, nbytes: int) -> bytes:
+        """Blocking positional read (fallback path; route via sys_blio)."""
+        if self._pread is None:
+            raise OSError("file region has no userspace reader")
+        return self._pread(offset, nbytes)
+
+    def close(self) -> None:
+        """Release the underlying file (plain code, idempotent)."""
+        if self.closed:
+            return
+        self.closed = True
+        if self._close is not None:
+            self._close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self.closed else f"{self.offset}+{self.count}"
+        return f"<FileBody {state}>"
+
 
 class NetIO:
     """Monadic, blocking-style I/O over a non-blocking backend.
@@ -46,15 +104,23 @@ class NetIO:
     Optionally it may provide ``nb_accept_batch(listener, limit)`` (a
     native accept-queue drain; otherwise ``accept_many`` loops
     ``nb_accept``), ``nb_shed(fd, farewell)`` (an orderly
-    farewell/FIN/drain close used by overload shedding), and
+    farewell/FIN/drain close used by overload shedding),
     ``nb_writev(fd, bufs)`` (a scatter-gather write; otherwise the
-    vectored operations degrade to a join + ``nb_write``).  A backend
-    may also set ``nb_writev = None`` to force the fallback.
-    All methods return :class:`~repro.core.monad.M` computations.
+    vectored operations degrade to a join + ``nb_write``),
+    ``nb_recv_into(fd, buf)`` (fill a caller buffer in place; otherwise
+    ``read_into``/``read_pooled`` copy one ``nb_read`` result), and
+    ``nb_sendfile(fd, file, offset, count)`` (kernel-to-socket egress;
+    otherwise ``sendfile`` reads through the blocking pool and writes).
+    A backend may also set any optional op to None to force its
+    fallback.  All methods return :class:`~repro.core.monad.M`
+    computations.
     """
 
     def __init__(self, backend: Any) -> None:
         self.backend = backend
+        #: Regions sent through the userspace read+write fallback because
+        #: the backend lacks ``nb_sendfile`` (bench evidence surface).
+        self.sendfile_fallbacks = 0
 
         # Bind the generator wrappers once; they close over the backend.
         @do
@@ -64,6 +130,56 @@ class NetIO:
                 if data is not WOULD_BLOCK:
                     return data
                 yield sys_epoll_wait(fd, EVENT_READ)
+
+        @do
+        def _read_into(fd, buf):
+            # Zero-allocation ingress: the kernel fills ``buf`` in place
+            # (``recv_into``) instead of handing back a fresh ``bytes``
+            # per call.  Resumes with the byte count; 0 means EOF.
+            op = getattr(backend, "nb_recv_into", None)
+            if op is None:
+                # Fallback for backends without the primitive: one read
+                # plus one copy into the caller's buffer (still pooled —
+                # the parser path above stays uniform).
+                data = yield _read(fd, len(buf))
+                count = len(data)
+                buf[:count] = data
+                return count
+            while True:
+                count = yield sys_nbio(lambda: op(fd, buf))
+                if count is not WOULD_BLOCK:
+                    return count
+                yield sys_epoll_wait(fd, EVENT_READ)
+
+        @do
+        def _read_pooled(fd, pool):
+            # The keep-alive ingress loop: lease a pooled buffer, fill it
+            # with ``recv_into``, resume with ``(lease, count)``.  While
+            # *parked* waiting for bytes the lease is NOT held — an idle
+            # keep-alive connection pins zero buffers.  Release is plain
+            # code, so the abandonment guard below (GeneratorExit at a
+            # yield) can return the lease without a scheduler.
+            op = getattr(backend, "nb_recv_into", None)
+            if op is None:
+                data = yield _read(fd, pool.buffer_bytes)
+                lease = pool.lease()
+                count = len(data)
+                lease.data[:count] = data
+                return lease, count
+            lease = pool.lease()
+            try:
+                while True:
+                    count = yield sys_nbio(lambda: op(fd, lease.data))
+                    if count is not WOULD_BLOCK:
+                        return lease, count
+                    lease.release()
+                    yield sys_epoll_wait(fd, EVENT_READ)
+                    lease = pool.lease()
+            except BaseException:
+                # Error or abandonment mid-read: the caller never sees
+                # the lease, so hand it back here (idempotent).
+                lease.release()
+                raise
 
         @do
         def _read_exact(fd, nbytes):
@@ -140,6 +256,55 @@ class NetIO:
                     views[index] = views[index][count:]
 
         @do
+        def _sendfile(fd, file, offset, count):
+            # Kernel-to-socket egress: the file region never visits
+            # userspace.  Windows of SENDFILE_WINDOW bytes, resuming
+            # after partial sends (the kernel accepts what the socket
+            # buffer holds); EOF before ``count`` bytes is a framing
+            # error — the Content-Length is already on the wire.
+            op = getattr(backend, "nb_sendfile", None)
+            if op is None:
+                total = yield _sendfile_fallback(fd, file, offset, count)
+                return total
+            sent = 0
+            while sent < count:
+                pos = offset + sent
+                window = min(count - sent, SENDFILE_WINDOW)
+                n = yield sys_nbio(lambda: op(fd, file, pos, window))
+                if n is WOULD_BLOCK:
+                    yield sys_epoll_wait(fd, EVENT_WRITE)
+                    continue
+                if not n:
+                    raise ConnectionClosed(
+                        f"sendfile hit EOF at {pos} with "
+                        f"{count - sent} of {count} bytes unsent"
+                    )
+                sent += n
+            return sent
+
+        @do
+        def _sendfile_fallback(fd, file, offset, count):
+            # Backends without the primitive (platforms without
+            # ``os.sendfile``): positional reads through the blocking
+            # pool, then ordinary vectored writes.  Byte-identical on
+            # the wire, just with the userspace copy the fast path
+            # avoids — counted so benches can tell the paths apart.
+            self.sendfile_fallbacks += 1
+            sent = 0
+            while sent < count:
+                pos = offset + sent
+                window = min(count - sent, SENDFILE_WINDOW)
+                chunk = yield sys_blio(lambda: file.pread(pos, window))
+                if not chunk:
+                    raise ConnectionClosed(
+                        f"sendfile fallback hit EOF at {pos} with "
+                        f"{count - sent} of {count} bytes unsent"
+                    )
+                yield _write_all(fd, chunk)
+                sent += len(chunk)
+            return sent
+
+        @do
         def _accept(listener):
             while True:
                 conn = yield sys_nbio(lambda: backend.nb_accept(listener))
@@ -188,11 +353,14 @@ class NetIO:
                 buffer.extend(data)
 
         self._read = _read
+        self._read_into = _read_into
+        self._read_pooled = _read_pooled
         self._read_exact = _read_exact
         self._write = _write
         self._write_all = _write_all
         self._writev = _writev
         self._write_all_v = _write_all_v
+        self._sendfile = _sendfile
         self._accept = _accept
         self._accept_many = _accept_many
         self._read_until = _read_until
@@ -204,6 +372,20 @@ class NetIO:
         """Read up to ``nbytes``; blocks the thread (not the loop) until
         data is available.  Resumes with ``b""`` at EOF."""
         return self._read(fd, nbytes)
+
+    def read_into(self, fd: Any, buf: Any) -> M:
+        """Read into ``buf`` (a writable buffer) in place; resumes with
+        the byte count (0 at EOF).  Zero-allocation on backends with
+        ``nb_recv_into``; one read + copy elsewhere."""
+        return self._read_into(fd, buf)
+
+    def read_pooled(self, fd: Any, pool: Any) -> M:
+        """Lease a buffer from ``pool`` and read into it; resumes with
+        ``(lease, count)`` (count 0 at EOF).  The lease is *not* held
+        while parked waiting for readiness, so idle connections pin no
+        buffers; the caller owns the lease on resume and must
+        ``release()`` it (plain code) when done with the bytes."""
+        return self._read_pooled(fd, pool)
 
     def read_exact(self, fd: Any, nbytes: int) -> M:
         """Read exactly ``nbytes``; raises :class:`ConnectionClosed` on a
@@ -237,6 +419,17 @@ class NetIO:
         length-prefix+frame message is one ``sendmsg`` with zero
         intermediate copies."""
         return self._write_all_v(fd, bufs)
+
+    def sendfile(self, fd: Any, file: Any, offset: int, count: int) -> M:
+        """Send ``count`` bytes of ``file`` from ``offset`` to ``fd``
+        kernel-to-socket (zero userspace copies), resuming after partial
+        sends; resumes with the byte count.  ``file`` is a
+        :class:`FileBody` (or anything with ``fileno``/``pread``).
+        Backends without ``nb_sendfile`` get a byte-identical
+        read+write fallback (counted in ``sendfile_fallbacks``)."""
+        if count < 0:
+            raise ValueError("sendfile count must be >= 0")
+        return self._sendfile(fd, file, offset, count)
 
     def accept(self, listener: Any) -> M:
         """Accept one connection, blocking the thread until one arrives."""

@@ -56,6 +56,7 @@ from ..core.trace import (
 def _throw_thunk(exc: BaseException) -> Thunk:
     return lambda: SysThrow(exc)
 from ..simos.errors import WOULD_BLOCK
+from .buffers import BufferPool
 from .io_api import ConnectionClosed, NetIO
 from .timer_wheel import TimerWheel
 
@@ -120,6 +121,16 @@ class LiveBackend:
         #: Buffers carried by all sendmsg calls (gather ratio =
         #: writev_bufs / writev_calls).
         self.writev_bufs = 0
+        # Ingress counters: ``recv`` allocates a fresh bytes per call,
+        # ``recv_into`` fills a pooled buffer in place.  The hot-path
+        # bench divides read_calls by the request count to prove the
+        # zero-allocation ingress claim (warm pool → recv_into only).
+        self.read_calls = 0
+        self.recv_into_calls = 0
+        # Static-egress counters: kernel-to-socket sends (zero userspace
+        # copies) and the bytes they moved.
+        self.sendfile_calls = 0
+        self.sendfile_bytes = 0
 
     @property
     def write_syscalls(self) -> int:
@@ -127,8 +138,20 @@ class LiveBackend:
         return self.write_calls + self.writev_calls
 
     def nb_read(self, fd: socket.socket, nbytes: int):
+        self.read_calls += 1
         try:
             return fd.recv(nbytes)
+        except (BlockingIOError, InterruptedError):
+            return WOULD_BLOCK
+
+    def nb_recv_into(self, fd: socket.socket, buf):
+        """Fill ``buf`` in place (zero-allocation ingress).
+
+        Returns the byte count (0 at EOF) or ``WOULD_BLOCK``.
+        """
+        self.recv_into_calls += 1
+        try:
+            return fd.recv_into(buf)
         except (BlockingIOError, InterruptedError):
             return WOULD_BLOCK
 
@@ -151,6 +174,22 @@ class LiveBackend:
             return fd.sendmsg(bufs)
         except (BlockingIOError, InterruptedError):
             return WOULD_BLOCK
+
+    def nb_sendfile(self, fd: socket.socket, file, offset: int, count: int):
+        """Kernel-to-socket send of a file region: ``sendfile(2)``.
+
+        ``file`` is a :class:`~repro.runtime.io_api.FileBody` (or any
+        object whose ``fileno()`` is an OS descriptor).  Returns the
+        byte count accepted (0 at file EOF) or ``WOULD_BLOCK``; the
+        caller's ``NetIO.sendfile`` resumes mid-region.
+        """
+        self.sendfile_calls += 1
+        try:
+            n = os.sendfile(fd.fileno(), file.fileno(), offset, count)
+        except (BlockingIOError, InterruptedError):
+            return WOULD_BLOCK
+        self.sendfile_bytes += n
+        return n
 
     def nb_accept(self, listener: socket.socket):
         try:
@@ -232,6 +271,11 @@ if not HAS_SENDMSG:  # pragma: no cover - platform without sendmsg
     # attribute routes the vectored operations through the join+send
     # fallback instead.
     LiveBackend.nb_writev = None  # type: ignore[assignment]
+
+if not hasattr(os, "sendfile"):  # pragma: no cover - platform without it
+    # Same convention: None routes ``NetIO.sendfile`` through the
+    # read+write fallback (byte-identical, one userspace copy).
+    LiveBackend.nb_sendfile = None  # type: ignore[assignment]
 
 
 class _FdEntry:
@@ -552,6 +596,11 @@ class LiveRuntime:
         # serviced by one on-demand sleeper thread, instead of a timer
         # thread per concern (see repro.runtime.timer_wheel).
         self.timers = TimerWheel(name="live-timers")
+        # The shared receive-buffer pool: every server built on this
+        # runtime leases ingress buffers from one free list, so a warm
+        # pool serves HTTP and cache front-ends alike with zero
+        # per-request allocations.
+        self.buffers = BufferPool(name="live-recv")
         self._timers: list[tuple[float, int, TCB, Callable]] = []
         self._timer_seq = itertools.count()
         self.pool = concurrent.futures.ThreadPoolExecutor(

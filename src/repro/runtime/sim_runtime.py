@@ -34,6 +34,7 @@ from ..core.trace import (
 from ..simos.errors import WOULD_BLOCK
 from ..simos.kernel import SimKernel
 from ..simos.params import SimParams
+from .buffers import BufferPool
 from .io_api import NetIO
 from .timer_wheel import TimerWheel
 
@@ -51,15 +52,44 @@ class SimBackend:
     def __init__(self, kernel: SimKernel) -> None:
         self.kernel = kernel
         self.params = kernel.params
+        # Same counter surface as LiveBackend, so benches and tests can
+        # assert the zero-copy claims against either runtime.
+        self.read_calls = 0
+        self.recv_into_calls = 0
+        self.sendfile_calls = 0
+        self.sendfile_bytes = 0
 
     def nb_read(self, fd: Any, nbytes: int):
         """Non-blocking read (a kernel crossing + copy-out on success)."""
+        self.read_calls += 1
         self.kernel.charge(self.params.t_kernel_syscall)
         data = fd.read(nbytes)
         if data is not WOULD_BLOCK and data:
             self.kernel.charge_copy(len(data))
             self._charge_network(fd, len(data))
         return data
+
+    def nb_recv_into(self, fd: Any, buf):
+        """Read into a caller buffer: one crossing, one copy-out.
+
+        The cost model charges the same syscall + copy as ``nb_read`` —
+        the kernel still moves the bytes — but the *application* side
+        allocates nothing: the win this primitive models is the fresh
+        ``bytes``-per-recv allocation the pooled buffer replaces.
+        Returns the byte count (0 at EOF) or ``WOULD_BLOCK``.
+        """
+        self.recv_into_calls += 1
+        self.kernel.charge(self.params.t_kernel_syscall)
+        data = fd.read(len(buf))
+        if data is WOULD_BLOCK:
+            return WOULD_BLOCK
+        if not data:
+            return 0
+        count = len(data)
+        buf[:count] = data
+        self.kernel.charge_copy(count)
+        self._charge_network(fd, count)
+        return count
 
     def nb_write(self, fd: Any, data: bytes):
         """Non-blocking write (a kernel crossing + copy-in on success)."""
@@ -85,6 +115,32 @@ class SimBackend:
             self.kernel.charge_copy(count)
             self._charge_network(fd, count)
         return count
+
+    def nb_sendfile(self, fd: Any, file: Any, offset: int, count: int):
+        """Kernel-to-socket file send: one crossing per window, NO copy.
+
+        This is where the cost model pays out the sendfile claim: the
+        bytes go disk/page-cache → socket inside the kernel, so the
+        ``charge_copy`` every read/write pair pays (copy-out plus
+        copy-in) is *absent* — only the syscall crossing and the network
+        path are charged.  Content is synthesized from the simulated
+        file (``content_at``), modeling the hot-page-cache case the
+        static hot path serves.  Returns the byte count accepted (0 at
+        file EOF) or ``WOULD_BLOCK``.
+        """
+        self.sendfile_calls += 1
+        self.kernel.charge(self.params.t_kernel_syscall)
+        handle = file.fileno()
+        data = handle.content_at(offset, count)
+        if not data:
+            return 0
+        sent = fd.write(data)
+        if sent is WOULD_BLOCK:
+            return WOULD_BLOCK
+        if sent:
+            self.sendfile_bytes += sent
+            self._charge_network(fd, sent)
+        return sent
 
     def _charge_network(self, fd: Any, nbytes: int) -> None:
         """Kernel TCP/IP path cost for stream sockets (per MTU unit)."""
@@ -183,6 +239,8 @@ class SimRuntime:
         # Same shared-timer surface as LiveRuntime (virtual clock here),
         # so mesh nodes and apps run unchanged on either runtime.
         self.timers = TimerWheel(name="sim-timers")
+        # And the same shared receive-buffer pool surface.
+        self.buffers = BufferPool(name="sim-recv")
         self._install_handlers()
         # Account monadic thread footprints (drives the cache-pressure
         # model; three orders lighter than kernel stacks).

@@ -91,6 +91,11 @@ class TcpSockets:
         """Active open; resumes with the established connection."""
         return sys_tcp("connect", self.stack, remote_addr, remote_port)
 
+    def send_v(self, conn: TcpConn, bufs) -> M:
+        """Gathered send: every buffer in order, enqueued as iovec slices
+        in the stack (no join); resumes with the total byte count."""
+        return sys_tcp("sendv", conn, bufs)
+
     def send(self, conn: TcpConn, data: bytes) -> M:
         """Send all of ``data`` (flow-controlled); resumes with its length."""
         return sys_tcp("send", conn, data)
@@ -155,6 +160,9 @@ def handle_sys_tcp(sched: Scheduler, tcb: TCB, node: SysTcp) -> Thunk | None:
     elif op == "send":
         conn, data = node.args
         conn.stack.send(conn, data, resume)
+    elif op == "sendv":
+        conn, bufs = node.args
+        conn.stack.sendv(conn, bufs, resume)
     elif op == "recv":
         conn, nbytes = node.args
         conn.stack.recv(conn, nbytes, resume)

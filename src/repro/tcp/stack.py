@@ -113,6 +113,11 @@ class TcpStats:
         self.fast_retransmits = 0
 
 
+def _sent_quietly(_count, _error) -> None:
+    """Waiter callback for the non-final buffers of a gathered send:
+    completion and teardown are both reported through the final one."""
+
+
 class TcpStack:
     """One host's application-level TCP."""
 
@@ -177,6 +182,37 @@ class TcpStack:
             cb(None, TcpError(f"send in state {conn.state}"))
             return
         conn.send_waiters.append([data, 0, cb])
+        self._drain_send_waiters(conn)
+        self._pump(conn)
+
+    def sendv(self, conn: TcpConn, bufs, cb: Callable) -> None:
+        """Gathered send: queue every buffer in order; ``cb(total, error)``
+        fires once all of them are in the send buffer.
+
+        The buffers are enqueued as memoryview slices straight into the
+        send window's iovec — never joined, never copied in the stack
+        (segment payloads slice across buffer boundaries on the way
+        out).  An error before the final buffer drains errors ``cb``
+        exactly once, through the stack's usual waiter teardown.
+        """
+        if conn.error is not None:
+            cb(None, conn.error)
+            return
+        if conn.app_closed or conn.state not in DATA_STATES:
+            cb(None, TcpError(f"send in state {conn.state}"))
+            return
+        views = [memoryview(buf) for buf in bufs if len(buf)]
+        if not views:
+            cb(0, None)
+            return
+        total = sum(len(view) for view in views)
+        for view in views[:-1]:
+            conn.send_waiters.append([view, 0, _sent_quietly])
+
+        def done(_count, error):
+            cb(None if error is not None else total, error)
+
+        conn.send_waiters.append([views[-1], 0, done])
         self._drain_send_waiters(conn)
         self._pump(conn)
 

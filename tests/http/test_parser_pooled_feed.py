@@ -1,0 +1,121 @@
+"""The parser's pooled-buffer feed path: ``feed(buf, length)``.
+
+Pooled ingress hands the parser the pool's oversized backing bytearray
+plus a byte count, then *reuses the buffer* for the next recv.  These
+tests pin the two properties that makes safe: length bounds the parse
+exactly (trailing garbage in the buffer is never read), and nothing the
+parser keeps aliases the buffer (scribbling over it after ``feed``
+must not corrupt parsed requests or carried-over tails).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.http.parser import RequestParser
+
+REQUESTS = (
+    b"POST /alpha HTTP/1.1\r\nHost: a\r\nContent-Length: 11\r\n\r\n"
+    b"hello world"
+    b"GET /beta?q=1 HTTP/1.1\r\nHost: b\r\nAccept: */*\r\n\r\n"
+    b"POST /gamma HTTP/1.1\r\nHost: c\r\nTransfer-Encoding: chunked\r\n\r\n"
+    b"4\r\nwiki\r\n6\r\npedia \r\nB\r\nin chunks.\n\r\n0\r\n"
+    b"X-Trailer: ok\r\n\r\n"
+    b"GET /delta HTTP/1.1\r\nHost: d\r\n\r\n"
+)
+
+
+def _drain(parser: RequestParser) -> list:
+    out = []
+    while True:
+        request = parser.next_request()
+        if request is None:
+            return out
+        out.append(request)
+
+
+def _summarize(request) -> tuple:
+    return (request.method, request.target, dict(request.headers),
+            request.body)
+
+
+def _reference_parse() -> list[tuple]:
+    parser = RequestParser()
+    parser.feed(REQUESTS)
+    return [_summarize(r) for r in _drain(parser)]
+
+
+def _pooled_parse(chunk_size: int, buffer_bytes: int = 4096,
+                  scribble: bool = False) -> list[tuple]:
+    """Replay REQUESTS through a reused oversized buffer, ``chunk_size``
+    payload bytes per feed — the pooled-recv call pattern."""
+    parser = RequestParser()
+    buf = bytearray(buffer_bytes)
+    out = []
+    position = 0
+    while position < len(REQUESTS):
+        chunk = REQUESTS[position:position + chunk_size]
+        position += len(chunk)
+        buf[:len(chunk)] = chunk
+        parser.feed(buf, len(chunk))
+        if scribble:
+            # The pool will hand this same buffer to the next recv:
+            # anything the parser kept must already be its own copy.
+            for i in range(buffer_bytes):
+                buf[i] = 0xAA
+        out.extend(_summarize(r) for r in _drain(parser))
+    return out
+
+
+class TestPooledFeed:
+    def test_one_feed_whole_buffer(self):
+        assert _pooled_parse(len(REQUESTS)) == _reference_parse()
+
+    @pytest.mark.parametrize("chunk_size", [1, 2, 3, 7, 16, 64, 256, 1024])
+    def test_chunking_invariance(self, chunk_size):
+        # Byte-exact against the joined path at every split granularity.
+        assert _pooled_parse(chunk_size) == _reference_parse()
+
+    @pytest.mark.parametrize("chunk_size", [1, 3, 17, 100, 4096])
+    def test_buffer_reuse_cannot_corrupt_requests(self, chunk_size):
+        assert _pooled_parse(chunk_size, scribble=True) == _reference_parse()
+
+    def test_length_bounds_the_parse(self):
+        # Garbage beyond ``length`` — say, the tail of a previous, larger
+        # recv — must be invisible.
+        parser = RequestParser()
+        buf = bytearray(b"GET /x HTTP/1.1\r\n\r\nGARBAGE-NOT-A-REQUEST")
+        parser.feed(buf, len(b"GET /x HTTP/1.1\r\n\r\n"))
+        requests = _drain(parser)
+        assert [r.target for r in requests] == ["/x"]
+        assert parser.buffered == 0
+
+    def test_split_mid_header_carries_over(self):
+        parser = RequestParser()
+        first = bytearray(b"GET /y HTTP/1.1\r\nHost:")
+        parser.feed(first, len(first))
+        first[:] = b"\xaa" * len(first)  # reuse the buffer
+        assert parser.next_request() is None
+        second = bytearray(b" q\r\n\r\n")
+        parser.feed(second, len(second))
+        request = parser.next_request()
+        assert request is not None
+        assert request.headers["host"] == "q"
+
+    def test_memoryview_input_accepted(self):
+        parser = RequestParser()
+        raw = b"GET /mv HTTP/1.1\r\n\r\n"
+        parser.feed(memoryview(raw))
+        request = parser.next_request()
+        assert request is not None and request.target == "/mv"
+
+    def test_bodies_never_alias_the_buffer(self):
+        parser = RequestParser()
+        buf = bytearray(4096)
+        payload = b"POST /b HTTP/1.1\r\nContent-Length: 5\r\n\r\nabcde"
+        buf[:len(payload)] = payload
+        parser.feed(buf, len(payload))
+        request = parser.next_request()
+        buf[:] = bytes(4096)  # wipe
+        assert request.body == b"abcde"
+        assert type(request.body) is bytes
