@@ -5,7 +5,7 @@ processes with ``SO_REUSEPORT`` sharding.  This harness measures it from
 the outside: several load-generator *processes*, each driving keep-alive
 connections over real sockets with back-to-back GETs for a fixed window.
 
-Four modes:
+The modes:
 
 * **scale** — clusters of 1, 2 and 4 shards under a fixed load fleet.
   Reported per point: aggregate requests/sec (client-side, completed
@@ -29,6 +29,15 @@ Four modes:
   must stay readable and outage-window writes must succeed, and after
   the respawn the hinted-handoff queue must drain to zero (cross-checked
   against the ``/kv-stats`` replica/handoff counters).
+* **durability** — the write-ahead-log economics point: the same
+  replicated cluster with ``wal_dir`` set, hit with a concurrent write
+  burst from a thread fleet.  Every acked write waited for a group
+  commit, so the number reported is **fsyncs per acked write** (must
+  stay well below 1 — many writers share one ``fsync``), followed by
+  the ``kill -9`` drill: one shard gets a real ``SIGKILL`` (no drain,
+  no graceful close — the process just stops existing), is respawned,
+  replays its log, and every previously acked write must read back
+  with the right bytes.
 * **cache** — the same replicated cluster spoken to over the memcache
   wire protocol (``repro.cache``): a fleet of blocking memcache clients
   sends pipelined bursts of multi-key ``get`` commands (one write per
@@ -62,8 +71,12 @@ import argparse
 import json
 import multiprocessing
 import os
+import shutil
+import signal
 import socket
 import sys
+import tempfile
+import threading
 import time
 
 from conftest import scale
@@ -102,6 +115,21 @@ KV_REPL_CONNECTIONS = 2
 KV_REPL_KEYS = 32
 #: How long to wait for hinted handoff to drain after the respawn.
 KV_REPL_DRAIN_DEADLINE = 20.0
+
+# Durability mode: WAL group-commit economics + the kill -9 drill.
+DURABILITY_SHARDS = 4
+DURABILITY_REPL = 2
+DURABILITY_WRITERS = 200
+DURABILITY_WRITES_PER_WRITER = 1      # 200 offered writes per burst
+DURABILITY_VALUE = b"d" * 256
+#: Group-commit deadline: a deliberately wider window than the 5 ms
+#: default, trading a few ms of ack latency for far fewer disk barriers
+#: (the knob rides ClusterConfig -> factory like ``wal_dir`` does).
+DURABILITY_FLUSH_INTERVAL = 0.02
+#: Acked-write durability must come cheap: the group-commit gate.
+DURABILITY_FSYNC_RATIO_MAX = 0.25
+#: How long to wait for hints to drain and the WAL replay to report.
+DURABILITY_DRAIN_DEADLINE = 20.0
 
 # Cache mode: the memcache front-end under pipelined multi-key gets.
 CACHE_SHARDS = 4
@@ -641,6 +669,152 @@ def run_kv_replicated(duration: float, poller: str = "auto") -> dict:
 
 
 # ----------------------------------------------------------------------
+# Durability mode: WAL group-commit economics + the kill -9 drill.
+# ----------------------------------------------------------------------
+def _durability_writer(port, writer_id, barrier, acked, errors):
+    """One burst writer thread: a handful of PUTs over its own keep-alive
+    connection.  Appends to the shared ``acked``/``errors`` lists (list
+    appends are atomic; no further locking needed)."""
+    try:
+        sock = socket.create_connection(("127.0.0.1", port), timeout=10)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    except OSError:
+        barrier.abort()
+        errors.append((f"writer-{writer_id}", "connect"))
+        return
+    buffer = bytearray()
+    try:
+        barrier.wait(timeout=30)
+    except threading.BrokenBarrierError:
+        sock.close()
+        errors.append((f"writer-{writer_id}", "barrier"))
+        return
+    for index in range(DURABILITY_WRITES_PER_WRITER):
+        key = f"dur:{writer_id}:{index}"
+        value = DURABILITY_VALUE + f":{writer_id}:{index}".encode()
+        try:
+            status, _headers = _kv_put(sock, buffer, key, value)
+        except OSError:
+            errors.append((key, "io"))
+            break
+        if status.split()[1] in ("201", "204"):
+            acked.append((key, value))
+        else:
+            errors.append((key, status))
+    sock.close()
+
+
+def run_durability(duration: float, poller: str = "auto") -> dict:
+    """The durability point.  Phase one: a concurrent write burst where
+    every ack gates on a WAL group commit, so fsyncs-per-acked-write is
+    the group-commit batching ratio (parked writers share one disk
+    barrier).  Phase two: ``kill -9`` one shard — a real ``SIGKILL``,
+    not the cooperative crash command — respawn it, and require every
+    acked write readable after log replay, with hinted handoff drained.
+
+    The burst is a fixed 200 writes (not duration-scaled): the gate is a
+    ratio, and a fixed burst keeps it comparable across runs."""
+    wal_root = tempfile.mkdtemp(prefix="repro-bench-wal-")
+    cluster = ClusterServer(
+        kv_app_factory, shards=DURABILITY_SHARDS, mesh=True,
+        replication=DURABILITY_REPL, respawn=False, grace=0.5,
+        poller=poller, wal_dir=wal_root,
+        wal_flush_interval=DURABILITY_FLUSH_INTERVAL,
+    )
+    cluster.start()
+    try:
+        before = cluster.stats()["aggregate"].get("app", {})
+        barrier = threading.Barrier(DURABILITY_WRITERS)
+        acked: list = []
+        errors: list = []
+        writers = [
+            threading.Thread(
+                target=_durability_writer,
+                args=(cluster.port, writer_id, barrier, acked, errors),
+                daemon=True,
+            )
+            for writer_id in range(DURABILITY_WRITERS)
+        ]
+        begin = time.monotonic()
+        for writer in writers:
+            writer.start()
+        for writer in writers:
+            writer.join(timeout=60)
+        burst_s = time.monotonic() - begin
+        # Every fsync that covered an acked write has already happened
+        # (the ack *is* the commit), so the delta is exact.
+        after = cluster.stats()["aggregate"].get("app", {})
+        fsyncs = after.get("wal_fsyncs", 0) - before.get("wal_fsyncs", 0)
+        appends = after.get("wal_appends", 0) - before.get(
+            "wal_appends", 0
+        )
+        fsync_ratio = (fsyncs / len(acked)) if acked else float("inf")
+
+        # The kill -9 drill.  SIGKILL delivers no signal handler, no
+        # atexit, no socket drain: whatever was not fsynced is gone.
+        victim = 1
+        pid = cluster.worker_pids()[victim]
+        os.kill(pid, signal.SIGKILL)
+        kill_deadline = time.monotonic() + 5.0
+        while (cluster.worker_pids()[victim] is not None
+               and time.monotonic() < kill_deadline):
+            time.sleep(0.02)
+        cluster.poll()  # manual respawn: deterministic outage window
+        respawned = cluster.worker_pids()[victim] is not None
+
+        drain_deadline = time.monotonic() + DURABILITY_DRAIN_DEADLINE
+        app: dict = {}
+        while time.monotonic() < drain_deadline:
+            app = cluster.stats()["aggregate"].get("app", {})
+            if (app.get("kv_hints_pending", 1) == 0
+                    and app.get("wal_replayed_records", 0) > 0):
+                break
+            time.sleep(0.1)
+
+        lost: list[str] = []
+        check = BlockingHttpClient(cluster.port)
+        for key, value in acked:
+            status, _headers, body = check.request("GET", f"/kv/{key}")
+            if not status.endswith("200 OK") or body != value:
+                lost.append(key)
+        check.close()
+        app = cluster.stats()["aggregate"].get("app", {})
+    finally:
+        cluster.stop()
+        shutil.rmtree(wal_root, ignore_errors=True)
+    recovered = bool(
+        respawned
+        and not lost
+        and app.get("kv_hints_pending", 1) == 0
+        and app.get("wal_replayed_records", 0) > 0
+    )
+    return {
+        "shards": DURABILITY_SHARDS,
+        "replication": DURABILITY_REPL,
+        "writers": DURABILITY_WRITERS,
+        "writes_offered": DURABILITY_WRITERS * DURABILITY_WRITES_PER_WRITER,
+        "acked_writes": len(acked),
+        "client_errors": len(errors),
+        "burst_s": round(burst_s, 3),
+        "wal_fsyncs": fsyncs,
+        "wal_appends": appends,
+        "fsyncs_per_acked_write": round(fsync_ratio, 4),
+        "records_per_fsync": round(appends / fsyncs, 2) if fsyncs
+        else float("nan"),
+        "group_commits": app.get("wal_group_commits", 0),
+        "group_max_seen": app.get("wal_group_max", 0),
+        "kill9_respawned": respawned,
+        "kill9_lost_acked_writes": len(lost),
+        "kill9_recovered": recovered,
+        "wal_replayed_records": app.get("wal_replayed_records", 0),
+        "wal_torn_bytes_truncated": app.get(
+            "wal_torn_bytes_truncated", 0
+        ),
+        "hints_pending_at_end": app.get("kv_hints_pending", 0),
+    }
+
+
+# ----------------------------------------------------------------------
 # Cache mode: the memcache front-end under pipelined multi-key gets.
 # ----------------------------------------------------------------------
 def _cache_load_process(port, connections, duration, barrier, result_pipe):
@@ -1036,6 +1210,45 @@ def test_live_kv_replicated(report):
     assert point["mesh_frames_sent"] >= point["mesh_flushes"]
 
 
+def test_live_kv_durability(report):
+    duration = 0.8 * scale()
+    point = run_durability(duration)
+    report(
+        f"Durability ({point['shards']} shards, replication="
+        f"{point['replication']}, {point['writers']} writer threads x "
+        f"{DURABILITY_WRITES_PER_WRITER} writes): "
+        f"{point['acked_writes']}/{point['writes_offered']} acked in "
+        f"{point['burst_s']:.2f}s, {point['wal_fsyncs']} fsyncs for "
+        f"{point['wal_appends']} log records "
+        f"({point['fsyncs_per_acked_write']:.3f} fsyncs/acked write, "
+        f"largest group {point['group_max_seen']}); kill -9 drill: "
+        f"{point['kill9_lost_acked_writes']} acked writes lost, "
+        f"{point['wal_replayed_records']} records replayed, "
+        f"{point['hints_pending_at_end']} hints pending"
+    )
+    # The burst completed and every write was acked durably.
+    assert point["acked_writes"] == point["writes_offered"], (
+        f"{point['client_errors']} writes failed during the burst"
+    )
+    # Group commit engaged: one fsync covers many acked writes.
+    assert point["wal_fsyncs"] > 0
+    assert point["group_max_seen"] > 1, "no group ever formed"
+    assert point["fsyncs_per_acked_write"] < DURABILITY_FSYNC_RATIO_MAX, (
+        f"{point['fsyncs_per_acked_write']:.3f} fsyncs per acked write "
+        f"(bound {DURABILITY_FSYNC_RATIO_MAX}): group commit is not "
+        f"amortising the disk barrier"
+    )
+    # The kill -9 drill: nothing acked was lost, the log replayed.
+    assert point["kill9_respawned"], "victim shard did not respawn"
+    assert point["kill9_lost_acked_writes"] == 0, (
+        f"lost {point['kill9_lost_acked_writes']} acked writes to a "
+        f"SIGKILL — the WAL is not covering the ack path"
+    )
+    assert point["wal_replayed_records"] > 0
+    assert point["hints_pending_at_end"] == 0
+    assert point["kill9_recovered"]
+
+
 def test_live_cache_pipeline(report):
     duration = 0.8 * scale()
     point = run_cache(duration)
@@ -1110,12 +1323,13 @@ def main(argv: list[str] | None = None) -> int:
         description="Live-HTTP cluster benchmark (scale + overload modes)."
     )
     parser.add_argument("--mode",
-                        choices=("scale", "overload", "kv", "cache",
-                                 "gateway", "both", "all"),
+                        choices=("scale", "overload", "kv", "durability",
+                                 "cache", "gateway", "both", "all"),
                         default="both",
                         help="'both' = scale + overload (historical name); "
                              "'all' adds the sharded-state kv mode, the "
-                             "memcache cache mode and the gateway mode")
+                             "WAL durability mode, the memcache cache "
+                             "mode and the gateway mode")
     parser.add_argument("--duration", type=float, default=None,
                         help="seconds per measurement point "
                              "(default: 0.8 x scale)")
@@ -1211,6 +1425,23 @@ def main(argv: list[str] | None = None) -> int:
                   f"queued/replayed/pending")
         else:
             skipped.append("kv_replicated")
+
+    if args.mode in ("durability", "all"):
+        # Fixed-size burst + drain window, not a duration-scaled point.
+        if budget_left(10.0 + DURABILITY_DRAIN_DEADLINE):
+            point = run_durability(duration, poller=args.poller)
+            results["durability"] = point
+            print(f"durability ({point['shards']} shards, replication="
+                  f"{point['replication']}): "
+                  f"{point['acked_writes']}/{point['writes_offered']} "
+                  f"acked, {point['wal_fsyncs']} fsyncs "
+                  f"({point['fsyncs_per_acked_write']:.3f} per acked "
+                  f"write, largest group {point['group_max_seen']}) | "
+                  f"kill -9: lost {point['kill9_lost_acked_writes']}, "
+                  f"replayed {point['wal_replayed_records']}, "
+                  f"recovered {point['kill9_recovered']}")
+        else:
+            skipped.append("durability")
 
     if args.mode in ("cache", "all"):
         if budget_left(point_cost):

@@ -16,6 +16,11 @@ Compares a fresh bench run against the committed baseline floor
   key was unavailable (or a write refused) during the kill-one-shard
   drill, hinted handoff failed to engage and drain after the respawn,
   or the mesh never batched an outbound flush under the drill's load;
+* the durability point's fsyncs-per-acked-write exceeds the baseline
+  bound (group commit must amortise the disk barrier — this is a hard
+  gate, not tolerance-scaled), a write failed during the burst, or the
+  ``kill -9`` drill lost an acked write / failed to replay the log /
+  left hints undrained;
 * the cache point's pipelined-get rps falls below the baseline floor,
   pipelined replies never coalesced into gathered writes (responses per
   egress write must exceed 1), or a fully populated key set produced
@@ -175,6 +180,47 @@ def check(results: dict, baseline: dict, tolerance: float) -> list[str]:
                     "kv_replicated run never batched an outbound mesh "
                     "flush: per-link egress coalescing did not engage"
                 )
+
+    dur_baseline = baseline.get("durability")
+    if dur_baseline:
+        dur = results.get("durability")
+        if dur is None:
+            failures.append("durability point missing from results")
+        else:
+            bound = dur_baseline.get("fsyncs_per_acked_write_max")
+            if bound is not None:
+                # Hard gate, deliberately NOT tolerance-scaled: group
+                # commit either amortises the barrier or it does not.
+                ratio = dur.get("fsyncs_per_acked_write", float("inf"))
+                status = "ok" if ratio <= bound else "REGRESSION"
+                print(f"  durability fsyncs/acked write: {ratio:6.3f} "
+                      f"(hard bound {bound}) {status}")
+                if ratio > bound:
+                    failures.append(
+                        f"durability: {ratio:.3f} fsyncs per acked write "
+                        f"exceeds {bound}: group commit is not batching"
+                    )
+            acked = dur.get("acked_writes", 0)
+            offered = dur.get("writes_offered", 0)
+            if acked < offered:
+                failures.append(
+                    f"durability burst: only {acked}/{offered} writes "
+                    f"acked ({dur.get('client_errors', 0)} client errors)"
+                )
+            if dur_baseline.get("require_kill9_recovery"):
+                lost = dur.get("kill9_lost_acked_writes", -1)
+                replayed = dur.get("wal_replayed_records", 0)
+                pending = dur.get("hints_pending_at_end", -1)
+                if not dur.get("kill9_recovered") or lost != 0:
+                    failures.append(
+                        f"durability kill -9 drill failed: lost={lost} "
+                        f"acked writes, replayed={replayed} records, "
+                        f"hints pending={pending}, respawned="
+                        f"{dur.get('kill9_respawned')}"
+                    )
+                else:
+                    print(f"  durability kill -9: lost {lost}, "
+                          f"replayed {replayed} record(s) ok")
 
     cache_baseline = baseline.get("cache")
     if cache_baseline:

@@ -14,6 +14,13 @@ every key stays readable; the master respawns it and the parked hints
 replay (watch the ``hints`` counters in ``--serve`` mode, or follow the
 kill-a-shard walkthrough in ``benchmarks/README.md``).
 
+With ``--wal-dir PATH`` every shard keeps a write-ahead log under that
+root and acks writes only after a group-commit fsync.  The demo then ends
+with a durability drill: one shard is killed with a real ``SIGKILL``
+(nothing graceful — the process just stops existing), respawned, and the
+recovery counters are printed — the respawned shard found its log and
+replayed it, so every previously acked key reads back.
+
 Run with::
 
     python examples/kv_server.py              # demo: write, read, stats
@@ -22,6 +29,7 @@ Run with::
     python examples/kv_server.py --shards 8   # more shards
     python examples/kv_server.py --replication 2         # replicated
     python examples/kv_server.py --replication 3 --quorum 2
+    python examples/kv_server.py --wal-dir /tmp/kv-wal   # durable
 
 ``--duration`` is an internal deadline (seconds): serving stops cleanly on
 its own, so CI and scripts need no external ``timeout`` wrapper.
@@ -31,6 +39,8 @@ from __future__ import annotations
 
 import base64
 import json
+import os
+import signal
 import sys
 import time
 
@@ -56,17 +66,21 @@ def main() -> None:
     if "--quorum" in sys.argv:
         quorum = int(sys.argv[sys.argv.index("--quorum") + 1])
         quorum = max(1, min(quorum, replication))
+    wal_dir = None
+    if "--wal-dir" in sys.argv:
+        wal_dir = sys.argv[sys.argv.index("--wal-dir") + 1]
 
     def app_factory(rt, listener, mesh):
         return build_kv_app(rt, listener, mesh, replication=replication,
-                            write_quorum=quorum)
+                            write_quorum=quorum, wal_dir=wal_dir)
 
     cluster = ClusterServer(app_factory, shards=shards, mesh=True,
                             replication=replication)
     cluster.start()
     print(f"{shards} KV shards serving http://127.0.0.1:{cluster.port} "
           f"(replication={replication}, write_quorum={quorum}, "
-          f"pids {cluster.worker_pids()}, mesh ports "
+          + (f"wal_dir={wal_dir}, " if wal_dir else "")
+          + f"pids {cluster.worker_pids()}, mesh ports "
           f"{cluster.config.mesh_ports})")
 
     if "--serve" in sys.argv:
@@ -91,6 +105,12 @@ def main() -> None:
                         f" repairs={kv.get('kv_read_repairs', 0)}"
                         f" hints={kv.get('kv_hints_pending', 0)}"
                         f" replayed={kv.get('kv_hints_replayed', 0)}"
+                    )
+                if wal_dir:
+                    line += (
+                        f" wal_fsyncs={kv.get('wal_fsyncs', 0)}"
+                        f" wal_records={kv.get('wal_appends', 0)}"
+                        f" wal_group_max={kv.get('wal_group_max', 0)}"
                     )
                 print(line)
             print(f"duration {duration:.0f}s elapsed; stopping")
@@ -148,6 +168,48 @@ def main() -> None:
     # Summed across shards, each key appears once per replica.
     assert aggregate["app"]["kv_keys"] == len(keys) * replication
     assert aggregate["app"]["kv_proxied_ops"] > 0, "no op crossed the mesh"
+
+    if wal_dir:
+        # The durability drill: every ack above waited for a WAL group
+        # commit, so a shard can vanish without warning and come back
+        # with its state.  SIGKILL delivers no handler, no drain.
+        kv = aggregate["app"]
+        print(f"wal: {kv.get('wal_appends', 0)} records, "
+              f"{kv.get('wal_fsyncs', 0)} fsyncs "
+              f"(largest group {kv.get('wal_group_max', 0)})")
+        victim = 1
+        os.kill(cluster.worker_pids()[victim], signal.SIGKILL)
+        deadline = time.monotonic() + 5.0
+        while (cluster.worker_pids()[victim] is not None
+               and time.monotonic() < deadline):
+            time.sleep(0.02)
+        cluster.poll()  # respawn; the new shard replays its log
+        deadline = time.monotonic() + 15.0
+        kv = {}
+        while time.monotonic() < deadline:
+            kv = cluster.stats()["aggregate"].get("app", {})
+            if (kv.get("wal_replayed_records", 0) > 0
+                    and kv.get("kv_hints_pending", 1) == 0):
+                break
+            time.sleep(0.1)
+        print(f"shard {victim} killed (SIGKILL) and respawned: "
+              f"replayed {kv.get('wal_replayed_records', 0)} log "
+              f"record(s) + {kv.get('wal_replayed_snapshot_keys', 0)} "
+              f"snapshot key(s), truncated "
+              f"{kv.get('wal_torn_bytes_truncated', 0)} torn byte(s), "
+              f"hints pending {kv.get('kv_hints_pending', 0)}")
+        assert kv.get("wal_replayed_records", 0) > 0, (
+            "respawned shard replayed nothing — is wal_dir writable?"
+        )
+        reader = BlockingHttpClient(cluster.port)
+        for key, value in keys.items():
+            status, _headers, body = reader.request("GET", f"/kv/{key}")
+            assert status.endswith("200 OK") and body == value, (
+                f"acked key {key} lost across SIGKILL"
+            )
+        reader.close()
+        print(f"all {len(keys)} acked keys readable after kill -9")
+
     cluster.stop()
     print("kv cluster demo OK")
 

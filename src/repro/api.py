@@ -113,14 +113,18 @@ def build_kv(
     replication: Any = _UNSET,
     write_quorum: Any = _UNSET,
     cache_protocol: Any = _UNSET,
+    wal_dir: Any = _UNSET,
+    wal_flush_interval: Any = _UNSET,
+    wal_group_max: Any = _UNSET,
     **kwargs: Any,
 ) -> WebServer:
     """The sharded/replicated KV application.
 
     With ``ctx=``, the shard's mesh node, shared timer wheel, cache
-    listener, and replication knobs flow through from the cluster
-    configuration; each can still be overridden by naming it.  Remaining
-    keywords are those of :func:`repro.app.kv.build_kv_app`.
+    listener, replication knobs, and durability root (``wal_dir``) flow
+    through from the cluster configuration; each can still be
+    overridden by naming it.  Remaining keywords are those of
+    :func:`repro.app.kv.build_kv_app`.
     """
     rt, listener = _resolve(ctx, rt, listener)
     return _build_kv_app(
@@ -133,6 +137,10 @@ def build_kv(
         write_quorum=_from_ctx(write_quorum, ctx, "write_quorum", 1),
         cache_protocol=_from_ctx(cache_protocol, ctx, "cache_protocol",
                                  "memcache"),
+        wal_dir=_from_ctx(wal_dir, ctx, "wal_dir", None),
+        wal_flush_interval=_from_ctx(wal_flush_interval, ctx,
+                                     "wal_flush_interval", 0.005),
+        wal_group_max=_from_ctx(wal_group_max, ctx, "wal_group_max", 128),
         **kwargs,
     )
 

@@ -51,6 +51,16 @@ The HTTP facade serves the store through the layered stack
 
 The mesh wire format is JSON with base64 values (ops are small; the
 length-prefixed framing underneath handles the byte transport).
+
+**Durability** (optional, per shard): constructed with a
+:class:`~repro.app.wal.ShardWal`, every state change — versioned
+applies, raw single-owner ops, parked hints — is appended to the
+shard's write-ahead log and **acked only after the group commit lands**
+(writers park on the log's flush barrier; one ``fsync`` wakes many).
+On start the node replays the snapshot plus the committed log prefix,
+so a ``kill -9`` loses nothing that was acked.  Hint *removals* are not
+logged: a replayed hint is a versioned write the target already holds,
+so re-replaying it after a crash is an idempotent no-op.
 """
 
 from __future__ import annotations
@@ -59,6 +69,7 @@ import base64
 import bisect
 import hashlib
 import json
+import os
 from typing import Any
 from urllib.parse import parse_qs, unquote, urlsplit
 
@@ -68,6 +79,7 @@ from ..core.syscalls import sys_fork, sys_sleep
 from ..http.message import HttpError, HttpRequest, HttpResponse
 from ..http.server import EmptyFilesystem, LiveSocketLayer, WebServer
 from ..runtime.mesh import MeshError, MeshNode, MeshTimeout
+from .wal import ShardWal
 
 __all__ = ["HashRing", "KvNode", "KvHttpHandler", "KvQuorumError",
            "build_kv_app", "kv_app_factory"]
@@ -181,6 +193,7 @@ class KvNode:
         replication: int = 1,
         write_quorum: int = 1,
         hint_replay_interval: float = 1.0,
+        wal: ShardWal | None = None,
     ) -> None:
         self.index = index
         self.shards = shards
@@ -219,6 +232,12 @@ class KvNode:
         self.hints_replayed = 0
         #: Replicated writes that failed their write quorum.
         self.quorum_failures = 0
+        #: Optional per-shard write-ahead log: every ack waits for its
+        #: group commit, and construction replays the durable state.
+        self.wal = wal
+        if wal is not None:
+            wal.state_fn = self._wal_state
+            self._recover()
         if mesh is not None:
             mesh.handler = self._handle_mesh
 
@@ -263,12 +282,81 @@ class KvNode:
             self.store[key] = value
         return True, existed
 
+    # ------------------------------------------------------------------
+    # Durability: the write-ahead log (commit before ack, replay on
+    # start).  Helpers resume with 0 and log nothing when no WAL is
+    # configured, so call sites stay unconditional.
+    # ------------------------------------------------------------------
+    def _wal_versioned(self, key, version, value) -> M:
+        if self.wal is None:
+            return pure(0)
+        return self.wal.commit({"t": "w", "k": key, "ver": list(version),
+                                "v": _b64(value)})
+
+    def _wal_raw(self, op, key, value) -> M:
+        if self.wal is None:
+            return pure(0)
+        return self.wal.commit({"t": "raw", "op": op, "k": key,
+                                "v": _b64(value)})
+
+    def _wal_hint(self, target, key, version, value) -> M:
+        if self.wal is None:
+            return pure(0)
+        return self.wal.commit({"t": "hint", "tg": target, "k": key,
+                                "ver": list(version), "v": _b64(value)})
+
+    def _wal_state(self) -> dict:
+        """Full state for a WAL snapshot (compaction)."""
+        return {
+            "clock": self.clock,
+            "store": {key: _b64(value)
+                      for key, value in self.store.items()},
+            "versions": {key: list(version)
+                         for key, version in self.versions.items()},
+            "hints": {
+                str(target): {
+                    key: [list(version), _b64(value)]
+                    for key, (version, value) in bucket.items()
+                }
+                for target, bucket in self.hints.items()
+            },
+        }
+
+    def _recover(self) -> None:
+        """Rebuild state from the WAL: snapshot first, then every
+        committed log record (plain code, runs once at construction)."""
+        state, records = self.wal.recover()
+        if state is not None:
+            self.store = {key: _unb64(value)
+                          for key, value in state.get("store", {}).items()}
+            self.versions = {
+                key: tuple(version)
+                for key, version in state.get("versions", {}).items()
+            }
+            self.clock = int(state.get("clock", 0))
+            for target, bucket in state.get("hints", {}).items():
+                self.hints[int(target)] = {
+                    key: (tuple(entry[0]), _unb64(entry[1]))
+                    for key, entry in bucket.items()
+                }
+        for record in records:
+            kind = record.get("t")
+            if kind == "w":
+                self._apply_versioned(record["k"], record["ver"],
+                                      _unb64(record.get("v")))
+            elif kind == "raw":
+                self._apply(record["op"], record["k"],
+                            _unb64(record.get("v")))
+            elif kind == "hint":
+                self._queue_hint(int(record["tg"]), record["k"],
+                                 record["ver"], _unb64(record.get("v")))
+
     @property
     def hints_pending(self) -> int:
         return sum(len(bucket) for bucket in self.hints.values())
 
     def local_stats(self) -> dict:
-        return {
+        stats = {
             "index": self.index,
             "keys": len(self.store),
             "replication": self.replication,
@@ -284,10 +372,13 @@ class KvNode:
             "quorum_failures": self.quorum_failures,
             "clock": self.clock,
         }
+        if self.wal is not None:
+            stats["wal"] = self.wal.stats()
+        return stats
 
     def extra_stats(self) -> dict:
         """Numeric app counters for the cluster control snapshot."""
-        return {
+        stats = {
             "kv_keys": len(self.store),
             "kv_owned_ops": self.owned_ops,
             "kv_proxied_ops": self.proxied_ops,
@@ -299,6 +390,12 @@ class KvNode:
             "kv_hints_pending": self.hints_pending,
             "kv_quorum_failures": self.quorum_failures,
         }
+        if self.wal is not None:
+            # wal_appends / wal_fsyncs / wal_group_* / wal_replayed_*:
+            # summed cluster-wide except wal_group_max (a high-water
+            # gauge the master merges as max).
+            stats.update(self.wal.stats())
+        return stats
 
     # ------------------------------------------------------------------
     # Sharded operations (any shard, any key).
@@ -345,6 +442,8 @@ class KvNode:
             # the mesh.
             self.owned_ops += 1
             found, out = self._apply(op, key, value)
+            if op != "get":
+                yield self._wal_raw(op, key, value)
             return found, out, False
         self.proxied_ops += 1
         message = {"op": op, "key": key}
@@ -438,6 +537,11 @@ class KvNode:
         existed_any = False
         if is_local:
             applied, existed = self._apply_versioned(key, version, value)
+            if applied:
+                # Ack-after-commit: the local replica's ack counts only
+                # once the versioned apply is fsync-durable (the commit
+                # parks on the WAL's group-flush barrier).
+                yield self._wal_versioned(key, version, value)
             existed_any = existed_any or existed
             rejected = rejected or not applied
             acked += 1
@@ -468,7 +572,10 @@ class KvNode:
     def _park_hint(self, target, key, version, value, is_local,
                    acked_remote):
         if is_local or not acked_remote:
-            self._queue_hint(target, key, version, value)
+            if self._queue_hint(target, key, version, value):
+                # Hints persist in the same log: a parked handoff must
+                # survive this node crashing before it replays.
+                yield self._wal_hint(target, key, version, value)
             return None
         body = _encode({"op": "r_hint", "target": target, "key": key,
                         "version": list(version), "value": _b64(value)})
@@ -477,10 +584,11 @@ class KvNode:
         except MeshError:
             # The acked replica went down between the write and the hint
             # forward: park locally as the live node of last resort.
-            self._queue_hint(target, key, version, value)
+            if self._queue_hint(target, key, version, value):
+                yield self._wal_hint(target, key, version, value)
         return None
 
-    def _queue_hint(self, target, key, version, value) -> None:
+    def _queue_hint(self, target, key, version, value) -> bool:
         bucket = self.hints.setdefault(target, {})
         old = bucket.get(key)
         if old is None or _newer(version, old[0]):
@@ -488,6 +596,8 @@ class KvNode:
             # Counted only when something was actually parked/updated,
             # so queued - replayed tracks the real backlog.
             self.hints_queued += 1
+            return True
+        return False
 
     # ------------------------------------------------------------------
     # The replicated read path: newest version wins, repair the rest.
@@ -568,7 +678,9 @@ class KvNode:
         lost patch is re-detected by the next read."""
         self.read_repairs += 1
         if peer == self.index:
-            self._apply_versioned(key, version, value)
+            applied, _existed = self._apply_versioned(key, version, value)
+            if applied:
+                yield self._wal_versioned(key, version, value)
             return None
         body = _encode({"op": "r_write", "key": key,
                         "version": list(version), "value": _b64(value),
@@ -782,7 +894,7 @@ class KvNode:
 
     @do
     def _serve_mesh(self, body):
-        yield pure(None)  # @do needs one yield; the op itself is pure
+        yield pure(None)  # read ops are pure; write ops may park on WAL
         message = _decode(body)
         op = message.get("op")
         if op == "stats":
@@ -800,19 +912,27 @@ class KvNode:
             })
         if op == "r_write":
             self.replica_writes += 1
+            value = _unb64(message.get("value"))
             applied, existed = self._apply_versioned(
-                message["key"], message["version"],
-                _unb64(message.get("value")),
+                message["key"], message["version"], value,
             )
+            if applied:
+                # The mesh reply *is* the replica's ack: hold it until
+                # the versioned apply rides a group commit to disk.
+                yield self._wal_versioned(message["key"],
+                                          message["version"], value)
             # ``clock`` lets a lagging coordinator merge and re-stamp.
             return _encode({"applied": applied, "existed": existed,
                             "clock": self.clock})
         if op == "r_hint":
             # A coordinator without a replica forwarded a hint here (we
             # acked the write, so the data sits next to the hint).
-            self._queue_hint(int(message["target"]), message["key"],
-                             message["version"],
-                             _unb64(message.get("value")))
+            value = _unb64(message.get("value"))
+            if self._queue_hint(int(message["target"]), message["key"],
+                                message["version"], value):
+                yield self._wal_hint(int(message["target"]),
+                                     message["key"], message["version"],
+                                     value)
             return _encode({"parked": True})
         if op == "mget":
             values = {}
@@ -821,10 +941,11 @@ class KvNode:
                 values[key] = _b64(self._local_get(key))
             return _encode({"values": values})
         self.owned_ops += 1
-        found, value = self._apply(
-            op, message["key"], _unb64(message.get("value"))
-        )
-        return _encode({"found": found, "value": _b64(value)})
+        value = _unb64(message.get("value"))
+        found, out = self._apply(op, message["key"], value)
+        if op != "get":
+            yield self._wal_raw(op, message["key"], value)
+        return _encode({"found": found, "value": _b64(out)})
 
     def _apply(
         self, op: str, key: str, value: bytes | None
@@ -959,6 +1080,9 @@ def build_kv_app(
     cache_listener: Any = None,
     cache_protocol: str = "memcache",
     cache_max_connections: int | None = None,
+    wal_dir: str | None = None,
+    wal_flush_interval: float = 0.005,
+    wal_group_max: int = 128,
     **server_kwargs: Any,
 ) -> WebServer:
     """One shard's KV application on the layered stack.
@@ -979,12 +1103,27 @@ def build_kv_app(
     a :mod:`repro.cache` front-end (``cache_protocol`` picks the dialect,
     ``"memcache"`` or ``"resp"``) whose accept loop forks next to the
     HTTP one — one store, two dialects, same owner routing.
+
+    ``wal_dir`` turns on durability: the shard appends every state
+    change to ``<wal_dir>/shard-<index>`` and acks only after the group
+    commit (see :mod:`repro.app.wal`), replaying the snapshot + log on
+    start.  ``wal_flush_interval``/``wal_group_max`` tune the commit
+    deadline and the batch watermark.
     """
     if mesh is not None:
         index = mesh.index if index is None else index
         shards = len(mesh.peers) if shards is None else shards
+    wal = None
+    if wal_dir is not None:
+        wal = ShardWal(
+            os.path.join(wal_dir, f"shard-{index or 0}"),
+            flush_interval=wal_flush_interval,
+            group_max=wal_group_max,
+            timers=timers,
+        )
     node = KvNode(index or 0, shards or 1, mesh=mesh, vnodes=vnodes,
-                  replication=replication, write_quorum=write_quorum)
+                  replication=replication, write_quorum=write_quorum,
+                  wal=wal)
     server = WebServer(
         LiveSocketLayer(rt.io, listener),
         EmptyFilesystem(),
@@ -994,6 +1133,7 @@ def build_kv_app(
     )
     server.kv = node
     server.mesh = mesh
+    server.wal = wal
     server.extra_stats = node.extra_stats
     if mesh is not None and node.replication > 1:
         driver_main = server.main
@@ -1067,16 +1207,23 @@ def kv_app_factory(
     write_quorum: int = 1,
     cache_listener: Any = None,
     cache_protocol: str = "memcache",
+    wal_dir: str | None = None,
+    wal_flush_interval: float = 0.005,
+    wal_group_max: int = 128,
 ) -> WebServer:
     """The cluster ``app_factory`` for a mesh-enabled KV cluster.
 
-    ``replication``, ``cache_listener``, and ``cache_protocol`` arrive
-    from :class:`~repro.runtime.cluster.ClusterConfig` (the cluster
-    passes each to any factory whose signature names it).  The runtime's
-    shared timer wheel drives the hint pump, so a replicated shard
-    spawns no pump thread."""
+    ``replication``, ``cache_listener``, ``cache_protocol``, and the
+    ``wal_*`` durability knobs arrive from
+    :class:`~repro.runtime.cluster.ClusterConfig` (the cluster passes
+    each to any factory whose signature names it).  The runtime's
+    shared timer wheel drives the hint pump and the WAL group-flush
+    deadline, so a durable replicated shard spawns no extra threads."""
     return build_kv_app(rt, listener, mesh, replication=replication,
                         write_quorum=write_quorum,
                         timers=getattr(rt, "timers", None),
                         cache_listener=cache_listener,
-                        cache_protocol=cache_protocol)
+                        cache_protocol=cache_protocol,
+                        wal_dir=wal_dir,
+                        wal_flush_interval=wal_flush_interval,
+                        wal_group_max=wal_group_max)

@@ -1,0 +1,449 @@
+"""Per-shard write-ahead log with group commit on the timer wheel.
+
+The replicated KV survives single-shard crashes through replication
+alone: the store and its parked hinted handoffs die with the process.
+This module makes a shard's state durable without paying one ``fsync``
+per write — the gathered-write trick applied to durability:
+
+* **CRC-framed records.**  Every append is one frame: a fixed header
+  (``crc32 | payload length``, :data:`_HEADER`) followed by a JSON
+  payload.  The CRC covers the payload, so a torn tail — a crash mid
+  ``write`` — is detected byte-exactly on replay and truncated away;
+  a record either replays whole or not at all.
+* **Group commit.**  Writers do not touch the disk.  ``commit()``
+  encodes the record, appends it to the in-memory pending batch, and
+  parks on the batch's **flush barrier** — an
+  :class:`~repro.core.sync.MVar` the writer ``read()``s (§4.7: readers
+  block without consuming, and one ``put`` wakes *all* of them).  A
+  watermark (``group_max`` pending records) or a
+  :class:`~repro.runtime.timer_wheel.TimerWheel` deadline
+  (``flush_interval``) triggers the flusher, which swaps in a fresh
+  batch+barrier, writes the whole batch with **one** ``os.write`` and
+  **one** ``os.fsync`` on the blocking-I/O pool (``sys_blio``, §4.6 —
+  the event loop never stalls on the disk), then fills the barrier:
+  every parked writer wakes acked, many writes per disk syscall.  A
+  writer arriving while the fsync is in flight lands in the *next*
+  batch — the flusher loops until the pending list is empty.  A failed
+  flush fills the barrier with the exception instead, so every parked
+  writer sees :class:`WalError` — an unsynced write must never ack.
+* **Replay and torn-tail truncation.**  On start,
+  :meth:`ShardWal.recover` loads the newest snapshot (if any), then
+  replays every live segment in order.  The first short or
+  CRC-mismatching frame ends the committed prefix: the file is
+  truncated there and later segments are discarded — exactly the acked
+  state comes back, never a partial record.
+* **Snapshot + compaction.**  When the live segment outgrows
+  ``compact_bytes``, the flusher (already holding a synced log) rotates
+  appends to a fresh segment, writes the full state (via the owner's
+  ``state_fn``) to a CRC-framed snapshot file — temp file, ``fsync``,
+  atomic ``rename`` — and deletes the older segments.  The snapshot
+  names the segment it covers through, so a crash between rename and
+  delete replays idempotently (versioned applies reject stale records).
+
+The log is runtime-agnostic above the syscall layer: all disk I/O goes
+through ``sys_blio``, all timing through the shared timer wheel (or a
+``sys_sleep`` fallback when no wheel is given).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from typing import Any, Callable
+
+from ..core.do_notation import do
+from ..core.exceptions import ReproError
+from ..core.monad import M, pure
+from ..core.sync import MVar
+from ..core.syscalls import sys_blio, sys_fork, sys_sleep
+
+__all__ = ["ShardWal", "WalError", "frame_record", "read_frames"]
+
+#: Frame header: little-endian ``crc32(payload) | len(payload)``.
+_HEADER = struct.Struct("<II")
+_SEGMENT_FMT = "wal-%08d.log"
+_SNAPSHOT = "snapshot.wal"
+
+
+class WalError(ReproError):
+    """A write-ahead-log append could not be made durable (the flush
+    failed); the parked write must surface the failure, not ack."""
+
+
+# ----------------------------------------------------------------------
+# Framing (shared by the log, the snapshot file, and the tests).
+# ----------------------------------------------------------------------
+def frame_record(payload: bytes) -> bytes:
+    """One CRC-framed record: header + payload."""
+    return _HEADER.pack(zlib.crc32(payload), len(payload)) + payload
+
+
+def read_frames(data: bytes) -> tuple[list[bytes], int]:
+    """Parse ``data`` into whole, CRC-valid payloads.
+
+    Returns ``(payloads, good_end)`` where ``good_end`` is the byte
+    offset just past the last valid frame — the committed prefix.  A
+    short header, short payload, or CRC mismatch ends the scan: a torn
+    tail must not let later (possibly unsynced) bytes replay.
+    """
+    payloads: list[bytes] = []
+    offset = 0
+    total = len(data)
+    while total - offset >= _HEADER.size:
+        crc, length = _HEADER.unpack_from(data, offset)
+        start = offset + _HEADER.size
+        end = start + length
+        if end > total:
+            break  # torn payload
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            break  # torn/corrupt record
+        payloads.append(payload)
+        offset = end
+    return payloads, offset
+
+
+class ShardWal:
+    """One shard's append-only log directory.
+
+    ``timers`` is the shard's shared timer wheel (used to arm the group
+    flush deadline without a thread per batch); without one a forked
+    ``sys_sleep`` thread serves as the fallback alarm.  ``state_fn``
+    (set by the owning store) returns the full JSON-encodable state for
+    snapshots; compaction is skipped while it is ``None``.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        flush_interval: float = 0.005,
+        group_max: int = 128,
+        compact_bytes: int = 4 * 1024 * 1024,
+        timers: Any = None,
+        state_fn: Callable[[], dict] | None = None,
+    ) -> None:
+        self.directory = directory
+        self.flush_interval = flush_interval
+        self.group_max = max(1, group_max)
+        self.compact_bytes = compact_bytes
+        self.timers = timers
+        self.state_fn = state_fn
+        os.makedirs(directory, exist_ok=True)
+        #: Encoded frames awaiting the next flush.
+        self._pending: list[bytes] = []
+        #: The current batch's flush barrier: writers ``read()``, the
+        #: flusher ``put()``s once — outcome is a count or an exception.
+        self._barrier = MVar(name="wal-barrier")
+        self._flushing = False
+        self._alarm_armed = False
+        self._closed = False
+        self._segment_index = 1
+        self._fd: int | None = None
+        self._segment_bytes = 0
+        #: Injection seams for the fault tests (and the sim runtime).
+        self._write = os.write
+        self._sync = os.fsync
+        # -- counters (surface through the owner's extra_stats) --------
+        self.appends = 0
+        self.fsyncs = 0
+        self.group_commits = 0
+        self.group_records = 0
+        self.group_max_seen = 0
+        self.flush_failures = 0
+        self.replayed_records = 0
+        self.replayed_snapshot_keys = 0
+        self.torn_bytes_truncated = 0
+        self.compactions = 0
+        self.bytes_appended = 0
+
+    # ------------------------------------------------------------------
+    # Paths and plain-file plumbing.
+    # ------------------------------------------------------------------
+    def _segment_path(self, index: int) -> str:
+        return os.path.join(self.directory, _SEGMENT_FMT % index)
+
+    def _snapshot_path(self) -> str:
+        return os.path.join(self.directory, _SNAPSHOT)
+
+    def _segments_on_disk(self) -> list[int]:
+        found = []
+        for name in os.listdir(self.directory):
+            if name.startswith("wal-") and name.endswith(".log"):
+                try:
+                    found.append(int(name[4:-4]))
+                except ValueError:
+                    continue
+        return sorted(found)
+
+    def _open_segment(self, index: int) -> None:
+        if self._fd is not None:
+            try:
+                os.close(self._fd)
+            except OSError:
+                pass
+        self._segment_index = index
+        path = self._segment_path(index)
+        self._fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                           0o644)
+        try:
+            self._segment_bytes = os.fstat(self._fd).st_size
+        except OSError:
+            self._segment_bytes = 0
+
+    def close(self) -> None:
+        """Release the segment descriptor (plain code; pending unsynced
+        records are *not* flushed — they were never acked)."""
+        self._closed = True
+        if self._fd is not None:
+            try:
+                os.close(self._fd)
+            except OSError:
+                pass
+            self._fd = None
+
+    def stats(self) -> dict:
+        return {
+            "wal_appends": self.appends,
+            "wal_fsyncs": self.fsyncs,
+            "wal_group_commits": self.group_commits,
+            "wal_group_records": self.group_records,
+            "wal_group_max": self.group_max_seen,
+            "wal_flush_failures": self.flush_failures,
+            "wal_replayed_records": self.replayed_records,
+            "wal_replayed_snapshot_keys": self.replayed_snapshot_keys,
+            "wal_torn_bytes_truncated": self.torn_bytes_truncated,
+            "wal_compactions": self.compactions,
+            "wal_pending": len(self._pending),
+            "wal_bytes": self.bytes_appended,
+        }
+
+    # ------------------------------------------------------------------
+    # Recovery: snapshot + committed log prefix, torn tail truncated.
+    # ------------------------------------------------------------------
+    def recover(self) -> tuple[dict | None, list[dict]]:
+        """Load the durable state (plain code, runs once at start before
+        the event loop serves traffic).
+
+        Returns ``(snapshot_state_or_None, records)`` where ``records``
+        is every committed log record after the snapshot, in append
+        order.  Side effects: torn tails are truncated on disk, segments
+        the snapshot covers are deleted, and the newest segment is
+        (re)opened for appending.
+        """
+        state: dict | None = None
+        covered = 0
+        snap_path = self._snapshot_path()
+        if os.path.exists(snap_path):
+            with open(snap_path, "rb") as fh:
+                payloads, _end = read_frames(fh.read())
+            if payloads:
+                state = json.loads(payloads[0].decode())
+                covered = int(state.get("segments_through", 0))
+                self.replayed_snapshot_keys = len(state.get("store", {}))
+        records: list[dict] = []
+        segments = self._segments_on_disk()
+        live = [index for index in segments if index > covered]
+        for stale in (index for index in segments if index <= covered):
+            try:
+                os.unlink(self._segment_path(stale))
+            except OSError:
+                pass
+        for position, index in enumerate(live):
+            path = self._segment_path(index)
+            with open(path, "rb") as fh:
+                data = fh.read()
+            payloads, good_end = read_frames(data)
+            for payload in payloads:
+                records.append(json.loads(payload.decode()))
+            if good_end < len(data):
+                # Torn tail: truncate to the committed prefix.  Anything
+                # in a *later* segment was written after this tear went
+                # unsynced — discard those segments whole (an acked
+                # record can never live past an unsynced one, because
+                # rotation only happens after a full flush).
+                self.torn_bytes_truncated += len(data) - good_end
+                os.truncate(path, good_end)
+                for orphan in live[position + 1:]:
+                    try:
+                        os.unlink(self._segment_path(orphan))
+                    except OSError:
+                        pass
+                live = live[:position + 1]
+                break
+        self.replayed_records = len(records)
+        self._open_segment(live[-1] if live else covered + 1)
+        return state, records
+
+    # ------------------------------------------------------------------
+    # The write path: append to the batch, park on its barrier.
+    # ------------------------------------------------------------------
+    def commit(self, record: dict) -> M:
+        """Append ``record`` and resume once it is fsync-durable.
+
+        Many committers share one ``fsync``: the write parks on the
+        current batch's flush barrier and wakes when the group flush
+        lands.  Raises :class:`WalError` if the flush failed.
+        """
+        return self._commit(record)
+
+    @do
+    def _commit(self, record):
+        if self._fd is None:
+            self._open_segment(self._segment_index)
+        encoded = frame_record(
+            json.dumps(record, separators=(",", ":")).encode()
+        )
+        self._pending.append(encoded)
+        self.appends += 1
+        self.bytes_appended += len(encoded)
+        barrier = self._barrier
+        if not self._flushing:
+            if len(self._pending) >= self.group_max:
+                # Watermark trigger: flush now, no deadline wait.
+                yield sys_fork(self._flush(), name="wal-flush")
+            elif not self._alarm_armed:
+                # Deadline trigger: first writer of the batch arms it.
+                self._alarm_armed = True
+                if self.timers is not None:
+                    yield self.timers.schedule(
+                        self.flush_interval, self._flush_action
+                    )
+                else:
+                    yield sys_fork(self._sleep_flush(),
+                                   name="wal-flush-alarm")
+        # else: a flush is in flight; its loop picks this record up as
+        # the next batch the moment the current fsync returns.
+        outcome = yield barrier.read()
+        if isinstance(outcome, BaseException):
+            raise WalError(f"wal flush failed: {outcome!r}") from outcome
+        return outcome
+
+    def _flush_action(self):
+        # Timer-wheel action: must be brief — fork the real flush.
+        return sys_fork(self._flush(), name="wal-flush")
+
+    @do
+    def _sleep_flush(self):
+        yield sys_sleep(self.flush_interval)
+        yield self._flush()
+
+    @do
+    def _flush(self):
+        """Drain the pending batches: one gathered write + one fsync
+        per batch, then wake every writer parked on that batch."""
+        if self._flushing:
+            return 0
+        self._flushing = True
+        flushed = 0
+        try:
+            while not self._closed:
+                while self._pending and not self._closed:
+                    # Swap *before* touching the disk: writers arriving
+                    # mid fsync append to the fresh batch and park on
+                    # the fresh barrier — they ride the next group.
+                    batch, self._pending = self._pending, []
+                    barrier, self._barrier = self._barrier, MVar(
+                        name="wal-barrier"
+                    )
+                    self._alarm_armed = False
+                    data = b"".join(batch)
+                    fd = self._fd
+                    try:
+                        yield sys_blio(
+                            lambda: self._write_and_sync(fd, data)
+                        )
+                    except BaseException as exc:
+                        self.flush_failures += 1
+                        # Failure is the batch's outcome: every parked
+                        # writer wakes into WalError instead of an ack.
+                        yield barrier.put(exc)
+                        continue
+                    self._segment_bytes += len(data)
+                    self.fsyncs += 1
+                    self.group_commits += 1
+                    self.group_records += len(batch)
+                    self.group_max_seen = max(self.group_max_seen,
+                                              len(batch))
+                    flushed += len(batch)
+                    yield barrier.put(len(batch))
+                if (self.state_fn is not None
+                        and self._segment_bytes >= self.compact_bytes
+                        and not self._closed):
+                    yield self._compact()
+                    # Records appended while the snapshot was being
+                    # written are pending now: loop and flush them (the
+                    # rotation reset the size, so this converges).
+                    continue
+                break
+            return flushed
+        finally:
+            self._flushing = False
+
+    def _write_and_sync(self, fd: int, data: bytes) -> int:
+        # Runs on the blocking-I/O pool: one write, one fsync.
+        written = 0
+        while written < len(data):
+            written += self._write(fd, data[written:])
+        self._sync(fd)
+        return written
+
+    # ------------------------------------------------------------------
+    # Snapshot + compaction (runs inside the flusher: the log is synced
+    # and no batch is in flight when it starts).
+    # ------------------------------------------------------------------
+    @do
+    def _compact(self):
+        state = self.state_fn()
+        covered = self._segment_index
+        state["segments_through"] = covered
+        # Rotate first (plain code): appends from here land in the new
+        # segment, which replays *after* the snapshot.
+        self._open_segment(covered + 1)
+        payload = json.dumps(state, separators=(",", ":")).encode()
+        snap_path = self._snapshot_path()
+        tmp_path = snap_path + ".tmp"
+
+        def write_snapshot() -> None:
+            fd = os.open(tmp_path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC,
+                         0o644)
+            try:
+                data = frame_record(payload)
+                written = 0
+                while written < len(data):
+                    written += self._write(fd, data[written:])
+                self._sync(fd)
+            finally:
+                os.close(fd)
+            os.replace(tmp_path, snap_path)
+
+        try:
+            yield sys_blio(write_snapshot)
+        except (KeyboardInterrupt, SystemExit, GeneratorExit):
+            raise
+        except BaseException:
+            # Compaction is an optimization: a failed snapshot leaves
+            # the (longer) log authoritative.  Keep appending.
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            return None
+        self.compactions += 1
+        for stale in self._segments_on_disk():
+            if stale <= covered:
+                try:
+                    os.unlink(self._segment_path(stale))
+                except OSError:
+                    pass
+        return None
+
+    # ------------------------------------------------------------------
+    def flush_now(self) -> M:
+        """Force a flush of whatever is pending (resumes with the number
+        of records made durable) — a test/shutdown convenience."""
+        if not self._pending:
+            return pure(0)
+        return self._flush()

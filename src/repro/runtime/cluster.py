@@ -91,6 +91,15 @@ class AppContext:
     replication: int = 1
     write_quorum: int = 1
     cache_protocol: str = "memcache"
+    #: Durability root: apps that keep a write-ahead log put their
+    #: per-shard directory under it (``None`` disables durability).
+    wal_dir: str | None = None
+    #: Group-commit deadline (seconds): how long an acked write may wait
+    #: for its batch fsync.  Larger values amortise the disk barrier
+    #: over more writers at the cost of ack latency.
+    wal_flush_interval: float = 0.005
+    #: Flush immediately once this many records are pending.
+    wal_group_max: int = 128
 
 _CRASH_EXIT_CODE = 86  # distinguishes a commanded crash from a real one
 
@@ -145,6 +154,16 @@ class ClusterConfig:
     #: Cache dialect: ``"memcache"`` or ``"resp"``, forwarded to any
     #: factory naming ``cache_protocol``.
     cache_protocol: str = "memcache"
+    #: Durability root for write-ahead-logging applications, forwarded
+    #: to any factory naming ``wal_dir`` (each shard derives its own
+    #: subdirectory, so one root serves the whole cluster and a
+    #: respawned shard finds its log again).  ``None`` disables.
+    wal_dir: str | None = None
+    #: WAL group-commit deadline (seconds) and pending-record watermark,
+    #: forwarded to factories naming them: the batching knobs of the
+    #: durability point (deadline trades ack latency for fewer fsyncs).
+    wal_flush_interval: float = 0.005
+    wal_group_max: int = 128
 
 
 def build_runtime(config: ClusterConfig) -> LiveRuntime:
@@ -340,12 +359,16 @@ def _worker_main(
             replication=config.replication,
             write_quorum=config.write_quorum,
             cache_protocol=config.cache_protocol,
+            wal_dir=config.wal_dir,
+            wal_flush_interval=config.wal_flush_interval,
+            wal_group_max=config.wal_group_max,
         ))
     else:
         # Deprecation shim: legacy (rt, listener[, mesh]) factories with
         # signature-sniffed keyword knobs.
         factory_kwargs: dict[str, Any] = {}
-        for knob in ("replication", "write_quorum", "cache_protocol"):
+        for knob in ("replication", "write_quorum", "cache_protocol",
+                     "wal_dir", "wal_flush_interval", "wal_group_max"):
             if _accepts_keyword(app_factory, knob):
                 factory_kwargs[knob] = getattr(config, knob)
         if cache_listener is not None:
@@ -878,7 +901,7 @@ class ClusterServer:
         # Summing these cross-shard is nonsense: connectivity is a
         # gauge, the max_* fields high-water marks (merged as max).
         gauges = ("peers", "connected_peers", "max_frames_per_flush",
-                  "cache_max_responses_per_batch")
+                  "cache_max_responses_per_batch", "wal_group_max")
         for section in ("mesh", "app"):
             # Cross-shard sums of the data-plane and application
             # counters (each shard reports its own dict of numbers).
@@ -903,14 +926,16 @@ class ClusterServer:
                          for counters in sections),
                         default=0,
                     )
-                if section == "app" and any(
-                    "cache_max_responses_per_batch" in counters
-                    for counters in sections
-                ):
-                    merged["cache_max_responses_per_batch"] = max(
-                        counters.get("cache_max_responses_per_batch", 0)
-                        for counters in sections
-                    )
+                if section == "app":
+                    # App-side high-water marks: merged as max, like the
+                    # mesh's flush batching gauge.
+                    for mark in ("cache_max_responses_per_batch",
+                                 "wal_group_max"):
+                        if any(mark in counters for counters in sections):
+                            merged[mark] = max(
+                                counters.get(mark, 0)
+                                for counters in sections
+                            )
                 aggregate[section] = merged
         return {"workers": per_worker, "aggregate": aggregate}
 

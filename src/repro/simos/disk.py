@@ -60,6 +60,8 @@ class DiskStats:
         "total_seek_distance",
         "total_latency",
         "max_queue_depth",
+        "flushes",
+        "flush_time",
     )
 
     def __init__(self) -> None:
@@ -69,6 +71,8 @@ class DiskStats:
         self.total_seek_distance = 0
         self.total_latency = 0.0
         self.max_queue_depth = 0
+        self.flushes = 0
+        self.flush_time = 0.0
 
     @property
     def mean_latency(self) -> float:
@@ -101,6 +105,10 @@ class DiskModel:
         self._fifo: list[DiskRequest] = []
         self._offsets: list[int] = []
         self._requests: list[DiskRequest] = []
+        # Write barriers: [outstanding_requests, callback] pairs.  A
+        # barrier fires (after the drain time) once every request that
+        # was outstanding at flush() submission has completed.
+        self._barriers: list[list] = []
 
     # ------------------------------------------------------------------
     # Submission
@@ -127,6 +135,22 @@ class DiskModel:
             self.stats.max_queue_depth = depth
         if not self.busy:
             self._start_next()
+
+    def flush(self, callback: Callable[[], None]) -> None:
+        """An fsync-style write barrier: ``callback()`` runs once every
+        request outstanding *now* has completed, plus the cache-drain
+        time (``SimParams.disk_flush_time``).  Requests submitted after
+        the flush are not waited for — the barrier orders what precedes
+        it.  This is the cost a write-ahead log pays per group commit:
+        a log that fsyncs every record pays it per record, which is why
+        group commit batches many records behind one barrier."""
+        self.stats.flushes += 1
+        self.stats.flush_time += self.params.disk_flush_time
+        outstanding = self.queue_depth + (1 if self.busy else 0)
+        if outstanding == 0:
+            self.clock.schedule(self.params.disk_flush_time, callback)
+        else:
+            self._barriers.append([outstanding, callback])
 
     @property
     def queue_depth(self) -> int:
@@ -164,6 +188,18 @@ class DiskModel:
         self.stats.completed += 1
         self.stats.bytes_moved += request.nbytes
         self.stats.total_latency += self.clock.now - request.submitted_at
+        if self._barriers:
+            fired = []
+            for barrier in self._barriers:
+                barrier[0] -= 1
+                if barrier[0] == 0:
+                    fired.append(barrier[1])
+            if fired:
+                self._barriers = [b for b in self._barriers if b[0] > 0]
+                for callback in fired:
+                    self.clock.schedule(
+                        self.params.disk_flush_time, callback
+                    )
         # Keep the spindle busy before running the completion callback, so
         # callbacks that submit follow-up requests see a consistent state.
         self._start_next()

@@ -96,6 +96,11 @@ class SimParams:
     disk_transfer_rate: float = 40.0 * 1024 * 1024
     #: Fixed controller/DMA/command overhead per request (EIDE-era).
     disk_overhead: float = 0.8e-3
+    #: Write-barrier (fsync/FLUSH CACHE) drain time once every queued
+    #: write has completed: roughly one revolution to land the last
+    #: sectors plus command overhead.  This is the per-barrier price a
+    #: write-ahead log pays — group commit exists to amortise it.
+    disk_flush_time: float = 5.0e-3
 
     # ------------------------------------------------------------------
     # Pipes (Linux FIFO, the Fig 18 workload fixes 4KB).

@@ -5,6 +5,8 @@ rolling reload."""
 from __future__ import annotations
 
 import collections
+import os
+import signal
 import time
 
 import pytest
@@ -399,6 +401,118 @@ class TestReplicatedCluster:
                 assert status.endswith("200 OK"), (key, status)
                 assert body == value
             check.close()
+        finally:
+            cluster.stop()
+
+    def test_sigkill_one_shard_mid_burst_recovers_acked_writes(
+        self, tmp_path
+    ):
+        # The durability drill: a real SIGKILL (not the cooperative
+        # crash command — no drain, no graceful anything) lands in the
+        # middle of a write burst.  After respawn, every write that was
+        # *acked* must be readable: the dead shard replays its
+        # write-ahead log (store + parked hints), and the survivors'
+        # hinted handoff drains to zero.
+        cluster = ClusterServer(
+            kv_app_factory, shards=4, mesh=True, replication=2,
+            respawn=False, grace=0.5, wal_dir=str(tmp_path / "wal"),
+        )
+        cluster.start()
+        try:
+            acked: dict[str, bytes] = {}
+            client = BlockingHttpClient(cluster.port)
+            for i in range(30):
+                key, value = f"burst:{i}", f"pre-{i}".encode()
+                self._put(client, key, value)
+                acked[key] = value
+            client.close()
+
+            victim = 2
+            pid = cluster.worker_pids()[victim]
+            assert pid is not None
+            os.kill(pid, signal.SIGKILL)
+            deadline = time.monotonic() + 5.0
+            while (cluster.worker_pids()[victim] is not None
+                   and time.monotonic() < deadline):
+                time.sleep(0.02)
+            assert cluster.worker_pids()[victim] is None
+
+            # The burst continues through the outage: acks come from
+            # the surviving replicas, hints park for the dead shard.
+            survivor = BlockingHttpClient(cluster.port)
+            for i in range(30, 60):
+                key, value = f"burst:{i}", f"mid-{i}".encode()
+                status, headers, _ = survivor.request(
+                    "PUT", f"/kv/{key}", value
+                )
+                if status.split()[1] in ("201", "204"):
+                    acked[key] = value
+                    assert headers["x-kv-replicas"] in ("1/2", "2/2")
+            survivor.close()
+            assert len(acked) > 30  # the outage did not stop the burst
+
+            cluster.poll()  # manual respawn (respawn=False above)
+            assert cluster.worker_pids()[victim] is not None
+            deadline = time.monotonic() + 15.0
+            app: dict = {}
+            while time.monotonic() < deadline:
+                app = self._aggregate_app(cluster)
+                if (app.get("kv_hints_pending", 1) == 0
+                        and app.get("wal_replayed_records", 0) > 0):
+                    break
+                time.sleep(0.1)
+            # The respawned shard came back from its log, not empty.
+            assert app.get("wal_replayed_records", 0) > 0, app
+            assert app.get("kv_hints_pending", 1) == 0, app
+            assert app.get("wal_fsyncs", 0) > 0
+            # Group commit engaged: strictly fewer fsyncs than appends.
+            assert app.get("wal_fsyncs") < app.get("wal_appends", 0)
+
+            check = BlockingHttpClient(cluster.port)
+            for key, value in acked.items():
+                status, _headers, body = check.request("GET", f"/kv/{key}")
+                assert status.endswith("200 OK"), (key, status)
+                assert body == value
+            check.close()
+        finally:
+            cluster.stop()
+
+    def test_sigkill_unreplicated_shard_recovers_from_log_alone(
+        self, tmp_path
+    ):
+        # replication=1: the killed shard held the *only* copy of its
+        # keys, so every recovered read below is proof the WAL replay
+        # works — there is no replica to lean on.
+        cluster = ClusterServer(
+            kv_app_factory, shards=2, mesh=True, replication=1,
+            respawn=False, grace=0.5, wal_dir=str(tmp_path / "wal"),
+        )
+        cluster.start()
+        try:
+            keys = {f"solo:{i}": f"only-{i}".encode() for i in range(20)}
+            client = BlockingHttpClient(cluster.port)
+            for key, value in keys.items():
+                self._put(client, key, value)
+            client.close()
+
+            victim = 1
+            pid = cluster.worker_pids()[victim]
+            os.kill(pid, signal.SIGKILL)
+            deadline = time.monotonic() + 5.0
+            while (cluster.worker_pids()[victim] is not None
+                   and time.monotonic() < deadline):
+                time.sleep(0.02)
+            cluster.poll()
+            assert cluster.worker_pids()[victim] is not None
+
+            check = BlockingHttpClient(cluster.port)
+            for key, value in keys.items():
+                status, _headers, body = check.request("GET", f"/kv/{key}")
+                assert status.endswith("200 OK"), (key, status)
+                assert body == value
+            check.close()
+            app = self._aggregate_app(cluster)
+            assert app.get("wal_replayed_records", 0) > 0
         finally:
             cluster.stop()
 

@@ -1,0 +1,453 @@
+"""The per-shard write-ahead log: framing, group commit, crash points.
+
+Three layers of attack, per the durability discipline (NFork-style —
+a durability claim is only as good as its fault harness):
+
+* **Framing / recovery basics** — CRC round trips, tombstones, hints
+  persisted in the same log, snapshot+compaction replacing replay.
+* **Crash-point property sweep** — a scripted write burst is recorded,
+  then the log is truncated at *every byte* around each record edge
+  (plus seeded random mid-record points) and replayed: exactly the
+  committed prefix comes back, never a partial record.
+* **Group-commit semantics** — against a fake timer wheel (the
+  schedule/fire choreography runs by hand, no wall-clock sleeps):
+  N parked writers ack on one fsync; a writer arriving mid-fsync rides
+  the next batch; a flush failure surfaces as a monadic exception to
+  every parked writer.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import shutil
+import threading
+import zlib
+
+import pytest
+
+from repro.app.kv import KvNode
+from repro.app.wal import ShardWal, WalError, frame_record, read_frames
+from repro.core.do_notation import do
+from repro.core.monad import pure
+from repro.runtime.live_runtime import LiveRuntime
+
+
+@pytest.fixture
+def rt():
+    runtime = LiveRuntime(uncaught="store")
+    yield runtime
+    runtime.shutdown()
+
+
+def _drive(rt, comp, idle=5.0):
+    results = []
+
+    @do
+    def main():
+        value = yield comp
+        results.append(value)
+
+    rt.spawn(main())
+    rt.run(until=lambda: bool(results), idle_timeout=idle)
+    assert results, "operation never completed"
+    return results[0]
+
+
+def _spawn_commits(rt, wal, records):
+    """Spawn one committing writer per record; returns the done-list."""
+    done = []
+
+    @do
+    def writer(record):
+        acked = yield wal.commit(record)
+        done.append(acked)
+
+    for record in records:
+        rt.spawn(writer(record), name="wal-writer")
+    return done
+
+
+class _FakeHandle:
+    def __init__(self, delay, action):
+        self.delay = delay
+        self.action = action
+        self.cancelled = False
+
+    def cancel(self):
+        self.cancelled = True
+
+
+class _FakeTimers:
+    """Records ``schedule`` calls; tests fire the actions by hand."""
+
+    def __init__(self):
+        self.scheduled: list[_FakeHandle] = []
+
+    def schedule(self, delay, action):
+        handle = _FakeHandle(delay, action)
+        self.scheduled.append(handle)
+        return pure(handle)
+
+    def fire(self, rt, handle):
+        """Run one armed action the way the wheel's sleeper would."""
+        result = handle.action()
+        if result is not None:
+            rt.spawn(result, name="fake-timer-action")
+
+
+# ----------------------------------------------------------------------
+# Framing.
+# ----------------------------------------------------------------------
+class TestFraming:
+    def test_round_trip(self):
+        payloads = [b"", b"x", b"hello" * 100, bytes(range(256))]
+        data = b"".join(frame_record(p) for p in payloads)
+        parsed, good_end = read_frames(data)
+        assert parsed == payloads
+        assert good_end == len(data)
+
+    def test_crc_rejects_flipped_byte(self):
+        data = frame_record(b"payload-one") + frame_record(b"payload-two")
+        corrupt = bytearray(data)
+        corrupt[len(frame_record(b"payload-one")) + 9] ^= 0x40
+        parsed, good_end = read_frames(bytes(corrupt))
+        assert parsed == [b"payload-one"]
+        assert good_end == len(frame_record(b"payload-one"))
+
+    def test_short_header_and_short_payload_are_torn(self):
+        whole = frame_record(b"abcdef")
+        for cut in range(len(whole)):
+            parsed, good_end = read_frames(whole[:cut])
+            assert parsed == []
+            assert good_end == 0
+        parsed, good_end = read_frames(whole)
+        assert parsed == [b"abcdef"]
+
+    def test_crc_is_plain_crc32(self):
+        framed = frame_record(b"check")
+        crc = int.from_bytes(framed[:4], "little")
+        assert crc == zlib.crc32(b"check")
+
+
+# ----------------------------------------------------------------------
+# Recovery basics through a KvNode owner.
+# ----------------------------------------------------------------------
+class TestRecovery:
+    def _node(self, directory, rt=None, **wal_kwargs):
+        wal = ShardWal(directory, **wal_kwargs)
+        return KvNode(0, 1, wal=wal), wal
+
+    def test_puts_and_tombstones_recover(self, rt, tmp_path):
+        directory = str(tmp_path / "shard-0")
+        node, wal = self._node(directory)
+        for i in range(8):
+            _drive(rt, node.put(f"k{i}", b"v%d" % i))
+        _drive(rt, node.delete("k3"))
+        wal.close()
+
+        node2, wal2 = self._node(directory)
+        assert wal2.replayed_records == 9  # 8 puts + 1 delete
+        assert node2.store.get("k5") == b"v5"
+        assert "k3" not in node2.store
+        assert len(node2.store) == 7
+
+    def test_versioned_writes_and_hints_recover(self, rt, tmp_path):
+        directory = str(tmp_path / "shard-0")
+        node, wal = self._node(directory)
+        _drive(rt, wal.commit({"t": "w", "k": "vk", "ver": [7, 2],
+                               "v": "aGVsbG8="}))  # b"hello"
+        _drive(rt, wal.commit({"t": "hint", "tg": 3, "k": "hk",
+                               "ver": [9, 1], "v": "aGk="}))  # b"hi"
+        wal.close()
+
+        node2, _wal2 = self._node(directory)
+        assert node2.store["vk"] == b"hello"
+        assert node2.versions["vk"] == (7, 2)
+        assert node2.clock >= 7
+        assert node2.hints[3]["hk"] == ((9, 1), b"hi")
+        assert node2.hints_pending == 1
+
+    def test_unsynced_pending_records_are_not_acked_state(self, rt,
+                                                          tmp_path):
+        # A record parked in the pending batch (never flushed) is not on
+        # disk: recovery must not see it.  Writers for it never acked.
+        directory = str(tmp_path / "shard-0")
+        timers = _FakeTimers()
+        wal = ShardWal(directory, timers=timers)
+        _spawn_commits(rt, wal, [{"t": "raw", "op": "put", "k": "ghost",
+                                  "v": None}])
+        rt.run(until=lambda: len(wal._pending) == 1, idle_timeout=2.0)
+        wal.close()  # crash before the timer ever fired
+
+        node2, wal2 = self._node(directory)
+        assert wal2.replayed_records == 0
+        assert "ghost" not in node2.store
+
+    def test_compaction_snapshots_and_prunes_segments(self, rt, tmp_path):
+        directory = str(tmp_path / "shard-0")
+        wal = ShardWal(directory, compact_bytes=512)
+        node = KvNode(0, 1, wal=wal)
+        for i in range(40):
+            _drive(rt, node.put(f"ck{i}", b"value-%d" % i))
+        _drive(rt, node.delete("ck7"))
+        # The compaction runs inside the flusher; let it finish.
+        rt.run(until=lambda: wal.compactions > 0 and not wal._flushing,
+               idle_timeout=5.0)
+        assert wal.compactions >= 1
+        assert os.path.exists(os.path.join(directory, "snapshot.wal"))
+        wal.close()
+
+        wal2 = ShardWal(directory)
+        node2 = KvNode(0, 1, wal=wal2)
+        assert wal2.replayed_snapshot_keys > 0
+        # The snapshot absorbed the early records: replay is shorter
+        # than the full history.
+        assert wal2.replayed_records < 41
+        assert len(node2.store) == 39
+        assert node2.store["ck39"] == b"value-39"
+        assert "ck7" not in node2.store
+        wal2.close()
+
+    def test_stats_shape(self, rt, tmp_path):
+        node, wal = self._node(str(tmp_path / "shard-0"))
+        _drive(rt, node.put("s", b"1"))
+        stats = wal.stats()
+        for key in ("wal_appends", "wal_fsyncs", "wal_group_commits",
+                    "wal_group_max", "wal_replayed_records",
+                    "wal_flush_failures", "wal_compactions"):
+            assert key in stats
+        assert stats["wal_appends"] == 1
+        assert stats["wal_fsyncs"] == 1
+        assert node.extra_stats()["wal_appends"] == 1
+        assert node.local_stats()["wal"]["wal_fsyncs"] == 1
+        wal.close()
+
+
+# ----------------------------------------------------------------------
+# Crash-point property sweep (the committed-prefix invariant).
+# ----------------------------------------------------------------------
+class TestCrashPointSweep:
+    def _record_burst(self, rt, directory):
+        """A scripted burst of varied-size records through the real
+        commit path; returns the replay-expected record list."""
+        wal = ShardWal(directory, timers=rt.timers, flush_interval=0.002)
+        records = []
+        for i in range(12):
+            records.append({
+                "t": "w", "k": f"key-{i}", "ver": [i + 1, 0],
+                "v": "A" * (4 * ((i * 7) % 11 + 1)),
+            })
+        done = _spawn_commits(rt, wal, records)
+        rt.run(until=lambda: len(done) == len(records), idle_timeout=5.0)
+        assert len(done) == len(records)
+        wal.close()
+        return records
+
+    def test_truncation_sweep_recovers_exactly_committed_prefix(
+        self, rt, tmp_path
+    ):
+        directory = str(tmp_path / "recorded")
+        records = self._record_burst(rt, directory)
+        segment = os.path.join(directory, "wal-00000001.log")
+        with open(segment, "rb") as fh:
+            data = fh.read()
+        payloads, good_end = read_frames(data)
+        assert len(payloads) == len(records)
+        assert good_end == len(data)
+        # Frame end offsets: a record is committed iff its end <= cut.
+        ends = []
+        offset = 0
+        for payload in payloads:
+            offset += len(frame_record(payload))
+            ends.append(offset)
+
+        cuts = set()
+        for end in ends:
+            for delta in range(-3, 4):  # every byte around each edge
+                cuts.add(min(len(data), max(0, end + delta)))
+        rng = random.Random(0x57A1)
+        cuts.update(rng.randrange(len(data) + 1) for _ in range(32))
+
+        scratch = str(tmp_path / "scratch")
+        for cut in sorted(cuts):
+            if os.path.isdir(scratch):
+                shutil.rmtree(scratch)
+            os.makedirs(scratch)
+            target = os.path.join(scratch, "wal-00000001.log")
+            with open(target, "wb") as fh:
+                fh.write(data[:cut])
+            expected = sum(1 for end in ends if end <= cut)
+            replayer = ShardWal(scratch)
+            state, replayed = replayer.recover()
+            replayer.close()
+            assert state is None
+            assert len(replayed) == expected, (
+                f"cut at {cut}: replayed {len(replayed)}, "
+                f"expected {expected}"
+            )
+            assert replayed == records[:expected]
+            # The torn tail was truncated on disk to the good prefix.
+            good = ends[expected - 1] if expected else 0
+            assert os.path.getsize(target) == good
+
+    def test_mid_record_corruption_never_surfaces_partial(self, rt,
+                                                          tmp_path):
+        directory = str(tmp_path / "recorded")
+        records = self._record_burst(rt, directory)
+        segment = os.path.join(directory, "wal-00000001.log")
+        with open(segment, "rb") as fh:
+            data = fh.read()
+        # Flip one byte inside the 5th record's payload.
+        payloads, _ = read_frames(data)
+        offset = sum(len(frame_record(p)) for p in payloads[:4])
+        strike = offset + 8 + 2  # header + 2 bytes into the payload
+        corrupt = bytearray(data)
+        corrupt[strike] ^= 0xFF
+        scratch = str(tmp_path / "scratch")
+        os.makedirs(scratch)
+        with open(os.path.join(scratch, "wal-00000001.log"), "wb") as fh:
+            fh.write(bytes(corrupt))
+        replayer = ShardWal(scratch)
+        _state, replayed = replayer.recover()
+        replayer.close()
+        assert replayed == records[:4]
+
+
+# ----------------------------------------------------------------------
+# Group-commit batching semantics (fake wheel, choreography by hand).
+# ----------------------------------------------------------------------
+class TestGroupCommit:
+    def test_n_writers_one_fsync(self, rt, tmp_path):
+        timers = _FakeTimers()
+        wal = ShardWal(str(tmp_path / "w"), timers=timers)
+        records = [{"t": "raw", "op": "put", "k": f"g{i}", "v": None}
+                   for i in range(10)]
+        done = _spawn_commits(rt, wal, records)
+        rt.run(until=lambda: len(wal._pending) == 10, idle_timeout=2.0)
+        # All ten writers are parked on one barrier; exactly one flush
+        # deadline was armed (by the first writer of the batch).
+        assert not done
+        assert len(timers.scheduled) == 1
+        assert len(wal._barrier.takers) == 10
+
+        timers.fire(rt, timers.scheduled[0])
+        rt.run(until=lambda: len(done) == 10, idle_timeout=5.0)
+        assert wal.fsyncs == 1
+        assert wal.group_commits == 1
+        assert wal.group_max_seen == 10
+        assert done == [10] * 10  # each writer acked with its group size
+        wal.close()
+
+    def test_watermark_flushes_without_waiting_for_deadline(self, rt,
+                                                            tmp_path):
+        timers = _FakeTimers()
+        wal = ShardWal(str(tmp_path / "w"), timers=timers, group_max=4)
+        records = [{"t": "raw", "op": "put", "k": f"wm{i}", "v": None}
+                   for i in range(4)]
+        done = _spawn_commits(rt, wal, records)
+        rt.run(until=lambda: len(done) == 4, idle_timeout=5.0)
+        # The 4th append hit the watermark: the batch flushed while the
+        # armed deadline never fired.
+        assert wal.fsyncs == 1
+        assert len(timers.scheduled) == 1
+        wal.close()
+
+    def test_writer_arriving_mid_fsync_rides_next_batch(self, rt,
+                                                        tmp_path):
+        timers = _FakeTimers()
+        wal = ShardWal(str(tmp_path / "w"), timers=timers)
+        sync_started = threading.Event()
+        gate = threading.Event()
+        real_sync = wal._sync
+
+        def gated_sync(fd):
+            sync_started.set()
+            assert gate.wait(timeout=10.0), "flush gate never released"
+            real_sync(fd)
+
+        wal._sync = gated_sync
+        first = _spawn_commits(rt, wal, [{"t": "raw", "op": "put",
+                                          "k": "early", "v": None}])
+        rt.run(until=lambda: len(wal._pending) == 1, idle_timeout=2.0)
+        timers.fire(rt, timers.scheduled[0])
+        rt.run(until=sync_started.is_set, idle_timeout=5.0)
+        assert sync_started.is_set() and not first
+
+        # Mid-fsync arrival: parks on the *fresh* barrier, arms nothing
+        # (the in-flight flusher loops straight into the next batch).
+        second = _spawn_commits(rt, wal, [{"t": "raw", "op": "put",
+                                           "k": "late", "v": None}])
+        rt.run(until=lambda: len(wal._pending) == 1, idle_timeout=2.0)
+        assert not second
+        assert len(timers.scheduled) == 1
+
+        gate.set()
+        rt.run(until=lambda: bool(first) and bool(second),
+               idle_timeout=5.0)
+        assert wal.fsyncs == 2           # one per batch
+        assert wal.group_max_seen == 1   # the batches never merged
+        assert first == [1] and second == [1]
+        wal.close()
+
+    def test_flush_failure_raises_in_every_parked_writer(self, rt,
+                                                         tmp_path):
+        timers = _FakeTimers()
+        wal = ShardWal(str(tmp_path / "w"), timers=timers)
+
+        def broken_sync(fd):
+            raise OSError("simulated disk failure")
+
+        wal._sync = broken_sync
+        errors = []
+
+        @do
+        def writer(i):
+            try:
+                yield wal.commit({"t": "raw", "op": "put",
+                                  "k": f"f{i}", "v": None})
+                errors.append(("acked", i))
+            except WalError as exc:
+                errors.append(("error", exc))
+
+        for i in range(6):
+            rt.spawn(writer(i), name=f"failing-writer-{i}")
+        rt.run(until=lambda: len(wal._pending) == 6, idle_timeout=2.0)
+        timers.fire(rt, timers.scheduled[0])
+        rt.run(until=lambda: len(errors) == 6, idle_timeout=5.0)
+        assert [kind for kind, _ in errors] == ["error"] * 6
+        assert all(isinstance(exc, WalError) for _, exc in errors)
+        assert wal.flush_failures == 1
+        assert wal.fsyncs == 0
+
+        # The log is not wedged: with the disk back, commits ack again.
+        wal._sync = os.fsync
+        done = _spawn_commits(rt, wal, [{"t": "raw", "op": "put",
+                                         "k": "after", "v": None}])
+        rt.run(until=lambda: len(wal._pending) == 1, idle_timeout=2.0)
+        timers.fire(rt, timers.scheduled[-1])
+        rt.run(until=lambda: bool(done), idle_timeout=5.0)
+        assert wal.fsyncs == 1
+        wal.close()
+
+    def test_node_ack_waits_for_commit(self, rt, tmp_path):
+        # End to end through KvNode: a put does not resume before its
+        # record's group flush fires.
+        timers = _FakeTimers()
+        wal = ShardWal(str(tmp_path / "w"), timers=timers)
+        node = KvNode(0, 1, wal=wal)
+        acked = []
+
+        @do
+        def putter():
+            result = yield node.put("durable", b"yes")
+            acked.append(result)
+
+        rt.spawn(putter())
+        rt.run(until=lambda: len(wal._pending) == 1, idle_timeout=2.0)
+        assert not acked and node.store["durable"] == b"yes"
+        timers.fire(rt, timers.scheduled[0])
+        rt.run(until=lambda: bool(acked), idle_timeout=5.0)
+        assert acked[0] == (True, None, False)
+        assert wal.fsyncs == 1
+        wal.close()

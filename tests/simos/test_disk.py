@@ -89,6 +89,58 @@ class TestCompletion:
         assert completions == [3, 2, 1, 0]
 
 
+class TestFlushBarrier:
+    def test_flush_on_idle_disk_costs_only_drain_time(self):
+        clock, disk, params = make_disk()
+        done = []
+        disk.flush(lambda: done.append(clock.now))
+        clock.run_until_idle()
+        assert done == [pytest.approx(params.disk_flush_time)]
+        assert disk.stats.flushes == 1
+
+    def test_flush_waits_for_prior_writes_only(self):
+        clock, disk, _params = make_disk()
+        order = []
+        disk.submit(1000, 512, lambda: order.append("w1"), is_write=True)
+        disk.submit(2000, 512, lambda: order.append("w2"), is_write=True)
+        disk.flush(lambda: order.append("barrier"))
+        # Submitted after the flush: the barrier does not wait for it,
+        # but the spindle serves it while the cache drains.
+        disk.submit(3000, 512, lambda: order.append("w3"), is_write=True)
+        clock.run_until_idle()
+        assert order.index("barrier") > order.index("w1")
+        assert order.index("barrier") > order.index("w2")
+        assert "w3" in order
+
+    def test_group_commit_amortises_the_barrier(self):
+        # One barrier over N writes costs far less than N write+barrier
+        # pairs: the economics the WAL's group commit banks on.
+        clock, disk, params = make_disk()
+        for i in range(16):
+            disk.submit(i * 4096, 512, lambda: None, is_write=True)
+        disk.flush(lambda: None)
+        clock.run_until_idle()
+        grouped = clock.now
+
+        clock2, disk2, _ = make_disk()
+        state = {"i": 0}
+
+        def next_write():
+            if state["i"] < 16:
+                offset = state["i"] * 4096
+                state["i"] += 1
+                disk2.submit(offset, 512,
+                             lambda: disk2.flush(next_write),
+                             is_write=True)
+
+        next_write()
+        clock2.run_until_idle()
+        per_record = clock2.now
+        assert disk2.stats.flushes == 16
+        assert disk.stats.flushes == 1
+        assert per_record > grouped + 15 * params.disk_flush_time * 0.99
+
+
 class TestClook:
     def test_serves_in_sweep_order(self):
         clock, disk, _params = make_disk()
