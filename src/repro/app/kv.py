@@ -61,6 +61,14 @@ On start the node replays the snapshot plus the committed log prefix,
 so a ``kill -9`` loses nothing that was acked.  Hint *removals* are not
 logged: a replayed hint is a versioned write the target already holds,
 so re-replaying it after a crash is an idempotent no-op.
+
+The in-memory apply happens *before* the commit parks, so a write whose
+group flush fails is not acked (the client sees the failure) yet may
+stay visible to readers and be made durable by a later snapshot — the
+standard write-ambiguity of a last-write-wins store, the same as a
+write that reached only a subset of its replicas before erroring.  The
+guarantee is one-sided: an acked write is never lost; a failed write is
+not guaranteed lost.
 """
 
 from __future__ import annotations
@@ -540,7 +548,10 @@ class KvNode:
             if applied:
                 # Ack-after-commit: the local replica's ack counts only
                 # once the versioned apply is fsync-durable (the commit
-                # parks on the WAL's group-flush barrier).
+                # parks on the WAL's group-flush barrier).  The apply
+                # itself already happened: if the flush fails, the
+                # write errors to the client but may remain visible —
+                # see the module docstring's durability caveat.
                 yield self._wal_versioned(key, version, value)
             existed_any = existed_any or existed
             rejected = rejected or not applied

@@ -26,12 +26,19 @@ per write — the gathered-write trick applied to durability:
   batch — the flusher loops until the pending list is empty.  A failed
   flush fills the barrier with the exception instead, so every parked
   writer sees :class:`WalError` — an unsynced write must never ack.
+  The failed segment is then restored to its pre-batch length
+  (best-effort) and appends **rotate to a fresh segment**: after a
+  failed ``fsync`` the kernel may drop the batch's dirty pages while
+  marking them clean, so the old tail can never be trusted again, and
+  later acked records must not sit past torn bytes in the same file.
 * **Replay and torn-tail truncation.**  On start,
   :meth:`ShardWal.recover` loads the newest snapshot (if any), then
-  replays every live segment in order.  The first short or
-  CRC-mismatching frame ends the committed prefix: the file is
-  truncated there and later segments are discarded — exactly the acked
-  state comes back, never a partial record.
+  replays every live segment in order.  Within a segment, the first
+  short or CRC-mismatching frame ends that segment's committed prefix
+  and the file is truncated there — a torn record was never acked (its
+  flush failed or the process died mid-write).  Later segments still
+  replay: a flush failure rotates before accepting more appends, so
+  acked records legitimately live in segments past a torn one.
 * **Snapshot + compaction.**  When the live segment outgrows
   ``compact_bytes``, the flusher (already holding a synced log) rotates
   appends to a fresh segment, writes the full state (via the owner's
@@ -55,7 +62,7 @@ from typing import Any, Callable
 
 from ..core.do_notation import do
 from ..core.exceptions import ReproError
-from ..core.monad import M, pure
+from ..core.monad import M
 from ..core.sync import MVar
 from ..core.syscalls import sys_blio, sys_fork, sys_sleep
 
@@ -137,6 +144,9 @@ class ShardWal:
         #: The current batch's flush barrier: writers ``read()``, the
         #: flusher ``put()``s once — outcome is a count or an exception.
         self._barrier = MVar(name="wal-barrier")
+        #: The barrier of the batch whose fsync is in flight (``None``
+        #: between batches) — :meth:`flush_now` parks on it.
+        self._inflight: MVar | None = None
         self._flushing = False
         self._alarm_armed = False
         self._closed = False
@@ -195,7 +205,14 @@ class ShardWal:
 
     def close(self) -> None:
         """Release the segment descriptor (plain code; pending unsynced
-        records are *not* flushed — they were never acked)."""
+        records are *not* flushed — they were never acked).
+
+        Writers still parked on the flush barrier are woken with
+        :class:`WalError` by the next flusher run (the armed deadline or
+        an in-flight flush observes ``_closed`` and fails the batch);
+        new :meth:`commit` calls after close fail immediately.  For a
+        graceful stop that must drain instead of fail, run
+        :meth:`flush_now` before closing."""
         self._closed = True
         if self._fd is not None:
             try:
@@ -236,6 +253,12 @@ class ShardWal:
         state: dict | None = None
         covered = 0
         snap_path = self._snapshot_path()
+        try:
+            # A crash mid-compaction leaves the half-written temp file
+            # behind; it was never renamed, so it is dead weight.
+            os.unlink(snap_path + ".tmp")
+        except OSError:
+            pass
         if os.path.exists(snap_path):
             with open(snap_path, "rb") as fh:
                 payloads, _end = read_frames(fh.read())
@@ -251,7 +274,7 @@ class ShardWal:
                 os.unlink(self._segment_path(stale))
             except OSError:
                 pass
-        for position, index in enumerate(live):
+        for index in live:
             path = self._segment_path(index)
             with open(path, "rb") as fh:
                 data = fh.read()
@@ -259,20 +282,14 @@ class ShardWal:
             for payload in payloads:
                 records.append(json.loads(payload.decode()))
             if good_end < len(data):
-                # Torn tail: truncate to the committed prefix.  Anything
-                # in a *later* segment was written after this tear went
-                # unsynced — discard those segments whole (an acked
-                # record can never live past an unsynced one, because
-                # rotation only happens after a full flush).
+                # Torn tail: truncate this segment to its committed
+                # prefix.  The torn record was never acked — its flush
+                # failed or the process died mid-write.  Later segments
+                # still replay: a failed flush rotates to a fresh
+                # segment before accepting more appends, so acked
+                # records legitimately live past a torn segment.
                 self.torn_bytes_truncated += len(data) - good_end
                 os.truncate(path, good_end)
-                for orphan in live[position + 1:]:
-                    try:
-                        os.unlink(self._segment_path(orphan))
-                    except OSError:
-                        pass
-                live = live[:position + 1]
-                break
         self.replayed_records = len(records)
         self._open_segment(live[-1] if live else covered + 1)
         return state, records
@@ -291,6 +308,8 @@ class ShardWal:
 
     @do
     def _commit(self, record):
+        if self._closed:
+            raise WalError("wal is closed")
         if self._fd is None:
             self._open_segment(self._segment_index)
         encoded = frame_record(
@@ -348,6 +367,7 @@ class ShardWal:
                     barrier, self._barrier = self._barrier, MVar(
                         name="wal-barrier"
                     )
+                    self._inflight = barrier
                     self._alarm_armed = False
                     data = b"".join(batch)
                     fd = self._fd
@@ -357,6 +377,18 @@ class ShardWal:
                         )
                     except BaseException as exc:
                         self.flush_failures += 1
+                        # The segment now ends in torn/unsynced bytes,
+                        # and after a failed fsync the kernel may have
+                        # dropped the batch's pages while marking them
+                        # clean — never append past the damage.  Restore
+                        # the committed prefix best-effort, then rotate:
+                        # later acked records land in a fresh segment
+                        # that recovery replays on its own.
+                        try:
+                            os.ftruncate(fd, self._segment_bytes)
+                        except OSError:
+                            pass
+                        self._open_segment(self._segment_index + 1)
                         # Failure is the batch's outcome: every parked
                         # writer wakes into WalError instead of an ack.
                         yield barrier.put(exc)
@@ -378,9 +410,21 @@ class ShardWal:
                     # rotation reset the size, so this converges).
                     continue
                 break
+            if self._closed and (self._pending or self._barrier.takers):
+                # Closed with writers still parked: their records were
+                # never synced, so wake them with a failure instead of
+                # leaving them blocked on a barrier nobody will fill.
+                self._pending = []
+                barrier, self._barrier = self._barrier, MVar(
+                    name="wal-barrier"
+                )
+                yield barrier.put(
+                    WalError("wal closed before the batch was flushed")
+                )
             return flushed
         finally:
             self._flushing = False
+            self._inflight = None
 
     def _write_and_sync(self, fd: int, data: bytes) -> int:
         # Runs on the blocking-I/O pool: one write, one fsync.
@@ -442,8 +486,31 @@ class ShardWal:
 
     # ------------------------------------------------------------------
     def flush_now(self) -> M:
-        """Force a flush of whatever is pending (resumes with the number
-        of records made durable) — a test/shutdown convenience."""
-        if not self._pending:
-            return pure(0)
-        return self._flush()
+        """Flush until nothing is pending and no flush is in flight —
+        a test/shutdown convenience.
+
+        Resumes with the number of records made durable while waiting.
+        Unlike a bare ``_flush()`` (which returns immediately when a
+        flush is already running), this parks on the in-flight batch's
+        barrier, so every record appended before the call is durable —
+        or its writers saw :class:`WalError` — by the time it resumes.
+        """
+        return self._flush_now()
+
+    @do
+    def _flush_now(self):
+        flushed = 0
+        while not self._closed and (self._pending or self._flushing):
+            if not self._flushing:
+                flushed += yield self._flush()
+                continue
+            barrier = self._inflight
+            if barrier is not None and not barrier.full:
+                outcome = yield barrier.read()
+                if isinstance(outcome, int):
+                    flushed += outcome
+            else:
+                # The flusher is between batches (compacting, or just
+                # past a put): no barrier to park on — poll briefly.
+                yield sys_sleep(0.001)
+        return flushed

@@ -18,6 +18,7 @@ a durability claim is only as good as its fault harness):
 
 from __future__ import annotations
 
+import json
 import os
 import random
 import shutil
@@ -208,6 +209,46 @@ class TestRecovery:
         assert node2.store["ck39"] == b"value-39"
         assert "ck7" not in node2.store
         wal2.close()
+
+    def test_recover_unlinks_stale_snapshot_tmp(self, tmp_path):
+        # A crash mid-compaction leaves snapshot.wal.tmp behind; it was
+        # never renamed, so recovery must clear it, not wait for the
+        # next compaction to overwrite it.
+        directory = str(tmp_path / "shard-0")
+        os.makedirs(directory)
+        tmp = os.path.join(directory, "snapshot.wal.tmp")
+        with open(tmp, "wb") as fh:
+            fh.write(b"half-written snapshot")
+        wal = ShardWal(directory)
+        state, records = wal.recover()
+        wal.close()
+        assert state is None and records == []
+        assert not os.path.exists(tmp)
+
+    def test_recovery_replays_past_torn_segment(self, tmp_path):
+        # A failed flush rotates appends to a fresh segment, so acked
+        # records legitimately live in segments *past* a torn one.
+        # Recovery truncates the tear and keeps replaying.
+        directory = str(tmp_path / "rotated")
+        os.makedirs(directory)
+
+        def encoded(key):
+            return json.dumps({"t": "raw", "op": "put", "k": key,
+                               "v": None}).encode()
+
+        torn = frame_record(encoded("torn"))
+        seg1 = os.path.join(directory, "wal-00000001.log")
+        with open(seg1, "wb") as fh:
+            fh.write(frame_record(encoded("a")) + torn[:-3])
+        with open(os.path.join(directory, "wal-00000002.log"), "wb") as fh:
+            fh.write(frame_record(encoded("b")))
+        wal = ShardWal(directory)
+        state, records = wal.recover()
+        wal.close()
+        assert state is None
+        assert [record["k"] for record in records] == ["a", "b"]
+        assert wal.torn_bytes_truncated == len(torn) - 3
+        assert os.path.getsize(seg1) == len(frame_record(encoded("a")))
 
     def test_stats_shape(self, rt, tmp_path):
         node, wal = self._node(str(tmp_path / "shard-0"))
@@ -429,6 +470,160 @@ class TestGroupCommit:
         rt.run(until=lambda: bool(done), idle_timeout=5.0)
         assert wal.fsyncs == 1
         wal.close()
+
+    def test_acked_writes_after_failed_flush_survive_recovery(
+        self, rt, tmp_path
+    ):
+        # The zero-acked-writes-lost guarantee across a *transient*
+        # flush failure: the failed batch's torn/unsynced bytes must not
+        # poison the segment, so later acked batches replay after a
+        # kill -9.  (The failure path restores the pre-batch length and
+        # rotates to a fresh segment.)
+        directory = str(tmp_path / "shard-0")
+        timers = _FakeTimers()
+        wal = ShardWal(directory, timers=timers)
+        first = _spawn_commits(rt, wal, [{"t": "raw", "op": "put",
+                                          "k": "before", "v": None}])
+        rt.run(until=lambda: len(wal._pending) == 1, idle_timeout=2.0)
+        timers.fire(rt, timers.scheduled[0])
+        rt.run(until=lambda: bool(first), idle_timeout=5.0)
+
+        def broken_sync(fd):
+            raise OSError("simulated disk failure")
+
+        wal._sync = broken_sync
+        errors = []
+
+        @do
+        def failing_writer():
+            try:
+                yield wal.commit({"t": "raw", "op": "put", "k": "torn",
+                                  "v": None})
+                errors.append("acked")
+            except WalError:
+                errors.append("error")
+
+        rt.spawn(failing_writer())
+        rt.run(until=lambda: len(wal._pending) == 1, idle_timeout=2.0)
+        timers.fire(rt, timers.scheduled[-1])
+        rt.run(until=lambda: bool(errors), idle_timeout=5.0)
+        assert errors == ["error"]
+        # The failure rotated appends away from the damaged tail.
+        assert wal._segment_index == 2
+
+        wal._sync = os.fsync
+        after = _spawn_commits(rt, wal, [{"t": "raw", "op": "put",
+                                          "k": "after", "v": None}])
+        rt.run(until=lambda: len(wal._pending) == 1, idle_timeout=2.0)
+        timers.fire(rt, timers.scheduled[-1])
+        rt.run(until=lambda: bool(after), idle_timeout=5.0)
+        assert after == [1]
+        wal.close()  # kill -9 here
+
+        wal2 = ShardWal(directory)
+        node2 = KvNode(0, 1, wal=wal2)
+        assert "before" in node2.store
+        assert "after" in node2.store
+        assert "torn" not in node2.store
+        wal2.close()
+
+    def test_flush_now_flushes_pending(self, rt, tmp_path):
+        timers = _FakeTimers()
+        wal = ShardWal(str(tmp_path / "w"), timers=timers)
+        done = _spawn_commits(rt, wal, [
+            {"t": "raw", "op": "put", "k": f"fn{i}", "v": None}
+            for i in range(2)
+        ])
+        rt.run(until=lambda: len(wal._pending) == 2, idle_timeout=2.0)
+        flushed = _drive(rt, wal.flush_now())
+        assert flushed == 2
+        rt.run(until=lambda: len(done) == 2, idle_timeout=2.0)
+        assert done == [2, 2]
+        assert wal.fsyncs == 1
+        # Idle log: nothing pending, nothing in flight — resumes with 0.
+        assert _drive(rt, wal.flush_now()) == 0
+        wal.close()
+
+    def test_flush_now_waits_for_inflight_flush(self, rt, tmp_path):
+        # A flush is already in flight when flush_now is called: it must
+        # park until that batch is fsync-durable, not resume early.
+        timers = _FakeTimers()
+        wal = ShardWal(str(tmp_path / "w"), timers=timers)
+        sync_started = threading.Event()
+        gate = threading.Event()
+        real_sync = wal._sync
+
+        def gated_sync(fd):
+            sync_started.set()
+            assert gate.wait(timeout=10.0), "flush gate never released"
+            real_sync(fd)
+
+        wal._sync = gated_sync
+        done = _spawn_commits(rt, wal, [{"t": "raw", "op": "put",
+                                         "k": "slow", "v": None}])
+        rt.run(until=lambda: len(wal._pending) == 1, idle_timeout=2.0)
+        timers.fire(rt, timers.scheduled[0])
+        rt.run(until=sync_started.is_set, idle_timeout=5.0)
+
+        results = []
+
+        @do
+        def waiter():
+            count = yield wal.flush_now()
+            results.append(count)
+
+        rt.spawn(waiter())
+        rt.run(until=lambda: bool(results), idle_timeout=0.3)
+        assert not results, "flush_now resumed before the fsync landed"
+
+        gate.set()
+        rt.run(until=lambda: bool(results) and bool(done),
+               idle_timeout=5.0)
+        assert results == [1]
+        assert done == [1]
+        wal.close()
+
+    def test_close_wakes_parked_writers_with_error(self, rt, tmp_path):
+        # Graceful stop with a commit still parked: the armed deadline
+        # still fires, and the flusher observes the close and fails the
+        # batch instead of leaving the writer parked forever.
+        timers = _FakeTimers()
+        wal = ShardWal(str(tmp_path / "w"), timers=timers)
+        outcomes = []
+
+        @do
+        def writer():
+            try:
+                yield wal.commit({"t": "raw", "op": "put", "k": "x",
+                                  "v": None})
+                outcomes.append("acked")
+            except WalError:
+                outcomes.append("error")
+
+        rt.spawn(writer())
+        rt.run(until=lambda: len(wal._pending) == 1, idle_timeout=2.0)
+        wal.close()
+        timers.fire(rt, timers.scheduled[0])
+        rt.run(until=lambda: bool(outcomes), idle_timeout=5.0)
+        assert outcomes == ["error"]
+
+    def test_commit_after_close_raises(self, rt, tmp_path):
+        wal = ShardWal(str(tmp_path / "w"))
+        wal.close()
+        outcomes = []
+
+        @do
+        def writer():
+            try:
+                yield wal.commit({"t": "raw", "op": "put", "k": "x",
+                                  "v": None})
+                outcomes.append("acked")
+            except WalError:
+                outcomes.append("error")
+
+        rt.spawn(writer())
+        rt.run(until=lambda: bool(outcomes), idle_timeout=2.0)
+        assert outcomes == ["error"]
 
     def test_node_ack_waits_for_commit(self, rt, tmp_path):
         # End to end through KvNode: a put does not resume before its
