@@ -30,6 +30,11 @@ Compares a fresh bench run against the committed baseline floor
   minimum (no tolerance: keep-alive either works or it does not), the
   run never coalesced a duplicate in-flight GET, or the fleet saw
   client errors / 502s;
+* the core point (``bench_primitives.py``) shows context-switch, spawn
+  or nbio-dispatch rates below their baseline floors, or tracemalloc
+  allocations per parked thread above the committed ceiling (a **hard**
+  bound — allocation counts are deterministic, so growth there is a
+  code change, not machine noise);
 * the hotpath point (``bench_hotpath.py``) shows more than the bounded
   write syscalls per HTTP response (the gathered-write claim), no mesh
   flush coalescing, timer-thread forks growing with call count or with
@@ -316,6 +321,51 @@ def check(results: dict, baseline: dict, tolerance: float) -> list[str]:
                     f"errors / {gw.get('bad_gateway', 0)} 502s against a "
                     f"healthy upstream"
                 )
+
+    core_baseline = baseline.get("core")
+    if core_baseline:
+        core = results.get("core")
+        if core is None:
+            failures.append("core point missing from results "
+                            "(bench_primitives.py did not run?)")
+        else:
+            for key, label in (
+                ("context_switches_per_sec", "context switches/s"),
+                ("spawns_per_sec", "spawns/s"),
+                ("nbio_syscalls_per_sec", "nbio syscalls/s"),
+            ):
+                floor = core_baseline.get(f"{key}_min")
+                if floor is None:
+                    continue
+                rate = core.get(key, 0.0)
+                minimum = floor * (1.0 - tolerance)
+                status = "ok" if rate >= minimum else "REGRESSION"
+                print(f"  core {label}: {rate:8.0f} "
+                      f"(floor {floor}, gate {minimum:.0f}) {status}")
+                if rate < minimum:
+                    failures.append(
+                        f"core {label} {rate:.0f} is below "
+                        f"{minimum:.0f} (floor {floor} - {tolerance:.0%})"
+                    )
+            for key, unit in (
+                ("parked_thread_blocks", "blocks"),
+                ("parked_thread_bytes", "bytes"),
+            ):
+                bound = core_baseline.get(f"{key}_max")
+                if bound is None:
+                    continue
+                # Hard gate, deliberately NOT tolerance-scaled:
+                # allocations per parked thread are deterministic for a
+                # given Python version — growth is a code change.
+                value = core.get(key, float("inf"))
+                status = "ok" if value <= bound else "REGRESSION"
+                print(f"  core {key}: {value:8.2f} "
+                      f"(hard bound {bound}) {status}")
+                if value > bound:
+                    failures.append(
+                        f"core {key} {value:.2f} exceeds the hard bound "
+                        f"{bound}: per-thread state grew"
+                    )
 
     hot_baseline = baseline.get("hotpath")
     if hot_baseline:

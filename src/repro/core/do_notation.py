@@ -25,9 +25,21 @@ the role of the chained closures — but with two Python-specific amenities:
   generator with ``generator.throw``, so ordinary ``try``/``except``/
   ``finally`` blocks work inside threads.  Symmetrically, exceptions raised
   by the generator become monadic throws, caught by enclosing ``sys_catch``
-  frames (or enclosing ``@do`` callers' ``try`` blocks).  This is
-  implemented with the scheduler's ordinary handler frames — ``@do`` wraps
-  the generator in one ``SYS_CATCH`` region.
+  frames (or enclosing ``@do`` callers' ``try`` blocks).
+
+Two implementations share these semantics:
+
+* The **fast path** (default): :func:`do` hands the scheduler the live
+  generator in one :class:`~repro.core.trace.SysGen` node, and the
+  scheduler ``send``/``throw``s results directly into the generator frame
+  — no per-yield continuation closures or trampoline cells, no delegating
+  wrapper generator.  The node doubles as the region's handler frame.
+
+* The **slow path** (:func:`do_slow`): the original closure-trampoline
+  driver wrapping the generator in one ``SYS_CATCH`` region.  It is kept
+  as the executable reference implementation; the differential tests in
+  ``tests/core/test_do_fastpath_differential.py`` pin the two paths to
+  identical observable behavior (results, exception order, node counts).
 """
 
 from __future__ import annotations
@@ -39,30 +51,21 @@ import types
 from typing import Any, Callable, Generator
 
 from .monad import M
-from .trace import SysCatch, SysEndCatch, SysThrow, Trace
+from .trace import (
+    _BOUNCE,
+    DoProtocolError,
+    SysCatch,
+    SysEndCatch,
+    SysGen,
+    SysThrow,
+    Trace,
+)
 
-__all__ = ["do", "DoProtocolError"]
+__all__ = ["do", "do_slow", "DoProtocolError"]
 
 #: Code objects of every ``@do``-driven generator function; used to target
 #: the abandoned-thread noise filter below at exactly our generators.
 _do_codes: set = set()
-
-
-class DoProtocolError(TypeError):
-    """A ``@do`` generator yielded something that is not a computation."""
-
-
-class _Bounce(Trace):
-    """Internal sentinel returned by a trampolined continuation.
-
-    Never reaches the scheduler: it is produced only while the driving loop
-    in :func:`_step` is on the stack, which intercepts it immediately.
-    """
-
-    __slots__ = ()
-
-
-_BOUNCE = _Bounce()
 
 
 def do(genfunc: Callable[..., Generator[M, Any, Any]]) -> Callable[..., M]:
@@ -71,7 +74,32 @@ def do(genfunc: Callable[..., Generator[M, Any, Any]]) -> Callable[..., M]:
     The generator must yield :class:`M` values; its ``return`` value becomes
     the computation's result.  Calling the decorated function does not run
     any code — like every ``M``, the computation starts when a scheduler
-    forces its trace.
+    forces its trace (which, on this fast path, is the :class:`SysGen`
+    node owning the generator).
+    """
+
+    _do_codes.add(genfunc.__code__)
+
+    @functools.wraps(genfunc)
+    def make(*args: Any, **kwargs: Any) -> M:
+        def run(c: Callable[[Any], Trace]) -> Trace:
+            return SysGen(genfunc(*args, **kwargs), c)
+
+        return M(run)
+
+    # Expose the original generator function for introspection/testing.
+    make.__wrapped__ = genfunc
+    return make
+
+
+def do_slow(genfunc: Callable[..., Generator[M, Any, Any]]) -> Callable[..., M]:
+    """Reference implementation of :func:`do`: the closure-trampoline driver.
+
+    Semantically identical to :func:`do`, but drives the generator from
+    outside the scheduler with a fresh continuation closure and trampoline
+    cells per yield, inside one ``SYS_CATCH`` region.  Kept for the
+    differential test suite and as executable documentation of the
+    desugaring; production code should use :func:`do`.
     """
 
     _do_codes.add(genfunc.__code__)
@@ -83,7 +111,6 @@ def do(genfunc: Callable[..., Generator[M, Any, Any]]) -> Callable[..., M]:
 
         return M(run)
 
-    # Expose the original generator function for introspection/testing.
     make.__wrapped__ = genfunc
     return make
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
-from .trace import SysRet, Trace
+from .trace import _BOUNCE, SysRet, Trace
 
 __all__ = [
     "M",
@@ -89,13 +89,20 @@ class M:
         return "<M>"
 
 
+def _unit_run(c: Callable[[Any], Trace]) -> Trace:
+    return c(None)
+
+
+#: ``unit`` is ``pure(None)`` — the do-nothing computation.  It is a shared
+#: constant so the very common ``pure(None)``/``pure()`` allocates nothing.
+unit = M(_unit_run)
+
+
 def pure(x: Any = None) -> M:
     """Lift a value into the monad (Haskell ``return``)."""
+    if x is None:
+        return unit
     return M(lambda c: c(x))
-
-
-#: ``unit`` is ``pure(None)`` — the do-nothing computation.
-unit = pure(None)
 
 
 def bind(ma: M, f: Callable[[Any], M]) -> M:
@@ -126,20 +133,46 @@ def join_m(mma: M) -> M:
 def sequence_m(actions: Sequence[M]) -> M:
     """Run computations left to right, collecting their results in a list.
 
-    Builds the chain iteratively (right fold over a materialized list) so a
-    long sequence does not nest Python stack frames at *construction* time;
-    see the module notes on stack use below.
+    Results accumulate by appending to one list — O(n) total, unlike the
+    textbook right fold of ``bind``/``fmap`` whose per-element
+    ``[x] + xs`` cons copies the accumulator each step (O(n²) for
+    ``mapM``/``replicateM``).  Actions that complete synchronously are
+    flattened by the same bounce trampoline the ``@do`` driver uses, so
+    long sequences of pure steps use constant Python stack.
     """
-    actions = list(actions)
+    acts = list(actions)
+    n = len(acts)
 
-    result: M = pure([])
-    for action in reversed(actions):
-        result = _cons_step(action, result)
-    return result
+    def run(c: Callable[[Any], Trace]) -> Trace:
+        results: list = []
+        # state = [active, completed_sync]; see SysGen._drive for the
+        # trampoline discipline.
+        state = [False, False]
 
+        def k(value: Any) -> Trace:
+            if state[0]:
+                state[1] = True
+                results.append(value)
+                return _BOUNCE
+            # Asynchronous resume (the action suspended): record the
+            # result and drive the remaining actions.
+            results.append(value)
+            return drive()
 
-def _cons_step(action: M, rest: M) -> M:
-    return action.bind(lambda x: rest.fmap(lambda xs: [x] + xs))
+        def drive() -> Trace:
+            while len(results) < n:
+                state[0] = True
+                state[1] = False
+                trace = acts[len(results)].run(k)
+                state[0] = False
+                if state[1]:
+                    continue
+                return trace
+            return c(results)
+
+        return drive()
+
+    return M(run)
 
 
 def sequence_(actions: Iterable[M]) -> M:

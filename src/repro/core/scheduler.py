@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
+from functools import partial
 from typing import Any, Callable, Iterable
 
 from .exceptions import ThreadKilled, UncaughtThreadError, UnsupportedSyscallError
@@ -30,6 +31,7 @@ from .trace import (
     SysCatch,
     SysEndCatch,
     SysFork,
+    SysGen,
     SysJoin,
     SysNBIO,
     SysRet,
@@ -45,10 +47,30 @@ __all__ = ["TCB", "Scheduler", "SyscallHandler", "STATES"]
 #: Thread lifecycle states.
 STATES = ("ready", "running", "blocked", "done", "failed")
 
-# A syscall handler receives (scheduler, tcb, node) and returns either a
-# thunk for the next trace node to continue executing inline, or None if it
-# parked or requeued the thread itself.
-SyscallHandler = Callable[["Scheduler", "TCB", Trace], "Thunk | None"]
+# A syscall handler receives (scheduler, tcb, node) and returns either the
+# thread's next step to run inline — a thunk, or (since the generator fast
+# path) a ready trace node directly — or None if it parked or requeued the
+# thread itself.
+SyscallHandler = Callable[["Scheduler", "TCB", Trace], "Thunk | Trace | None"]
+
+
+class _Resume:
+    """A reusable resume step: calling it applies ``fn`` to ``arg``.
+
+    Replaces the per-resume ``lambda: cont(value)`` closures on the hot
+    park/resume path — one small slotted object instead of a closure plus
+    cells, and its fields remain introspectable when debugging a parked
+    ready queue.
+    """
+
+    __slots__ = ("fn", "arg")
+
+    def __init__(self, fn: Callable[[Any], Trace], arg: Any) -> None:
+        self.fn = fn
+        self.arg = arg
+
+    def __call__(self) -> Trace:
+        return self.fn(self.arg)
 
 
 class TCB:
@@ -77,7 +99,9 @@ class TCB:
         self.tid = tid
         self.name = name
         self.state = "ready"
-        self.catch_stack: list[SysCatch] = []
+        # Handler frames: SysCatch regions and live @do generators (the
+        # SysGen node doubles as its region's frame).
+        self.catch_stack: list[SysCatch | SysGen] = []
         self.result: Any = None
         self.error: BaseException | None = None
         self.pending_kill: BaseException | None = None
@@ -126,12 +150,32 @@ class Scheduler:
             raise ValueError("batch_limit must be >= 1")
         self.batch_limit = batch_limit
         self.uncaught = uncaught
-        self.ready: deque[tuple[TCB, Thunk]] = deque()
+        # Entries are (tcb, step) where step is a thunk *or* a ready trace
+        # node (devices resume errors by enqueueing the SysThrow directly).
+        self.ready: deque[tuple[TCB, Thunk | Trace]] = deque()
         self.uncaught_errors: list[tuple[TCB, BaseException]] = []
         self._tids = itertools.count(1)
         self._handlers: dict[type, SyscallHandler] = {}
         self._specials: dict[str, Callable[["Scheduler", TCB, Any], Any]] = {}
         self._exit_watchers: list[Callable[[TCB], None]] = []
+        # Precomputed node-type -> bound interpreter dispatch.  Built-in
+        # node types are installed here once; ``register_syscall`` adds
+        # instance handlers.  Class-level ``default_handlers`` are *not*
+        # cached (extensions register them at import time, possibly after
+        # this scheduler exists) — the miss path resolves them dynamically.
+        self._dispatch: dict[type, Callable[[TCB, Trace], Thunk | Trace | None]] = {
+            SysGen: self._do_gen,
+            SysNBIO: self._do_nbio,
+            SysFork: self._do_fork,
+            SysYield: self._do_yield,
+            SysRet: self._do_ret,
+            SysCatch: self._do_catch,
+            SysEndCatch: self._do_endcatch,
+            SysThrow: self._do_throw,
+            SysJoin: self._do_join,
+            SysSpecial: self._do_special,
+        }
+        self._builtin_types = frozenset(self._dispatch)
         #: Number of live (not finished) threads.
         self.live_threads = 0
         #: Total system calls processed (for instrumentation).
@@ -154,6 +198,12 @@ class Scheduler:
         ``None``; or requeue via :meth:`resume` and return ``None``.
         """
         self._handlers[node_type] = handler
+        if node_type not in self._builtin_types:
+            # Cache straight into the dispatch table: one dict hit per
+            # node instead of the lookup chain.  Built-in node types keep
+            # their built-in interpretation (as before, when the if/elif
+            # chain consulted handlers only after the built-in cases).
+            self._dispatch[node_type] = partial(handler, self)
 
     def register_special(
         self, kind: str, func: Callable[["Scheduler", TCB, Any], Any]
@@ -187,22 +237,23 @@ class Scheduler:
         self.live_threads += 1
         return tcb
 
-    def resume(self, tcb: TCB, thunk: Thunk) -> None:
+    def resume(self, tcb: TCB, thunk: Thunk | Trace) -> None:
         """Make a parked thread runnable again (used by device loops).
 
         ``thunk`` forces the thread's next trace node — typically the
-        node's stored continuation applied to the operation's result.
+        node's stored continuation applied to the operation's result — or
+        is that node itself (a ready ``Trace`` is accepted directly).
         """
         tcb.state = "ready"
         self.ready.append((tcb, thunk))
 
     def resume_value(self, tcb: TCB, cont: Callable[[Any], Trace], value: Any) -> None:
         """Convenience: resume ``tcb`` by applying ``cont`` to ``value``."""
-        self.resume(tcb, lambda: cont(value))
+        self.resume(tcb, _Resume(cont, value))
 
     def resume_error(self, tcb: TCB, exc: BaseException) -> None:
         """Resume ``tcb`` by delivering ``exc`` as a monadic throw."""
-        self.resume(tcb, lambda: SysThrow(exc))
+        self.resume(tcb, SysThrow(exc))
 
     def kill(self, tcb: TCB, exc: BaseException | None = None) -> None:
         """Request cancellation of ``tcb``.
@@ -233,40 +284,61 @@ class Scheduler:
         self.run_batch(tcb, thunk)
         return True
 
-    def run_batch(self, tcb: TCB, thunk: Thunk) -> None:
+    def run_batch(self, tcb: TCB, thunk: Thunk | Trace) -> None:
         """Force and interpret trace nodes for one thread until it blocks,
-        yields, finishes, or exhausts its batch."""
+        yields, finishes, or exhausts its batch.
+
+        ``thunk`` (and each inline continuation) is either a zero-argument
+        callable forcing the next node, or a ready :class:`Trace` node.
+        Counters accumulate in locals and flush once per batch; the
+        ``on_syscall`` hook is consulted once and skipped entirely when not
+        installed — per-node instrumentation costs nothing unless used.
+        """
         tcb.state = "running"
         budget = self.batch_limit
-        while True:
-            if tcb.pending_kill is not None:
-                exc = tcb.pending_kill
-                tcb.pending_kill = None
-                thunk = _throw_thunk(exc)
-            try:
-                node = thunk()
-            except (KeyboardInterrupt, SystemExit):
-                raise
-            except BaseException as raised:
-                # A raw Python exception escaped the thread's code outside
-                # any @do frame; convert it to a monadic throw.
-                node = SysThrow(raised)
+        dispatch = self._dispatch
+        hook = self.on_syscall
+        count = 0
+        try:
+            while True:
+                if tcb.pending_kill is not None:
+                    exc = tcb.pending_kill
+                    tcb.pending_kill = None
+                    node = SysThrow(exc)
+                elif isinstance(thunk, Trace):
+                    node = thunk
+                else:
+                    try:
+                        node = thunk()
+                    except (KeyboardInterrupt, SystemExit):
+                        raise
+                    except BaseException as raised:
+                        # A raw Python exception escaped the thread's code
+                        # outside any @do frame; convert it to a monadic
+                        # throw.
+                        node = SysThrow(raised)
 
-            tcb.syscall_count += 1
-            self.total_syscalls += 1
-            if self.on_syscall is not None:
-                self.on_syscall(tcb, node)
+                count += 1
+                if hook is not None:
+                    hook(tcb, node)
 
-            next_thunk = self._interpret(tcb, node)
-            if next_thunk is None:
-                return
-            budget -= 1
-            if budget <= 0:
-                # Batch exhausted: requeue and switch (still ready).
-                tcb.state = "ready"
-                self.ready.append((tcb, next_thunk))
-                return
-            thunk = next_thunk
+                fn = dispatch.get(type(node))
+                if fn is not None:
+                    nxt = fn(tcb, node)
+                else:
+                    nxt = self._interpret_extension(tcb, node)
+                if nxt is None:
+                    return
+                budget -= 1
+                if budget <= 0:
+                    # Batch exhausted: requeue and switch (still ready).
+                    tcb.state = "ready"
+                    self.ready.append((tcb, nxt))
+                    return
+                thunk = nxt
+        finally:
+            tcb.syscall_count += count
+            self.total_syscalls += count
 
     def run(self) -> None:
         """Run until no thread is ready (parked threads may remain)."""
@@ -291,76 +363,106 @@ class Scheduler:
     # ------------------------------------------------------------------
     # Node interpretation
     # ------------------------------------------------------------------
-    def _interpret(self, tcb: TCB, node: Trace) -> Thunk | None:
-        """Handle one trace node; return the next thunk to run inline, or
-        ``None`` if the thread parked, yielded, or finished."""
-        node_type = type(node)
+    def _interpret(self, tcb: TCB, node: Trace) -> Thunk | Trace | None:
+        """Handle one trace node; return the thread's next step to run
+        inline (a thunk or a ready node), or ``None`` if the thread parked,
+        yielded, or finished.
 
-        if node_type is SysNBIO:
-            # Figure 11: perform the I/O action; it returns the next node.
-            # Wrap in a thunk so failures inside the action are delivered
-            # as monadic exceptions by the forcing loop above.
-            return node.run
+        This is the dispatch-table equivalent of the paper's Figure 11
+        case analysis; :meth:`run_batch` inlines the same lookup.
+        """
+        fn = self._dispatch.get(type(node))
+        if fn is not None:
+            return fn(tcb, node)
+        return self._interpret_extension(tcb, node)
 
-        if node_type is SysFork:
-            child = self._new_tcb(node.name)
-            self.ready.append((child, node.child))
-            return node.cont
+    def _do_gen(self, tcb: TCB, node: SysGen) -> Trace:
+        # Enter (or re-enter, after an unwind re-armed it) a @do region:
+        # the node itself is the handler frame, and driving it runs the
+        # generator up to its next real system call.
+        tcb.catch_stack.append(node)
+        return node.drive()
 
-        if node_type is SysYield:
-            tcb.state = "ready"
-            self.ready.append((tcb, node.cont))
-            return None
+    def _do_nbio(self, tcb: TCB, node: SysNBIO) -> Thunk:
+        # Figure 11: perform the I/O action; it returns the next node.
+        # Keep the thunk so failures inside the action are delivered as
+        # monadic exceptions by the forcing loop above.
+        return node.run
 
-        if node_type is SysRet:
-            self._finish(tcb, node.value, None)
-            return None
+    def _do_fork(self, tcb: TCB, node: SysFork) -> Thunk:
+        child = self._new_tcb(node.name)
+        self.ready.append((child, node.child))
+        return node.cont
 
-        if node_type is SysCatch:
-            tcb.catch_stack.append(node)
-            return node.body
+    def _do_yield(self, tcb: TCB, node: SysYield) -> None:
+        tcb.state = "ready"
+        self.ready.append((tcb, node.cont))
+        return None
 
-        if node_type is SysEndCatch:
-            frame = tcb.catch_stack.pop()
-            value = node.value
-            return lambda: frame.cont(value)
+    def _do_ret(self, tcb: TCB, node: SysRet) -> None:
+        self._finish(tcb, node.value, None)
+        return None
 
-        if node_type is SysThrow:
-            return self._unwind(tcb, node.exc)
+    def _do_catch(self, tcb: TCB, node: SysCatch) -> Thunk:
+        tcb.catch_stack.append(node)
+        return node.body
 
-        if node_type is SysJoin:
-            target: TCB = node.target
-            cont = node.cont
-            if target.state == "done":
-                value = target.result
-                return lambda: cont(value)
-            if target.state == "failed":
-                return _throw_thunk(target.error)
-            if target.waiters is None:
-                target.waiters = []
-            target.waiters.append((tcb, cont))
-            tcb.state = "blocked"
-            return None
+    def _do_endcatch(self, tcb: TCB, node: SysEndCatch) -> Trace:
+        # Normal completion of a protected region (sys_catch or a @do
+        # generator): pop the frame and continue with the region's value.
+        frame = tcb.catch_stack.pop()
+        try:
+            return frame.cont(node.value)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except BaseException as raised:
+            return SysThrow(raised)
 
-        if node_type is SysSpecial:
-            func = self._specials.get(node.kind)
-            if func is None:
-                func = Scheduler.default_specials.get(node.kind)
-            if func is None:
-                return _throw_thunk(
-                    UnsupportedSyscallError(
-                        f"no handler registered for sys_special({node.kind!r})"
-                    )
-                )
+    def _do_throw(self, tcb: TCB, node: SysThrow) -> Thunk | Trace | None:
+        return self._unwind(tcb, node.exc)
+
+    def _do_join(self, tcb: TCB, node: SysJoin) -> Trace | None:
+        target: TCB = node.target
+        if target.state == "done":
             try:
-                value = func(self, tcb, node.payload)
+                return node.cont(target.result)
             except (KeyboardInterrupt, SystemExit):
                 raise
             except BaseException as raised:
-                return _throw_thunk(raised)
-            cont = node.cont
-            return lambda: cont(value)
+                return SysThrow(raised)
+        if target.state == "failed":
+            return SysThrow(target.error)
+        if target.waiters is None:
+            target.waiters = []
+        target.waiters.append((tcb, node.cont))
+        tcb.state = "blocked"
+        return None
 
+    def _do_special(self, tcb: TCB, node: SysSpecial) -> Trace:
+        func = self._specials.get(node.kind)
+        if func is None:
+            func = Scheduler.default_specials.get(node.kind)
+        if func is None:
+            return SysThrow(
+                UnsupportedSyscallError(
+                    f"no handler registered for sys_special({node.kind!r})"
+                )
+            )
+        try:
+            return node.cont(func(self, tcb, node.payload))
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except BaseException as raised:
+            return SysThrow(raised)
+
+    def _interpret_extension(self, tcb: TCB, node: Trace) -> Thunk | Trace | None:
+        """Dispatch-table miss: class-level default handlers and fallbacks.
+
+        Default handlers are looked up dynamically on purpose — sync/STM/
+        TCP extensions register them at import time, which may happen after
+        this scheduler was constructed.
+        """
+        node_type = type(node)
         handler = self._handlers.get(node_type)
         if handler is None:
             handler = Scheduler.default_handlers.get(node_type)
@@ -368,20 +470,37 @@ class Scheduler:
             if node_type is SysBlio:
                 # With no blocking pool wired (bare scheduler / tests), run
                 # the action inline like SYS_NBIO.
-                action, cont = node.action, node.cont
-                return lambda: cont(action())
-            return _throw_thunk(
+                try:
+                    return node.cont(node.action())
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except BaseException as raised:
+                    return SysThrow(raised)
+            return SysThrow(
                 UnsupportedSyscallError(
                     f"no handler registered for {node_type.TAG}"
                 )
             )
         return handler(self, tcb, node)
 
-    def _unwind(self, tcb: TCB, exc: BaseException) -> Thunk | None:
-        """Pop one handler frame and run its handler, or finish the thread."""
+    def _unwind(self, tcb: TCB, exc: BaseException) -> Thunk | Trace | None:
+        """Pop one handler frame and run its handler, or finish the thread.
+
+        A live :class:`SysGen` frame routes the exception into its
+        generator (so ``try``/``except``/``finally`` inside ``@do`` run):
+        the exception is armed on the node and the node itself is returned,
+        re-entering :meth:`_do_gen` which re-pushes the frame and drives —
+        mirroring the slow path's re-armed ``SysCatch``, at the same node
+        count.  A finished ``SysGen`` frame passes the exception through.
+        """
         if tcb.catch_stack:
             frame = tcb.catch_stack.pop()
-            return lambda: frame.handler(exc)
+            if type(frame) is SysGen:
+                if frame.finished:
+                    return SysThrow(exc)
+                frame.throw_in(exc)
+                return frame
+            return _Resume(frame.handler, exc)
         self._finish(tcb, None, exc)
         return None
 

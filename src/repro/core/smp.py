@@ -26,6 +26,7 @@ from typing import Any, Callable
 from .exceptions import DeadlockError
 from .monad import M
 from .scheduler import TCB, Scheduler, SyscallHandler
+from .trace import Trace
 
 __all__ = ["SmpScheduler"]
 
@@ -127,8 +128,12 @@ class SmpScheduler:
         worker = self._home.get(tcb)
         return worker if worker is not None else self.workers[self._turn]
 
-    def resume(self, tcb: TCB, thunk: Callable) -> None:
-        """Requeue a parked thread on its home worker."""
+    def resume(self, tcb: TCB, thunk: Callable | Trace) -> None:
+        """Requeue a parked thread on its home worker.
+
+        Like :meth:`Scheduler.resume`, ``thunk`` is a forcing thunk or a
+        ready trace node (``resume_error`` enqueues ``SysThrow`` directly).
+        """
         self._worker_of(tcb).resume(tcb, thunk)
 
     def resume_value(self, tcb: TCB, cont: Callable, value: Any) -> None:
@@ -175,7 +180,10 @@ class SmpScheduler:
         moved = deque()
         for _ in range(take):
             # Steal from the back: the oldest waiting work, preserving the
-            # victim's locality at its queue front.
+            # victim's locality at its queue front.  Entries move opaquely
+            # — (tcb, thunk-or-node) pairs, including SysGen fast-path
+            # resumes — so stealing needs no knowledge of how a thread's
+            # continuation is represented.
             moved.appendleft(victim.ready.pop())
         thief.ready.extend(moved)
         self.tasks_stolen += take

@@ -115,9 +115,16 @@ def sys_fork(child: M | Callable[[], M], name: str | None = None) -> M:
     return M(run)
 
 
+# sys_yield takes no arguments, so the computation is one shared constant:
+# every call returns the same immutable M, whose ``run`` builds a fresh
+# SysYield node per subscription.  Yield-heavy loops allocate one node and
+# one continuation thunk per switch, nothing else.
+_YIELD_M = M(lambda c: SysYield(lambda: c(None)))
+
+
 def sys_yield() -> M:
     """Switch to another ready thread (cooperative preemption point)."""
-    return M(lambda c: SysYield(lambda: c(None)))
+    return _YIELD_M
 
 
 def sys_ret(value: Any = None) -> M:

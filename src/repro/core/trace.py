@@ -34,6 +34,8 @@ __all__ = [
     "SysThrow",
     "SysCatch",
     "SysEndCatch",
+    "SysGen",
+    "DoProtocolError",
     "SysEpollWait",
     "SysAioRead",
     "SysAioWrite",
@@ -195,6 +197,164 @@ class SysEndCatch(Trace):
 
     def __init__(self, value: Any) -> None:
         self.value = value
+
+
+class DoProtocolError(TypeError):
+    """A ``@do`` generator yielded something that is not a computation."""
+
+
+class _Bounce(Trace):
+    """Internal sentinel returned by a trampolined continuation.
+
+    Never reaches the scheduler: it is produced only while a driving loop
+    (``SysGen._drive`` or the slow-path ``_step``) is on the stack, which
+    intercepts it immediately.
+    """
+
+    __slots__ = ()
+
+
+_BOUNCE = _Bounce()
+
+# The ``M`` class, injected lazily on first drive (``monad`` imports this
+# module, so importing it at top level would be circular).
+_M_cls: type | None = None
+
+
+class SysGen(Trace):
+    """``@do`` fast path: a protected region that *is* the live generator.
+
+    One node per ``@do`` call plays three roles at once:
+
+    * the **trace node** announcing region entry — the scheduler pushes it
+      onto the thread's handler stack and drives it;
+    * the **handler frame** — ``Scheduler._unwind`` delivers monadic
+      exceptions straight into the generator (``gen.throw``) while it is
+      live, and passes them through once it has finished;
+    * the owner of the **reusable continuation** :attr:`k` — system calls
+      store ``k`` in their nodes, and resuming it ``send()``s the result
+      directly into the generator frame.
+
+    This replaces the slow path's per-call ``SysCatch`` region and
+    per-yield closure/trampoline-cell allocations (``do_notation._step``)
+    while preserving its exact semantics *and* node counts: entry costs one
+    node (``SysGen`` vs ``SysCatch``), each suspension costs the suspended
+    node itself, normal exit returns ``SysEndCatch`` and an uncaught
+    exception returns ``SysThrow`` — so handler-frame bookkeeping, join
+    results, kill delivery and the simulator's per-node time charging are
+    unchanged.  The combinator path (``M.bind`` et al.) remains the
+    reference implementation; differential tests pin the two together.
+    """
+
+    __slots__ = (
+        "gen",
+        "cont",
+        "finished",
+        "k",
+        "drive",
+        "_active",
+        "_sync",
+        "_value",
+        "_exc",
+    )
+    TAG = "SYS_GEN"
+
+    def __init__(self, gen: Any, cont: Cont) -> None:
+        self.gen = gen
+        self.cont = cont
+        self.finished = False
+        self._active = False
+        self._sync = False
+        self._value: Any = None
+        self._exc: BaseException | None = None
+        # Prebound once so neither resuming nor re-driving allocates a
+        # method object per step.
+        self.k = self._resume
+        self.drive = self._drive
+
+    def _resume(self, value: Any) -> "Trace":
+        """The region's continuation: feed ``value`` to the generator.
+
+        Called synchronously by pure glue while :meth:`_drive` is on the
+        stack (trampoline: latch the value, bounce) or asynchronously by
+        the scheduler/device when the thread resumes (drive directly).
+        """
+        if self._active:
+            self._sync = True
+            self._value = value
+            return _BOUNCE
+        self._value = value
+        self._exc = None
+        return self._drive()
+
+    def throw_in(self, exc: BaseException) -> None:
+        """Arm ``exc`` for delivery into the generator on the next drive."""
+        self._value = None
+        self._exc = exc
+
+    def _drive(self) -> "Trace":
+        """Advance the generator to its next real system call.
+
+        Returns the next trace node.  Yields that complete synchronously
+        are flattened by the bounce trampoline, so consecutive pure steps
+        use constant Python stack.
+        """
+        global _M_cls
+        if _M_cls is None:
+            from .monad import M as _imported_m
+
+            _M_cls = _imported_m
+        gen = self.gen
+        value, exc = self._value, self._exc
+        self._value = self._exc = None
+        while True:
+            try:
+                if exc is not None:
+                    item = gen.throw(exc)
+                else:
+                    item = gen.send(value)
+            except StopIteration as stop:
+                self.finished = True
+                return SysEndCatch(stop.value)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as raised:
+                self.finished = True
+                return SysThrow(raised)
+
+            if not isinstance(item, _M_cls):
+                self.finished = True
+                return SysThrow(
+                    DoProtocolError(
+                        f"@do generator yielded {item!r}; expected a "
+                        "computation (an M value, e.g. from a sys_* call)"
+                    )
+                )
+
+            # Trampoline: if the computation calls ``k`` synchronously
+            # (pure glue), latch the value and loop instead of recursing.
+            # If it suspends (stores ``k`` in a trace node), ``k`` runs
+            # later with ``_active`` off and re-enters the drive normally.
+            self._active = True
+            self._sync = False
+            try:
+                trace = item.run(self.k)
+            except (KeyboardInterrupt, SystemExit):
+                self._active = False
+                raise
+            except BaseException as raised:
+                # The computation's own plumbing failed (e.g. a pure
+                # function inside fmap raised): surface it inside the
+                # generator so the user's try/except can see it.
+                self._active = False
+                value, exc = None, raised
+                continue
+            self._active = False
+            if self._sync:
+                value, exc = self._value, None
+                self._value = None
+                continue
+            return trace
 
 
 class SysEpollWait(Trace):
@@ -371,4 +531,8 @@ def format_trace_node(node: Trace) -> str:
         detail = f" op={node.op}"
     elif isinstance(node, SysSpecial):
         detail = f" kind={node.kind}"
+    elif isinstance(node, SysGen):
+        code = getattr(node.gen, "gi_code", None)
+        if code is not None:
+            detail = f" gen={code.co_qualname}"
     return f"<{type(node).TAG}{detail}>"

@@ -48,13 +48,7 @@ from ..core.trace import (
     SysBlio,
     SysEpollWait,
     SysSleep,
-    SysThrow,
-    Thunk,
 )
-
-
-def _throw_thunk(exc: BaseException) -> Thunk:
-    return lambda: SysThrow(exc)
 from ..simos.errors import WOULD_BLOCK
 from .buffers import BufferPool
 from .io_api import ConnectionClosed, NetIO
@@ -608,7 +602,10 @@ class LiveRuntime:
         )
         # Completions from pool threads, drained on the main loop; the
         # self-pipe wakes a sleeping poll().
-        self._completions: deque[tuple[TCB, Thunk]] = deque()
+        # Pool-job outcomes: (tcb, cont, value, exc) — exc wins when set.
+        self._completions: deque[
+            tuple[TCB, Callable, Any, BaseException | None]
+        ] = deque()
         self._wake_recv, self._wake_send = socket.socketpair()
         self._wake_recv.setblocking(False)
         self._wake_send.setblocking(False)
@@ -682,15 +679,17 @@ class LiveRuntime:
         """Run ``action`` on a pool thread; resume ``cont`` on the loop."""
 
         def job() -> None:
+            # Record the raw outcome; the loop thread builds the resume
+            # step via resume_value/resume_error when draining (no per-job
+            # closure, and pool threads never touch trace machinery).
             try:
                 value = action()
             except (KeyboardInterrupt, SystemExit):
                 raise
             except BaseException as exc:
-                outcome: Thunk = _throw_thunk(exc)
+                self._completions.append((tcb, cont, None, exc))
             else:
-                outcome = lambda: cont(value)  # noqa: E731 - tiny resume thunk
-            self._completions.append((tcb, outcome))
+                self._completions.append((tcb, cont, value, None))
             try:
                 self._wake_send.send(b"\0")
             except (BlockingIOError, InterruptedError):
@@ -786,8 +785,11 @@ class LiveRuntime:
     def _drain_completions(self) -> bool:
         progressed = False
         while self._completions:
-            tcb, run = self._completions.popleft()
-            self.sched.resume(tcb, run)
+            tcb, cont, value, exc = self._completions.popleft()
+            if exc is not None:
+                self.sched.resume_error(tcb, exc)
+            else:
+                self.sched.resume_value(tcb, cont, value)
             progressed = True
         # Drain the wake pipe.
         try:

@@ -77,6 +77,7 @@ from .timer_wheel import TimerWheel
 
 __all__ = [
     "MeshNode",
+    "AdaptiveFlushCap",
     "MeshError",
     "MeshTimeout",
     "MeshPeerDown",
@@ -273,6 +274,56 @@ class MeshStats:
         return self.frames_sent / self.flushes if self.flushes else 0.0
 
 
+class AdaptiveFlushCap:
+    """Backlog-adaptive bound on frames per gathered flush.
+
+    A static ``flush_max_iov`` forces a trade-off: small caps chop a
+    sustained burst into many ``writev`` calls, large caps let one link's
+    burst monopolize the flusher.  This tracker moves the cap instead:
+
+    * **grow** — a flush that *fills* the current cap with frames still
+      queued behind it (sustained backlog) doubles the cap, up to
+      ``ceiling``;
+    * **decay** — two consecutive flushes under half the cap (the burst
+      passed) halve it, back down to ``floor``.
+
+    Growth reacts immediately (the backlog is here now); decay needs
+    corroboration so one small flush between bursts does not thrash the
+    cap.  The current value is surfaced via ``MeshNode.health()``.
+    """
+
+    __slots__ = ("floor", "ceiling", "value", "grows", "decays", "_under")
+
+    def __init__(self, floor: int, ceiling: int) -> None:
+        if floor < 1:
+            raise ValueError("flush cap floor must be >= 1")
+        self.floor = floor
+        self.ceiling = max(floor, ceiling)
+        self.value = floor
+        self.grows = 0
+        self.decays = 0
+        self._under = 0
+
+    def note_flush(self, batch_len: int, backlog: int) -> None:
+        """Record one completed flush of ``batch_len`` frames that left
+        ``backlog`` frames still queued."""
+        if batch_len >= self.value and backlog > 0:
+            self._under = 0
+            if self.value < self.ceiling:
+                self.value = min(self.ceiling, self.value * 2)
+                self.grows += 1
+            return
+        if batch_len * 2 <= self.value:
+            self._under += 1
+            if self._under >= 2:
+                self._under = 0
+                if self.value > self.floor:
+                    self.value = max(self.floor, self.value // 2)
+                    self.decays += 1
+            return
+        self._under = 0
+
+
 class _MeshServerProtocol:
     """The mesh's server side as a :class:`~repro.runtime.driver
     .ConnectionDriver` protocol — the second protocol on the same driver
@@ -314,6 +365,7 @@ class MeshNode:
         keepalive_interval: float | None = None,
         flush_max_iov: int = 64,
         flush_max_bytes: int = 256 * 1024,
+        flush_max_iov_ceiling: int = 512,
     ) -> None:
         self.index = index
         self.io = io
@@ -345,8 +397,13 @@ class MeshNode:
         #: Caps on one gathered flush: at most this many frames and
         #: roughly this many bytes per ``writev`` (a frame is never
         #: split across the caps — the next flush picks it up).
+        #: ``flush_max_iov`` is the *floor*: under sustained backlog the
+        #: adaptive cap grows from it toward ``flush_max_iov_ceiling``
+        #: (doubling per saturated flush) and decays back when the burst
+        #: passes; ``health()["flush_cap"]`` reports the live value.
         self.flush_max_iov = flush_max_iov
         self.flush_max_bytes = flush_max_bytes
+        self.flush_cap = AdaptiveFlushCap(flush_max_iov, flush_max_iov_ceiling)
         self.stats = MeshStats()
         self._links: dict[int, _PeerLink] = {}
         self._dial_mutexes: dict[int, Mutex] = {}
@@ -384,6 +441,9 @@ class MeshNode:
             "batched_flushes": stats.batched_flushes,
             "max_frames_per_flush": stats.max_frames_per_flush,
             "pings_sent": stats.pings_sent,
+            "flush_cap": self.flush_cap.value,
+            "flush_cap_grows": self.flush_cap.grows,
+            "flush_cap_decays": self.flush_cap.decays,
         }
 
     # ------------------------------------------------------------------
@@ -526,12 +586,13 @@ class MeshNode:
         # runtime wakes this thread with an error, and every queued
         # frame fails with MeshPeerDown.
         stats = self.stats
+        cap = self.flush_cap
         try:
             while out.queue:
                 batch: list[tuple[tuple[bytes, ...], MVar]] = []
                 bufs: list[bytes] = []
                 nbytes = 0
-                while (out.queue and len(batch) < self.flush_max_iov
+                while (out.queue and len(batch) < cap.value
                         and nbytes < self.flush_max_bytes):
                     entry = out.queue.popleft()
                     batch.append(entry)
@@ -566,6 +627,7 @@ class MeshNode:
                     stats.batched_flushes += 1
                 if len(batch) > stats.max_frames_per_flush:
                     stats.max_frames_per_flush = len(batch)
+                cap.note_flush(len(batch), len(out.queue))
                 for _bufs, box in batch:
                     yield box.try_put(None)
         finally:

@@ -271,6 +271,12 @@ class SimRuntime:
         sched.on_syscall = self._charge_syscall
 
     def _charge_syscall(self, _tcb: TCB, _node: Any) -> None:
+        # Uniform per-node cost.  The @do fast path (SysGen) produces the
+        # same node sequence as the combinator reference — region entry,
+        # each suspension, SysEndCatch/SysThrow on exit — so virtual-time
+        # accounting is identical on both paths.  Installing this hook is
+        # what re-enables the scheduler's per-node instrumentation branch;
+        # a live runtime leaves it None and skips the work entirely.
         self.kernel.charge(self.params.t_monadic_syscall)
 
     def _handle_epoll_wait(self, _sched: Scheduler, tcb: TCB, node: SysEpollWait):

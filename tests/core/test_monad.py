@@ -129,6 +129,48 @@ class TestSequencing:
     def test_foldM_empty(self):
         assert run_pure(foldM(lambda acc, x: pure(acc + x), 7, [])) == 7
 
+    def test_sequence_m_mixed_sync_async(self):
+        # Suspending actions interleaved with pure glue must still collect
+        # in order (exercises both arms of the append-side accumulator).
+        from repro.core.scheduler import run_threads
+
+        actions = []
+        for i in range(6):
+            if i % 2:
+                actions.append(sys_yield().then(pure(i)))
+            else:
+                actions.append(pure(i))
+        [tcb] = run_threads([sequence_m(actions)])
+        assert tcb.result == [0, 1, 2, 3, 4, 5]
+
+    def test_sequence_m_long_pure_chain_constant_stack(self):
+        # The bounce trampoline must flatten synchronous completions; a
+        # recursive driver would exhaust the Python stack long before 50k.
+        n = 50_000
+        assert run_pure(sequence_m([pure(i) for i in range(n)])) == list(range(n))
+
+    def test_sequence_m_scales_linearly(self):
+        # The accumulator appends (O(n) total); the old [x] + xs cons made
+        # this O(n²) — at these sizes roughly a 16x-per-element blowup.
+        import time
+
+        def measure(n: int) -> float:
+            comp = sequence_m([pure(i) for i in range(n)])
+            best = float("inf")
+            for _ in range(3):
+                t0 = time.perf_counter()
+                run_pure(comp)
+                best = min(best, time.perf_counter() - t0)
+            return best
+
+        small, big = measure(1_000), measure(16_000)
+        # Linear scaling predicts ~16x; quadratic predicts ~256x.  The
+        # generous bound keeps slow shared CI machines from flaking.
+        assert big < small * 60, (
+            f"sequence_m scaled superlinearly: {small:.4f}s @1k vs "
+            f"{big:.4f}s @16k"
+        )
+
 
 class TestBuildTrace:
     def test_build_trace_pure_is_ret(self):

@@ -21,6 +21,7 @@ from repro.runtime.live_runtime import LiveRuntime
 from repro.runtime.mesh import (
     KIND_REPLY,
     KIND_REQUEST,
+    AdaptiveFlushCap,
     MeshNode,
     MeshPeerDown,
     MeshRemoteError,
@@ -513,7 +514,8 @@ class TestBatchedEgress:
 
     def test_flush_caps_split_oversized_batches(self, rt):
         # A burst larger than flush_max_iov still delivers everything,
-        # split across capped gathered writes.
+        # split across capped gathered writes.  The ceiling is pinned to
+        # the floor so the adaptive cap cannot grow mid-test.
         seen = []
 
         def recording(body):
@@ -521,7 +523,8 @@ class TestBatchedEgress:
             return pure(b"")
 
         node_a, _node_b = make_pair(rt, handler_b=recording,
-                                    flush_max_iov=4)
+                                    flush_max_iov=4,
+                                    flush_max_iov_ceiling=4)
         done = []
 
         @do
@@ -536,6 +539,93 @@ class TestBatchedEgress:
         assert sorted(seen) == sorted(b"x%02d" % index for index in range(10))
         assert node_a.stats.max_frames_per_flush <= 4
         assert node_a.stats.flushes >= 3  # ceil(10 / 4)
+        assert node_a.health()["flush_cap"] == 4  # pinned: never moved
+
+    def test_adaptive_cap_grows_under_sustained_backlog(self, rt):
+        # A burst far larger than the floor saturates consecutive flushes,
+        # so the cap doubles toward the ceiling and health() shows it.
+        seen = []
+
+        def recording(body):
+            seen.append(body)
+            return pure(b"")
+
+        node_a, _node_b = make_pair(rt, handler_b=recording,
+                                    flush_max_iov=2,
+                                    flush_max_iov_ceiling=64)
+        done = []
+
+        @do
+        def one_cast(index):
+            yield node_a.cast(1, b"y%02d" % index)
+            done.append(index)
+
+        for index in range(12):
+            rt.spawn(one_cast(index), name=f"acast-{index}")
+        rt.run(until=lambda: len(done) == 12 and len(seen) == 12,
+               idle_timeout=5.0)
+        health = node_a.health()
+        assert health["flush_cap_grows"] >= 1
+        assert health["flush_cap"] > 2
+        assert node_a.stats.max_frames_per_flush > 2  # the growth engaged
+
+
+class TestAdaptiveFlushCap:
+    """Unit tests for the backlog-adaptive cap (no sockets involved)."""
+
+    def test_grows_on_saturated_flush_with_backlog(self):
+        cap = AdaptiveFlushCap(4, 16)
+        cap.note_flush(4, 10)
+        assert cap.value == 8
+        cap.note_flush(8, 3)
+        assert cap.value == 16
+        assert cap.grows == 2
+
+    def test_respects_ceiling(self):
+        cap = AdaptiveFlushCap(4, 16)
+        for _ in range(10):
+            cap.note_flush(cap.value, 100)
+        assert cap.value == 16
+
+    def test_saturated_flush_without_backlog_does_not_grow(self):
+        cap = AdaptiveFlushCap(4, 16)
+        cap.note_flush(4, 0)  # drained the queue exactly: burst over
+        assert cap.value == 4
+
+    def test_decays_after_two_underfilled_flushes(self):
+        cap = AdaptiveFlushCap(4, 64)
+        cap.note_flush(4, 10)
+        cap.note_flush(8, 10)
+        assert cap.value == 16
+        cap.note_flush(2, 0)
+        assert cap.value == 16  # one quiet flush: not yet
+        cap.note_flush(1, 0)
+        assert cap.value == 8
+        assert cap.decays == 1
+
+    def test_decay_stops_at_floor(self):
+        cap = AdaptiveFlushCap(4, 64)
+        for _ in range(20):
+            cap.note_flush(1, 0)
+        assert cap.value == 4
+
+    def test_moderate_flush_resets_decay_streak(self):
+        cap = AdaptiveFlushCap(4, 64)
+        cap.note_flush(4, 10)  # grow to 8
+        cap.note_flush(2, 0)   # under half: streak 1
+        cap.note_flush(5, 0)   # over half: streak resets
+        cap.note_flush(2, 0)   # streak 1 again
+        assert cap.value == 8
+
+    def test_floor_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveFlushCap(0, 8)
+
+    def test_ceiling_clamped_to_floor(self):
+        cap = AdaptiveFlushCap(8, 2)
+        assert cap.ceiling == 8
+        cap.note_flush(8, 5)
+        assert cap.value == 8  # floor == ceiling: static behavior
 
 
 class TestKeepalive:
